@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) for the data-reorganization claims of
+// §3.3: the per-output reorganization cost of the temporal scheme is a
+// small constant (rotate + blend + amortized top/bottom handling),
+// independent of stencil order, and the lane-crossing rotate dominates it.
+#include <benchmark/benchmark.h>
+
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+
+namespace {
+
+using V = tvs::simd::NativeVec<double, 4>;
+
+void BM_RotateUp(benchmark::State& state) {
+  V v = V::set1(1.0);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) v = tvs::simd::rotate_up(v);
+    benchmark::DoNotOptimize(&v);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_RotateUp);
+
+void BM_ShiftInLowV(benchmark::State& state) {
+  V v = V::set1(1.0);
+  const V fresh = V::set1(2.0);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) v = tvs::simd::shift_in_low_v(v, fresh);
+    benchmark::DoNotOptimize(&v);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ShiftInLowV);
+
+void BM_CollectTops(benchmark::State& state) {
+  V a = V::set1(1), b = V::set1(2), c = V::set1(3), d = V::set1(4);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      a = tvs::simd::collect_tops(a, b, c, d);
+      benchmark::DoNotOptimize(&a);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CollectTops);
+
+// One steady-state temporal-vectorization iteration (stencil + reorg) vs
+// one multiload spatial iteration: the reorganization overhead per output
+// vector in isolation (both L1-resident).
+void BM_TvSteadyIteration(benchmark::State& state) {
+  alignas(64) double buf[512];
+  for (int i = 0; i < 512; ++i) buf[i] = 1.0 + i * 1e-3;
+  V ring[8];
+  for (int i = 0; i < 8; ++i) ring[i] = V::load(buf + 4 * i);
+  const V cw = V::set1(0.25), cc = V::set1(0.5), ce = V::set1(0.25);
+  int x = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      const int i0 = x & 7, i1 = (x + 1) & 7, i2 = (x + 2) & 7;
+      V acc = cc * ring[i1];
+      acc = fma(cw, ring[i0], acc);
+      acc = fma(ce, ring[i2], acc);
+      ring[i0] = tvs::simd::shift_in_low(acc, buf[(x * 4) & 255]);
+      ++x;
+    }
+    benchmark::DoNotOptimize(ring);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 4);
+}
+BENCHMARK(BM_TvSteadyIteration);
+
+void BM_MultiloadIteration(benchmark::State& state) {
+  alignas(64) double in[512], out[512];
+  for (int i = 0; i < 512; ++i) in[i] = 1.0 + i * 1e-3;
+  const V cw = V::set1(0.25), cc = V::set1(0.5), ce = V::set1(0.25);
+  for (auto _ : state) {
+    for (int x = 4; x < 500; x += 4) {
+      V acc = cc * V::loadu(in + x);
+      acc = fma(cw, V::loadu(in + x - 1), acc);
+      acc = fma(ce, V::loadu(in + x + 1), acc);
+      acc.storeu(out + x);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 124 * 4);
+}
+BENCHMARK(BM_MultiloadIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

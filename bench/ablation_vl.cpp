@@ -1,0 +1,31 @@
+// Ablation: vector length 4 (AVX2, the paper's setting) vs 8 (AVX-512) for
+// the 2D Jacobi engines.  Wider lanes advance 8 time steps per tile —
+// half the memory traffic, deeper scalar edge triangles, and (on most
+// parts) a lower AVX-512 clock.  This quantifies the paper's future-work
+// trade-off.
+#include <string>
+
+#include "bench_util/bench.hpp"
+#include "tv/tv2d.hpp"
+#include "tv/tv2d_wide.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const stencil::C2D5 c = stencil::heat2d(0.2);
+  b::print_title("Ablation  Heat-2D vector length 4 vs 8 (Gstencils/s)");
+  b::print_header({"size", "vl=4", "vl=8"});
+  for (int n = 256; n <= 2048; n *= 2) {
+    const long steps = std::max<long>(16, (1L << 24) / (static_cast<long>(n) * n));
+    const double pts = static_cast<double>(n) * n * static_cast<double>(steps);
+    grid::Grid2D<double> u(n, n);
+    for (int x = 0; x <= n + 1; ++x)
+      for (int y = 0; y <= n + 1; ++y) u.at(x, y) = 0.001 * ((x + y) % 83);
+    const double r4 = b::measure_gstencils(
+        pts, [&] { tv::tv_jacobi2d5_run(c, u, steps, 2); });
+    const double r8 = b::measure_gstencils(
+        pts, [&] { tv::tv_jacobi2d5_run_vl8(c, u, steps, 2); });
+    b::print_row({std::to_string(n), b::fmt(r4), b::fmt(r8)});
+  }
+  return 0;
+}

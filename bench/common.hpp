@@ -1,0 +1,41 @@
+// Shared helpers for the figure-regeneration benchmarks: thread-sweep
+// driver for the parallel figures and size-sweep scaffolding for the
+// sequential ones.  Quick sizes by default; TVS_BENCH_FULL=1 switches to
+// the paper's Table 1 problem sizes.
+#pragma once
+
+#include <omp.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util/bench.hpp"
+
+namespace tvs::benchx {
+
+// Runs one parallel figure: for each thread count prints one row with a
+// rate per variant.  Each variant is (name, fn(threads) -> Gstencils/s).
+struct ParVariant {
+  std::string name;
+  std::function<double(int)> rate;
+};
+
+inline void par_figure(const std::string& title,
+                       const std::vector<ParVariant>& variants) {
+  namespace b = tvs::bench;
+  b::print_title(title);
+  std::vector<std::string> hdr{"threads"};
+  for (const auto& v : variants) hdr.push_back(v.name);
+  b::print_header(hdr);
+  const int saved = omp_get_max_threads();
+  for (const int t : b::thread_sweep()) {
+    omp_set_num_threads(t);
+    std::vector<std::string> row{std::to_string(t)};
+    for (const auto& v : variants) row.push_back(b::fmt(v.rate(t)));
+    b::print_row(row);
+  }
+  omp_set_num_threads(saved);
+}
+
+}  // namespace tvs::benchx

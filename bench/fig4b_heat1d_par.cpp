@@ -1,0 +1,53 @@
+// Figure 4b: Heat-1D parallel scaling (1..N cores).
+//
+// Paper setup: 16000000 x 6000 problem, 16384 x 128 diamond blocking,
+// curves our / auto / scalar.  `our` and `scalar` share the identical
+// diamond tiling (use_vector toggles the tile kernel); `auto` is the
+// conventional per-step OpenMP parallelization of the compiler-vectorized
+// loop.
+#include "baseline/autovec.hpp"
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/diamond.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+
+  const int nx = b::full_mode() ? 16000000 : (1 << 21);
+  const long steps = b::full_mode() ? 768 : 256;
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  const double pts = static_cast<double>(nx) * static_cast<double>(steps);
+
+  grid::PingPong<grid::Grid1D<double>> pp(nx);
+  for (int x = 0; x <= nx + 1; ++x) pp.even().at(x) = 1.0 + 0.001 * (x % 97);
+  tiling::fix_boundaries(pp);
+
+  tiling::Diamond1DOptions our;  // paper blocking
+  our.width = 16384;
+  our.height = 128;
+  tiling::Diamond1DOptions sc = our;
+  sc.use_vector = false;
+
+  grid::Grid1D<double> ua(nx);
+  for (int x = 0; x <= nx + 1; ++x) ua.at(x) = pp.even().at(x);
+
+  benchx::par_figure(
+      "Fig 4b  Heat-1D parallel, diamond 16384x128 (Gstencils/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_jacobi1d3_run(c, pp, steps, our); });
+        }},
+       {"auto",
+        [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            baseline::par_autovec_jacobi1d3_run(c, ua, steps);
+          });
+        }},
+       {"tiled-auto", [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_jacobi1d3_run(c, pp, steps, sc); });
+        }}});
+  return 0;
+}

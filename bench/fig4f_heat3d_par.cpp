@@ -1,0 +1,51 @@
+// Figure 4f: Heat-3D parallel scaling; diamond-on-x, Table 1: 32^3 x 8.
+#include "baseline/autovec.hpp"
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/diamond3d.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const int n = b::full_mode() ? 800 : 256;
+  const long steps = b::full_mode() ? 200 : 64;
+  const stencil::C3D7 c = stencil::heat3d(0.1);
+  const double pts =
+      static_cast<double>(n) * n * n * static_cast<double>(steps);
+
+  grid::PingPong<grid::Grid3D<double>> pp(n, n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y)
+      for (int z = 0; z <= n + 1; ++z)
+        pp.even().at(x, y, z) = 0.001 * ((x * 7 + y * 3 + z) % 89);
+  tiling::fix_boundaries3d(pp);
+  grid::Grid3D<double> ua(n, n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y)
+      for (int z = 0; z <= n + 1; ++z) ua.at(x, y, z) = pp.even().at(x, y, z);
+
+  tiling::Diamond3DOptions our;  // Table 1: 32^3 x 8
+  our.width = 32;
+  our.height = 8;
+  tiling::Diamond3DOptions sc = our;
+  sc.use_vector = false;
+
+  benchx::par_figure(
+      "Fig 4f  Heat-3D parallel, diamond 32x8 on x (Gstencils/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_jacobi3d7_run(c, pp, steps, our); });
+        }},
+       {"auto",
+        [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            baseline::par_autovec_jacobi3d7_run(c, ua, steps);
+          });
+        }},
+       {"tiled-auto", [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_jacobi3d7_run(c, pp, steps, sc); });
+        }}});
+  return 0;
+}

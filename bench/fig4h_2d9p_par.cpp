@@ -1,0 +1,48 @@
+// Figure 4h: 2D9P parallel scaling; diamond-on-x, Table 1: 256^2 x 64.
+#include "baseline/autovec.hpp"
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/diamond2d.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const int n = b::full_mode() ? 8000 : 2048;
+  const long steps = b::full_mode() ? 512 : 128;
+  const stencil::C2D9 c = stencil::box2d9(0.1);
+  const double pts = static_cast<double>(n) * n * static_cast<double>(steps);
+
+  grid::PingPong<grid::Grid2D<double>> pp(n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y)
+      pp.even().at(x, y) = 0.001 * ((x * 13 + y) % 83);
+  tiling::fix_boundaries2d(pp);
+  grid::Grid2D<double> ua(n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y) ua.at(x, y) = pp.even().at(x, y);
+
+  tiling::Diamond2DOptions our;
+  our.width = 256;
+  our.height = 64;
+  tiling::Diamond2DOptions sc = our;
+  sc.use_vector = false;
+
+  benchx::par_figure(
+      "Fig 4h  2D9P parallel, diamond 256x64 on x (Gstencils/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_jacobi2d9_run(c, pp, steps, our); });
+        }},
+       {"auto",
+        [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            baseline::par_autovec_jacobi2d9_run(c, ua, steps);
+          });
+        }},
+       {"tiled-auto", [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_jacobi2d9_run(c, pp, steps, sc); });
+        }}});
+  return 0;
+}

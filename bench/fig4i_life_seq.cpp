@@ -1,0 +1,34 @@
+// Figure 4i: Game of Life (B2S23, int32 x 8 lanes) sequential, size sweep.
+#include "baseline/autovec.hpp"
+#include "baseline/spatial.hpp"
+#include "bench_util/bench.hpp"
+#include "stencil/life_ref.hpp"
+#include "tv/tv_life.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const stencil::LifeRule rule{};  // B2S23
+  b::print_title("Fig 4i  Life sequential (Gstencils/s)");
+  b::print_header({"size", "our", "auto", "scalar", "multiload"});
+  const int hi = b::full_mode() ? 8192 : 2048;
+  for (int n = 128; n <= hi; n *= 2) {
+    const long steps = std::max<long>(8, (b::full_mode() ? 1L << 27 : 1L << 24) /
+                                             (static_cast<long>(n) * n));
+    const double pts = static_cast<double>(n) * n * static_cast<double>(steps);
+    grid::Grid2D<std::int32_t> u(n, n);
+    for (int x = 0; x <= n + 1; ++x)
+      for (int y = 0; y <= n + 1; ++y) u.at(x, y) = (x * 31 + y * 17) % 3 == 0;
+    const double r_our =
+        b::measure_gstencils(pts, [&] { tv::tv_life_run(rule, u, steps, 2); });
+    const double r_auto = b::measure_gstencils(
+        pts, [&] { baseline::autovec_life_run(rule, u, steps); });
+    const double r_sc =
+        b::measure_gstencils(pts, [&] { stencil::life_run(rule, u, steps); });
+    const double r_ml = b::measure_gstencils(
+        pts, [&] { baseline::multiload_life_run(rule, u, steps); });
+    b::print_row({std::to_string(n), b::fmt(r_our), b::fmt(r_auto),
+                  b::fmt(r_sc), b::fmt(r_ml)});
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 4j: Life parallel scaling; diamond-on-x, Table 1: 256^2 x 32.
+#include "baseline/autovec.hpp"
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/diamond2d.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const int n = b::full_mode() ? 8000 : 2048;
+  const long steps = b::full_mode() ? 512 : 128;
+  const stencil::LifeRule rule{};
+  const double pts = static_cast<double>(n) * n * static_cast<double>(steps);
+
+  grid::PingPong<grid::Grid2D<std::int32_t>> pp(n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y)
+      pp.even().at(x, y) = (x * 31 + y * 17) % 3 == 0;
+  tiling::fix_boundaries2d(pp);
+  grid::Grid2D<std::int32_t> ua(n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y) ua.at(x, y) = pp.even().at(x, y);
+
+  tiling::Diamond2DOptions our;  // Table 1: 256^2 x 32
+  our.width = 256;
+  our.height = 32;
+  tiling::Diamond2DOptions sc = our;
+  sc.use_vector = false;
+
+  benchx::par_figure(
+      "Fig 4j  Life parallel, diamond 256x32 on x (Gstencils/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_life_run(rule, pp, steps, our); });
+        }},
+       {"auto",
+        [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { baseline::par_autovec_life_run(rule, ua, steps); });
+        }},
+       {"tiled-auto", [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { tiling::diamond_life_run(rule, pp, steps, sc); });
+        }}});
+  return 0;
+}

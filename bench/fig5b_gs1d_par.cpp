@@ -1,0 +1,38 @@
+// Figure 5b: GS-1D parallel scaling; parallelogram wavefront, Table 1:
+// 2048 x 64 blocking.  `our` and `scalar` share the identical tiling.
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/parallelogram.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const int nx = b::full_mode() ? 16000000 : (1 << 21);
+  const long sweeps = b::full_mode() ? 768 : 512;
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  const double pts = static_cast<double>(nx) * static_cast<double>(sweeps);
+
+  grid::Grid1D<double> u(nx);
+  for (int x = 0; x <= nx + 1; ++x) u.at(x) = 1.0 + 0.001 * (x % 97);
+
+  tiling::Parallelogram1DOptions our;  // Table 1
+  our.width = 2048;
+  our.height = b::full_mode() ? 64 : 16;
+  tiling::Parallelogram1DOptions sc = our;
+  sc.use_vector = false;
+
+  benchx::par_figure(
+      "Fig 5b  GS-1D parallel, parallelogram 2048x64 (Gstencils/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            tiling::parallelogram_gs1d3_run(c, u, sweeps, our);
+          });
+        }},
+       {"scalar", [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            tiling::parallelogram_gs1d3_run(c, u, sweeps, sc);
+          });
+        }}});
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5d: GS-2D parallel scaling; parallelogram wavefront on x,
+// Table 1: 128^2 x 32.
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/parallelogram2d.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const int n = b::full_mode() ? 8000 : 1536;
+  const long sweeps = b::full_mode() ? 512 : 256;
+  const stencil::C2D5 c = stencil::heat2d(0.2);
+  const double pts = static_cast<double>(n) * n * static_cast<double>(sweeps);
+
+  grid::Grid2D<double> u(n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y) u.at(x, y) = 0.001 * ((x * 29 + y) % 97);
+
+  tiling::ParallelogramNDOptions our;  // Table 1
+  our.width = 128;
+  our.height = b::full_mode() ? 32 : 8;
+  tiling::ParallelogramNDOptions sc = our;
+  sc.use_vector = false;
+
+  benchx::par_figure(
+      "Fig 5d  GS-2D parallel, parallelogram 128x32 on x (Gstencils/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            tiling::parallelogram_gs2d5_run(c, u, sweeps, our);
+          });
+        }},
+       {"scalar", [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            tiling::parallelogram_gs2d5_run(c, u, sweeps, sc);
+          });
+        }}});
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 5f: GS-3D parallel scaling; parallelogram wavefront on x,
+// Table 1: 32^3 x 32.
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/parallelogram2d.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const int n = b::full_mode() ? 800 : 256;
+  const long sweeps = b::full_mode() ? 256 : 128;
+  const stencil::C3D7 c = stencil::heat3d(0.1);
+  const double pts =
+      static_cast<double>(n) * n * n * static_cast<double>(sweeps);
+
+  grid::Grid3D<double> u(n, n, n);
+  for (int x = 0; x <= n + 1; ++x)
+    for (int y = 0; y <= n + 1; ++y)
+      for (int z = 0; z <= n + 1; ++z)
+        u.at(x, y, z) = 0.001 * ((x * 5 + y * 3 + z) % 97);
+
+  tiling::ParallelogramNDOptions our;  // Table 1
+  our.width = 32;
+  our.height = b::full_mode() ? 32 : 4;
+  tiling::ParallelogramNDOptions sc = our;
+  sc.use_vector = false;
+
+  benchx::par_figure(
+      "Fig 5f  GS-3D parallel, parallelogram 32x32 on x (Gstencils/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            tiling::parallelogram_gs3d7_run(c, u, sweeps, our);
+          });
+        }},
+       {"scalar", [&](int) {
+          return b::measure_gstencils(pts, [&] {
+            tiling::parallelogram_gs3d7_run(c, u, sweeps, sc);
+          });
+        }}});
+  return 0;
+}

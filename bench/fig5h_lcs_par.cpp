@@ -1,0 +1,42 @@
+// Figure 5h: LCS parallel scaling; rectangle tiling + wavefront,
+// Table 1: 4096 x 4096 blocks on a 200000^2 DP matrix (scaled by default).
+#include <random>
+#include <vector>
+
+#include "bench_util/bench.hpp"
+#include "common.hpp"
+#include "tiling/lcs_wavefront.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  const int n = b::full_mode() ? 200000 : 40000;
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<std::int32_t> d(0, 3);
+  std::vector<std::int32_t> a(static_cast<std::size_t>(n)),
+      bseq(static_cast<std::size_t>(n));
+  for (auto& v : a) v = d(rng);
+  for (auto& v : bseq) v = d(rng);
+  const double pts = static_cast<double>(n) * static_cast<double>(n);
+
+  tiling::LcsWavefrontOptions our;  // Table 1: 4096 x 4096
+  our.block = 4096;
+  our.band = 4096;
+  tiling::LcsWavefrontOptions sc = our;
+  sc.use_vector = false;
+
+  volatile std::int32_t sink = 0;
+  benchx::par_figure(
+      "Fig 5h  LCS parallel, rectangle 4096x4096 wavefront (Gcells/s)",
+      {{"our",
+        [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { sink = tiling::lcs_wavefront(a, bseq, our); });
+        }},
+       {"scalar", [&](int) {
+          return b::measure_gstencils(
+              pts, [&] { sink = tiling::lcs_wavefront(a, bseq, sc); });
+        }}});
+  (void)sink;
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 1: problem and blocking sizes for every benchmark, plus — with
+// TVS_BENCH_FULL=1 — a mini power-of-two block-size search for the 1D
+// kernels ("we simply tested all blocking sizes that are the power of two
+// ... and show the one producing the best performance").
+#include <string>
+
+#include "bench_util/bench.hpp"
+#include "tiling/diamond.hpp"
+#include "tiling/parallelogram.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+  b::print_title("Table 1  Problem and blocking sizes");
+  b::print_header({"benchmark", "problem", "blocking"});
+  b::print_row({"Heat-1D", "16000000x6000", "16384x128"});
+  b::print_row({"Heat-2D", "8000^2x2000", "256^2x64"});
+  b::print_row({"2D9P", "8000^2x2000", "256^2x64"});
+  b::print_row({"Heat-3D", "800^3x200", "32^3x8"});
+  b::print_row({"Life", "8000^2x2000", "256^2x32"});
+  b::print_row({"GS-1D", "16000000x6000", "2048x64"});
+  b::print_row({"GS-2D", "8000^2x2000", "128^2x32"});
+  b::print_row({"GS-3D", "800^3x200", "32^3x32"});
+  b::print_row({"LCS", "200000x200000", "4096x4096"});
+
+  if (!b::full_mode()) {
+    std::printf("\n(set TVS_BENCH_FULL=1 for the Heat-1D block-size search)\n");
+    return 0;
+  }
+
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  const int nx = 1 << 22;
+  const long steps = 256;
+  const double pts = static_cast<double>(nx) * steps;
+  grid::PingPong<grid::Grid1D<double>> pp(nx);
+  for (int x = 0; x <= nx + 1; ++x) pp.even().at(x) = 0.001 * (x % 101);
+  tiling::fix_boundaries(pp);
+
+  b::print_title("Heat-1D diamond block search (24 threads, Gstencils/s)");
+  b::print_header({"WxH", "rate"});
+  for (int w = 2048; w <= 65536; w *= 2)
+    for (int h = 32; h <= 256; h *= 2) {
+      if (2 * h + 40 > w) continue;
+      tiling::Diamond1DOptions opt;
+      opt.width = w;
+      opt.height = h;
+      const double r = b::measure_gstencils(pts, [&] {
+        tiling::diamond_jacobi1d3_run(c, pp, steps, opt);
+      });
+      b::print_row({std::to_string(w) + "x" + std::to_string(h), b::fmt(r)});
+    }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// The paper's `auto` comparator: straightforward nested loops in their own
+// translation units, compiled with the compiler's vectorizer enabled (the
+// paper used `icc -O3 -xHost`; we use GCC with -ftree-vectorize, which
+// vectorizes these loops with the multi-load scheme of §2.2).
+//
+// Note: the compiler is free to contract multiplies and adds differently
+// from the canonical fma order, so tests compare these against the oracle
+// with a small tolerance rather than exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::baseline {
+
+void autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                           long steps);
+void autovec_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
+                           long steps);
+void autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                           long steps);
+void autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                           long steps);
+void autovec_life_run(const stencil::LifeRule& r,
+                      grid::Grid2D<std::int32_t>& u, long steps);
+void autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                           long steps);
+
+// Per-step OpenMP-parallel variants (the conventional parallelization of
+// the compiler-vectorized loops: space split across threads, barrier per
+// time step).  Used as the parallel `auto` curves of Figures 4b-4j.
+void par_autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                               long steps);
+void par_autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                               long steps);
+void par_autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                               long steps);
+void par_autovec_life_run(const stencil::LifeRule& r,
+                          grid::Grid2D<std::int32_t>& u, long steps);
+void par_autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                               long steps);
+
+}  // namespace tvs::baseline

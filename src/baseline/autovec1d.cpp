@@ -1,0 +1,68 @@
+#include <omp.h>
+
+#include <utility>
+
+#include "baseline/autovec.hpp"
+
+namespace tvs::baseline {
+
+void autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                           long steps) {
+  const int nx = u.nx();
+  grid::Grid1D<double> tmp(nx);
+  tmp.at(0) = u.at(0);
+  tmp.at(nx + 1) = u.at(nx + 1);
+  grid::Grid1D<double>* cur = &u;
+  grid::Grid1D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    const double* __restrict in = cur->p();
+    double* __restrict out = nxt->p();
+    for (int x = 1; x <= nx; ++x)
+      out[x] = c.w * in[x - 1] + c.c * in[x] + c.e * in[x + 1];
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur->at(x);
+}
+
+void autovec_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
+                           long steps) {
+  const int nx = u.nx();
+  grid::Grid1D<double> tmp(nx);
+  for (int x = -1; x <= 0; ++x) tmp.at(x) = u.at(x);
+  for (int x = nx + 1; x <= nx + 2; ++x) tmp.at(x) = u.at(x);
+  grid::Grid1D<double>* cur = &u;
+  grid::Grid1D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    const double* __restrict in = cur->p();
+    double* __restrict out = nxt->p();
+    for (int x = 1; x <= nx; ++x)
+      out[x] = c.w2 * in[x - 2] + c.w1 * in[x - 1] + c.c * in[x] +
+               c.e1 * in[x + 1] + c.e2 * in[x + 2];
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = -1; x <= nx + 2; ++x) u.at(x) = cur->at(x);
+}
+
+void par_autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                               long steps) {
+  const int nx = u.nx();
+  grid::Grid1D<double> tmp(nx);
+  tmp.at(0) = u.at(0);
+  tmp.at(nx + 1) = u.at(nx + 1);
+  grid::Grid1D<double>* cur = &u;
+  grid::Grid1D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    const double* __restrict in = cur->p();
+    double* __restrict out = nxt->p();
+#pragma omp parallel for schedule(static)
+    for (int x = 1; x <= nx; ++x)
+      out[x] = c.w * in[x - 1] + c.c * in[x] + c.e * in[x + 1];
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur->at(x);
+}
+
+}  // namespace tvs::baseline

@@ -1,0 +1,187 @@
+#include <omp.h>
+
+#include <utility>
+
+#include "baseline/autovec.hpp"
+
+namespace tvs::baseline {
+
+void autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                           long steps) {
+  const int nx = u.nx(), ny = u.ny();
+  grid::Grid2D<double> tmp(nx, ny);
+  for (int y = 0; y <= ny + 1; ++y) {
+    tmp.at(0, y) = u.at(0, y);
+    tmp.at(nx + 1, y) = u.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    tmp.at(x, 0) = u.at(x, 0);
+    tmp.at(x, ny + 1) = u.at(x, ny + 1);
+  }
+  grid::Grid2D<double>* cur = &u;
+  grid::Grid2D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x) {
+      const double* __restrict ic = cur->row(x);
+      const double* __restrict is = cur->row(x - 1);
+      const double* __restrict in = cur->row(x + 1);
+      double* __restrict o = nxt->row(x);
+      for (int y = 1; y <= ny; ++y)
+        o[y] = c.c * ic[y] + c.w * ic[y - 1] + c.e * ic[y + 1] + c.s * is[y] +
+               c.n * in[y];
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+
+void autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                           long steps) {
+  const int nx = u.nx(), ny = u.ny();
+  grid::Grid2D<double> tmp(nx, ny);
+  for (int y = 0; y <= ny + 1; ++y) {
+    tmp.at(0, y) = u.at(0, y);
+    tmp.at(nx + 1, y) = u.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    tmp.at(x, 0) = u.at(x, 0);
+    tmp.at(x, ny + 1) = u.at(x, ny + 1);
+  }
+  grid::Grid2D<double>* cur = &u;
+  grid::Grid2D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x) {
+      const double* __restrict ic = cur->row(x);
+      const double* __restrict is = cur->row(x - 1);
+      const double* __restrict in = cur->row(x + 1);
+      double* __restrict o = nxt->row(x);
+      for (int y = 1; y <= ny; ++y)
+        o[y] = c.c * ic[y] + c.w * ic[y - 1] + c.e * ic[y + 1] + c.s * is[y] +
+               c.n * in[y] + c.sw * is[y - 1] + c.se * is[y + 1] +
+               c.nw * in[y - 1] + c.ne * in[y + 1];
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+
+void autovec_life_run(const stencil::LifeRule& r,
+                      grid::Grid2D<std::int32_t>& u, long steps) {
+  const int nx = u.nx(), ny = u.ny();
+  grid::Grid2D<std::int32_t> tmp(nx, ny);
+  for (int y = 0; y <= ny + 1; ++y) {
+    tmp.at(0, y) = u.at(0, y);
+    tmp.at(nx + 1, y) = u.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    tmp.at(x, 0) = u.at(x, 0);
+    tmp.at(x, ny + 1) = u.at(x, ny + 1);
+  }
+  grid::Grid2D<std::int32_t>* cur = &u;
+  grid::Grid2D<std::int32_t>* nxt = &tmp;
+  const std::int32_t b = r.b, s1 = r.s1, s2 = r.s2;
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x) {
+      const std::int32_t* __restrict ic = cur->row(x);
+      const std::int32_t* __restrict is = cur->row(x - 1);
+      const std::int32_t* __restrict in = cur->row(x + 1);
+      std::int32_t* __restrict o = nxt->row(x);
+      for (int y = 1; y <= ny; ++y) {
+        const std::int32_t sum = ic[y - 1] + ic[y + 1] + is[y - 1] + is[y] +
+                                 is[y + 1] + in[y - 1] + in[y] + in[y + 1];
+        // Branch-free form so the compiler can vectorize with masks.
+        const std::int32_t born = static_cast<std::int32_t>(sum == b);
+        const std::int32_t surv =
+            static_cast<std::int32_t>(sum == s1 || sum == s2);
+        o[y] = ic[y] != 0 ? surv : born;
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+
+namespace {
+template <class T, class RowFn>
+void par_steps2d(grid::Grid2D<T>& u, long steps, RowFn row_fn) {
+  const int nx = u.nx(), ny = u.ny();
+  grid::Grid2D<T> tmp(nx, ny);
+  for (int y = 0; y <= ny + 1; ++y) {
+    tmp.at(0, y) = u.at(0, y);
+    tmp.at(nx + 1, y) = u.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    tmp.at(x, 0) = u.at(x, 0);
+    tmp.at(x, ny + 1) = u.at(x, ny + 1);
+  }
+  grid::Grid2D<T>* cur = &u;
+  grid::Grid2D<T>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+#pragma omp parallel for schedule(static)
+    for (int x = 1; x <= nx; ++x) row_fn(*cur, *nxt, x);
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+}  // namespace
+
+void par_autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                               long steps) {
+  const int ny = u.ny();
+  par_steps2d(u, steps, [&, ny](const grid::Grid2D<double>& in,
+                                grid::Grid2D<double>& out, int x) {
+    const double* __restrict ic = in.row(x);
+    const double* __restrict is = in.row(x - 1);
+    const double* __restrict inn = in.row(x + 1);
+    double* __restrict o = out.row(x);
+    for (int y = 1; y <= ny; ++y)
+      o[y] = c.c * ic[y] + c.w * ic[y - 1] + c.e * ic[y + 1] + c.s * is[y] +
+             c.n * inn[y];
+  });
+}
+
+void par_autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                               long steps) {
+  const int ny = u.ny();
+  par_steps2d(u, steps, [&, ny](const grid::Grid2D<double>& in,
+                                grid::Grid2D<double>& out, int x) {
+    const double* __restrict ic = in.row(x);
+    const double* __restrict is = in.row(x - 1);
+    const double* __restrict inn = in.row(x + 1);
+    double* __restrict o = out.row(x);
+    for (int y = 1; y <= ny; ++y)
+      o[y] = c.c * ic[y] + c.w * ic[y - 1] + c.e * ic[y + 1] + c.s * is[y] +
+             c.n * inn[y] + c.sw * is[y - 1] + c.se * is[y + 1] +
+             c.nw * inn[y - 1] + c.ne * inn[y + 1];
+  });
+}
+
+void par_autovec_life_run(const stencil::LifeRule& r,
+                          grid::Grid2D<std::int32_t>& u, long steps) {
+  const int ny = u.ny();
+  const std::int32_t b = r.b, s1 = r.s1, s2 = r.s2;
+  par_steps2d(u, steps, [&, ny](const grid::Grid2D<std::int32_t>& in,
+                                grid::Grid2D<std::int32_t>& out, int x) {
+    const std::int32_t* __restrict ic = in.row(x);
+    const std::int32_t* __restrict is = in.row(x - 1);
+    const std::int32_t* __restrict inn = in.row(x + 1);
+    std::int32_t* __restrict o = out.row(x);
+    for (int y = 1; y <= ny; ++y) {
+      const std::int32_t sum = ic[y - 1] + ic[y + 1] + is[y - 1] + is[y] +
+                               is[y + 1] + inn[y - 1] + inn[y] + inn[y + 1];
+      const std::int32_t born = static_cast<std::int32_t>(sum == b);
+      const std::int32_t surv = static_cast<std::int32_t>(sum == s1 || sum == s2);
+      o[y] = ic[y] != 0 ? surv : born;
+    }
+  });
+}
+
+}  // namespace tvs::baseline

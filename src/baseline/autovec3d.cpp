@@ -1,0 +1,77 @@
+#include <omp.h>
+
+#include <utility>
+
+#include "baseline/autovec.hpp"
+
+namespace tvs::baseline {
+
+void autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                           long steps) {
+  const int nx = u.nx(), ny = u.ny(), nz = u.nz();
+  grid::Grid3D<double> tmp(nx, ny, nz);
+  // Copy boundary faces once; interior boundaries never change.
+  for (int x = 0; x <= nx + 1; ++x)
+    for (int y = 0; y <= ny + 1; ++y)
+      for (int z = 0; z <= nz + 1; ++z)
+        if (x == 0 || x == nx + 1 || y == 0 || y == ny + 1 || z == 0 ||
+            z == nz + 1)
+          tmp.at(x, y, z) = u.at(x, y, z);
+  grid::Grid3D<double>* cur = &u;
+  grid::Grid3D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x)
+      for (int y = 1; y <= ny; ++y) {
+        const double* __restrict ic = cur->line(x, y);
+        const double* __restrict iw = cur->line(x, y - 1);
+        const double* __restrict ie = cur->line(x, y + 1);
+        const double* __restrict ib = cur->line(x - 1, y);
+        const double* __restrict if_ = cur->line(x + 1, y);
+        double* __restrict o = nxt->line(x, y);
+        for (int z = 1; z <= nz; ++z)
+          o[z] = c.c * ic[z] + c.w * ic[z - 1] + c.e * ic[z + 1] + c.s * iw[z] +
+                 c.n * ie[z] + c.b * ib[z] + c.f * if_[z];
+      }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y)
+        for (int z = 0; z <= nz + 1; ++z) u.at(x, y, z) = cur->at(x, y, z);
+}
+
+void par_autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                               long steps) {
+  const int nx = u.nx(), ny = u.ny(), nz = u.nz();
+  grid::Grid3D<double> tmp(nx, ny, nz);
+  for (int x = 0; x <= nx + 1; ++x)
+    for (int y = 0; y <= ny + 1; ++y)
+      for (int z = 0; z <= nz + 1; ++z)
+        if (x == 0 || x == nx + 1 || y == 0 || y == ny + 1 || z == 0 ||
+            z == nz + 1)
+          tmp.at(x, y, z) = u.at(x, y, z);
+  grid::Grid3D<double>* cur = &u;
+  grid::Grid3D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+#pragma omp parallel for schedule(static)
+    for (int x = 1; x <= nx; ++x)
+      for (int y = 1; y <= ny; ++y) {
+        const double* __restrict ic = cur->line(x, y);
+        const double* __restrict iw = cur->line(x, y - 1);
+        const double* __restrict ie = cur->line(x, y + 1);
+        const double* __restrict ib = cur->line(x - 1, y);
+        const double* __restrict if_ = cur->line(x + 1, y);
+        double* __restrict o = nxt->line(x, y);
+        for (int z = 1; z <= nz; ++z)
+          o[z] = c.c * ic[z] + c.w * ic[z - 1] + c.e * ic[z + 1] +
+                 c.s * iw[z] + c.n * ie[z] + c.b * ib[z] + c.f * if_[z];
+      }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y)
+        for (int z = 0; z <= nz + 1; ++z) u.at(x, y, z) = cur->at(x, y, z);
+}
+
+}  // namespace tvs::baseline

@@ -1,0 +1,95 @@
+// Dimension-Lifted Transpose (DLT) vectorization of the 1D3P Jacobi stencil
+// (Henretty et al., CC'11; §2.2 of the paper).  The interior is viewed as a
+// vl x L matrix (L = NX/vl) and transposed: vector c then holds
+// {a[1+c], a[1+c+L], a[1+c+2L], a[1+c+3L]}, so neighbouring output vectors
+// share no elements and need no shuffles except at the two seams (c = 0 and
+// c = L-1).  The transposes before/after the time loop are the overhead the
+// paper's small-size results show.
+#include <utility>
+#include <vector>
+
+#include "baseline/spatial.hpp"
+#include "grid/aligned.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::baseline {
+
+using V = simd::NativeVec<double, 4>;
+
+void dlt_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                       long steps) {
+  const int nx = u.nx();
+  const int L = nx / 4;
+  if (L < 2) {  // too small for the lifted layout; plain scalar
+    grid::Grid1D<double> tmp(nx);
+    tmp.at(0) = u.at(0);
+    tmp.at(nx + 1) = u.at(nx + 1);
+    grid::Grid1D<double>* cur = &u;
+    grid::Grid1D<double>* nxt = &tmp;
+    for (long t = 0; t < steps; ++t) {
+      for (int x = 1; x <= nx; ++x)
+        nxt->at(x) = stencil::j1d3(c.w, c.c, c.e, cur->at(x - 1), cur->at(x),
+                                   cur->at(x + 1));
+      std::swap(cur, nxt);
+    }
+    if (cur != &u)
+      for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur->at(x);
+    return;
+  }
+
+  // Lifted ping-pong buffers: element (c, r) at index c*4 + r.
+  grid::AlignedBuffer<double> bufa(static_cast<std::size_t>(L) * 4);
+  grid::AlignedBuffer<double> bufb(static_cast<std::size_t>(L) * 4);
+  for (int col = 0; col < L; ++col)
+    for (int r = 0; r < 4; ++r) bufa[static_cast<std::size_t>(col) * 4 + r] = u.at(1 + r * L + col);
+
+  // Remainder region x in [4L+1, NX] stays in the main array (ping-pong).
+  grid::Grid1D<double> rem(nx);
+  for (int x = 4 * L; x <= nx + 1; ++x) rem.at(x) = u.at(x);
+
+  double* curb = bufa.data();
+  double* nxtb = bufb.data();
+  grid::Grid1D<double>* cur = &u;
+  grid::Grid1D<double>* nxt = &rem;
+  const V cw = V::set1(c.w), cc = V::set1(c.c), ce = V::set1(c.e);
+
+  for (long t = 0; t < steps; ++t) {
+    const V first = V::load(curb);
+    const V last = V::load(curb + static_cast<std::size_t>(L - 1) * 4);
+    // Seam c = 0: west lanes are {a[0], last row-ends...} = last shifted.
+    V west = simd::shift_in_low(last, cur->at(0));
+    V mid = first;
+    for (int col = 0; col < L - 1; ++col) {
+      const V east = V::load(curb + static_cast<std::size_t>(col + 1) * 4);
+      stencil::j1d3(cw, cc, ce, west, mid, east)
+          .store(nxtb + static_cast<std::size_t>(col) * 4);
+      west = mid;
+      mid = east;
+    }
+    // Seam c = L-1: east lanes are {row starts..., a[4L+1]}.
+    V east = simd::rotate_down(first);
+    east = east.template insert<3>(cur->at(4 * L + 1));
+    stencil::j1d3(cw, cc, ce, west, mid, east)
+        .store(nxtb + static_cast<std::size_t>(L - 1) * 4);
+    // Remainder region, scalar; its west chain starts at a[4L] = lane 3 of
+    // the last lifted vector.
+    double westv = last.template extract<3>();
+    for (int x = 4 * L + 1; x <= nx; ++x) {
+      nxt->at(x) = stencil::j1d3(c.w, c.c, c.e, westv, cur->at(x), cur->at(x + 1));
+      westv = cur->at(x);
+    }
+    nxt->at(nx + 1) = cur->at(nx + 1);
+    nxt->at(0) = cur->at(0);
+    std::swap(curb, nxtb);
+    std::swap(cur, nxt);
+  }
+
+  // Transpose back and merge the remainder into u.
+  if (cur != &u)
+    for (int x = 4 * L; x <= nx + 1; ++x) u.at(x) = cur->at(x);
+  for (int col = 0; col < L; ++col)
+    for (int r = 0; r < 4; ++r)
+      u.at(1 + r * L + col) = curb[static_cast<std::size_t>(col) * 4 + r];
+}
+
+}  // namespace tvs::baseline

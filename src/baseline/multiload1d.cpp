@@ -1,0 +1,39 @@
+// Multi-load spatial vectorization of the 1D3P Jacobi stencil
+// (Algorithm 2 of the paper): three overlapping vector loads per output
+// vector, two of them unaligned — the data-alignment conflict in its
+// rawest form.
+#include "baseline/spatial.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::baseline {
+
+using V = simd::NativeVec<double, 4>;
+
+void multiload_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                             long steps) {
+  const int nx = u.nx();
+  grid::Grid1D<double> tmp(nx);
+  tmp.at(0) = u.at(0);
+  tmp.at(nx + 1) = u.at(nx + 1);
+  grid::Grid1D<double>* cur = &u;
+  grid::Grid1D<double>* nxt = &tmp;
+  const V cw = V::set1(c.w), cc = V::set1(c.c), ce = V::set1(c.e);
+  for (long t = 0; t < steps; ++t) {
+    const double* in = cur->p();
+    double* out = nxt->p();
+    int x = 1;
+    for (; x + 3 <= nx; x += 4) {
+      const V w = V::loadu(in + x - 1);
+      const V ctr = V::loadu(in + x);
+      const V e = V::loadu(in + x + 1);
+      stencil::j1d3(cw, cc, ce, w, ctr, e).storeu(out + x);
+    }
+    for (; x <= nx; ++x)
+      out[x] = stencil::j1d3(c.w, c.c, c.e, in[x - 1], in[x], in[x + 1]);
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur->at(x);
+}
+
+}  // namespace tvs::baseline

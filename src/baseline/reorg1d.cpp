@@ -1,0 +1,81 @@
+// Data-reorganization spatial vectorization of the 1D3P Jacobi stencil
+// (§2.2): each input element is loaded exactly once with aligned vector
+// loads; the west/east shifted vectors are assembled with in-register
+// shuffles (2 lane-crossing + 2 in-lane per output vector with AVX2).
+#include "baseline/spatial.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::baseline {
+
+namespace {
+
+#if defined(__AVX2__)
+// {p3, c0, c1, c2}: previous block's top + current block shifted up.
+inline simd::VecD4 west_of(simd::VecD4 prev, simd::VecD4 cur) {
+  const __m256d t = _mm256_permute2f128_pd(prev.r, cur.r, 0x21);  // {p2,p3,c0,c1}
+  return simd::VecD4{_mm256_shuffle_pd(t, cur.r, 0x5)};           // {p3,c0,c1,c2}
+}
+// {c1, c2, c3, n0}
+inline simd::VecD4 east_of(simd::VecD4 cur, simd::VecD4 next) {
+  const __m256d t = _mm256_permute2f128_pd(cur.r, next.r, 0x21);  // {c2,c3,n0,n1}
+  return simd::VecD4{_mm256_shuffle_pd(cur.r, t, 0x5)};           // {c1,c2,c3,n0}
+}
+using V = simd::VecD4;
+#else
+using V = simd::ScalarVec<double, 4>;
+inline V west_of(V prev, V cur) {
+  V r;
+  r.v[0] = prev.v[3];
+  r.v[1] = cur.v[0];
+  r.v[2] = cur.v[1];
+  r.v[3] = cur.v[2];
+  return r;
+}
+inline V east_of(V cur, V next) {
+  V r;
+  r.v[0] = cur.v[1];
+  r.v[1] = cur.v[2];
+  r.v[2] = cur.v[3];
+  r.v[3] = next.v[0];
+  return r;
+}
+#endif
+
+}  // namespace
+
+void reorg_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                         long steps) {
+  const int nx = u.nx();
+  grid::Grid1D<double> tmp(nx);
+  tmp.at(0) = u.at(0);
+  tmp.at(nx + 1) = u.at(nx + 1);
+  grid::Grid1D<double>* cur_g = &u;
+  grid::Grid1D<double>* nxt_g = &tmp;
+  const V cw = V::set1(c.w), cc = V::set1(c.c), ce = V::set1(c.e);
+  for (long t = 0; t < steps; ++t) {
+    const double* in = cur_g->p();
+    double* out = nxt_g->p();
+    int x = 1;
+    if (nx >= 12) {
+      // Keep three consecutive blocks in registers; each block is loaded
+      // exactly once per time step.
+      V prev = V::loadu(in + x - 4);  // contains in[x-1] at its top lane
+      V cur = V::loadu(in + x);
+      for (; x + 7 <= nx; x += 4) {
+        const V next = V::loadu(in + x + 4);
+        const V w = west_of(prev, cur);
+        const V e = east_of(cur, next);
+        stencil::j1d3(cw, cc, ce, w, cur, e).storeu(out + x);
+        prev = cur;
+        cur = next;
+      }
+    }
+    for (; x <= nx; ++x)
+      out[x] = stencil::j1d3(c.w, c.c, c.e, in[x - 1], in[x], in[x + 1]);
+    std::swap(cur_g, nxt_g);
+  }
+  if (cur_g != &u)
+    for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur_g->at(x);
+}
+
+}  // namespace tvs::baseline

@@ -1,0 +1,43 @@
+// Explicit spatial-vectorization baselines (§2.2 of the paper):
+//
+//   * multi-load      — every shifted input vector is a separate (mostly
+//     unaligned) vector load; what production compilers generate;
+//   * data reorganization — each input element is loaded once with aligned
+//     loads and the shifted vectors are assembled with in-register shuffles;
+//   * DLT             — Henretty et al.'s dimension-lifted transpose: the 1D
+//     array is viewed as a vl x (N/vl) matrix and transposed, after which
+//     neighbouring outputs need no shuffles at all except at the seams.
+//
+// All of these use the canonical fma evaluation order, so (unlike the
+// `autovec` TU) they match the scalar oracle bit for bit.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::baseline {
+
+// ---- 1D -------------------------------------------------------------------
+void multiload_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                             long steps);
+void reorg_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                         long steps);
+void dlt_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                       long steps);
+
+// ---- 2D / 3D ---------------------------------------------------------------
+void multiload_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                             long steps);
+void multiload_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                             long steps);
+void multiload_life_run(const stencil::LifeRule& r,
+                        grid::Grid2D<std::int32_t>& u, long steps);
+void multiload_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                             long steps);
+
+}  // namespace tvs::baseline

@@ -1,0 +1,133 @@
+// Multi-load spatial vectorization, 2D kernels (Jacobi 2D5P/2D9P and Life).
+// Unaligned overlapping loads along the unit-stride y dimension; the
+// canonical fma order keeps results bit-identical to the scalar oracle.
+#include <utility>
+
+#include "baseline/spatial.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::baseline {
+
+namespace {
+using VD = simd::NativeVec<double, 4>;
+using VI = simd::NativeVec<std::int32_t, 8>;
+
+template <class T>
+void copy_frame(const grid::Grid2D<T>& src, grid::Grid2D<T>& dst) {
+  const int nx = src.nx(), ny = src.ny();
+  for (int y = 0; y <= ny + 1; ++y) {
+    dst.at(0, y) = src.at(0, y);
+    dst.at(nx + 1, y) = src.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    dst.at(x, 0) = src.at(x, 0);
+    dst.at(x, ny + 1) = src.at(x, ny + 1);
+  }
+}
+}  // namespace
+
+void multiload_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                             long steps) {
+  const int nx = u.nx(), ny = u.ny();
+  grid::Grid2D<double> tmp(nx, ny);
+  copy_frame(u, tmp);
+  grid::Grid2D<double>* cur = &u;
+  grid::Grid2D<double>* nxt = &tmp;
+  const VD cc = VD::set1(c.c), cw = VD::set1(c.w), ce = VD::set1(c.e),
+           cs = VD::set1(c.s), cn = VD::set1(c.n);
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x) {
+      const double* ic = cur->row(x);
+      const double* is = cur->row(x - 1);
+      const double* in = cur->row(x + 1);
+      double* o = nxt->row(x);
+      int y = 1;
+      for (; y + 3 <= ny; y += 4) {
+        const VD r = stencil::j2d5(cc, cw, ce, cs, cn, VD::loadu(ic + y),
+                                   VD::loadu(ic + y - 1), VD::loadu(ic + y + 1),
+                                   VD::loadu(is + y), VD::loadu(in + y));
+        r.storeu(o + y);
+      }
+      for (; y <= ny; ++y)
+        o[y] = stencil::j2d5(c.c, c.w, c.e, c.s, c.n, ic[y], ic[y - 1],
+                             ic[y + 1], is[y], in[y]);
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+
+void multiload_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                             long steps) {
+  const int nx = u.nx(), ny = u.ny();
+  grid::Grid2D<double> tmp(nx, ny);
+  copy_frame(u, tmp);
+  grid::Grid2D<double>* cur = &u;
+  grid::Grid2D<double>* nxt = &tmp;
+  const VD cc = VD::set1(c.c), cw = VD::set1(c.w), ce = VD::set1(c.e),
+           cs = VD::set1(c.s), cn = VD::set1(c.n), csw = VD::set1(c.sw),
+           cse = VD::set1(c.se), cnw = VD::set1(c.nw), cne = VD::set1(c.ne);
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x) {
+      const double* ic = cur->row(x);
+      const double* is = cur->row(x - 1);
+      const double* in = cur->row(x + 1);
+      double* o = nxt->row(x);
+      int y = 1;
+      for (; y + 3 <= ny; y += 4) {
+        const VD r = stencil::j2d9(
+            cc, cw, ce, cs, cn, csw, cse, cnw, cne, VD::loadu(ic + y),
+            VD::loadu(ic + y - 1), VD::loadu(ic + y + 1), VD::loadu(is + y),
+            VD::loadu(in + y), VD::loadu(is + y - 1), VD::loadu(is + y + 1),
+            VD::loadu(in + y - 1), VD::loadu(in + y + 1));
+        r.storeu(o + y);
+      }
+      for (; y <= ny; ++y)
+        o[y] = stencil::j2d9(c.c, c.w, c.e, c.s, c.n, c.sw, c.se, c.nw, c.ne,
+                             ic[y], ic[y - 1], ic[y + 1], is[y], in[y],
+                             is[y - 1], is[y + 1], in[y - 1], in[y + 1]);
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+
+void multiload_life_run(const stencil::LifeRule& r,
+                        grid::Grid2D<std::int32_t>& u, long steps) {
+  const int nx = u.nx(), ny = u.ny();
+  grid::Grid2D<std::int32_t> tmp(nx, ny);
+  copy_frame(u, tmp);
+  grid::Grid2D<std::int32_t>* cur = &u;
+  grid::Grid2D<std::int32_t>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x) {
+      const std::int32_t* ic = cur->row(x);
+      const std::int32_t* is = cur->row(x - 1);
+      const std::int32_t* in = cur->row(x + 1);
+      std::int32_t* o = nxt->row(x);
+      int y = 1;
+      for (; y + 7 <= ny; y += 8) {
+        const VI sum = VI::loadu(ic + y - 1) + VI::loadu(ic + y + 1) +
+                       VI::loadu(is + y - 1) + VI::loadu(is + y) +
+                       VI::loadu(is + y + 1) + VI::loadu(in + y - 1) +
+                       VI::loadu(in + y) + VI::loadu(in + y + 1);
+        stencil::life_rule_v(r, VI::loadu(ic + y), sum).storeu(o + y);
+      }
+      for (; y <= ny; ++y) {
+        const std::int32_t sum = ic[y - 1] + ic[y + 1] + is[y - 1] + is[y] +
+                                 is[y + 1] + in[y - 1] + in[y] + in[y + 1];
+        o[y] = stencil::life_rule(r, ic[y], sum);
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+
+}  // namespace tvs::baseline

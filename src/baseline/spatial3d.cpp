@@ -1,0 +1,59 @@
+// Multi-load spatial vectorization, 3D7P Jacobi.
+#include <utility>
+
+#include "baseline/spatial.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::baseline {
+
+namespace {
+using VD = simd::NativeVec<double, 4>;
+}
+
+void multiload_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                             long steps) {
+  const int nx = u.nx(), ny = u.ny(), nz = u.nz();
+  grid::Grid3D<double> tmp(nx, ny, nz);
+  for (int x = 0; x <= nx + 1; ++x)
+    for (int y = 0; y <= ny + 1; ++y)
+      for (int z = 0; z <= nz + 1; ++z)
+        if (x == 0 || x == nx + 1 || y == 0 || y == ny + 1 || z == 0 ||
+            z == nz + 1)
+          tmp.at(x, y, z) = u.at(x, y, z);
+  grid::Grid3D<double>* cur = &u;
+  grid::Grid3D<double>* nxt = &tmp;
+  const VD cc = VD::set1(c.c), cw = VD::set1(c.w), ce = VD::set1(c.e),
+           cs = VD::set1(c.s), cn = VD::set1(c.n), cb = VD::set1(c.b),
+           cf = VD::set1(c.f);
+  for (long t = 0; t < steps; ++t) {
+    for (int x = 1; x <= nx; ++x)
+      for (int y = 1; y <= ny; ++y) {
+        const double* ic = cur->line(x, y);
+        const double* iw = cur->line(x, y - 1);
+        const double* ie = cur->line(x, y + 1);
+        const double* ib = cur->line(x - 1, y);
+        const double* if_ = cur->line(x + 1, y);
+        double* o = nxt->line(x, y);
+        int z = 1;
+        for (; z + 3 <= nz; z += 4) {
+          const VD r = stencil::j3d7(cc, cw, ce, cs, cn, cb, cf,
+                                     VD::loadu(ic + z), VD::loadu(ic + z - 1),
+                                     VD::loadu(ic + z + 1), VD::loadu(iw + z),
+                                     VD::loadu(ie + z), VD::loadu(ib + z),
+                                     VD::loadu(if_ + z));
+          r.storeu(o + z);
+        }
+        for (; z <= nz; ++z)
+          o[z] = stencil::j3d7(c.c, c.w, c.e, c.s, c.n, c.b, c.f, ic[z],
+                               ic[z - 1], ic[z + 1], iw[z], ie[z], ib[z],
+                               if_[z]);
+      }
+    std::swap(cur, nxt);
+  }
+  if (cur != &u)
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y)
+        for (int z = 0; z <= nz + 1; ++z) u.at(x, y, z) = cur->at(x, y, z);
+}
+
+}  // namespace tvs::baseline

@@ -1,0 +1,78 @@
+#include "bench_util/bench.hpp"
+
+#include <omp.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tvs::bench {
+
+double now_sec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+double measure_gstencils(double points_per_call,
+                         const std::function<void()>& fn, double min_seconds) {
+  double best = 0.0;
+  double elapsed_total = 0.0;
+  int reps = 0;
+  do {
+    const double t0 = now_sec();
+    fn();
+    const double dt = now_sec() - t0;
+    elapsed_total += dt;
+    ++reps;
+    const double rate = points_per_call / (dt > 1e-9 ? dt : 1e-9) * 1e-9;
+    if (rate > best) best = rate;
+  } while (elapsed_total < min_seconds || reps < 2);
+  return best;
+}
+
+bool full_mode() {
+  const char* e = std::getenv("TVS_BENCH_FULL");
+  return e != nullptr && e[0] == '1';
+}
+
+std::vector<int> thread_sweep() {
+  int maxt = omp_get_max_threads();
+  if (const char* e = std::getenv("TVS_BENCH_MAXTHREADS")) {
+    const int cap = std::atoi(e);
+    if (cap > 0 && cap < maxt) maxt = cap;
+  }
+  std::vector<int> ts;
+  for (int t = 1; t <= maxt; t *= 2) ts.push_back(t);
+  if (ts.back() != maxt) ts.push_back(maxt);
+  return ts;
+}
+
+namespace {
+constexpr int kColWidth = 12;
+}
+
+void print_title(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void print_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%*s", kColWidth, c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    std::printf("%*s", kColWidth, "--------");
+  std::printf("\n");
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%*s", kColWidth, c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace tvs::bench

@@ -1,0 +1,38 @@
+// Minimal benchmark harness used by the figure-regeneration binaries in
+// bench/: wall-clock timing, Gstencils/s (points updated per second, the
+// paper's metric), and aligned table printing.
+//
+// Every bench binary runs with scaled-down problem sizes by default so the
+// whole suite finishes in minutes; set TVS_BENCH_FULL=1 to rerun at the
+// paper's sizes (Table 1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tvs::bench {
+
+double now_sec();
+
+// Calls fn() repeatedly until at least `min_seconds` have elapsed (at least
+// once) and returns the best observed rate in Gstencils/s, where one call
+// updates `points_per_call` grid points.
+double measure_gstencils(double points_per_call,
+                         const std::function<void()>& fn,
+                         double min_seconds = 0.25);
+
+// True when TVS_BENCH_FULL=1: run the paper-scale problem sizes.
+bool full_mode();
+
+// Number of threads to sweep for the parallel figures (1..hardware or the
+// TVS_BENCH_MAXTHREADS cap).
+std::vector<int> thread_sweep();
+
+// ---- table printing -------------------------------------------------------
+void print_title(const std::string& title);
+void print_header(const std::vector<std::string>& cols);
+void print_row(const std::vector<std::string>& cells);
+std::string fmt(double v, int prec = 3);
+
+}  // namespace tvs::bench

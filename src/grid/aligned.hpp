@@ -1,0 +1,63 @@
+// 64-byte-aligned, value-initialized heap buffer (RAII).
+//
+// Every grid in the library over-aligns its storage so vector loads/stores
+// never split cache lines, and pads both ends so the kernels' grouped
+// bottom-vector loads may harmlessly read a few elements past the logical
+// domain (see grid1d.hpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+
+namespace tvs::grid {
+
+inline constexpr std::size_t kAlignment = 64;
+
+template <class T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n)
+      : n_(n),
+        p_(static_cast<T*>(::operator new[](
+               n * sizeof(T), std::align_val_t{kAlignment}))) {
+    for (std::size_t i = 0; i < n_; ++i) new (p_ + i) T{};
+  }
+  ~AlignedBuffer() { reset(); }
+
+  AlignedBuffer(AlignedBuffer&& o) noexcept : n_(o.n_), p_(o.p_) {
+    o.p_ = nullptr;
+    o.n_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      n_ = o.n_;
+      p_ = o.p_;
+      o.p_ = nullptr;
+      o.n_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  T* data() { return p_; }
+  const T* data() const { return p_; }
+  std::size_t size() const { return n_; }
+  T& operator[](std::size_t i) { return p_[i]; }
+  const T& operator[](std::size_t i) const { return p_[i]; }
+
+ private:
+  void reset() {
+    if (p_ != nullptr) {
+      ::operator delete[](p_, std::align_val_t{kAlignment});
+      p_ = nullptr;
+    }
+  }
+  std::size_t n_ = 0;
+  T* p_ = nullptr;
+};
+
+}  // namespace tvs::grid

@@ -1,0 +1,68 @@
+// One-dimensional grid with boundary cells and vector-overrun padding.
+//
+// Index convention (the paper's): interior points are x = 1..NX; x = 0 and
+// x = NX+1 are Dirichlet boundary cells that the kernels read but never
+// write.  `kPad` extra elements sit beyond both boundary cells so grouped
+// bottom-vector loads (up to vl-1 elements past the last consumed index) and
+// top-vector stores stay inside the allocation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+
+#include "grid/aligned.hpp"
+
+namespace tvs::grid {
+
+inline constexpr int kPad = 16;
+
+template <class T>
+class Grid1D {
+ public:
+  Grid1D() = default;
+  explicit Grid1D(int nx) : nx_(nx), buf_(static_cast<std::size_t>(nx + 2 + 2 * kPad)) {}
+
+  int nx() const { return nx_; }
+
+  // Valid x range: [-kPad, nx()+1+kPad].
+  T& at(int x) { return buf_[static_cast<std::size_t>(x + kPad)]; }
+  const T& at(int x) const { return buf_[static_cast<std::size_t>(x + kPad)]; }
+
+  // Raw pointer anchored at x = 0 (the left boundary cell).
+  T* p() { return buf_.data() + kPad; }
+  const T* p() const { return buf_.data() + kPad; }
+
+  // Interior + boundary, i.e. x = 0..nx()+1.
+  int extent() const { return nx_ + 2; }
+
+  template <class Rng>
+  void fill_random(Rng& rng, T lo, T hi) {
+    if constexpr (std::is_floating_point_v<T>) {
+      std::uniform_real_distribution<T> d(lo, hi);
+      for (int x = 0; x <= nx_ + 1; ++x) at(x) = d(rng);
+    } else {
+      std::uniform_int_distribution<T> d(lo, hi);
+      for (int x = 0; x <= nx_ + 1; ++x) at(x) = d(rng);
+    }
+  }
+
+  void fill(T v) {
+    for (int x = 0; x <= nx_ + 1; ++x) at(x) = v;
+  }
+
+ private:
+  int nx_ = 0;
+  AlignedBuffer<T> buf_;
+};
+
+template <class T>
+double max_abs_diff(const Grid1D<T>& a, const Grid1D<T>& b) {
+  double m = 0;
+  for (int x = 0; x <= a.nx() + 1; ++x)
+    m = std::max(m, std::abs(static_cast<double>(a.at(x)) - static_cast<double>(b.at(x))));
+  return m;
+}
+
+}  // namespace tvs::grid

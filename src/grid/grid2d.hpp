@@ -1,0 +1,83 @@
+// Two-dimensional grid: rows x = 0..NX+1, columns y = 0..NY+1 (interior
+// 1..NX x 1..NY), row-major with the y (unit-stride) dimension padded for
+// aligned vector access and overrun-safe grouped loads/stores.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <type_traits>
+
+#include "grid/aligned.hpp"
+#include "grid/grid1d.hpp"  // kPad
+
+namespace tvs::grid {
+
+template <class T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(int nx, int ny)
+      : nx_(nx),
+        ny_(ny),
+        stride_(round_up(ny + 2 + 2 * kPad)),
+        buf_(static_cast<std::size_t>(nx + 2) * static_cast<std::size_t>(stride_)) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::ptrdiff_t stride() const { return stride_; }
+
+  // Valid: x in [0, nx+1], y in [-kPad, ny+1+kPad].
+  T& at(int x, int y) { return buf_[idx(x, y)]; }
+  const T& at(int x, int y) const { return buf_[idx(x, y)]; }
+
+  // Pointer to (x, 0) — the row's left boundary cell.
+  T* row(int x) { return buf_.data() + idx(x, 0); }
+  const T* row(int x) const { return buf_.data() + idx(x, 0); }
+
+  template <class Rng>
+  void fill_random(Rng& rng, T lo, T hi) {
+    if constexpr (std::is_floating_point_v<T>) {
+      std::uniform_real_distribution<T> d(lo, hi);
+      for (int x = 0; x <= nx_ + 1; ++x)
+        for (int y = 0; y <= ny_ + 1; ++y) at(x, y) = d(rng);
+    } else {
+      std::uniform_int_distribution<T> d(lo, hi);
+      for (int x = 0; x <= nx_ + 1; ++x)
+        for (int y = 0; y <= ny_ + 1; ++y) at(x, y) = d(rng);
+    }
+  }
+
+  void fill(T v) {
+    for (int x = 0; x <= nx_ + 1; ++x)
+      for (int y = 0; y <= ny_ + 1; ++y) at(x, y) = v;
+  }
+
+ private:
+  static int round_up(int n) {
+    constexpr int q = static_cast<int>(kAlignment / sizeof(T));
+    return (n + q - 1) / q * q;
+  }
+  std::size_t idx(int x, int y) const {
+    return static_cast<std::size_t>(x) * static_cast<std::size_t>(stride_) +
+           static_cast<std::size_t>(y + kPad);
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  int stride_ = 0;
+  AlignedBuffer<T> buf_;
+};
+
+template <class T>
+double max_abs_diff(const Grid2D<T>& a, const Grid2D<T>& b) {
+  double m = 0;
+  for (int x = 0; x <= a.nx() + 1; ++x)
+    for (int y = 0; y <= a.ny() + 1; ++y)
+      m = std::max(m, std::abs(static_cast<double>(a.at(x, y)) -
+                               static_cast<double>(b.at(x, y))));
+  return m;
+}
+
+}  // namespace tvs::grid

@@ -1,0 +1,84 @@
+// Three-dimensional grid: x = 0..NX+1 (outermost), y = 0..NY+1,
+// z = 0..NZ+1 (unit stride), interior 1..N* in every dimension.  The z
+// dimension is padded exactly like Grid2D's y.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <type_traits>
+
+#include "grid/aligned.hpp"
+#include "grid/grid1d.hpp"  // kPad
+
+namespace tvs::grid {
+
+template <class T>
+class Grid3D {
+ public:
+  Grid3D() = default;
+  Grid3D(int nx, int ny, int nz)
+      : nx_(nx),
+        ny_(ny),
+        nz_(nz),
+        zstride_(round_up(nz + 2 + 2 * kPad)),
+        ystride_(static_cast<std::ptrdiff_t>(ny + 2) * zstride_),
+        buf_(static_cast<std::size_t>(nx + 2) * static_cast<std::size_t>(ystride_)) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::ptrdiff_t zstride() const { return zstride_; }
+
+  // Valid: x in [0, nx+1], y in [0, ny+1], z in [-kPad, nz+1+kPad].
+  T& at(int x, int y, int z) { return buf_[idx(x, y, z)]; }
+  const T& at(int x, int y, int z) const { return buf_[idx(x, y, z)]; }
+
+  // Pointer to (x, y, 0).
+  T* line(int x, int y) { return buf_.data() + idx(x, y, 0); }
+  const T* line(int x, int y) const { return buf_.data() + idx(x, y, 0); }
+
+  template <class Rng>
+  void fill_random(Rng& rng, T lo, T hi) {
+    std::uniform_real_distribution<double> d(static_cast<double>(lo),
+                                             static_cast<double>(hi));
+    for (int x = 0; x <= nx_ + 1; ++x)
+      for (int y = 0; y <= ny_ + 1; ++y)
+        for (int z = 0; z <= nz_ + 1; ++z) at(x, y, z) = static_cast<T>(d(rng));
+  }
+
+  void fill(T v) {
+    for (int x = 0; x <= nx_ + 1; ++x)
+      for (int y = 0; y <= ny_ + 1; ++y)
+        for (int z = 0; z <= nz_ + 1; ++z) at(x, y, z) = v;
+  }
+
+ private:
+  static int round_up(int n) {
+    constexpr int q = static_cast<int>(kAlignment / sizeof(T));
+    return (n + q - 1) / q * q;
+  }
+  std::size_t idx(int x, int y, int z) const {
+    return static_cast<std::size_t>(x) * static_cast<std::size_t>(ystride_) +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride_) +
+           static_cast<std::size_t>(z + kPad);
+  }
+
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::ptrdiff_t zstride_ = 0, ystride_ = 0;
+  AlignedBuffer<T> buf_;
+};
+
+template <class T>
+double max_abs_diff(const Grid3D<T>& a, const Grid3D<T>& b) {
+  double m = 0;
+  for (int x = 0; x <= a.nx() + 1; ++x)
+    for (int y = 0; y <= a.ny() + 1; ++y)
+      for (int z = 0; z <= a.nz() + 1; ++z)
+        m = std::max(m, std::abs(static_cast<double>(a.at(x, y, z)) -
+                                 static_cast<double>(b.at(x, y, z))));
+  return m;
+}
+
+}  // namespace tvs::grid

@@ -1,0 +1,36 @@
+// Ping-pong pair of grids for time-stepped Jacobi updates: `cur()` holds
+// time step t, `next()` receives t+1, `swap()` advances.  The tiled kernels
+// address the pair by time parity instead (`by_parity(t)`), which is the
+// storage discipline that makes diamond tiling with in-register
+// intermediates correct (see tiling/diamond.hpp).
+#pragma once
+
+#include <utility>
+
+namespace tvs::grid {
+
+template <class GridT>
+class PingPong {
+ public:
+  PingPong() = default;
+  template <class... Args>
+  explicit PingPong(Args&&... args) : a_(args...), b_(args...) {}
+
+  GridT& cur() { return flipped_ ? b_ : a_; }
+  GridT& next() { return flipped_ ? a_ : b_; }
+  const GridT& cur() const { return flipped_ ? b_ : a_; }
+  void swap() { flipped_ = !flipped_; }
+
+  // Array holding values whose time coordinate has parity (t % 2).
+  GridT& by_parity(long t) { return (t % 2 == 0) ? a_ : b_; }
+  const GridT& by_parity(long t) const { return (t % 2 == 0) ? a_ : b_; }
+
+  GridT& even() { return a_; }
+  GridT& odd() { return b_; }
+
+ private:
+  GridT a_, b_;
+  bool flipped_ = false;
+};
+
+}  // namespace tvs::grid

@@ -1,0 +1,101 @@
+// Data-reorganization helpers for the temporal-vectorization kernels.
+//
+// Algorithm 3 stores the finished top lane of every output vector and feeds
+// a fresh level-0 element into the bottom lane of every new input vector.
+// Doing both with scalar memory operations would waste the vector units, so
+// the paper groups them (§3.2, Figure 1):
+//
+//   * top vector    — the top lanes of `vl` consecutive output vectors are
+//     assembled into one vector and written with a single vector store;
+//   * bottom vector — `vl` consecutive level-0 elements are fetched with a
+//     single vector load and dispensed one per iteration.
+//
+// `collect_tops` implements the assembly (3 shuffles for VecD4, the count
+// the paper reports).  Bottom dispensing is a `rotate_down` per iteration in
+// the kernels: the next fresh element is always at lane 0.
+#pragma once
+
+#include "simd/vec.hpp"
+
+namespace tvs::simd {
+
+// Generic: gather the top lane of 4 output vectors into lanes 0..3.
+template <class V>
+  requires(V::lanes == 4)
+inline V collect_tops(V a, V b, V c, V d) {
+  V r = V::set1(top_lane(a));
+  r = r.template insert<1>(top_lane(b));
+  r = r.template insert<2>(top_lane(c));
+  r = r.template insert<3>(top_lane(d));
+  return r;
+}
+
+#if defined(__AVX2__)
+// {a3, b3, c3, d3} in 3 shuffles (2 in-lane unpacks + 1 lane-crossing).
+inline VecD4 collect_tops(VecD4 a, VecD4 b, VecD4 c, VecD4 d) {
+  const __m256d h01 = _mm256_unpackhi_pd(a.r, b.r);  // {a1,b1,a3,b3}
+  const __m256d h23 = _mm256_unpackhi_pd(c.r, d.r);  // {c1,d1,c3,d3}
+  return VecD4{_mm256_permute2f128_pd(h01, h23, 0x31)};
+}
+#endif
+
+// Generic: gather the top lane of 8 output vectors into lanes 0..7.
+template <class V>
+  requires(V::lanes == 8)
+inline V collect_tops(V a, V b, V c, V d, V e, V f, V g, V h) {
+  V r = V::set1(top_lane(a));
+  r = r.template insert<1>(top_lane(b));
+  r = r.template insert<2>(top_lane(c));
+  r = r.template insert<3>(top_lane(d));
+  r = r.template insert<4>(top_lane(e));
+  r = r.template insert<5>(top_lane(f));
+  r = r.template insert<6>(top_lane(g));
+  r = r.template insert<7>(top_lane(h));
+  return r;
+}
+
+#if defined(__AVX2__)
+// {a7,b7,...,h7} via an unpack tree (6 in-lane unpacks + 1 lane-crossing).
+inline VecI8 collect_tops(VecI8 a, VecI8 b, VecI8 c, VecI8 d, VecI8 e,
+                          VecI8 f, VecI8 g, VecI8 h) {
+  // unpackhi_epi32(x, y) = {x2,y2,x3,y3, x6,y6,x7,y7}; lane 7 values land in
+  // positions 6,7 of each 128-bit half after the first level.
+  const __m256i ab = _mm256_unpackhi_epi32(a.r, b.r);  // {..,..,a3,b3,..,..,a7,b7}
+  const __m256i cd = _mm256_unpackhi_epi32(c.r, d.r);
+  const __m256i ef = _mm256_unpackhi_epi32(e.r, f.r);
+  const __m256i gh = _mm256_unpackhi_epi32(g.r, h.r);
+  const __m256i abcd = _mm256_unpackhi_epi64(ab, cd);  // {..,..,..,..,a7,b7,c7,d7}
+  const __m256i efgh = _mm256_unpackhi_epi64(ef, gh);  // {..,..,..,..,e7,f7,g7,h7}
+  return VecI8{_mm256_permute2x128_si256(abcd, efgh, 0x31)};
+}
+#endif
+
+// Array-of-outputs form used by the vl-generic 2D/3D engines.
+template <class V>
+inline V collect_tops_arr(const V* w) {
+  if constexpr (V::lanes == 4)
+    return collect_tops(w[0], w[1], w[2], w[3]);
+  else
+    return collect_tops(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7]);
+}
+
+// Shift `a` one lane up, inserting the lane-0 value of `fresh` at the
+// bottom: the vector-blend form of Algorithm 3's lines 13-14 used with
+// bottom-vector dispensing.
+template <class V>
+inline V shift_in_low_v(V a, V fresh) {
+  V rot = rotate_up(a);
+  return rot.template insert<0>(fresh.template extract<0>());
+}
+
+#if defined(__AVX2__)
+inline VecD4 shift_in_low_v(VecD4 a, VecD4 fresh) {
+  return VecD4{_mm256_blend_pd(_mm256_permute4x64_pd(a.r, 0x93), fresh.r, 0x1)};
+}
+inline VecI8 shift_in_low_v(VecI8 a, VecI8 fresh) {
+  return VecI8{_mm256_blend_epi32(
+      _mm256_permutevar8x32_epi32(a.r, detail::rotidx_up()), fresh.r, 0x1)};
+}
+#endif
+
+}  // namespace tvs::simd

@@ -1,0 +1,220 @@
+// Portable fixed-width SIMD vector abstraction.
+//
+// Every kernel in the library is templated on a vector type `V` that models
+// the interface below.  Two families implement it:
+//
+//   * `ScalarVec<T, N>` — plain-array implementation, valid for any
+//     arithmetic T and any N.  Used as the reference backend in tests and as
+//     the fallback on machines without AVX2.
+//   * `VecD4` / `VecI8` (in `vec_avx2.hpp`) — AVX2 `double x 4` and
+//     `int32 x 8` implementations, the vector shapes the paper evaluates.
+//
+// `NativeVec<T, N>` selects the intrinsic type when one exists for (T, N)
+// and the scalar type otherwise.  Because both families expose the identical
+// interface, every temporal-vectorization kernel can be instantiated with
+// the scalar backend and compared lane for lane against the intrinsic path.
+//
+// Floating-point determinism: kernels and the scalar reference engines
+// evaluate stencils in one canonical order using fused multiply-add
+// (`fma(a, b, acc)`), so vector kernels and the scalar oracle produce
+// bit-identical results.  The test suite relies on this.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace tvs::simd {
+
+// ---------------------------------------------------------------------------
+// Scalar implementation: any arithmetic T, any N >= 1.
+// ---------------------------------------------------------------------------
+template <class T, int N>
+struct ScalarVec {
+  static_assert(std::is_arithmetic_v<T>);
+  static_assert(N >= 1);
+  using value_type = T;
+  static constexpr int lanes = N;
+
+  std::array<T, N> v{};
+
+  static ScalarVec load(const T* p) {
+    ScalarVec r;
+    std::memcpy(r.v.data(), p, sizeof(T) * N);
+    return r;
+  }
+  static ScalarVec loadu(const T* p) { return load(p); }
+  void store(T* p) const { std::memcpy(p, v.data(), sizeof(T) * N); }
+  void storeu(T* p) const { store(p); }
+
+  static ScalarVec set1(T x) {
+    ScalarVec r;
+    r.v.fill(x);
+    return r;
+  }
+  static ScalarVec zero() { return set1(T{0}); }
+
+  T operator[](int i) const { return v[static_cast<std::size_t>(i)]; }
+
+  template <int I>
+  [[nodiscard]] T extract() const {
+    static_assert(I >= 0 && I < N);
+    return v[I];
+  }
+  template <int I>
+  [[nodiscard]] ScalarVec insert(T x) const {
+    static_assert(I >= 0 && I < N);
+    ScalarVec r = *this;
+    r.v[I] = x;
+    return r;
+  }
+
+  friend ScalarVec operator+(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < N; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend ScalarVec operator-(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < N; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  friend ScalarVec operator*(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < N; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+};
+
+// ---- Free functions (the intrinsic types provide non-template overloads) --
+
+// acc + a*b with a single rounding for floating T (matches vfmadd).
+template <class T, int N>
+inline ScalarVec<T, N> fma(ScalarVec<T, N> a, ScalarVec<T, N> b,
+                           ScalarVec<T, N> acc) {
+  ScalarVec<T, N> r;
+  for (int i = 0; i < N; ++i) {
+    if constexpr (std::is_floating_point_v<T>)
+      r.v[i] = std::fma(a.v[i], b.v[i], acc.v[i]);
+    else
+      r.v[i] = static_cast<T>(a.v[i] * b.v[i] + acc.v[i]);
+  }
+  return r;
+}
+
+template <class T, int N>
+inline ScalarVec<T, N> min(ScalarVec<T, N> a, ScalarVec<T, N> b) {
+  ScalarVec<T, N> r;
+  for (int i = 0; i < N; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+template <class T, int N>
+inline ScalarVec<T, N> max(ScalarVec<T, N> a, ScalarVec<T, N> b) {
+  ScalarVec<T, N> r;
+  for (int i = 0; i < N; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+// Lane-wise equality producing an all-ones / all-zeros mask in T's bit
+// width (the AVX2 convention).
+template <class T, int N>
+inline ScalarVec<T, N> cmpeq(ScalarVec<T, N> a, ScalarVec<T, N> b) {
+  ScalarVec<T, N> r;
+  for (int i = 0; i < N; ++i) {
+    using U = std::conditional_t<sizeof(T) == 8, std::uint64_t, std::uint32_t>;
+    U bits = a.v[i] == b.v[i] ? ~U{0} : U{0};
+    std::memcpy(&r.v[i], &bits, sizeof(T));
+  }
+  return r;
+}
+
+// Per-lane select on the mask's sign bit: set -> b, clear -> a (vblendv).
+template <class T, int N>
+inline ScalarVec<T, N> blendv(ScalarVec<T, N> a, ScalarVec<T, N> b,
+                              ScalarVec<T, N> mask) {
+  ScalarVec<T, N> r;
+  for (int i = 0; i < N; ++i) {
+    using U = std::conditional_t<sizeof(T) == 8, std::uint64_t, std::uint32_t>;
+    U bits;
+    std::memcpy(&bits, &mask.v[i], sizeof(T));
+    r.v[i] = (bits >> (sizeof(T) * 8 - 1)) ? b.v[i] : a.v[i];
+  }
+  return r;
+}
+
+// result lane i = src lane (i-1+N)%N : values move toward higher lanes,
+// the top lane wraps to lane 0.
+template <class T, int N>
+inline ScalarVec<T, N> rotate_up(ScalarVec<T, N> a) {
+  ScalarVec<T, N> r;
+  for (int i = 0; i < N; ++i) r.v[i] = a.v[(i + N - 1) % N];
+  return r;
+}
+
+// result lane i = src lane (i+1)%N : values move toward lane 0.
+template <class T, int N>
+inline ScalarVec<T, N> rotate_down(ScalarVec<T, N> a) {
+  ScalarVec<T, N> r;
+  for (int i = 0; i < N; ++i) r.v[i] = a.v[(i + 1) % N];
+  return r;
+}
+
+// The temporal-vectorization reorganization (Algorithm 3, lines 13-14):
+// {x, a0, a1, ..., a_{N-2}} — the old top lane a_{N-1} is discarded (the
+// caller extracts it first) and a fresh bottom element enters lane 0.
+template <class T, int N>
+inline ScalarVec<T, N> shift_in_low(ScalarVec<T, N> a, T x) {
+  ScalarVec<T, N> r;
+  r.v[0] = x;
+  for (int i = 1; i < N; ++i) r.v[i] = a.v[i - 1];
+  return r;
+}
+
+// Top lane (the finished a^{t+vl} value in an output vector).
+template <class V>
+inline typename V::value_type top_lane(V a) {
+  return a.template extract<V::lanes - 1>();
+}
+
+}  // namespace tvs::simd
+
+#if defined(__AVX2__)
+#include "simd/vec_avx2.hpp"  // IWYU pragma: keep
+#endif
+#if defined(__AVX512F__)
+#include "simd/vec_avx512.hpp"  // IWYU pragma: keep
+#endif
+
+namespace tvs::simd {
+
+namespace detail {
+template <class T, int N>
+struct native_vec {
+  using type = ScalarVec<T, N>;
+};
+#if defined(__AVX2__)
+template <>
+struct native_vec<double, 4> {
+  using type = VecD4;
+};
+template <>
+struct native_vec<std::int32_t, 8> {
+  using type = VecI8;
+};
+#endif
+#if defined(__AVX512F__)
+template <>
+struct native_vec<double, 8> {
+  using type = VecD8;
+};
+#endif
+}  // namespace detail
+
+// The preferred vector type for (T, N) on this build: intrinsic when
+// available, scalar otherwise.
+template <class T, int N>
+using NativeVec = typename detail::native_vec<T, N>::type;
+
+}  // namespace tvs::simd

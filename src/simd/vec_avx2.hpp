@@ -1,0 +1,171 @@
+// AVX2 implementations of the Vec interface: `VecD4` (double x 4, the
+// paper's vl = 4 double-precision shape) and `VecI8` (int32 x 8, used by the
+// Game-of-Life and LCS kernels).  Included by `vec.hpp` when __AVX2__ is
+// defined; do not include directly.
+#pragma once
+
+#if !defined(__AVX2__)
+#error "vec_avx2.hpp requires AVX2; include simd/vec.hpp instead"
+#endif
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace tvs::simd {
+
+// ---------------------------------------------------------------------------
+// double x 4
+// ---------------------------------------------------------------------------
+struct VecD4 {
+  using value_type = double;
+  static constexpr int lanes = 4;
+
+  __m256d r;
+
+  VecD4() : r(_mm256_setzero_pd()) {}
+  explicit VecD4(__m256d x) : r(x) {}
+
+  static VecD4 load(const double* p) { return VecD4{_mm256_load_pd(p)}; }
+  static VecD4 loadu(const double* p) { return VecD4{_mm256_loadu_pd(p)}; }
+  void store(double* p) const { _mm256_store_pd(p, r); }
+  void storeu(double* p) const { _mm256_storeu_pd(p, r); }
+
+  static VecD4 set1(double x) { return VecD4{_mm256_set1_pd(x)}; }
+  static VecD4 zero() { return VecD4{_mm256_setzero_pd()}; }
+
+  double operator[](int i) const {
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, r);
+    return tmp[i];
+  }
+
+  template <int I>
+  [[nodiscard]] double extract() const {
+    static_assert(I >= 0 && I < 4);
+    if constexpr (I == 0) {
+      return _mm256_cvtsd_f64(r);
+    } else if constexpr (I < 2) {
+      return _mm256_cvtsd_f64(_mm256_permute_pd(r, 1));
+    } else {
+      const __m128d hi = _mm256_extractf128_pd(r, 1);
+      if constexpr (I == 2) return _mm_cvtsd_f64(hi);
+      return _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+    }
+  }
+
+  template <int I>
+  [[nodiscard]] VecD4 insert(double x) const {
+    static_assert(I >= 0 && I < 4);
+    return VecD4{_mm256_blend_pd(r, _mm256_set1_pd(x), 1 << I)};
+  }
+
+  friend VecD4 operator+(VecD4 a, VecD4 b) { return VecD4{_mm256_add_pd(a.r, b.r)}; }
+  friend VecD4 operator-(VecD4 a, VecD4 b) { return VecD4{_mm256_sub_pd(a.r, b.r)}; }
+  friend VecD4 operator*(VecD4 a, VecD4 b) { return VecD4{_mm256_mul_pd(a.r, b.r)}; }
+};
+
+inline VecD4 fma(VecD4 a, VecD4 b, VecD4 acc) {
+  return VecD4{_mm256_fmadd_pd(a.r, b.r, acc.r)};
+}
+inline VecD4 min(VecD4 a, VecD4 b) { return VecD4{_mm256_min_pd(a.r, b.r)}; }
+inline VecD4 max(VecD4 a, VecD4 b) { return VecD4{_mm256_max_pd(a.r, b.r)}; }
+inline VecD4 cmpeq(VecD4 a, VecD4 b) {
+  return VecD4{_mm256_cmp_pd(a.r, b.r, _CMP_EQ_OQ)};
+}
+inline VecD4 blendv(VecD4 a, VecD4 b, VecD4 mask) {
+  return VecD4{_mm256_blendv_pd(a.r, b.r, mask.r)};
+}
+
+// {a3, a0, a1, a2} — one lane-crossing permute (vpermpd).
+inline VecD4 rotate_up(VecD4 a) {
+  return VecD4{_mm256_permute4x64_pd(a.r, 0x93)};
+}
+// {a1, a2, a3, a0}
+inline VecD4 rotate_down(VecD4 a) {
+  return VecD4{_mm256_permute4x64_pd(a.r, 0x39)};
+}
+// {x, a0, a1, a2}: the Algorithm-3 rotate + blend pair.
+inline VecD4 shift_in_low(VecD4 a, double x) {
+  return VecD4{_mm256_blend_pd(_mm256_permute4x64_pd(a.r, 0x93),
+                               _mm256_set1_pd(x), 0x1)};
+}
+
+// ---------------------------------------------------------------------------
+// int32 x 8
+// ---------------------------------------------------------------------------
+struct VecI8 {
+  using value_type = std::int32_t;
+  static constexpr int lanes = 8;
+
+  __m256i r;
+
+  VecI8() : r(_mm256_setzero_si256()) {}
+  explicit VecI8(__m256i x) : r(x) {}
+
+  static VecI8 load(const std::int32_t* p) {
+    return VecI8{_mm256_load_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static VecI8 loadu(const std::int32_t* p) {
+    return VecI8{_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::int32_t* p) const {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), r);
+  }
+  void storeu(std::int32_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), r);
+  }
+
+  static VecI8 set1(std::int32_t x) { return VecI8{_mm256_set1_epi32(x)}; }
+  static VecI8 zero() { return VecI8{_mm256_setzero_si256()}; }
+
+  std::int32_t operator[](int i) const {
+    alignas(32) std::int32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), r);
+    return tmp[i];
+  }
+
+  template <int I>
+  [[nodiscard]] std::int32_t extract() const {
+    static_assert(I >= 0 && I < 8);
+    return _mm256_extract_epi32(r, I);
+  }
+  template <int I>
+  [[nodiscard]] VecI8 insert(std::int32_t x) const {
+    static_assert(I >= 0 && I < 8);
+    return VecI8{_mm256_blend_epi32(r, _mm256_set1_epi32(x), 1 << I)};
+  }
+
+  friend VecI8 operator+(VecI8 a, VecI8 b) { return VecI8{_mm256_add_epi32(a.r, b.r)}; }
+  friend VecI8 operator-(VecI8 a, VecI8 b) { return VecI8{_mm256_sub_epi32(a.r, b.r)}; }
+  friend VecI8 operator*(VecI8 a, VecI8 b) { return VecI8{_mm256_mullo_epi32(a.r, b.r)}; }
+};
+
+inline VecI8 fma(VecI8 a, VecI8 b, VecI8 acc) { return a * b + acc; }
+inline VecI8 min(VecI8 a, VecI8 b) { return VecI8{_mm256_min_epi32(a.r, b.r)}; }
+inline VecI8 max(VecI8 a, VecI8 b) { return VecI8{_mm256_max_epi32(a.r, b.r)}; }
+inline VecI8 cmpeq(VecI8 a, VecI8 b) {
+  return VecI8{_mm256_cmpeq_epi32(a.r, b.r)};
+}
+inline VecI8 blendv(VecI8 a, VecI8 b, VecI8 mask) {
+  return VecI8{_mm256_blendv_epi8(a.r, b.r, mask.r)};
+}
+
+namespace detail {
+inline __m256i rotidx_up() { return _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6); }
+inline __m256i rotidx_down() { return _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0); }
+}  // namespace detail
+
+inline VecI8 rotate_up(VecI8 a) {
+  return VecI8{_mm256_permutevar8x32_epi32(a.r, detail::rotidx_up())};
+}
+inline VecI8 rotate_down(VecI8 a) {
+  return VecI8{_mm256_permutevar8x32_epi32(a.r, detail::rotidx_down())};
+}
+inline VecI8 shift_in_low(VecI8 a, std::int32_t x) {
+  return VecI8{_mm256_blend_epi32(
+      _mm256_permutevar8x32_epi32(a.r, detail::rotidx_up()),
+      _mm256_set1_epi32(x), 0x1)};
+}
+
+}  // namespace tvs::simd

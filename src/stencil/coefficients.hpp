@@ -1,0 +1,60 @@
+// Coefficient descriptors for the stencils evaluated in the paper
+// (§3.4: Heat-1D/2D/3D, 2D9P box, Life, Gauss-Seidel 1D/2D/3D, LCS).
+//
+// Naming of neighbours: within the unit-stride dimension `w`/`e` (west/east
+// = index-1/index+1); the next dimension uses `s`/`n` (south/north) and the
+// outermost 3D dimension `b`/`f` (back/front).  For 1D, `w`/`e` are x-1/x+1;
+// for 2D, `w`/`e` are y±1 and `s`/`n` are x±1; for 3D, `w`/`e` are z±1,
+// `s`/`n` are y±1 and `b`/`f` are x±1.
+#pragma once
+
+namespace tvs::stencil {
+
+// a'[x] = w*a[x-1] + c*a[x] + e*a[x+1]
+struct C1D3 {
+  double w, c, e;
+};
+
+// a'[x] = w2*a[x-2] + w1*a[x-1] + c*a[x] + e1*a[x+1] + e2*a[x+2]
+struct C1D5 {
+  double w2, w1, c, e1, e2;
+};
+
+// a'[x][y] = c*a[x][y] + w*a[x][y-1] + e*a[x][y+1] + s*a[x-1][y] + n*a[x+1][y]
+struct C2D5 {
+  double c, w, e, s, n;
+};
+
+// 2D box: adds the four diagonals.
+struct C2D9 {
+  double c, w, e, s, n, sw, se, nw, ne;
+};
+
+// a'[x][y][z] = c*a + w*a[z-1] + e*a[z+1] + s*a[y-1] + n*a[y+1]
+//             + b*a[x-1] + f*a[x+1]
+struct C3D7 {
+  double c, w, e, s, n, b, f;
+};
+
+// ---- Factories for the heat-equation kernels used in the evaluation -----
+
+inline constexpr C1D3 heat1d(double alpha) {
+  return {alpha, 1.0 - 2.0 * alpha, alpha};
+}
+inline constexpr C1D5 heat1d5(double alpha) {
+  // 4th-order central difference for u_xx.
+  return {-alpha / 12, 4 * alpha / 3, 1.0 - 2.5 * alpha, 4 * alpha / 3,
+          -alpha / 12};
+}
+inline constexpr C2D5 heat2d(double alpha) {
+  return {1.0 - 4.0 * alpha, alpha, alpha, alpha, alpha};
+}
+inline constexpr C2D9 box2d9(double alpha) {
+  return {1.0 - 8.0 * alpha, alpha, alpha, alpha, alpha,
+          alpha,             alpha, alpha, alpha};
+}
+inline constexpr C3D7 heat3d(double alpha) {
+  return {1.0 - 6.0 * alpha, alpha, alpha, alpha, alpha, alpha, alpha};
+}
+
+}  // namespace tvs::stencil

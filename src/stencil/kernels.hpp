@@ -1,0 +1,145 @@
+// Canonical stencil formulas, shared by the scalar reference engines and
+// every vector kernel.
+//
+// All floating-point stencils are evaluated through `vfma` in the exact
+// operand order written here.  Because scalar `std::fma` and the AVX2
+// `vfmadd` instruction round identically, a vector kernel that applies the
+// same formula lane-wise produces results bit-identical to the scalar
+// oracle — the test suite compares with exact equality.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "stencil/coefficients.hpp"
+
+namespace tvs::stencil {
+
+inline double vfma(double a, double b, double c) { return std::fma(a, b, c); }
+template <class V>
+inline V vfma(V a, V b, V c) {
+  return fma(a, b, c);  // ADL: tvs::simd overloads
+}
+
+// ---- Jacobi -------------------------------------------------------------
+
+// V is either `double` (with C broadcast = plain double) or a simd vector
+// (with pre-broadcast coefficient vectors).
+template <class V>
+inline V j1d3(V cw, V cc, V ce, V w, V c, V e) {
+  V acc = cc * c;
+  acc = vfma(cw, w, acc);
+  acc = vfma(ce, e, acc);
+  return acc;
+}
+
+template <class V>
+inline V j1d5(V cw2, V cw1, V cc, V ce1, V ce2, V w2, V w1, V c, V e1, V e2) {
+  V acc = cc * c;
+  acc = vfma(cw1, w1, acc);
+  acc = vfma(ce1, e1, acc);
+  acc = vfma(cw2, w2, acc);
+  acc = vfma(ce2, e2, acc);
+  return acc;
+}
+
+template <class V>
+inline V j2d5(V cc, V cw, V ce, V cs, V cn, V c, V w, V e, V s, V n) {
+  V acc = cc * c;
+  acc = vfma(cw, w, acc);
+  acc = vfma(ce, e, acc);
+  acc = vfma(cs, s, acc);
+  acc = vfma(cn, n, acc);
+  return acc;
+}
+
+template <class V>
+inline V j2d9(V cc, V cw, V ce, V cs, V cn, V csw, V cse, V cnw, V cne,
+              V c, V w, V e, V s, V n, V sw, V se, V nw, V ne) {
+  V acc = cc * c;
+  acc = vfma(cw, w, acc);
+  acc = vfma(ce, e, acc);
+  acc = vfma(cs, s, acc);
+  acc = vfma(cn, n, acc);
+  acc = vfma(csw, sw, acc);
+  acc = vfma(cse, se, acc);
+  acc = vfma(cnw, nw, acc);
+  acc = vfma(cne, ne, acc);
+  return acc;
+}
+
+template <class V>
+inline V j3d7(V cc, V cw, V ce, V cs, V cn, V cb, V cf,
+              V c, V w, V e, V s, V n, V b, V f) {
+  V acc = cc * c;
+  acc = vfma(cw, w, acc);
+  acc = vfma(ce, e, acc);
+  acc = vfma(cs, s, acc);
+  acc = vfma(cn, n, acc);
+  acc = vfma(cb, b, acc);
+  acc = vfma(cf, f, acc);
+  return acc;
+}
+
+// ---- Gauss-Seidel -------------------------------------------------------
+// Identical formulas; the *arguments* differ (west/south/back neighbours are
+// the newest values).  Kept separate for documentation value only.
+
+template <class V>
+inline V gs1d3(V cw, V cc, V ce, V w_new, V c, V e) {
+  return j1d3(cw, cc, ce, w_new, c, e);
+}
+template <class V>
+inline V gs2d5(V cc, V cw, V ce, V cs, V cn, V c, V w_new, V e, V s_new, V n) {
+  return j2d5(cc, cw, ce, cs, cn, c, w_new, e, s_new, n);
+}
+template <class V>
+inline V gs3d7(V cc, V cw, V ce, V cs, V cn, V cb, V cf,
+               V c, V w_new, V e, V s_new, V n, V b_new, V f) {
+  return j3d7(cc, cw, ce, cs, cn, cb, cf, c, w_new, e, s_new, n, b_new, f);
+}
+
+// ---- Game of Life, integer cells -----------------------------------------
+// Rule BbSs1s2: a dead cell is born with exactly `b` live neighbours, a live
+// cell survives with `s1` or `s2`.  The paper uses Pluto's B2S23 variant
+// (b=2); classic Conway is B3S23 (b=3).
+
+struct LifeRule {
+  std::int32_t b = 2, s1 = 2, s2 = 3;  // B2S23 default
+};
+
+inline std::int32_t life_rule(const LifeRule& r, std::int32_t alive,
+                              std::int32_t sum) {
+  if (alive != 0) return static_cast<std::int32_t>(sum == r.s1 || sum == r.s2);
+  return static_cast<std::int32_t>(sum == r.b);
+}
+
+// Vector form via cmpeq/blendv masks.  V must be an int32 vector.
+template <class V>
+inline V life_rule_v(const LifeRule& r, V alive, V sum) {
+  const V one = V::set1(1);
+  const V born = blendv(V::zero(), one, cmpeq(sum, V::set1(r.b)));
+  V surv = blendv(V::zero(), one, cmpeq(sum, V::set1(r.s1)));
+  surv = blendv(surv, one, cmpeq(sum, V::set1(r.s2)));
+  // alive is 0/1: select survive for live cells, born for dead ones.
+  const V is_alive = cmpeq(alive, one);
+  return blendv(born, surv, is_alive);
+}
+
+// ---- LCS ----------------------------------------------------------------
+// lcs[x][y] = A[x]==B[y] ? lcs[x-1][y-1]+1 : max(lcs[x-1][y], lcs[x][y-1])
+
+inline std::int32_t lcs_rule(std::int32_t a, std::int32_t b, std::int32_t diag,
+                             std::int32_t up, std::int32_t left) {
+  return a == b ? diag + 1 : std::max(up, left);
+}
+
+template <class V>
+inline V lcs_rule_v(V a, V b, V diag, V up, V left) {
+  const V m = max(up, left);
+  const V d = diag + V::set1(1);
+  return blendv(m, d, cmpeq(a, b));
+}
+
+}  // namespace tvs::stencil

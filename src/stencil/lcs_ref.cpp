@@ -1,0 +1,25 @@
+#include "stencil/lcs_ref.hpp"
+
+#include "stencil/kernels.hpp"
+
+namespace tvs::stencil {
+
+std::vector<std::int32_t> lcs_ref_row(std::span<const std::int32_t> a,
+                                      std::span<const std::int32_t> b) {
+  const std::size_t nb = b.size();
+  std::vector<std::int32_t> prev(nb + 1, 0), cur(nb + 1, 0);
+  for (std::size_t x = 1; x <= a.size(); ++x) {
+    cur[0] = 0;
+    for (std::size_t y = 1; y <= nb; ++y)
+      cur[y] = lcs_rule(a[x - 1], b[y - 1], prev[y - 1], prev[y], cur[y - 1]);
+    prev.swap(cur);
+  }
+  return prev;
+}
+
+std::int32_t lcs_ref(std::span<const std::int32_t> a,
+                     std::span<const std::int32_t> b) {
+  return lcs_ref_row(a, b).back();
+}
+
+}  // namespace tvs::stencil

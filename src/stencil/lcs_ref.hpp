@@ -1,0 +1,23 @@
+// Scalar longest-common-subsequence DP (oracle + `scalar` curve).
+//
+// The paper treats LCS as a 1D Gauss-Seidel stencil: the x loop (over A) is
+// the time dimension, the y loop (over B) the space dimension, with
+// wavefront storage of one DP row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tvs::stencil {
+
+// Full DP; returns the length of the LCS of A and B.
+std::int32_t lcs_ref(std::span<const std::int32_t> a,
+                     std::span<const std::int32_t> b);
+
+// Same DP, but returns the final DP row lcs[|A|][0..|B|] so vector kernels
+// can be checked cell for cell.
+std::vector<std::int32_t> lcs_ref_row(std::span<const std::int32_t> a,
+                                      std::span<const std::int32_t> b);
+
+}  // namespace tvs::stencil

@@ -1,0 +1,40 @@
+#include "stencil/dependence.hpp"
+
+namespace tvs::stencil {
+
+int min_stride(std::span<const Dep> deps) {
+  int s = 1;  // a stride of at least 1 is always required
+  for (const Dep& d : deps) {
+    if (d.dx <= 0) continue;  // backward/self: no constraint on s
+    if (d.dt == 0) return -1;  // same-time forward dependence: illegal
+    // need s*dt > dx  =>  s >= floor(dx/dt) + 1
+    const int need = d.dx / d.dt + 1;
+    if (need > s) s = need;
+  }
+  return s;
+}
+
+std::vector<Dep> jacobi1d_deps(int radius) {
+  std::vector<Dep> d;
+  for (int r = -radius; r <= radius; ++r) d.push_back({1, r});
+  return d;
+}
+
+std::vector<Dep> jacobi2d_deps(int radius) { return jacobi1d_deps(radius); }
+std::vector<Dep> jacobi3d_deps(int radius) { return jacobi1d_deps(radius); }
+
+std::vector<Dep> gauss_seidel_deps(int radius) {
+  // Old values of self and forward neighbours; newest values of backward
+  // neighbours (same sweep) appear as dt == 0, dx < 0.
+  std::vector<Dep> d;
+  for (int r = 0; r <= radius; ++r) d.push_back({1, r});
+  for (int r = 1; r <= radius; ++r) d.push_back({0, -r});
+  return d;
+}
+
+std::vector<Dep> lcs_deps() {
+  // lcs[x][y] <- lcs[x-1][y] (1,0), lcs[x-1][y-1] (1,-1), lcs[x][y-1] (0,-1)
+  return {{1, 0}, {1, -1}, {0, -1}};
+}
+
+}  // namespace tvs::stencil

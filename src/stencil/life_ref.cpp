@@ -1,0 +1,41 @@
+#include "stencil/life_ref.hpp"
+
+#include <utility>
+
+namespace tvs::stencil {
+
+void life_step(const LifeRule& r, const grid::Grid2D<std::int32_t>& in,
+               grid::Grid2D<std::int32_t>& out) {
+  const int nx = in.nx(), ny = in.ny();
+  for (int y = 0; y <= ny + 1; ++y) {
+    out.at(0, y) = in.at(0, y);
+    out.at(nx + 1, y) = in.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    out.at(x, 0) = in.at(x, 0);
+    out.at(x, ny + 1) = in.at(x, ny + 1);
+    for (int y = 1; y <= ny; ++y) {
+      const std::int32_t sum = in.at(x, y - 1) + in.at(x, y + 1) +
+                               in.at(x - 1, y) + in.at(x + 1, y) +
+                               in.at(x - 1, y - 1) + in.at(x - 1, y + 1) +
+                               in.at(x + 1, y - 1) + in.at(x + 1, y + 1);
+      out.at(x, y) = life_rule(r, in.at(x, y), sum);
+    }
+  }
+}
+
+void life_run(const LifeRule& r, grid::Grid2D<std::int32_t>& u, long steps) {
+  grid::Grid2D<std::int32_t> tmp(u.nx(), u.ny());
+  grid::Grid2D<std::int32_t>* cur = &u;
+  grid::Grid2D<std::int32_t>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    life_step(r, *cur, *nxt);
+    std::swap(cur, nxt);
+  }
+  if (cur != &u) {
+    for (int x = 0; x <= u.nx() + 1; ++x)
+      for (int y = 0; y <= u.ny() + 1; ++y) u.at(x, y) = cur->at(x, y);
+  }
+}
+
+}  // namespace tvs::stencil

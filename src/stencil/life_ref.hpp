@@ -1,0 +1,17 @@
+// Scalar Game-of-Life reference engine (oracle + `scalar` curve).
+// Cells are int32 0/1 on a Grid2D with fixed (dead) boundary cells, matching
+// the paper's non-periodic setup.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid2d.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::stencil {
+
+void life_step(const LifeRule& r, const grid::Grid2D<std::int32_t>& in,
+               grid::Grid2D<std::int32_t>& out);
+void life_run(const LifeRule& r, grid::Grid2D<std::int32_t>& u, long steps);
+
+}  // namespace tvs::stencil

@@ -1,0 +1,71 @@
+#include "stencil/reference1d.hpp"
+
+#include <utility>
+
+#include "grid/pingpong.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::stencil {
+
+void jacobi1d3_step(const C1D3& c, const grid::Grid1D<double>& in,
+                    grid::Grid1D<double>& out) {
+  const int nx = in.nx();
+  out.at(0) = in.at(0);
+  out.at(nx + 1) = in.at(nx + 1);
+  for (int x = 1; x <= nx; ++x)
+    out.at(x) = j1d3(c.w, c.c, c.e, in.at(x - 1), in.at(x), in.at(x + 1));
+}
+
+void jacobi1d5_step(const C1D5& c, const grid::Grid1D<double>& in,
+                    grid::Grid1D<double>& out) {
+  const int nx = in.nx();
+  // Radius-2 stencil: interior stays 1..nx; x in {-1, 0, nx+1, nx+2} are
+  // fixed boundary cells (they live in the grid's padding).
+  for (int x = -1; x <= 0; ++x) out.at(x) = in.at(x);
+  for (int x = nx + 1; x <= nx + 2; ++x) out.at(x) = in.at(x);
+  for (int x = 1; x <= nx; ++x)
+    out.at(x) = j1d5(c.w2, c.w1, c.c, c.e1, c.e2, in.at(x - 2), in.at(x - 1),
+                     in.at(x), in.at(x + 1), in.at(x + 2));
+}
+
+namespace {
+template <class StepFn>
+void run_pingpong(grid::Grid1D<double>& u, long steps, StepFn step) {
+  grid::Grid1D<double> tmp(u.nx());
+  grid::Grid1D<double>* cur = &u;
+  grid::Grid1D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    step(*cur, *nxt);
+    std::swap(cur, nxt);
+  }
+  if (cur != &u) {
+    for (int x = 0; x <= u.nx() + 1; ++x) u.at(x) = cur->at(x);
+  }
+}
+}  // namespace
+
+void jacobi1d3_run(const C1D3& c, grid::Grid1D<double>& u, long steps) {
+  run_pingpong(u, steps, [&](const grid::Grid1D<double>& in,
+                             grid::Grid1D<double>& out) {
+    jacobi1d3_step(c, in, out);
+  });
+}
+
+void jacobi1d5_run(const C1D5& c, grid::Grid1D<double>& u, long steps) {
+  run_pingpong(u, steps, [&](const grid::Grid1D<double>& in,
+                             grid::Grid1D<double>& out) {
+    jacobi1d5_step(c, in, out);
+  });
+}
+
+void gs1d3_sweep(const C1D3& c, grid::Grid1D<double>& u) {
+  const int nx = u.nx();
+  for (int x = 1; x <= nx; ++x)
+    u.at(x) = gs1d3(c.w, c.c, c.e, u.at(x - 1), u.at(x), u.at(x + 1));
+}
+
+void gs1d3_run(const C1D3& c, grid::Grid1D<double>& u, long sweeps) {
+  for (long t = 0; t < sweeps; ++t) gs1d3_sweep(c, u);
+}
+
+}  // namespace tvs::stencil

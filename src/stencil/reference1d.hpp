@@ -1,0 +1,29 @@
+// Scalar reference engines, 1D.
+//
+// These are (a) the correctness oracle for every vector kernel and (b) the
+// paper's `scalar` benchmark curves.  Their translation units are compiled
+// with -fno-tree-vectorize -fno-tree-slp-vectorize so they stay scalar under
+// -O3, and they evaluate the canonical formulas of stencil/kernels.hpp, so
+// vector kernels match them bit for bit.
+#pragma once
+
+#include "grid/grid1d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::stencil {
+
+// One Jacobi step over the interior x = 1..NX; boundary cells copied.
+void jacobi1d3_step(const C1D3& c, const grid::Grid1D<double>& in,
+                    grid::Grid1D<double>& out);
+void jacobi1d5_step(const C1D5& c, const grid::Grid1D<double>& in,
+                    grid::Grid1D<double>& out);
+
+// T steps; result lands back in `u` (internal ping-pong).
+void jacobi1d3_run(const C1D3& c, grid::Grid1D<double>& u, long steps);
+void jacobi1d5_run(const C1D5& c, grid::Grid1D<double>& u, long steps);
+
+// One in-place ascending Gauss-Seidel sweep / `sweeps` of them.
+void gs1d3_sweep(const C1D3& c, grid::Grid1D<double>& u);
+void gs1d3_run(const C1D3& c, grid::Grid1D<double>& u, long sweeps);
+
+}  // namespace tvs::stencil

@@ -1,0 +1,87 @@
+#include "stencil/reference2d.hpp"
+
+#include <utility>
+
+#include "stencil/kernels.hpp"
+
+namespace tvs::stencil {
+
+void jacobi2d5_step(const C2D5& c, const grid::Grid2D<double>& in,
+                    grid::Grid2D<double>& out) {
+  const int nx = in.nx(), ny = in.ny();
+  for (int y = 0; y <= ny + 1; ++y) {
+    out.at(0, y) = in.at(0, y);
+    out.at(nx + 1, y) = in.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    out.at(x, 0) = in.at(x, 0);
+    out.at(x, ny + 1) = in.at(x, ny + 1);
+    for (int y = 1; y <= ny; ++y)
+      out.at(x, y) = j2d5(c.c, c.w, c.e, c.s, c.n, in.at(x, y), in.at(x, y - 1),
+                          in.at(x, y + 1), in.at(x - 1, y), in.at(x + 1, y));
+  }
+}
+
+void jacobi2d9_step(const C2D9& c, const grid::Grid2D<double>& in,
+                    grid::Grid2D<double>& out) {
+  const int nx = in.nx(), ny = in.ny();
+  for (int y = 0; y <= ny + 1; ++y) {
+    out.at(0, y) = in.at(0, y);
+    out.at(nx + 1, y) = in.at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    out.at(x, 0) = in.at(x, 0);
+    out.at(x, ny + 1) = in.at(x, ny + 1);
+    for (int y = 1; y <= ny; ++y)
+      out.at(x, y) =
+          j2d9(c.c, c.w, c.e, c.s, c.n, c.sw, c.se, c.nw, c.ne, in.at(x, y),
+               in.at(x, y - 1), in.at(x, y + 1), in.at(x - 1, y),
+               in.at(x + 1, y), in.at(x - 1, y - 1), in.at(x - 1, y + 1),
+               in.at(x + 1, y - 1), in.at(x + 1, y + 1));
+  }
+}
+
+namespace {
+template <class StepFn>
+void run_pingpong(grid::Grid2D<double>& u, long steps, StepFn step) {
+  grid::Grid2D<double> tmp(u.nx(), u.ny());
+  grid::Grid2D<double>* cur = &u;
+  grid::Grid2D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    step(*cur, *nxt);
+    std::swap(cur, nxt);
+  }
+  if (cur != &u) {
+    for (int x = 0; x <= u.nx() + 1; ++x)
+      for (int y = 0; y <= u.ny() + 1; ++y) u.at(x, y) = cur->at(x, y);
+  }
+}
+}  // namespace
+
+void jacobi2d5_run(const C2D5& c, grid::Grid2D<double>& u, long steps) {
+  run_pingpong(u, steps, [&](const grid::Grid2D<double>& in,
+                             grid::Grid2D<double>& out) {
+    jacobi2d5_step(c, in, out);
+  });
+}
+
+void jacobi2d9_run(const C2D9& c, grid::Grid2D<double>& u, long steps) {
+  run_pingpong(u, steps, [&](const grid::Grid2D<double>& in,
+                             grid::Grid2D<double>& out) {
+    jacobi2d9_step(c, in, out);
+  });
+}
+
+void gs2d5_sweep(const C2D5& c, grid::Grid2D<double>& u) {
+  const int nx = u.nx(), ny = u.ny();
+  for (int x = 1; x <= nx; ++x)
+    for (int y = 1; y <= ny; ++y)
+      u.at(x, y) = gs2d5(c.c, c.w, c.e, c.s, c.n, u.at(x, y), u.at(x, y - 1),
+                         u.at(x, y + 1), u.at(x - 1, y), u.at(x + 1, y));
+}
+
+void gs2d5_run(const C2D5& c, grid::Grid2D<double>& u, long sweeps) {
+  for (long t = 0; t < sweeps; ++t) gs2d5_sweep(c, u);
+}
+
+}  // namespace tvs::stencil

@@ -1,0 +1,21 @@
+// Scalar reference engines, 2D (oracle + `scalar` benchmark curves).
+#pragma once
+
+#include "grid/grid2d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::stencil {
+
+void jacobi2d5_step(const C2D5& c, const grid::Grid2D<double>& in,
+                    grid::Grid2D<double>& out);
+void jacobi2d9_step(const C2D9& c, const grid::Grid2D<double>& in,
+                    grid::Grid2D<double>& out);
+
+void jacobi2d5_run(const C2D5& c, grid::Grid2D<double>& u, long steps);
+void jacobi2d9_run(const C2D9& c, grid::Grid2D<double>& u, long steps);
+
+// In-place ascending (x, then y) Gauss-Seidel sweeps.
+void gs2d5_sweep(const C2D5& c, grid::Grid2D<double>& u);
+void gs2d5_run(const C2D5& c, grid::Grid2D<double>& u, long sweeps);
+
+}  // namespace tvs::stencil

@@ -1,0 +1,65 @@
+#include "stencil/reference3d.hpp"
+
+#include <utility>
+
+#include "stencil/kernels.hpp"
+
+namespace tvs::stencil {
+
+void jacobi3d7_step(const C3D7& c, const grid::Grid3D<double>& in,
+                    grid::Grid3D<double>& out) {
+  const int nx = in.nx(), ny = in.ny(), nz = in.nz();
+  // Copy all boundary faces.
+  for (int y = 0; y <= ny + 1; ++y)
+    for (int z = 0; z <= nz + 1; ++z) {
+      out.at(0, y, z) = in.at(0, y, z);
+      out.at(nx + 1, y, z) = in.at(nx + 1, y, z);
+    }
+  for (int x = 1; x <= nx; ++x) {
+    for (int z = 0; z <= nz + 1; ++z) {
+      out.at(x, 0, z) = in.at(x, 0, z);
+      out.at(x, ny + 1, z) = in.at(x, ny + 1, z);
+    }
+    for (int y = 1; y <= ny; ++y) {
+      out.at(x, y, 0) = in.at(x, y, 0);
+      out.at(x, y, nz + 1) = in.at(x, y, nz + 1);
+      for (int z = 1; z <= nz; ++z)
+        out.at(x, y, z) =
+            j3d7(c.c, c.w, c.e, c.s, c.n, c.b, c.f, in.at(x, y, z),
+                 in.at(x, y, z - 1), in.at(x, y, z + 1), in.at(x, y - 1, z),
+                 in.at(x, y + 1, z), in.at(x - 1, y, z), in.at(x + 1, y, z));
+    }
+  }
+}
+
+void jacobi3d7_run(const C3D7& c, grid::Grid3D<double>& u, long steps) {
+  grid::Grid3D<double> tmp(u.nx(), u.ny(), u.nz());
+  grid::Grid3D<double>* cur = &u;
+  grid::Grid3D<double>* nxt = &tmp;
+  for (long t = 0; t < steps; ++t) {
+    jacobi3d7_step(c, *cur, *nxt);
+    std::swap(cur, nxt);
+  }
+  if (cur != &u) {
+    for (int x = 0; x <= u.nx() + 1; ++x)
+      for (int y = 0; y <= u.ny() + 1; ++y)
+        for (int z = 0; z <= u.nz() + 1; ++z) u.at(x, y, z) = cur->at(x, y, z);
+  }
+}
+
+void gs3d7_sweep(const C3D7& c, grid::Grid3D<double>& u) {
+  const int nx = u.nx(), ny = u.ny(), nz = u.nz();
+  for (int x = 1; x <= nx; ++x)
+    for (int y = 1; y <= ny; ++y)
+      for (int z = 1; z <= nz; ++z)
+        u.at(x, y, z) =
+            gs3d7(c.c, c.w, c.e, c.s, c.n, c.b, c.f, u.at(x, y, z),
+                  u.at(x, y, z - 1), u.at(x, y, z + 1), u.at(x, y - 1, z),
+                  u.at(x, y + 1, z), u.at(x - 1, y, z), u.at(x + 1, y, z));
+}
+
+void gs3d7_run(const C3D7& c, grid::Grid3D<double>& u, long sweeps) {
+  for (long t = 0; t < sweeps; ++t) gs3d7_sweep(c, u);
+}
+
+}  // namespace tvs::stencil

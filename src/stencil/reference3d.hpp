@@ -1,0 +1,17 @@
+// Scalar reference engines, 3D (oracle + `scalar` benchmark curves).
+#pragma once
+
+#include "grid/grid3d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::stencil {
+
+void jacobi3d7_step(const C3D7& c, const grid::Grid3D<double>& in,
+                    grid::Grid3D<double>& out);
+void jacobi3d7_run(const C3D7& c, grid::Grid3D<double>& u, long steps);
+
+// In-place ascending (x, y, z) Gauss-Seidel sweeps.
+void gs3d7_sweep(const C3D7& c, grid::Grid3D<double>& u);
+void gs3d7_run(const C3D7& c, grid::Grid3D<double>& u, long sweeps);
+
+}  // namespace tvs::stencil

@@ -1,0 +1,105 @@
+#include "tiling/diamond.hpp"
+
+#include <algorithm>
+
+#include "tiling/diamond_impl.hpp"
+#include "tv/functors1d.hpp"
+#include "tv/tv1d_impl.hpp"
+
+namespace tvs::tiling {
+
+namespace {
+
+using V = simd::NativeVec<double, 4>;
+
+// Generic band-driver over parity arrays.
+template <class F>
+void diamond_run(const F& f, double* even, double* odd, int nx, long steps,
+                 Diamond1DOptions opt) {
+  constexpr int R = F::radius;
+  const int s = opt.stride;
+  // Sanitize: band height a positive multiple of 4; width wide enough that
+  // concurrent tiles never touch each other's working set (see
+  // diamond_impl.hpp) and phase-1 tiles stay non-empty at the band top.
+  int H = std::max(4, opt.height - opt.height % 4);
+  int W = std::max(opt.width, 2 * H * R + 4 * s + 8);
+  if (W >= nx) {  // single tile column: degenerate but still correct
+    W = nx;
+    H = std::min(H, std::max(4, (W / (2 * R) / 4) * 4));
+    W = std::max(W, 2 * H * R + 4 * s + 8);
+  }
+
+  const long t_vec = steps - steps % 4;
+  long t0 = 0;
+  while (t0 < t_vec) {
+    const int h = static_cast<int>(std::min<long>(H, t_vec - t0));
+    const int nb = (nx + W - 1) / W;
+    // Phase 1: shrinking trapezoids.
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int k = 0; k < nb; ++k) {
+      for (int j = 0; j < h / 4; ++j) {
+        const long tt = t0 + 4 * j;
+        double* a0 = (tt % 2 == 0) ? even : odd;
+        double* a1 = (tt % 2 == 0) ? odd : even;
+        tv::tv1d_trapezoid<V>(f, a0, a1, nx, s, 1 + k * W + 4 * j * R,
+                              (k + 1) * W - 4 * j * R, +R, -R,
+                              !opt.use_vector);
+      }
+    }
+    // Phase 2: growing trapezoids at the seams (including the domain edges).
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int k = 0; k <= nb; ++k) {
+      for (int j = 0; j < h / 4; ++j) {
+        const long tt = t0 + 4 * j;
+        double* a0 = (tt % 2 == 0) ? even : odd;
+        double* a1 = (tt % 2 == 0) ? odd : even;
+        tv::tv1d_trapezoid<V>(f, a0, a1, nx, s, k * W + 1 - 4 * j * R,
+                              k * W + 4 * j * R, -R, +R, !opt.use_vector);
+      }
+    }
+    t0 += h;
+  }
+  // Scalar residual steps (steps % 4) on the parity arrays.
+  double win[2 * R + 1];
+  for (; t0 < steps; ++t0) {
+    const double* src = (t0 % 2 == 0) ? even : odd;
+    double* dst = (t0 % 2 == 0) ? odd : even;
+    for (int x = 1; x <= nx; ++x) {
+      for (int k = 0; k <= 2 * R; ++k) win[k] = src[x - R + k];
+      dst[x] = f.apply_scalar(win);
+    }
+  }
+}
+
+}  // namespace
+
+void fix_boundaries(grid::PingPong<grid::Grid1D<double>>& pp) {
+  const int nx = pp.even().nx();
+  for (int x = -grid::kPad; x <= 0; ++x) pp.odd().at(x) = pp.even().at(x);
+  for (int x = nx + 1; x <= nx + 1 + grid::kPad; ++x)
+    pp.odd().at(x) = pp.even().at(x);
+}
+
+void diamond_jacobi1d3_run(const stencil::C1D3& c,
+                           grid::PingPong<grid::Grid1D<double>>& pp,
+                           long steps, const Diamond1DOptions& opt) {
+  const int nx = pp.even().nx();
+  const tv::J1D3F<V> f(c);
+  const int s = std::min(opt.stride, 3 * tv::J1D3F<V>::radius + 5);
+  Diamond1DOptions o = opt;
+  o.stride = std::max(2, s);
+  diamond_run(f, pp.even().p(), pp.odd().p(), nx, steps, o);
+}
+
+void diamond_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                           long steps, const Diamond1DOptions& opt) {
+  grid::PingPong<grid::Grid1D<double>> pp(u.nx());
+  for (int x = -grid::kPad; x <= u.nx() + 1 + grid::kPad; ++x)
+    pp.even().at(x) = u.at(x);
+  fix_boundaries(pp);
+  diamond_jacobi1d3_run(c, pp, steps, opt);
+  grid::Grid1D<double>& res = pp.by_parity(steps);
+  for (int x = 0; x <= u.nx() + 1; ++x) u.at(x) = res.at(x);
+}
+
+}  // namespace tvs::tiling

@@ -1,0 +1,42 @@
+// Diamond-tiled, OpenMP-parallel drivers for the 1D Jacobi kernels
+// (Figure 4b; Table 1's Heat-1D blocking 16384 x 128).
+//
+// Decomposition per band of height `height` (a multiple of 4):
+//   phase 1: shrinking trapezoids based at [1+kW, (k+1)W], mutually
+//            independent — parallel for;
+//   phase 2: growing trapezoids from the seams kW (empty base), mutually
+//            independent once phase 1 finished — parallel for.
+// The union of a phase-2 tile and the next band's phase-1 tile above it is
+// the classic diamond.  Data lives in two parity arrays (see
+// diamond_impl.hpp); the result of step T is in parity(T).
+#pragma once
+
+#include "grid/grid1d.hpp"
+#include "grid/pingpong.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tiling {
+
+struct Diamond1DOptions {
+  int width = 16384;   // tile base width W (paper Table 1)
+  int height = 128;    // band height (time steps per band)
+  int stride = 7;      // temporal-vectorization stride s
+  bool use_vector = true;  // false: identical tiling, scalar tiles (bench baseline)
+};
+
+// Input: pp.by_parity(0) holds the t = 0 data; boundary cells (x <= 0,
+// x >= nx+1) must be identical in both arrays (fix_boundaries does that).
+// Output: pp.by_parity(steps) holds the result.
+void diamond_jacobi1d3_run(const stencil::C1D3& c,
+                           grid::PingPong<grid::Grid1D<double>>& pp,
+                           long steps, const Diamond1DOptions& opt = {});
+
+// Convenience wrapper: result copied back into u (allocates the partner
+// array internally — prefer the PingPong overload in benchmarks).
+void diamond_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                           long steps, const Diamond1DOptions& opt = {});
+
+// Copies boundary cells of the even array into the odd array.
+void fix_boundaries(grid::PingPong<grid::Grid1D<double>>& pp);
+
+}  // namespace tvs::tiling

@@ -1,0 +1,60 @@
+// Diamond tiling on (t, x-rows) for 2D stencils — the paper's parallel
+// scheme: "the diamond tiling always applies to the outermost space loop
+// and co-works with the temporal vectorization" (§3.4).  Tiles are
+// trapezoids of rows x full-width y; data lives in two parity grids; each
+// thread owns a private ring of input-vector rows.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid2d.hpp"
+#include "grid/pingpong.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::tiling {
+
+struct Diamond2DOptions {
+  int width = 256;  // tile base width in rows (Table 1: 256^2 x 64 blocks)
+  int height = 32;  // band height in time steps (multiple of the lane count)
+  int stride = 2;   // temporal-vectorization stride s (paper default for 2D)
+  bool use_vector = true;  // false: identical tiling, scalar tiles
+};
+
+// Jacobi 2D5P / 2D9P on a parity pair: pp.by_parity(0) holds t = 0,
+// boundary cells must be identical in both grids; result in
+// pp.by_parity(steps).
+void diamond_jacobi2d5_run(const stencil::C2D5& c,
+                           grid::PingPong<grid::Grid2D<double>>& pp,
+                           long steps, const Diamond2DOptions& opt = {});
+void diamond_jacobi2d9_run(const stencil::C2D9& c,
+                           grid::PingPong<grid::Grid2D<double>>& pp,
+                           long steps, const Diamond2DOptions& opt = {});
+void diamond_life_run(const stencil::LifeRule& r,
+                      grid::PingPong<grid::Grid2D<std::int32_t>>& pp,
+                      long steps, const Diamond2DOptions& opt = {});
+
+// Convenience wrappers (allocate the partner grid; result back in u).
+void diamond_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                           long steps, const Diamond2DOptions& opt = {});
+void diamond_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                           long steps, const Diamond2DOptions& opt = {});
+void diamond_life_run(const stencil::LifeRule& r,
+                      grid::Grid2D<std::int32_t>& u, long steps,
+                      const Diamond2DOptions& opt = {});
+
+template <class T>
+void fix_boundaries2d(grid::PingPong<grid::Grid2D<T>>& pp) {
+  const int nx = pp.even().nx(), ny = pp.even().ny();
+  for (int y = -grid::kPad; y <= ny + 1 + grid::kPad; ++y) {
+    pp.odd().at(0, y) = pp.even().at(0, y);
+    pp.odd().at(nx + 1, y) = pp.even().at(nx + 1, y);
+  }
+  for (int x = 1; x <= nx; ++x) {
+    for (int y = -grid::kPad; y <= 0; ++y) pp.odd().at(x, y) = pp.even().at(x, y);
+    for (int y = ny + 1; y <= ny + 1 + grid::kPad; ++y)
+      pp.odd().at(x, y) = pp.even().at(x, y);
+  }
+}
+
+}  // namespace tvs::tiling

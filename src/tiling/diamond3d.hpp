@@ -1,0 +1,35 @@
+// Diamond tiling on (t, x-slabs) for the 3D7P Jacobi stencil (Figure 4f;
+// Table 1: 32^3 x 8 blocking).  3D analogue of diamond2d.hpp.
+#pragma once
+
+#include "grid/grid3d.hpp"
+#include "grid/pingpong.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tiling {
+
+struct Diamond3DOptions {
+  int width = 32;   // tile base width in x-slabs
+  int height = 8;   // band height in time steps (multiple of 4)
+  int stride = 2;
+  bool use_vector = true;  // false: identical tiling, scalar tiles
+};
+
+void diamond_jacobi3d7_run(const stencil::C3D7& c,
+                           grid::PingPong<grid::Grid3D<double>>& pp,
+                           long steps, const Diamond3DOptions& opt = {});
+void diamond_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                           long steps, const Diamond3DOptions& opt = {});
+
+template <class T>
+void fix_boundaries3d(grid::PingPong<grid::Grid3D<T>>& pp) {
+  const int nx = pp.even().nx(), ny = pp.even().ny(), nz = pp.even().nz();
+  for (int x = 0; x <= nx + 1; ++x)
+    for (int y = 0; y <= ny + 1; ++y)
+      for (int z = -grid::kPad; z <= nz + 1 + grid::kPad; ++z)
+        if (x == 0 || x == nx + 1 || y == 0 || y == ny + 1 || z <= 0 ||
+            z >= nz + 1)
+          pp.odd().at(x, y, z) = pp.even().at(x, y, z);
+}
+
+}  // namespace tvs::tiling

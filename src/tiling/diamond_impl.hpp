@@ -1,0 +1,178 @@
+// Diamond tiling on the (t, x) plane combined with temporal vectorization —
+// the paper's parallel scheme for 1D Jacobi stencils (§3.4, Table 1's
+// 16384 x 128 blocking).
+//
+// Storage discipline: two global arrays addressed by time parity.  Every
+// value a^t_x that any *other* tile may read is written to parity(t)[x];
+// slope-R tile edges guarantee a slot is only overwritten after its last
+// reader ran (the classic two-array sufficiency of diamond tiling).  Inside
+// a tile, intermediate levels live in registers exactly as in the flat
+// kernel; only the sloped scalar wedges and the ring flush materialize.
+//
+// One *trapezoid* is a 4-level (vl) tile with base interval [xl0, xr0] at
+// time t0 and edge slopes ±R per level: phase-1 tiles shrink (dl=+R,
+// dr=-R), phase-2 tiles grow (dl=-R, dr=+R) from an empty base at the
+// seams.  A band of height H = 4K runs K stacked trapezoids per tile;
+// bands are separated by barriers, and within a band phase-1 tiles are
+// mutually independent (OpenMP parallel for), then phase-2 seam tiles are.
+//
+// The steady vector loop is the flat kernel's, with two generalizations:
+//   * per-level ranges XL[l], XR[l] (clamped to the domain) define the
+//     steady interval  x in [max_l(XL[l]-(4-l)s), min_l(XR[l]-(4-l)s)];
+//   * grouped bottom loads are capped at read_cap = XR[1]+R — reads past it
+//     would touch slots a concurrent phase-1 neighbour may be rewriting
+//     (their lanes are provably never consumed, so a clamped re-read of a
+//     safe slot is used instead).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+#include "tv/tv1d_impl.hpp"  // kMaxStride
+
+namespace tvs::tv {
+
+// One 4-level trapezoid on the parity arrays.
+//   a0: parity(t0) array (base + levels 2, 4)     a1: parity(t0+1) array
+//   xl0/xr0: unclamped base interval; dl/dr: per-level edge motion (+R/-R)
+//   nx: domain; s: stride.  Boundary cells (x <= 0, x >= nx+1) must hold the
+//   fixed Dirichlet values in *both* arrays.
+template <class V, class F>
+void tv1d_trapezoid(const F& f, double* a0, double* a1, int nx, int s,
+                    int xl0, int xr0, int dl, int dr,
+                    bool force_scalar = false) {
+  constexpr int R = F::radius;
+  assert(dl == R || dl == -R);
+  assert(dr == R || dr == -R);
+
+  const std::array<double*, 5> arr = {a0, a1, a0, a1, a0};
+  std::array<int, 5> XL{}, XR{};
+  for (int l = 0; l <= 4; ++l) {
+    XL[static_cast<std::size_t>(l)] = std::max(1, xl0 + dl * l);
+    XR[static_cast<std::size_t>(l)] = std::min(nx, xr0 + dr * l);
+  }
+
+  double win[2 * R + 1];
+  // Scalar update of level l over [x0, x1] reading level l-1.
+  const auto scalar_range = [&](int l, int x0, int x1) {
+    const double* src = arr[static_cast<std::size_t>(l - 1)];
+    double* dst = arr[static_cast<std::size_t>(l)];
+    for (int x = x0; x <= x1; ++x) {
+      for (int k = 0; k <= 2 * R; ++k) win[k] = src[x - R + k];
+      dst[x] = f.apply_scalar(win);
+    }
+  };
+
+  int x_begin = XL[1] - 3 * s, x_end = XR[1] - 3 * s;
+  for (int l = 2; l <= 4; ++l) {
+    x_begin = std::max(x_begin, XL[static_cast<std::size_t>(l)] - (4 - l) * s);
+    x_end = std::min(x_end, XR[static_cast<std::size_t>(l)] - (4 - l) * s);
+  }
+
+  if (force_scalar || x_end - x_begin < 4) {
+    // Too narrow for the pipeline: plain scalar trapezoid, levels ascending.
+    for (int l = 1; l <= 4; ++l)
+      scalar_range(l, XL[static_cast<std::size_t>(l)],
+                   XR[static_cast<std::size_t>(l)]);
+    return;
+  }
+
+  // ---- left wedges (levels ascending; lvl4's wedge is last so its parity-
+  // array writes cannot disturb lvl2 values still being read) --------------
+  for (int l = 1; l <= 3; ++l)
+    scalar_range(l, XL[static_cast<std::size_t>(l)],
+                 std::min(XR[static_cast<std::size_t>(l)],
+                          x_begin + (4 - l) * s - 1));
+  scalar_range(4, XL[4], x_begin - 1);
+
+  // ---- gather the ring from the parity arrays ------------------------------
+  const int M = s + R;
+  std::array<V, kMaxStride + 2> ring;
+  const auto slot = [M](int p) { return ((p % M) + M) % M; };
+  for (int p = x_begin - R; p <= x_begin + s - 1; ++p) {
+    alignas(64) double lanes[4];
+    lanes[0] = a0[p + 3 * s];
+    lanes[1] = arr[1][p + 2 * s];
+    lanes[2] = arr[2][p + s];
+    lanes[3] = arr[3][p];
+    ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
+  }
+
+  // ---- steady loop ----------------------------------------------------------
+  const int read_cap = XR[1] + R;  // never read a0 beyond this (see header)
+  int ib = slot(x_begin - R);
+  const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
+  V winv[2 * R + 1];
+  int x = x_begin;
+  for (; x + 3 <= x_end && x + 4 * s + 3 <= read_cap; x += 4) {
+    V bot = V::loadu(a0 + x + 4 * s);
+    V w0, w1, w2, w3;
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w0 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w0, bot);
+      bot = simd::rotate_down(bot);
+      ib = inc(ib);
+    }
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w1 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w1, bot);
+      bot = simd::rotate_down(bot);
+      ib = inc(ib);
+    }
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w2 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w2, bot);
+      bot = simd::rotate_down(bot);
+      ib = inc(ib);
+    }
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w3 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w3, bot);
+      ib = inc(ib);
+    }
+    simd::collect_tops(w0, w1, w2, w3).storeu(a0 + x);
+  }
+  for (; x <= x_end; ++x) {
+    int iw = ib;
+    for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+    const V w = f.apply(winv);
+    // Reads past read_cap are never consumed (their output lanes fall
+    // outside every level range); clamp to a slot that is safe to touch.
+    ring[ib] = simd::shift_in_low(w, a0[std::min(x + 4 * s, read_cap)]);
+    ib = inc(ib);
+    a0[x] = simd::top_lane(w);
+  }
+
+  // ---- flush surviving ring lanes into the parity arrays --------------------
+  for (int p = x_end + 1 - R; p <= x_end + s; ++p) {
+    const V& u = ring[static_cast<std::size_t>(slot(p))];
+    const auto put = [&](int l, int q, double v) {
+      if (q >= XL[static_cast<std::size_t>(l)] &&
+          q <= XR[static_cast<std::size_t>(l)])
+        arr[static_cast<std::size_t>(l)][q] = v;
+    };
+    put(1, p + 2 * s, u[1]);
+    put(2, p + s, u[2]);
+    put(3, p, u[3]);
+  }
+
+  // ---- right wedges (levels ascending) ---------------------------------------
+  for (int l = 1; l <= 4; ++l)
+    scalar_range(l,
+                 std::max(XL[static_cast<std::size_t>(l)],
+                          x_end + (4 - l) * s + 1),
+                 XR[static_cast<std::size_t>(l)]);
+}
+
+}  // namespace tvs::tv

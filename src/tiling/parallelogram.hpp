@@ -1,0 +1,23 @@
+// Parallelogram-tiled, wavefront-parallel driver for the 1D Gauss-Seidel
+// stencil (Figure 5b; Table 1's GS-1D blocking 2048 x 64).
+// See parallelogram_impl.hpp for the tile kernel and legality argument.
+#pragma once
+
+#include "grid/grid1d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tiling {
+
+struct Parallelogram1DOptions {
+  int width = 2048;  // tile width W (paper Table 1)
+  int height = 64;   // band height (sweeps per band)
+  int stride = 3;    // temporal-vectorization stride s (>= 2)
+  bool use_vector = true;  // false: identical tiling, scalar tiles
+};
+
+// Advance u by `sweeps` Gauss-Seidel sweeps, in place.
+void parallelogram_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                             long sweeps,
+                             const Parallelogram1DOptions& opt = {});
+
+}  // namespace tvs::tiling

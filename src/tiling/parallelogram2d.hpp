@@ -1,0 +1,29 @@
+// Parallelogram + wavefront tiling for the 2D and 3D Gauss-Seidel stencils
+// (Figures 5d/5f; Table 1: GS-2D 128^2 x 32, GS-3D 32^3 x 32).  The tiling
+// acts on (t, x-rows) — level l of a tile covers rows
+// [xl0-(l-1), xr0-(l-1)] x the full inner dimensions — with the same
+// single-array interface-ladder discipline as the 1D driver
+// (parallelogram_impl.hpp) and anti-diagonal wavefronts w = 2*bt + bx.
+#pragma once
+
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tiling {
+
+struct ParallelogramNDOptions {
+  int width = 128;  // tile width in rows
+  int height = 32;  // band height in sweeps
+  int stride = 2;
+  bool use_vector = true;  // false: identical tiling, scalar tiles
+};
+
+void parallelogram_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                             long sweeps,
+                             const ParallelogramNDOptions& opt = {});
+void parallelogram_gs3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                             long sweeps,
+                             const ParallelogramNDOptions& opt = {});
+
+}  // namespace tvs::tiling

@@ -1,0 +1,171 @@
+// Parallelogram tiling for Gauss-Seidel stencils (§3.4): diamond tiling is
+// illegal (the newest-west dependence kills the growing phase), so the
+// paper uses parallelogram tiles executed in wavefront order.
+//
+// A tile of the (t, x) plane covers, at level l = 1..4 (one vl=4 time
+// tile), the interval [xl0-(l-1), xr0-(l-1)] — both edges slide left one
+// point per sweep, matching the a^{t}_{x+1} dependence.  Everything lives
+// in the *single* Gauss-Seidel array: because the edges slope exactly -1,
+// the last write to an interface slot xl0-l is always the level-l value,
+// which is precisely the newest-west operand the right-hand neighbour tile
+// needs — no interface buffers at all.
+//
+// Tile dependences: (bt, bx) needs (bt, bx-1) [west interface] and
+// (bt-1, bx), (bt-1, bx+1) [base row]; all are satisfied by executing
+// anti-diagonal wavefronts w = 2*bt + bx, with every tile inside one
+// wavefront independent (they are >= 2W+H points apart).  Parallelism
+// therefore grows with the number of *bands* in flight, T/H.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+#include "tv/tv1d_impl.hpp"  // kMaxStride
+
+namespace tvs::tv {
+
+// One 4-sweep parallelogram tile of the 1D3P Gauss-Seidel stencil, in place
+// on `a`.  Level-l (l = 1..4) range: [xl0-(l-1), xr0-(l-1)] clamped to
+// [1, nx].  Boundary cells a[x <= 0], a[x >= nx+1] are fixed.
+template <class V>
+void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
+                           int xl0, int xr0, bool force_scalar = false) {
+  assert(s >= 2 && s <= 12);
+  std::array<int, 5> XL{}, XR{};
+  for (int l = 1; l <= 4; ++l) {
+    XL[static_cast<std::size_t>(l)] = std::max(1, xl0 - (l - 1));
+    XR[static_cast<std::size_t>(l)] = std::min(nx, xr0 - (l - 1));
+  }
+
+  // Scalar update of level l over [x0, x1], newest-west chained from the
+  // array slot west of x0 (the left tile's final interface value).
+  const auto scalar_range = [&](int l, int x0, int x1) {
+    (void)l;
+    double west = a[x0 - 1];
+    for (int x = x0; x <= x1; ++x) {
+      const double v = stencil::gs1d3(c.w, c.c, c.e, west, a[x], a[x + 1]);
+      a[x] = v;
+      west = v;
+    }
+  };
+
+  int x_begin = XL[1] - 3 * s, x_end = XR[1] - 3 * s;
+  for (int l = 2; l <= 4; ++l) {
+    x_begin = std::max(x_begin, XL[static_cast<std::size_t>(l)] - (4 - l) * s);
+    x_end = std::min(x_end, XR[static_cast<std::size_t>(l)] - (4 - l) * s);
+  }
+
+  if (force_scalar || x_end - x_begin < 4) {
+    for (int l = 1; l <= 4; ++l)
+      scalar_range(l, XL[static_cast<std::size_t>(l)],
+                   XR[static_cast<std::size_t>(l)]);
+    return;
+  }
+
+  // ---- left wedges, levels ascending ---------------------------------------
+  for (int l = 1; l <= 3; ++l)
+    scalar_range(l, XL[static_cast<std::size_t>(l)],
+                 std::min(XR[static_cast<std::size_t>(l)],
+                          x_begin + (4 - l) * s - 1));
+  scalar_range(4, XL[4], x_begin - 1);
+
+  // ---- gather ring (positions x_begin .. x_begin+s-1) and initial w --------
+  const int M = s;
+  std::array<V, kMaxStride + 2> ring;
+  const auto slot = [M](int p) { return ((p % M) + M) % M; };
+  for (int p = x_begin; p <= x_begin + s - 1; ++p) {
+    alignas(64) double lanes[4];
+    lanes[0] = a[p + 3 * s];
+    lanes[1] = a[p + 2 * s];
+    lanes[2] = a[p + s];
+    lanes[3] = a[p];
+    ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
+  }
+  V w;
+  {
+    alignas(64) double lanes[4];
+    lanes[0] = a[x_begin - 1 + 3 * s];
+    lanes[1] = a[x_begin - 1 + 2 * s];
+    lanes[2] = a[x_begin - 1 + s];
+    lanes[3] = a[x_begin - 1];
+    w = V::load(lanes);
+  }
+
+  const V cw = V::set1(c.w), cc = V::set1(c.c), ce = V::set1(c.e);
+
+  // ---- steady loop -----------------------------------------------------------
+  int ic = slot(x_begin);
+  const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
+  int x = x_begin;
+  for (; x + 3 <= x_end; x += 4) {
+    V bot = V::loadu(a + x + 4 * s);
+    V w0, w1, w2, w3;
+    {
+      const int ie = inc(ic);
+      w0 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
+      ring[ic] = simd::shift_in_low_v(w0, bot);
+      bot = simd::rotate_down(bot);
+      w = w0;
+      ic = ie;
+    }
+    {
+      const int ie = inc(ic);
+      w1 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
+      ring[ic] = simd::shift_in_low_v(w1, bot);
+      bot = simd::rotate_down(bot);
+      w = w1;
+      ic = ie;
+    }
+    {
+      const int ie = inc(ic);
+      w2 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
+      ring[ic] = simd::shift_in_low_v(w2, bot);
+      bot = simd::rotate_down(bot);
+      w = w2;
+      ic = ie;
+    }
+    {
+      const int ie = inc(ic);
+      w3 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
+      ring[ic] = simd::shift_in_low_v(w3, bot);
+      w = w3;
+      ic = ie;
+    }
+    simd::collect_tops(w0, w1, w2, w3).storeu(a + x);
+  }
+  for (; x <= x_end; ++x) {
+    const int ie = inc(ic);
+    const V wv = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
+    ring[ic] = simd::shift_in_low(wv, a[x + 4 * s]);
+    a[x] = simd::top_lane(wv);
+    w = wv;
+    ic = ie;
+  }
+
+  // ---- flush: write surviving lanes straight into the array -----------------
+  for (int p = x_end + 1; p <= x_end + s; ++p) {
+    const V& u = ring[static_cast<std::size_t>(slot(p))];
+    const auto put = [&](int l, int q, double v) {
+      if (q >= XL[static_cast<std::size_t>(l)] &&
+          q <= XR[static_cast<std::size_t>(l)])
+        a[q] = v;
+    };
+    put(1, p + 2 * s, u[1]);
+    put(2, p + s, u[2]);
+    put(3, p, u[3]);
+  }
+
+  // ---- right wedges, levels ascending -----------------------------------------
+  for (int l = 1; l <= 4; ++l)
+    scalar_range(l,
+                 std::max(XL[static_cast<std::size_t>(l)],
+                          x_end + (4 - l) * s + 1),
+                 XR[static_cast<std::size_t>(l)]);
+}
+
+}  // namespace tvs::tv

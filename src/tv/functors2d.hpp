@@ -1,0 +1,93 @@
+// Stencil functors for the 2D temporal-vectorization engine.
+#pragma once
+
+#include <cstdint>
+
+#include "simd/vec.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::tv {
+
+template <class V>
+struct J2D5F {
+  static constexpr int radius = 1;
+  using value_type = double;
+  V cc, cw, ce, cs, cn;
+  stencil::C2D5 c;
+
+  explicit J2D5F(const stencil::C2D5& k)
+      : cc(V::set1(k.c)),
+        cw(V::set1(k.w)),
+        ce(V::set1(k.e)),
+        cs(V::set1(k.s)),
+        cn(V::set1(k.n)),
+        c(k) {}
+
+  V apply(const V* rm1, const V* r0, const V* rp1, int y) const {
+    return stencil::j2d5(cc, cw, ce, cs, cn, r0[y], r0[y - 1], r0[y + 1],
+                         rm1[y], rp1[y]);
+  }
+  template <class At>
+  double apply_scalar(At&& at, int r, int y) const {
+    return stencil::j2d5(c.c, c.w, c.e, c.s, c.n, at(r, y), at(r, y - 1),
+                         at(r, y + 1), at(r - 1, y), at(r + 1, y));
+  }
+};
+
+template <class V>
+struct J2D9F {
+  static constexpr int radius = 1;
+  using value_type = double;
+  V cc, cw, ce, cs, cn, csw, cse, cnw, cne;
+  stencil::C2D9 c;
+
+  explicit J2D9F(const stencil::C2D9& k)
+      : cc(V::set1(k.c)),
+        cw(V::set1(k.w)),
+        ce(V::set1(k.e)),
+        cs(V::set1(k.s)),
+        cn(V::set1(k.n)),
+        csw(V::set1(k.sw)),
+        cse(V::set1(k.se)),
+        cnw(V::set1(k.nw)),
+        cne(V::set1(k.ne)),
+        c(k) {}
+
+  V apply(const V* rm1, const V* r0, const V* rp1, int y) const {
+    return stencil::j2d9(cc, cw, ce, cs, cn, csw, cse, cnw, cne, r0[y],
+                         r0[y - 1], r0[y + 1], rm1[y], rp1[y], rm1[y - 1],
+                         rm1[y + 1], rp1[y - 1], rp1[y + 1]);
+  }
+  template <class At>
+  double apply_scalar(At&& at, int r, int y) const {
+    return stencil::j2d9(c.c, c.w, c.e, c.s, c.n, c.sw, c.se, c.nw, c.ne,
+                         at(r, y), at(r, y - 1), at(r, y + 1), at(r - 1, y),
+                         at(r + 1, y), at(r - 1, y - 1), at(r - 1, y + 1),
+                         at(r + 1, y - 1), at(r + 1, y + 1));
+  }
+};
+
+template <class V>
+struct LifeF {
+  static constexpr int radius = 1;
+  using value_type = std::int32_t;
+  stencil::LifeRule rule;
+
+  explicit LifeF(const stencil::LifeRule& r) : rule(r) {}
+
+  V apply(const V* rm1, const V* r0, const V* rp1, int y) const {
+    const V sum = r0[y - 1] + r0[y + 1] + rm1[y - 1] + rm1[y] + rm1[y + 1] +
+                  rp1[y - 1] + rp1[y] + rp1[y + 1];
+    return stencil::life_rule_v(rule, r0[y], sum);
+  }
+  template <class At>
+  std::int32_t apply_scalar(At&& at, int r, int y) const {
+    const std::int32_t sum = at(r, y - 1) + at(r, y + 1) + at(r - 1, y - 1) +
+                             at(r - 1, y) + at(r - 1, y + 1) +
+                             at(r + 1, y - 1) + at(r + 1, y) + at(r + 1, y + 1);
+    return stencil::life_rule(rule, at(r, y), sum);
+  }
+};
+
+}  // namespace tvs::tv

@@ -1,0 +1,40 @@
+// Stencil functor for the 3D temporal-vectorization engine.
+#pragma once
+
+#include "simd/vec.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::tv {
+
+template <class V>
+struct J3D7F {
+  static constexpr int radius = 1;
+  using value_type = double;
+  V cc, cw, ce, cs, cn, cb, cf;
+  stencil::C3D7 c;
+
+  explicit J3D7F(const stencil::C3D7& k)
+      : cc(V::set1(k.c)),
+        cw(V::set1(k.w)),
+        ce(V::set1(k.e)),
+        cs(V::set1(k.s)),
+        cn(V::set1(k.n)),
+        cb(V::set1(k.b)),
+        cf(V::set1(k.f)),
+        c(k) {}
+
+  V apply(const V* bm1, const V* b0c, const V* b0m, const V* b0p,
+          const V* bp1, int z) const {
+    return stencil::j3d7(cc, cw, ce, cs, cn, cb, cf, b0c[z], b0c[z - 1],
+                         b0c[z + 1], b0m[z], b0p[z], bm1[z], bp1[z]);
+  }
+  template <class At>
+  double apply_scalar(At&& at, int r, int y, int z) const {
+    return stencil::j3d7(c.c, c.w, c.e, c.s, c.n, c.b, c.f, at(r, y, z),
+                         at(r, y, z - 1), at(r, y, z + 1), at(r, y - 1, z),
+                         at(r, y + 1, z), at(r - 1, y, z), at(r + 1, y, z));
+  }
+};
+
+}  // namespace tvs::tv

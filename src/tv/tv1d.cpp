@@ -1,0 +1,22 @@
+#include "tv/tv1d.hpp"
+
+#include "tv/functors1d.hpp"
+#include "tv/tv1d_impl.hpp"
+
+namespace tvs::tv {
+
+namespace {
+using V = simd::NativeVec<double, 4>;
+}
+
+void tv_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                      long steps, int stride) {
+  tv1d_run<V>(J1D3F<V>(c), u, steps, stride);
+}
+
+void tv_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
+                      long steps, int stride) {
+  tv1d_run<V>(J1D5F<V>(c), u, steps, stride);
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,23 @@
+// Public entry points for temporally vectorized 1D Jacobi stencils.
+//
+// `stride` is the space stride s between lanes (§3.2): legal when
+// s > radius (see stencil/dependence.hpp); larger strides increase the
+// ILP distance between dependent output vectors (§3.3).  The paper's
+// default for the 1D3P kernel is s = 7 (8 live input vectors).
+#pragma once
+
+#include "grid/grid1d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tv {
+
+inline constexpr int kDefaultStride1D3 = 7;
+inline constexpr int kDefaultStride1D5 = 7;
+
+// Advance u by `steps` time steps with the AVX2 (or best-available) backend.
+void tv_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                      long steps, int stride = kDefaultStride1D3);
+void tv_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
+                      long steps, int stride = kDefaultStride1D5);
+
+}  // namespace tvs::tv

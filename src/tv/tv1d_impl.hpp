@@ -1,0 +1,309 @@
+// Temporal vectorization, 1D Jacobi kernels — the paper's Algorithm 3
+// generalized to any stencil radius R and any legal space stride s.
+//
+// Vector layout (vl = 4 lanes; lane 0 is the lowest):
+//
+//   input  u(p) = [ lvl0 @ p+3s , lvl1 @ p+2s , lvl2 @ p+s , lvl3 @ p ]
+//   output w(p) = [ lvl1 @ p+3s , lvl2 @ p+2s , lvl3 @ p+s , lvl4 @ p ]
+//
+// where `lvl k` is the value after k of the tile's 4 time steps and p is the
+// vector's *top position*.  One vector stencil application advances all four
+// lanes one time step.  The top lane of w (lvl4 @ p) is finished and is
+// written back; the rest shift up one lane, a fresh lvl0 element enters at
+// lane 0, and the result is the input vector for position p+s, consumed s
+// iterations later (the ILP-distance knob of §3.3).
+//
+// One 4-step tile over the full line (interior x = 1..nx, Dirichlet cells
+// at x <= 0 and x >= nx+1) does:
+//
+//   prologue  (scalar)  lvl l over [1, (4-l)*s],  l = 1..3
+//   gather              ring vectors for top positions p = 1-R .. s
+//   steady    (vector)  x = 1 .. nx+1-4s, grouped top stores / bottom loads
+//   flush               dump surviving ring lanes into right-edge scratch
+//   epilogue  (scalar)  lvl l over [nx+2-(4-l)*s, nx], l = 1..3; lvl4 over
+//                       [nx+2-4s, nx] written to the array last
+//
+// The array is updated *in place*: the lvl4 write at x trails every lvl0
+// read (all at >= x+4s), which is how the paper halves the memory traffic
+// of Jacobi stencils (§3.5).  Intermediate levels live only in registers
+// except for the O(s) scratch at the two edges — the "84 scalar points per
+// tile for s=7" of the evaluation section.
+//
+// The stencil functor F supplies:
+//   static constexpr int radius;
+//   V      apply(const V* win)      — win[0..2R], west-most first
+//   double apply_scalar(const double* win)
+//
+// Everything here is templated on the vector type V so the identical
+// algorithm runs on the scalar backend in tests.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "grid/grid1d.hpp"
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::tv {
+
+inline constexpr int kMaxStride = 32;
+
+// Reusable scratch for one run (avoids per-tile allocation).
+struct Workspace1D {
+  std::vector<double> left;    // 3 levels, prologue values
+  std::vector<double> right;   // 3 levels, flush + epilogue values
+  std::vector<double> sbuf;    // scalar-fallback ping-pong line
+  int s = 0, nx = 0;
+
+  void prepare(int stride, int n, int radius) {
+    s = stride;
+    nx = n;
+    left.assign(static_cast<std::size_t>(3) * (3 * s + 2), 0.0);
+    right.assign(static_cast<std::size_t>(3) * (4 * s + radius + 4), 0.0);
+  }
+};
+
+namespace detail {
+
+// Plain scalar time steps (used for nx too small for the vector pipeline
+// and for the T % 4 residual).  Ping-pongs through ws.sbuf.
+template <class F>
+void scalar_steps(const F& f, double* a, int nx, int nsteps,
+                  Workspace1D& ws) {
+  constexpr int R = F::radius;
+  const std::size_t len = static_cast<std::size_t>(nx + 2 * R + 2);
+  if (ws.sbuf.size() < len) ws.sbuf.resize(len);
+  double* b = ws.sbuf.data() + R;  // b[-R..nx+1+R] valid
+  double win[2 * R + 1];
+  for (int t = 0; t < nsteps; ++t) {
+    for (int x = 1 - R; x <= 0; ++x) b[x] = a[x];
+    for (int x = nx + 1; x <= nx + R; ++x) b[x] = a[x];
+    for (int x = 1; x <= nx; ++x) {
+      for (int k = 0; k <= 2 * R; ++k) win[k] = a[x - R + k];
+      b[x] = f.apply_scalar(win);
+    }
+    for (int x = 1; x <= nx; ++x) a[x] = b[x];
+  }
+}
+
+}  // namespace detail
+
+namespace detail {
+
+// Compile-time-unrolled steady loop for the paper's 1D3P default (s = 7,
+// R = 1, ring of 8 input vectors): the ring lives in eight named registers
+// and every slot index is a constant, reproducing the paper's
+// 13-vector-register implementation (§3.4).  x must start at 1 (slot
+// arithmetic assumes x == 1 mod 8); returns the first unprocessed x.
+template <class V, class F>
+int steady_s7(const F& f, double* a, int x_end,
+              std::array<V, kMaxStride + 2>& ring) {
+  V r0 = ring[0], r1 = ring[1], r2 = ring[2], r3 = ring[3], r4 = ring[4],
+    r5 = ring[5], r6 = ring[6], r7 = ring[7];
+  int x = 1;
+  for (; x + 7 <= x_end; x += 8) {
+    // iterations j = 0..3: windows (r_j, r_j+1, r_j+2), produce into r_j
+    V bot = V::loadu(a + x + 28);
+    const V w0 = f.apply3(r0, r1, r2);
+    r0 = simd::shift_in_low_v(w0, bot);
+    bot = simd::rotate_down(bot);
+    const V w1 = f.apply3(r1, r2, r3);
+    r1 = simd::shift_in_low_v(w1, bot);
+    bot = simd::rotate_down(bot);
+    const V w2 = f.apply3(r2, r3, r4);
+    r2 = simd::shift_in_low_v(w2, bot);
+    bot = simd::rotate_down(bot);
+    const V w3 = f.apply3(r3, r4, r5);
+    r3 = simd::shift_in_low_v(w3, bot);
+    simd::collect_tops(w0, w1, w2, w3).storeu(a + x);
+    // iterations j = 4..7 (windows wrap into the freshly produced slots)
+    bot = V::loadu(a + x + 32);
+    const V w4 = f.apply3(r4, r5, r6);
+    r4 = simd::shift_in_low_v(w4, bot);
+    bot = simd::rotate_down(bot);
+    const V w5 = f.apply3(r5, r6, r7);
+    r5 = simd::shift_in_low_v(w5, bot);
+    bot = simd::rotate_down(bot);
+    const V w6 = f.apply3(r6, r7, r0);
+    r6 = simd::shift_in_low_v(w6, bot);
+    bot = simd::rotate_down(bot);
+    const V w7 = f.apply3(r7, r0, r1);
+    r7 = simd::shift_in_low_v(w7, bot);
+    simd::collect_tops(w4, w5, w6, w7).storeu(a + x + 4);
+  }
+  ring[0] = r0;
+  ring[1] = r1;
+  ring[2] = r2;
+  ring[3] = r3;
+  ring[4] = r4;
+  ring[5] = r5;
+  ring[6] = r6;
+  ring[7] = r7;
+  return x;
+}
+
+}  // namespace detail
+
+// One 4-step temporally vectorized tile; see the file comment.
+// Requires nx >= 4*s and s >= radius+1 (checked by the caller).
+template <class V, class F>
+void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
+  constexpr int R = F::radius;
+  const int M = s + R;  // live input vectors (paper: "s + r")
+  assert(s >= R + 1 && s <= kMaxStride && nx >= 4 * s);
+
+  double* l1 = ws.left.data();          // lvl1 @ [1, 3s]
+  double* l2 = l1 + (3 * s + 2);        // lvl2 @ [1, 2s]
+  double* l3 = l2 + (3 * s + 2);        // lvl3 @ [1, s]
+  const int rbase = nx - 4 * s - R;     // right scratch anchored at rbase
+  const int rlen = 4 * s + R + 4;
+  double* r1 = ws.right.data();         // lvl l @ [rbase+1, nx]
+  double* r2 = r1 + rlen;
+  double* r3 = r2 + rlen;
+
+  // Value of level l (1..3) at position x during the prologue: boundary
+  // cells keep their fixed value at every level.
+  const auto lv = [&](const double* lev, int x) -> double {
+    return x <= 0 ? a[x] : lev[x];
+  };
+
+  double win[2 * R + 1];
+
+  // ---- prologue: left trapezoid, scalar ---------------------------------
+  for (int x = 1; x <= 3 * s; ++x) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = a[x - R + k];
+    l1[x] = f.apply_scalar(win);
+  }
+  for (int x = 1; x <= 2 * s; ++x) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = lv(l1, x - R + k);
+    l2[x] = f.apply_scalar(win);
+  }
+  for (int x = 1; x <= s; ++x) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = lv(l2, x - R + k);
+    l3[x] = f.apply_scalar(win);
+  }
+
+  // ---- gather the initial ring ------------------------------------------
+  std::array<V, kMaxStride + 2> ring;
+  const auto slot = [M](int p) { return ((p % M) + M) % M; };
+  for (int p = 1 - R; p <= s; ++p) {
+    alignas(64) double lanes[4];
+    lanes[0] = a[p + 3 * s];
+    lanes[1] = lv(l1, p + 2 * s);
+    lanes[2] = lv(l2, p + s);
+    lanes[3] = lv(l3, p);
+    ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
+  }
+
+  // ---- steady vector loop -------------------------------------------------
+  const int x_end = nx + 1 - 4 * s;
+  int x = 1;
+  if constexpr (R == 1) {
+    if (s == 7) x = detail::steady_s7(f, a, x_end, ring);
+  }
+  int ib = slot(x - R);  // slot of the west-most window vector (pos x-R)
+  const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
+  V winv[2 * R + 1];
+  for (; x + 3 <= x_end; x += 4) {
+    V bot = V::loadu(a + x + 4 * s);
+    V w0, w1, w2, w3;
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w0 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w0, bot);
+      bot = simd::rotate_down(bot);
+      ib = inc(ib);
+    }
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w1 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w1, bot);
+      bot = simd::rotate_down(bot);
+      ib = inc(ib);
+    }
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w2 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w2, bot);
+      bot = simd::rotate_down(bot);
+      ib = inc(ib);
+    }
+    {
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      w3 = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(w3, bot);
+      ib = inc(ib);
+    }
+    simd::collect_tops(w0, w1, w2, w3).storeu(a + x);
+  }
+  for (; x <= x_end; ++x) {  // ungrouped tail
+    int iw = ib;
+    for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+    const V w = f.apply(winv);
+    ring[ib] = simd::shift_in_low(w, a[x + 4 * s]);
+    ib = inc(ib);
+    a[x] = simd::top_lane(w);
+  }
+
+  // ---- flush: dump surviving ring lanes into the right scratch -----------
+  const auto rput = [&](double* lev, int q, double v) {
+    if (q >= rbase + 1 && q <= nx) lev[q - rbase] = v;
+  };
+  for (int p = x_end + 1 - R; p <= x_end + s; ++p) {
+    const V& u = ring[static_cast<std::size_t>(slot(p))];
+    rput(r1, p + 2 * s, u[1]);
+    rput(r2, p + s, u[2]);
+    rput(r3, p, u[3]);
+  }
+
+  // Level l (1..3) at position x during the epilogue.
+  const auto rv = [&](const double* lev, int x) -> double {
+    return x > nx ? a[x] : lev[x - rbase];
+  };
+
+  // ---- epilogue: right trapezoid, scalar (level order matters: lvl4
+  // writes to `a` would destroy the lvl0 values lvl1 still reads) ----------
+  for (int xx = nx + 2 - s; xx <= nx; ++xx) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = a[xx - R + k];
+    r1[xx - rbase] = f.apply_scalar(win);
+  }
+  for (int xx = nx + 2 - 2 * s; xx <= nx; ++xx) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = rv(r1, xx - R + k);
+    r2[xx - rbase] = f.apply_scalar(win);
+  }
+  for (int xx = nx + 2 - 3 * s; xx <= nx; ++xx) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = rv(r2, xx - R + k);
+    r3[xx - rbase] = f.apply_scalar(win);
+  }
+  for (int xx = nx + 2 - 4 * s; xx <= nx; ++xx) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = rv(r3, xx - R + k);
+    a[xx] = f.apply_scalar(win);
+  }
+}
+
+// Advance `u` by `steps` time steps: floor(steps/4) vector tiles plus a
+// scalar residual.  Falls back to scalar whenever the line is too short for
+// the pipeline (nx < 4s).
+template <class V, class F>
+void tv1d_run(const F& f, grid::Grid1D<double>& u, long steps, int s) {
+  constexpr int R = F::radius;
+  assert(s >= R + 1);
+  Workspace1D ws;
+  ws.prepare(s, u.nx(), R);
+  double* a = u.p();
+  const int nx = u.nx();
+  long t = 0;
+  if (nx >= 4 * s) {
+    for (; t + 4 <= steps; t += 4) tv1d_tile<V>(f, a, nx, s, ws);
+  }
+  if (t < steps)
+    detail::scalar_steps(f, a, nx, static_cast<int>(steps - t), ws);
+}
+
+}  // namespace tvs::tv

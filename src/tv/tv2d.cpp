@@ -1,0 +1,24 @@
+#include "tv/tv2d.hpp"
+
+#include "tv/functors2d.hpp"
+#include "tv/tv2d_impl.hpp"
+
+namespace tvs::tv {
+
+namespace {
+using V = simd::NativeVec<double, 4>;
+}
+
+void tv_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                      long steps, int stride) {
+  Workspace2D<V, double> ws;
+  tv2d_run(J2D5F<V>(c), u, steps, stride, ws);
+}
+
+void tv_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                      long steps, int stride) {
+  Workspace2D<V, double> ws;
+  tv2d_run(J2D9F<V>(c), u, steps, stride, ws);
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,17 @@
+// Public entry points for temporally vectorized 2D Jacobi stencils.
+// The paper's default stride for 2D kernels is s = 2 (§3.4).
+#pragma once
+
+#include "grid/grid2d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tv {
+
+inline constexpr int kDefaultStride2D = 2;
+
+void tv_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                      long steps, int stride = kDefaultStride2D);
+void tv_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                      long steps, int stride = kDefaultStride2D);
+
+}  // namespace tvs::tv

@@ -1,0 +1,238 @@
+// Temporal vectorization for 2D stencils (§3.2 "High-dimensional stencils").
+//
+// The stride-s lanes live on the *outermost* space dimension x (rows); the
+// inner y loop runs over whole rows.  Unlike the 1D kernel, the reorganized
+// input vectors cannot stay in registers — each x iteration produces a full
+// row of them, consumed s iterations later — so they are stored in a ring
+// of s+2 rows of vectors (vl = V::lanes, 4 for doubles, 8 for int32):
+//
+//   ring(p)[y] = [ lvl0 @ (p+(vl-1)s, y) , ... , lvl(vl-1) @ (p, y) ]
+//
+// This ring is the paper's "transposed data layout" made explicit: one
+// aligned vector store per produced input vector, one aligned load per
+// consumed one (§3.3).  Everything else mirrors the 1D kernel: a scalar
+// prologue forwards rows [1, (vl-l)s] to level l, the steady loop advances
+// whole rows vl time steps with grouped top stores / bottom loads along y,
+// the ring is flushed into right-edge scratch planes, and a scalar epilogue
+// finishes rows [nx+2-l*s, nx] per level.  The main array is updated in
+// place (the top-row write at x trails every bottom read at x+vl*s).
+//
+// The stencil functor F supplies (V = vector type, T = element type):
+//   static constexpr int radius = 1;
+//   V apply(const V* rm1, const V* r0, const V* rp1, int y)
+//       — rm1/r0/rp1 are ring rows for x-1, x, x+1, indexable at y-1..y+1;
+//   T apply_scalar(At&& at, int r, int y)
+//       — `at(r, y)` reads the previous level with boundary fallback.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "grid/aligned.hpp"
+#include "grid/grid2d.hpp"
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::tv {
+
+// Scratch for one 2D run: ring rows, edge planes, and a residual-step grid.
+template <class V, class T>
+struct Workspace2D {
+  static constexpr int VL = V::lanes;
+
+  grid::AlignedBuffer<V> ring;   // (s+2) rows x rstride vectors
+  grid::AlignedBuffer<T> lscr;   // (VL-1) levels x lrows x rstride
+  grid::AlignedBuffer<T> rscr;   // (VL-1) levels x rrows x rstride
+  grid::Grid2D<T> tmp;           // residual / fallback ping-pong partner
+  int s = 0, ny = 0, nx = 0;
+  std::ptrdiff_t rstride = 0;
+  int lrows = 0, rrows = 0, rbase = 0;
+
+  void prepare(int stride, int nx_, int ny_) {
+    s = stride;
+    nx = nx_;
+    ny = ny_;
+    rstride = ((ny + 4 + 15) / 16) * 16;
+    lrows = (VL - 1) * s + 1;
+    rrows = VL * s + 4;
+    rbase = nx - VL * s - 1;  // right planes cover rows [rbase+1, nx]
+    ring = grid::AlignedBuffer<V>(
+        static_cast<std::size_t>(s + 2) * static_cast<std::size_t>(rstride));
+    lscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * lrows *
+                                  static_cast<std::size_t>(rstride));
+    rscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * rrows *
+                                  static_cast<std::size_t>(rstride));
+    if (tmp.nx() != nx || tmp.ny() != ny) tmp = grid::Grid2D<T>(nx, ny);
+  }
+
+  // Ring row for position p (valid y in [-1, rstride-2]; offset +1).
+  V* ring_row(int p) {
+    const int M = s + 2;
+    const int slot = ((p % M) + M) % M;
+    return ring.data() +
+           static_cast<std::size_t>(slot) * static_cast<std::size_t>(rstride) +
+           1;
+  }
+  // Left scratch plane value, level in 1..VL-1, row in [1, (VL-level)*s].
+  T& lv(int level, int r, int y) {
+    return lscr[(static_cast<std::size_t>(level - 1) * lrows + r) *
+                    static_cast<std::size_t>(rstride) +
+                static_cast<std::size_t>(y + 1)];
+  }
+  // Right scratch plane value, level in 1..VL-1, row in [rbase+1, nx].
+  T& rv(int level, int r, int y) {
+    return rscr[(static_cast<std::size_t>(level - 1) * rrows + (r - rbase)) *
+                    static_cast<std::size_t>(rstride) +
+                static_cast<std::size_t>(y + 1)];
+  }
+};
+
+namespace detail2d {
+
+// Plain scalar steps for grids too small for the pipeline and for the
+// T % vl residual.
+template <class F, class T>
+void scalar_steps(const F& f, grid::Grid2D<T>& g, grid::Grid2D<T>& tmp,
+                  int nsteps) {
+  const int nx = g.nx(), ny = g.ny();
+  for (int t = 0; t < nsteps; ++t) {
+    const auto at = [&](int r, int y) -> T { return g.at(r, y); };
+    for (int r = 1; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y) tmp.at(r, y) = f.apply_scalar(at, r, y);
+    for (int r = 1; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y) g.at(r, y) = tmp.at(r, y);
+  }
+}
+
+}  // namespace detail2d
+
+// One vl-step temporally vectorized tile over the full grid, in place.
+// Requires nx >= vl*s and s >= 2 (radius-1 stencils).
+template <class V, class F, class T>
+void tv2d_tile(const F& f, grid::Grid2D<T>& g, int s, Workspace2D<V, T>& ws) {
+  static_assert(F::radius == 1, "2D engine covers radius-1 stencils");
+  constexpr int VL = V::lanes;
+  const int nx = g.nx(), ny = g.ny();
+  assert(nx >= VL * s && s >= 2);
+  const int rbase = ws.rbase;
+
+  // Accessor for level `lev` (0 = the array) with boundary fallback.
+  const auto left_at = [&](int lev) {
+    return [&, lev](int r, int y) -> T {
+      if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny) return g.at(r, y);
+      return ws.lv(lev, r, y);
+    };
+  };
+
+  // ---- prologue: left trapezoid of rows, scalar ----------------------------
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    const auto at = left_at(lev - 1);
+    for (int r = 1; r <= (VL - lev) * s; ++r)
+      for (int y = 1; y <= ny; ++y) ws.lv(lev, r, y) = f.apply_scalar(at, r, y);
+  }
+
+  // ---- gather ring rows p = 0 .. s ------------------------------------------
+  const auto lv_any = [&](int lev, int r, int y) -> T {
+    if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny) return g.at(r, y);
+    return ws.lv(lev, r, y);
+  };
+  for (int p = 0; p <= s; ++p) {
+    V* row = ws.ring_row(p);
+    alignas(64) T lanes[VL];
+    for (int y = 0; y <= ny + 1; ++y) {
+      for (int k = 0; k < VL; ++k)
+        lanes[k] = lv_any(k, p + (VL - 1 - k) * s, y);
+      row[y] = V::load(lanes);
+    }
+  }
+
+  // ---- steady loop ------------------------------------------------------------
+  const int x_end = nx + 1 - VL * s;
+  for (int x = 1; x <= x_end; ++x) {
+    const V* rm1 = ws.ring_row(x - 1);
+    const V* r0 = ws.ring_row(x);
+    const V* rp1 = ws.ring_row(x + 1);
+    V* rout = ws.ring_row(x + s);
+    T* trow = g.row(x);
+    const T* brow = g.row(x + VL * s);
+
+    // Boundary columns of the produced row: constant at every level.
+    {
+      alignas(64) T lanes[VL];
+      const int p = x + s;
+      for (const int y : {0, ny + 1}) {
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = g.at(std::min(p + (VL - 1 - k) * s, nx + 1), y);
+        rout[y] = V::load(lanes);
+      }
+    }
+
+    int y = 1;
+    V wbuf[VL];
+    for (; y + VL - 1 <= ny; y += VL) {
+      V bot = V::loadu(brow + y);
+      for (int j = 0; j < VL - 1; ++j) {
+        wbuf[j] = f.apply(rm1, r0, rp1, y + j);
+        rout[y + j] = simd::shift_in_low_v(wbuf[j], bot);
+        bot = simd::rotate_down(bot);
+      }
+      wbuf[VL - 1] = f.apply(rm1, r0, rp1, y + VL - 1);
+      rout[y + VL - 1] = simd::shift_in_low_v(wbuf[VL - 1], bot);
+      simd::collect_tops_arr(wbuf).storeu(trow + y);
+    }
+    for (; y <= ny; ++y) {
+      const V w = f.apply(rm1, r0, rp1, y);
+      rout[y] = simd::shift_in_low(w, brow[y]);
+      trow[y] = simd::top_lane(w);
+    }
+  }
+
+  // ---- flush ring rows into the right scratch planes ------------------------
+  const auto rput = [&](int lev, int r, int y, T v) {
+    if (r >= rbase + 1 && r <= nx) ws.rv(lev, r, y) = v;
+  };
+  for (int p = x_end; p <= x_end + s; ++p) {
+    const V* row = ws.ring_row(p);
+    for (int y = 1; y <= ny; ++y) {
+      const V u = row[y];
+      for (int k = 1; k <= VL - 1; ++k) rput(k, p + (VL - 1 - k) * s, y, u[k]);
+    }
+  }
+
+  const auto right_at = [&](int lev) {
+    return [&, lev](int r, int y) -> T {
+      if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny) return g.at(r, y);
+      return ws.rv(lev, r, y);
+    };
+  };
+
+  // ---- epilogue: right trapezoid of rows, scalar (levels ascending; the
+  // final level writes to the array last so level 1 can still read lvl0) ----
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    const auto at = right_at(lev - 1);
+    for (int r = nx + 2 - lev * s; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y) ws.rv(lev, r, y) = f.apply_scalar(at, r, y);
+  }
+  {
+    const auto at = right_at(VL - 1);
+    for (int r = nx + 2 - VL * s; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y) g.at(r, y) = f.apply_scalar(at, r, y);
+  }
+}
+
+// Advance g by `steps` time steps (vl per tile + scalar residual).
+template <class V, class F, class T>
+void tv2d_run(const F& f, grid::Grid2D<T>& g, long steps, int s,
+              Workspace2D<V, T>& ws) {
+  constexpr int VL = V::lanes;
+  ws.prepare(s, g.nx(), g.ny());
+  long t = 0;
+  if (g.nx() >= VL * s) {
+    for (; t + VL <= steps; t += VL) tv2d_tile(f, g, s, ws);
+  }
+  if (t < steps)
+    detail2d::scalar_steps(f, g, ws.tmp, static_cast<int>(steps - t));
+}
+
+}  // namespace tvs::tv

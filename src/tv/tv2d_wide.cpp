@@ -1,0 +1,34 @@
+// Eight-lane (AVX-512 when available) variants of the 2D/3D Jacobi engines:
+// one temporal tile advances eight time steps.  The paper's future-work
+// direction; compare against the vl = 4 kernels with bench/ablation_vl.
+#include "tv/functors2d.hpp"
+#include "tv/functors3d.hpp"
+#include "tv/tv2d_impl.hpp"
+#include "tv/tv3d_impl.hpp"
+#include "tv/tv2d_wide.hpp"
+
+namespace tvs::tv {
+
+namespace {
+using V8 = simd::NativeVec<double, 8>;  // VecD8 or the scalar fallback
+}
+
+void tv_jacobi2d5_run_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                          long steps, int stride) {
+  Workspace2D<V8, double> ws;
+  tv2d_run(J2D5F<V8>(c), u, steps, stride, ws);
+}
+
+void tv_jacobi2d9_run_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                          long steps, int stride) {
+  Workspace2D<V8, double> ws;
+  tv2d_run(J2D9F<V8>(c), u, steps, stride, ws);
+}
+
+void tv_jacobi3d7_run_vl8(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                          long steps, int stride) {
+  Workspace3D<V8, double> ws;
+  tv3d_run(J3D7F<V8>(c), u, steps, stride, ws);
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,15 @@
+#include "tv/tv3d.hpp"
+
+#include "tv/functors3d.hpp"
+#include "tv/tv3d_impl.hpp"
+
+namespace tvs::tv {
+
+void tv_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                      long steps, int stride) {
+  using V = simd::NativeVec<double, 4>;
+  Workspace3D<V, double> ws;
+  tv3d_run(J3D7F<V>(c), u, steps, stride, ws);
+}
+
+}  // namespace tvs::tv

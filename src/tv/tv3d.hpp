@@ -1,0 +1,13 @@
+// Public entry point for the temporally vectorized 3D7P Jacobi stencil
+// (paper default stride s = 2).
+#pragma once
+
+#include "grid/grid3d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tv {
+
+void tv_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                      long steps, int stride = 2);
+
+}  // namespace tvs::tv

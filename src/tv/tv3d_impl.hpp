@@ -1,0 +1,246 @@
+// Temporal vectorization for 3D stencils: the stride-s lanes live on the
+// outermost x dimension, the inner (y, z) loops sweep whole planes.  The
+// ring holds s+2 *slabs* of input vectors:
+//
+//   ring(p)[y][z] = [ lvl0 @ (p+3s, y, z) , ... , lvl3 @ (p, y, z) ]
+//
+// Structure is the 2D engine's with rows generalized to planes; grouped
+// top stores / bottom loads run along the unit-stride z dimension.  The
+// main array is updated in place (top plane x trails bottom reads x+4s).
+//
+// The functor F supplies:
+//   static constexpr int radius = 1;
+//   V apply(const V* bm1, const V* b0c, const V* b0m, const V* b0p,
+//           const V* bp1, int z)
+//     — slab lines for (x-1, y), (x, y), (x, y-1), (x, y+1), (x+1, y),
+//       indexable at z-1 .. z+1;
+//   T apply_scalar(At&& at, int r, int y, int z) with at(r, y, z).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "grid/aligned.hpp"
+#include "grid/grid3d.hpp"
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+
+namespace tvs::tv {
+
+template <class V, class T>
+struct Workspace3D {
+  static constexpr int VL = V::lanes;
+
+  grid::AlignedBuffer<V> ring;  // (s+2) slabs x (ny+2) x zstride vectors
+  grid::AlignedBuffer<T> lscr;  // (VL-1) levels x lrows x plane
+  grid::AlignedBuffer<T> rscr;
+  grid::Grid3D<T> tmp;
+  int s = 0, nx = 0, ny = 0, nz = 0;
+  std::ptrdiff_t zstride = 0, ystride = 0;
+  int lrows = 0, rrows = 0, rbase = 0;
+
+  void prepare(int stride, int nx_, int ny_, int nz_) {
+    s = stride;
+    nx = nx_;
+    ny = ny_;
+    nz = nz_;
+    zstride = ((nz + 4 + 15) / 16) * 16;
+    ystride = static_cast<std::ptrdiff_t>(ny + 2) * zstride;
+    lrows = (VL - 1) * s + 1;
+    rrows = VL * s + 4;
+    rbase = nx - VL * s - 1;
+    ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 2) *
+                                  static_cast<std::size_t>(ystride));
+    lscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * lrows *
+                                  static_cast<std::size_t>(ystride));
+    rscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * rrows *
+                                  static_cast<std::size_t>(ystride));
+    if (tmp.nx() != nx || tmp.ny() != ny || tmp.nz() != nz)
+      tmp = grid::Grid3D<T>(nx, ny, nz);
+  }
+
+  // Line (x-slab p, row y), indexable z in [-1, zstride-2].
+  V* ring_line(int p, int y) {
+    const int M = s + 2;
+    const int slot = ((p % M) + M) % M;
+    return ring.data() +
+           static_cast<std::size_t>(slot) * static_cast<std::size_t>(ystride) +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;
+  }
+  T& lv(int level, int r, int y, int z) {
+    return lscr[(static_cast<std::size_t>(level - 1) * lrows + r) *
+                    static_cast<std::size_t>(ystride) +
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) +
+                static_cast<std::size_t>(z + 1)];
+  }
+  T& rv(int level, int r, int y, int z) {
+    return rscr[(static_cast<std::size_t>(level - 1) * rrows + (r - rbase)) *
+                    static_cast<std::size_t>(ystride) +
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) +
+                static_cast<std::size_t>(z + 1)];
+  }
+};
+
+namespace detail3d {
+
+template <class F, class T>
+void scalar_steps(const F& f, grid::Grid3D<T>& g, grid::Grid3D<T>& tmp,
+                  int nsteps) {
+  const int nx = g.nx(), ny = g.ny(), nz = g.nz();
+  for (int t = 0; t < nsteps; ++t) {
+    const auto at = [&](int r, int y, int z) -> T { return g.at(r, y, z); };
+    for (int r = 1; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y)
+        for (int z = 1; z <= nz; ++z)
+          tmp.at(r, y, z) = f.apply_scalar(at, r, y, z);
+    for (int r = 1; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y)
+        for (int z = 1; z <= nz; ++z) g.at(r, y, z) = tmp.at(r, y, z);
+  }
+}
+
+}  // namespace detail3d
+
+// One vl-step tile over the full grid, in place.  nx >= vl*s, s >= 2.
+template <class V, class F, class T>
+void tv3d_tile(const F& f, grid::Grid3D<T>& g, int s, Workspace3D<V, T>& ws) {
+  static_assert(F::radius == 1);
+  constexpr int VL = V::lanes;
+  const int nx = g.nx(), ny = g.ny(), nz = g.nz();
+  assert(nx >= VL * s && s >= 2);
+  const int rbase = ws.rbase;
+
+  const auto lv_any = [&](int lev, int r, int y, int z) -> T {
+    if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny || z < 1 || z > nz)
+      return g.at(r, y, z);
+    return ws.lv(lev, r, y, z);
+  };
+
+  // ---- prologue --------------------------------------------------------------
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    const auto at = [&, lev](int r, int y, int z) {
+      return lv_any(lev - 1, r, y, z);
+    };
+    for (int r = 1; r <= (VL - lev) * s; ++r)
+      for (int y = 1; y <= ny; ++y)
+        for (int z = 1; z <= nz; ++z)
+          ws.lv(lev, r, y, z) = f.apply_scalar(at, r, y, z);
+  }
+
+  // ---- gather slabs p = 0 .. s -------------------------------------------------
+  for (int p = 0; p <= s; ++p) {
+    alignas(64) T lanes[VL];
+    for (int y = 0; y <= ny + 1; ++y) {
+      V* line = ws.ring_line(p, y);
+      for (int z = 0; z <= nz + 1; ++z) {
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = lv_any(k, p + (VL - 1 - k) * s, y, z);
+        line[z] = V::load(lanes);
+      }
+    }
+  }
+
+  // ---- steady loop ---------------------------------------------------------------
+  const int x_end = nx + 1 - VL * s;
+  for (int x = 1; x <= x_end; ++x) {
+    // Boundary rows/columns of the produced slab: constant at every level.
+    {
+      alignas(64) T lanes[VL];
+      const int p = x + s;
+      const auto fill = [&](int y, int z) {
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = g.at(std::min(p + (VL - 1 - k) * s, nx + 1), y, z);
+        ws.ring_line(p, y)[z] = V::load(lanes);
+      };
+      for (int z = 0; z <= nz + 1; ++z) {
+        fill(0, z);
+        fill(ny + 1, z);
+      }
+      for (int y = 1; y <= ny; ++y) {
+        fill(y, 0);
+        fill(y, nz + 1);
+      }
+    }
+    for (int y = 1; y <= ny; ++y) {
+      const V* bm1 = ws.ring_line(x - 1, y);
+      const V* b0c = ws.ring_line(x, y);
+      const V* b0m = ws.ring_line(x, y - 1);
+      const V* b0p = ws.ring_line(x, y + 1);
+      const V* bp1 = ws.ring_line(x + 1, y);
+      V* lout = ws.ring_line(x + s, y);
+      T* tline = g.line(x, y);
+      const T* bline = g.line(x + VL * s, y);
+
+      int z = 1;
+      V wbuf[VL];
+      for (; z + VL - 1 <= nz; z += VL) {
+        V bot = V::loadu(bline + z);
+        for (int j = 0; j < VL - 1; ++j) {
+          wbuf[j] = f.apply(bm1, b0c, b0m, b0p, bp1, z + j);
+          lout[z + j] = simd::shift_in_low_v(wbuf[j], bot);
+          bot = simd::rotate_down(bot);
+        }
+        wbuf[VL - 1] = f.apply(bm1, b0c, b0m, b0p, bp1, z + VL - 1);
+        lout[z + VL - 1] = simd::shift_in_low_v(wbuf[VL - 1], bot);
+        simd::collect_tops_arr(wbuf).storeu(tline + z);
+      }
+      for (; z <= nz; ++z) {
+        const V w = f.apply(bm1, b0c, b0m, b0p, bp1, z);
+        lout[z] = simd::shift_in_low(w, bline[z]);
+        tline[z] = simd::top_lane(w);
+      }
+    }
+  }
+
+  // ---- flush -------------------------------------------------------------------
+  const auto rput = [&](int lev, int r, int y, int z, T v) {
+    if (r >= rbase + 1 && r <= nx) ws.rv(lev, r, y, z) = v;
+  };
+  for (int p = x_end; p <= x_end + s; ++p)
+    for (int y = 1; y <= ny; ++y) {
+      const V* line = ws.ring_line(p, y);
+      for (int z = 1; z <= nz; ++z) {
+        const V u = line[z];
+        for (int k = 1; k <= VL - 1; ++k)
+          rput(k, p + (VL - 1 - k) * s, y, z, u[k]);
+      }
+    }
+
+  const auto rv_any = [&](int lev, int r, int y, int z) -> T {
+    if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny || z < 1 || z > nz)
+      return g.at(r, y, z);
+    return ws.rv(lev, r, y, z);
+  };
+
+  // ---- epilogue ------------------------------------------------------------------
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    const auto at = [&, lev](int r, int y, int z) {
+      return rv_any(lev - 1, r, y, z);
+    };
+    for (int r = nx + 2 - lev * s; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y)
+        for (int z = 1; z <= nz; ++z)
+          ws.rv(lev, r, y, z) = f.apply_scalar(at, r, y, z);
+  }
+  {
+    const auto at = [&](int r, int y, int z) { return rv_any(VL - 1, r, y, z); };
+    for (int r = nx + 2 - VL * s; r <= nx; ++r)
+      for (int y = 1; y <= ny; ++y)
+        for (int z = 1; z <= nz; ++z) g.at(r, y, z) = f.apply_scalar(at, r, y, z);
+  }
+}
+
+template <class V, class F, class T>
+void tv3d_run(const F& f, grid::Grid3D<T>& g, long steps, int s,
+              Workspace3D<V, T>& ws) {
+  constexpr int VL = V::lanes;
+  ws.prepare(s, g.nx(), g.ny(), g.nz());
+  long t = 0;
+  if (g.nx() >= VL * s) {
+    for (; t + VL <= steps; t += VL) tv3d_tile(f, g, s, ws);
+  }
+  if (t < steps)
+    detail3d::scalar_steps(f, g, ws.tmp, static_cast<int>(steps - t));
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,12 @@
+#include "tv/tv_gs1d.hpp"
+
+#include "tv/tv_gs1d_impl.hpp"
+
+namespace tvs::tv {
+
+void tv_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
+                  int stride) {
+  tv_gs1d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,16 @@
+// Public entry point for the temporally vectorized 1D3P Gauss-Seidel
+// stencil — the first SIMD execution of Gauss-Seidel sweeps (§3.4).
+// Legal strides: s >= 2.
+#pragma once
+
+#include "grid/grid1d.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::tv {
+
+inline constexpr int kDefaultStrideGS1D = 3;
+
+void tv_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
+                  int stride = kDefaultStrideGS1D);
+
+}  // namespace tvs::tv

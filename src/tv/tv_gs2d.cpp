@@ -1,0 +1,12 @@
+#include "tv/tv_gs2d.hpp"
+
+#include "tv/tv_gs2d_impl.hpp"
+
+namespace tvs::tv {
+
+void tv_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
+                  int stride) {
+  tv_gs2d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,263 @@
+// Temporal vectorization of the 2D5P Gauss-Seidel stencil (§3.4).
+//
+// Update (ascending x, then y):
+//   a[x][y] <- cc*a[x][y] + cw*a[x][y-1](new) + ce*a[x][y+1]
+//            + cs*a[x-1][y](new) + cn*a[x+1][y]
+//
+// On top of the Jacobi 2D ring (see tv2d_impl.hpp) the two newest-value
+// operands are forwarded from output vectors, exactly as in the 1D
+// Gauss-Seidel kernel:
+//   * newest west  (x, y-1): the previous y iteration's output register;
+//   * newest south (x-1, y): the previous x iteration's output at the same
+//     column — buffered in one extra row of vectors, `wrow`, which is read
+//     and then overwritten in place as the y loop advances.
+// The ring needs only rows x .. x+s (window is {x, x+1}): s+1 slots.
+// Everything runs in place on the single Gauss-Seidel array.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "grid/aligned.hpp"
+#include "grid/grid2d.hpp"
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::tv {
+
+template <class V>
+struct WorkspaceGs2D {
+  grid::AlignedBuffer<V> ring;  // (s+1) rows x rstride vectors
+  grid::AlignedBuffer<V> wrow;  // 1 row: previous x outputs per column
+  grid::AlignedBuffer<double> lscr, rscr;
+  int s = 0, nx = 0, ny = 0;
+  std::ptrdiff_t rstride = 0;
+  int lrows = 0, rrows = 0, rbase = 0;
+
+  void prepare(int stride, int nx_, int ny_) {
+    s = stride;
+    nx = nx_;
+    ny = ny_;
+    rstride = ((ny + 4 + 15) / 16) * 16;
+    lrows = 3 * s + 1;
+    rrows = 4 * s + 4;
+    rbase = nx - 4 * s - 1;
+    ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
+                                  static_cast<std::size_t>(rstride));
+    wrow = grid::AlignedBuffer<V>(static_cast<std::size_t>(rstride));
+    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * lrows *
+                                       static_cast<std::size_t>(rstride));
+    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * rrows *
+                                       static_cast<std::size_t>(rstride));
+  }
+  V* ring_row(int p) {
+    const int M = s + 1;
+    const int slot = ((p % M) + M) % M;
+    return ring.data() +
+           static_cast<std::size_t>(slot) * static_cast<std::size_t>(rstride) +
+           1;
+  }
+  double& lv(int level, int r, int y) {
+    return lscr[(static_cast<std::size_t>(level - 1) * lrows + r) *
+                    static_cast<std::size_t>(rstride) +
+                static_cast<std::size_t>(y + 1)];
+  }
+  double& rv(int level, int r, int y) {
+    return rscr[(static_cast<std::size_t>(level - 1) * rrows + (r - rbase)) *
+                    static_cast<std::size_t>(rstride) +
+                static_cast<std::size_t>(y + 1)];
+  }
+};
+
+namespace detailgs2d {
+
+// One scalar Gauss-Seidel row at level `lev`: new values chained in y and
+// written through `put`; previous-level (old) values via `old_at`; the
+// newest south row via `new_south`.
+template <class OldAt, class NewSouth, class Put>
+inline void gs_row(const stencil::C2D5& c, double west0, int r, int ny,
+                   OldAt&& old_at, NewSouth&& new_south, Put&& put) {
+  double west = west0;
+  for (int y = 1; y <= ny; ++y) {
+    const double v =
+        stencil::gs2d5(c.c, c.w, c.e, c.s, c.n, old_at(r, y), west,
+                       old_at(r, y + 1), new_south(y), old_at(r + 1, y));
+    put(y, v);
+    west = v;
+  }
+}
+
+}  // namespace detailgs2d
+
+// One 4-sweep tile over the whole grid, in place.  nx >= 4s, s >= 2.
+template <class V>
+void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
+                  WorkspaceGs2D<V>& ws) {
+  const int nx = g.nx(), ny = g.ny();
+  assert(nx >= 4 * s && s >= 2);
+  const int rbase = ws.rbase;
+
+  const auto lv_any = [&](int lev, int r, int y) -> double {
+    if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny) return g.at(r, y);
+    return ws.lv(lev, r, y);
+  };
+
+  // ---- prologue: levels 1..3 over rows [1, (4-lev)s] -----------------------
+  for (int lev = 1; lev <= 3; ++lev) {
+    for (int r = 1; r <= (4 - lev) * s; ++r) {
+      detailgs2d::gs_row(
+          c, lv_any(lev, r, 0), r, ny,
+          [&](int rr, int yy) { return lv_any(lev - 1, rr, yy); },
+          [&](int yy) { return lv_any(lev, r - 1, yy); },
+          [&](int yy, double v) { ws.lv(lev, r, yy) = v; });
+    }
+  }
+
+  // ---- gather: ring rows p = 1 .. s and the initial wrow --------------------
+  for (int p = 1; p <= s; ++p) {
+    V* row = ws.ring_row(p);
+    alignas(64) double lanes[4];
+    for (int y = 0; y <= ny + 1; ++y) {
+      lanes[0] = lv_any(0, p + 3 * s, y);
+      lanes[1] = lv_any(1, p + 2 * s, y);
+      lanes[2] = lv_any(2, p + s, y);
+      lanes[3] = lv_any(3, p, y);
+      row[y] = V::load(lanes);
+    }
+  }
+  {
+    V* wr = ws.wrow.data() + 1;
+    alignas(64) double lanes[4];
+    for (int y = 0; y <= ny + 1; ++y) {
+      lanes[0] = lv_any(1, 3 * s, y);
+      lanes[1] = lv_any(2, 2 * s, y);
+      lanes[2] = lv_any(3, s, y);
+      lanes[3] = g.at(0, y);  // lvl4 @ row 0 = boundary
+      wr[y] = V::load(lanes);
+    }
+  }
+
+  const V cc = V::set1(c.c), cw = V::set1(c.w), ce = V::set1(c.e),
+          cs = V::set1(c.s), cn = V::set1(c.n);
+
+  // ---- steady loop -----------------------------------------------------------
+  const int x_end = nx + 1 - 4 * s;
+  V* wr = ws.wrow.data() + 1;
+  for (int x = 1; x <= x_end; ++x) {
+    const V* r0 = ws.ring_row(x);
+    const V* rp1 = ws.ring_row(x + 1);
+    V* rout = ws.ring_row(x + s);
+    double* trow = g.row(x);
+    const double* brow = g.row(x + 4 * s);
+
+    // Boundary columns of the produced input-vector row.
+    {
+      alignas(64) double lanes[4];
+      const int p = x + s;
+      for (const int y : {0, ny + 1}) {
+        lanes[0] = g.at(std::min(p + 3 * s, nx + 1), y);
+        lanes[1] = g.at(p + 2 * s, y);
+        lanes[2] = g.at(p + s, y);
+        lanes[3] = g.at(p, y);
+        rout[y] = V::load(lanes);
+      }
+    }
+    // Newest-west at y = 0: the boundary column at each lane's row.
+    V wprev;
+    {
+      alignas(64) double lanes[4];
+      lanes[0] = g.at(x + 3 * s, 0);
+      lanes[1] = g.at(x + 2 * s, 0);
+      lanes[2] = g.at(x + s, 0);
+      lanes[3] = g.at(x, 0);
+      wprev = V::load(lanes);
+    }
+
+    int y = 1;
+    V wbuf[4];
+    for (; y + 3 <= ny; y += 4) {
+      V bot = V::loadu(brow + y);
+      for (int j = 0; j < 4; ++j) {
+        const int yy = y + j;
+        const V w = stencil::gs2d5(cc, cw, ce, cs, cn, r0[yy], wprev,
+                                   r0[yy + 1], wr[yy], rp1[yy]);
+        wbuf[j] = w;
+        wr[yy] = w;  // becomes the newest-south for iteration x+1
+        rout[yy] = simd::shift_in_low_v(w, bot);
+        if (j != 3) bot = simd::rotate_down(bot);
+        wprev = w;
+      }
+      simd::collect_tops_arr(wbuf).storeu(trow + y);
+    }
+    for (; y <= ny; ++y) {
+      const V w = stencil::gs2d5(cc, cw, ce, cs, cn, r0[y], wprev, r0[y + 1],
+                                 wr[y], rp1[y]);
+      wr[y] = w;
+      rout[y] = simd::shift_in_low(w, brow[y]);
+      trow[y] = simd::top_lane(w);
+      wprev = w;
+    }
+  }
+
+  // ---- flush ring rows -------------------------------------------------------
+  const auto rput = [&](int lev, int r, int y, double v) {
+    if (r >= rbase + 1 && r <= nx) ws.rv(lev, r, y) = v;
+  };
+  for (int p = x_end + 1; p <= x_end + s; ++p) {
+    const V* row = ws.ring_row(p);
+    for (int y = 1; y <= ny; ++y) {
+      const V u = row[y];
+      rput(1, p + 2 * s, y, u[1]);
+      rput(2, p + s, y, u[2]);
+      rput(3, p, y, u[3]);
+    }
+  }
+
+  const auto rv_any = [&](int lev, int r, int y) -> double {
+    if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny) return g.at(r, y);
+    return ws.rv(lev, r, y);
+  };
+
+  // ---- epilogue: levels ascending, lvl4 into the array last ------------------
+  for (int lev = 1; lev <= 3; ++lev) {
+    for (int r = nx + 2 - lev * s; r <= nx; ++r) {
+      detailgs2d::gs_row(
+          c, rv_any(lev, r, 0), r, ny,
+          [&](int rr, int yy) { return rv_any(lev - 1, rr, yy); },
+          [&](int yy) { return rv_any(lev, r - 1, yy); },
+          [&](int yy, double v) { ws.rv(lev, r, yy) = v; });
+    }
+  }
+  for (int r = nx + 2 - 4 * s; r <= nx; ++r) {
+    detailgs2d::gs_row(
+        c, g.at(r, 0), r, ny,
+        [&](int rr, int yy) { return rv_any(3, rr, yy); },
+        [&](int yy) { return g.at(r - 1, yy); },
+        [&](int yy, double v) { g.at(r, yy) = v; });
+  }
+}
+
+// Advance g by `sweeps` Gauss-Seidel sweeps.
+template <class V>
+void tv_gs2d_run_impl(const stencil::C2D5& c, grid::Grid2D<double>& g,
+                      long sweeps, int s) {
+  WorkspaceGs2D<V> ws;
+  ws.prepare(s, g.nx(), g.ny());
+  long t = 0;
+  if (g.nx() >= 4 * s) {
+    for (; t + 4 <= sweeps; t += 4) tv_gs2d_tile(c, g, s, ws);
+  }
+  for (; t < sweeps; ++t) {
+    for (int r = 1; r <= g.nx(); ++r) {
+      detailgs2d::gs_row(
+          c, g.at(r, 0), r, g.ny(),
+          [&](int rr, int yy) { return g.at(rr, yy); },
+          [&](int yy) { return g.at(r - 1, yy); },
+          [&](int yy, double v) { g.at(r, yy) = v; });
+    }
+  }
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,12 @@
+#include "tv/tv_gs3d.hpp"
+
+#include "tv/tv_gs3d_impl.hpp"
+
+namespace tvs::tv {
+
+void tv_gs3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u, long sweeps,
+                  int stride) {
+  tv_gs3d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+}
+
+}  // namespace tvs::tv

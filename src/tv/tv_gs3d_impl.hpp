@@ -1,0 +1,295 @@
+// Temporal vectorization of the 3D7P Gauss-Seidel stencil (§3.4).
+//
+// Update (ascending x, y, z):
+//   a[x][y][z] <- cc*a[x][y][z]      + cw*a[x][y][z-1](new)
+//              + ce*a[x][y][z+1]     + cs*a[x][y-1][z](new)
+//              + cn*a[x][y+1][z]     + cb*a[x-1][y][z](new)
+//              + cf*a[x+1][y][z]
+//
+// Newest-value forwarding needs one register (west, the previous z output)
+// plus a single slab buffer `wslab`: during iteration x it is read at
+// (y, z) for the newest *back* value (still holding the x-1 output) and at
+// (y-1, z) for the newest *south* value (already overwritten with the
+// current x output) — read-then-overwrite gives both for free.  Old values
+// come from ring slabs x and x+1 (s+1 slots).  Runs in place.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "grid/aligned.hpp"
+#include "grid/grid3d.hpp"
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::tv {
+
+template <class V>
+struct WorkspaceGs3D {
+  grid::AlignedBuffer<V> ring;   // (s+1) slabs
+  grid::AlignedBuffer<V> wslab;  // previous-x outputs
+  grid::AlignedBuffer<double> lscr, rscr;
+  int s = 0, nx = 0, ny = 0, nz = 0;
+  std::ptrdiff_t zstride = 0, ystride = 0;
+  int lrows = 0, rrows = 0, rbase = 0;
+
+  void prepare(int stride, int nx_, int ny_, int nz_) {
+    s = stride;
+    nx = nx_;
+    ny = ny_;
+    nz = nz_;
+    zstride = ((nz + 4 + 15) / 16) * 16;
+    ystride = static_cast<std::ptrdiff_t>(ny + 2) * zstride;
+    lrows = 3 * s + 1;
+    rrows = 4 * s + 4;
+    rbase = nx - 4 * s - 1;
+    ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
+                                  static_cast<std::size_t>(ystride));
+    wslab = grid::AlignedBuffer<V>(static_cast<std::size_t>(ystride));
+    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * lrows *
+                                       static_cast<std::size_t>(ystride));
+    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * rrows *
+                                       static_cast<std::size_t>(ystride));
+  }
+  V* ring_line(int p, int y) {
+    const int M = s + 1;
+    const int slot = ((p % M) + M) % M;
+    return ring.data() +
+           static_cast<std::size_t>(slot) * static_cast<std::size_t>(ystride) +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;
+  }
+  V* wslab_line(int y) {
+    return wslab.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;
+  }
+  double& lv(int level, int r, int y, int z) {
+    return lscr[(static_cast<std::size_t>(level - 1) * lrows + r) *
+                    static_cast<std::size_t>(ystride) +
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) +
+                static_cast<std::size_t>(z + 1)];
+  }
+  double& rv(int level, int r, int y, int z) {
+    return rscr[(static_cast<std::size_t>(level - 1) * rrows + (r - rbase)) *
+                    static_cast<std::size_t>(ystride) +
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) +
+                static_cast<std::size_t>(z + 1)];
+  }
+};
+
+namespace detailgs3d {
+
+// One scalar Gauss-Seidel plane at level `lev`: old values (level lev-1)
+// via old_at, newest values (level lev, rows/planes already updated) via
+// new_at, results through put (which must be visible through new_at).
+template <class OldAt, class NewAt, class Put>
+inline void gs_plane(const stencil::C3D7& c, int r, int ny, int nz,
+                     OldAt&& old_at, NewAt&& new_at, Put&& put) {
+  for (int y = 1; y <= ny; ++y) {
+    double west = new_at(r, y, 0);
+    for (int z = 1; z <= nz; ++z) {
+      const double v = stencil::gs3d7(
+          c.c, c.w, c.e, c.s, c.n, c.b, c.f, old_at(r, y, z), west,
+          old_at(r, y, z + 1), new_at(r, y - 1, z), old_at(r, y + 1, z),
+          new_at(r - 1, y, z), old_at(r + 1, y, z));
+      put(y, z, v);
+      west = v;
+    }
+  }
+}
+
+}  // namespace detailgs3d
+
+// One 4-sweep tile over the whole grid, in place.  nx >= 4s, s >= 2.
+template <class V>
+void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
+                  WorkspaceGs3D<V>& ws) {
+  const int nx = g.nx(), ny = g.ny(), nz = g.nz();
+  assert(nx >= 4 * s && s >= 2);
+  const int rbase = ws.rbase;
+
+  const auto lv_any = [&](int lev, int r, int y, int z) -> double {
+    if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny || z < 1 || z > nz)
+      return g.at(r, y, z);
+    return ws.lv(lev, r, y, z);
+  };
+
+  // ---- prologue ---------------------------------------------------------------
+  for (int lev = 1; lev <= 3; ++lev) {
+    for (int r = 1; r <= (4 - lev) * s; ++r)
+      detailgs3d::gs_plane(
+          c, r, ny, nz,
+          [&](int rr, int yy, int zz) { return lv_any(lev - 1, rr, yy, zz); },
+          [&](int rr, int yy, int zz) { return lv_any(lev, rr, yy, zz); },
+          [&](int yy, int zz, double v) { ws.lv(lev, r, yy, zz) = v; });
+  }
+
+  // ---- gather ring slabs p = 1 .. s and the initial wslab ----------------------
+  alignas(64) double lanes[4];
+  for (int p = 1; p <= s; ++p)
+    for (int y = 0; y <= ny + 1; ++y) {
+      V* line = ws.ring_line(p, y);
+      for (int z = 0; z <= nz + 1; ++z) {
+        lanes[0] = lv_any(0, p + 3 * s, y, z);
+        lanes[1] = lv_any(1, p + 2 * s, y, z);
+        lanes[2] = lv_any(2, p + s, y, z);
+        lanes[3] = lv_any(3, p, y, z);
+        line[z] = V::load(lanes);
+      }
+    }
+  for (int y = 0; y <= ny + 1; ++y) {
+    V* line = ws.wslab_line(y);
+    for (int z = 0; z <= nz + 1; ++z) {
+      lanes[0] = lv_any(1, 3 * s, y, z);
+      lanes[1] = lv_any(2, 2 * s, y, z);
+      lanes[2] = lv_any(3, s, y, z);
+      lanes[3] = g.at(0, y, z);
+      line[z] = V::load(lanes);
+    }
+  }
+
+  const V cc = V::set1(c.c), cw = V::set1(c.w), ce = V::set1(c.e),
+          cs = V::set1(c.s), cn = V::set1(c.n), cb = V::set1(c.b),
+          cf = V::set1(c.f);
+
+  // ---- steady loop ----------------------------------------------------------------
+  const int x_end = nx + 1 - 4 * s;
+  for (int x = 1; x <= x_end; ++x) {
+    // Boundary rows/columns of the produced slab.
+    {
+      const int p = x + s;
+      const auto fill = [&](int y, int z) {
+        lanes[0] = g.at(std::min(p + 3 * s, nx + 1), y, z);
+        lanes[1] = g.at(p + 2 * s, y, z);
+        lanes[2] = g.at(p + s, y, z);
+        lanes[3] = g.at(p, y, z);
+        ws.ring_line(p, y)[z] = V::load(lanes);
+      };
+      for (int z = 0; z <= nz + 1; ++z) {
+        fill(0, z);
+        fill(ny + 1, z);
+      }
+      for (int y = 1; y <= ny; ++y) {
+        fill(y, 0);
+        fill(y, nz + 1);
+      }
+    }
+    // Boundary row y = 0 of wslab: newest-south values are the constant
+    // boundary plane at each lane's row.
+    {
+      V* line = ws.wslab_line(0);
+      for (int z = 0; z <= nz + 1; ++z) {
+        lanes[0] = g.at(x + 3 * s, 0, z);
+        lanes[1] = g.at(x + 2 * s, 0, z);
+        lanes[2] = g.at(x + s, 0, z);
+        lanes[3] = g.at(x, 0, z);
+        line[z] = V::load(lanes);
+      }
+    }
+    for (int y = 1; y <= ny; ++y) {
+      const V* b0c = ws.ring_line(x, y);
+      const V* b0p = ws.ring_line(x, y + 1);
+      const V* bp1 = ws.ring_line(x + 1, y);
+      V* lout = ws.ring_line(x + s, y);
+      V* wsl = ws.wslab_line(y);         // (y,z): x-1 output until overwritten
+      const V* wsm = ws.wslab_line(y - 1);  // (y-1,z): current-x output
+      double* tline = g.line(x, y);
+      const double* bline = g.line(x + 4 * s, y);
+
+      V wprev;
+      {
+        lanes[0] = g.at(x + 3 * s, y, 0);
+        lanes[1] = g.at(x + 2 * s, y, 0);
+        lanes[2] = g.at(x + s, y, 0);
+        lanes[3] = g.at(x, y, 0);
+        wprev = V::load(lanes);
+      }
+
+      int z = 1;
+      V wbuf[4];
+      for (; z + 3 <= nz; z += 4) {
+        V bot = V::loadu(bline + z);
+        for (int j = 0; j < 4; ++j) {
+          const int zz = z + j;
+          const V w = stencil::gs3d7(cc, cw, ce, cs, cn, cb, cf, b0c[zz],
+                                     wprev, b0c[zz + 1], wsm[zz], b0p[zz],
+                                     wsl[zz], bp1[zz]);
+          wbuf[j] = w;
+          wsl[zz] = w;
+          lout[zz] = simd::shift_in_low_v(w, bot);
+          if (j != 3) bot = simd::rotate_down(bot);
+          wprev = w;
+        }
+        simd::collect_tops_arr(wbuf).storeu(tline + z);
+      }
+      for (; z <= nz; ++z) {
+        const V w = stencil::gs3d7(cc, cw, ce, cs, cn, cb, cf, b0c[z], wprev,
+                                   b0c[z + 1], wsm[z], b0p[z], wsl[z], bp1[z]);
+        wsl[z] = w;
+        lout[z] = simd::shift_in_low(w, bline[z]);
+        tline[z] = simd::top_lane(w);
+        wprev = w;
+      }
+    }
+  }
+
+  // ---- flush ----------------------------------------------------------------------
+  const auto rput = [&](int lev, int r, int y, int z, double v) {
+    if (r >= rbase + 1 && r <= nx) ws.rv(lev, r, y, z) = v;
+  };
+  for (int p = x_end + 1; p <= x_end + s; ++p)
+    for (int y = 1; y <= ny; ++y) {
+      const V* line = ws.ring_line(p, y);
+      for (int z = 1; z <= nz; ++z) {
+        const V u = line[z];
+        rput(1, p + 2 * s, y, z, u[1]);
+        rput(2, p + s, y, z, u[2]);
+        rput(3, p, y, z, u[3]);
+      }
+    }
+
+  const auto rv_any = [&](int lev, int r, int y, int z) -> double {
+    if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny || z < 1 || z > nz)
+      return g.at(r, y, z);
+    return ws.rv(lev, r, y, z);
+  };
+
+  // ---- epilogue --------------------------------------------------------------------
+  for (int lev = 1; lev <= 3; ++lev) {
+    for (int r = nx + 2 - lev * s; r <= nx; ++r)
+      detailgs3d::gs_plane(
+          c, r, ny, nz,
+          [&](int rr, int yy, int zz) { return rv_any(lev - 1, rr, yy, zz); },
+          [&](int rr, int yy, int zz) { return rv_any(lev, rr, yy, zz); },
+          [&](int yy, int zz, double v) { ws.rv(lev, r, yy, zz) = v; });
+  }
+  for (int r = nx + 2 - 4 * s; r <= nx; ++r)
+    detailgs3d::gs_plane(
+        c, r, ny, nz,
+        [&](int rr, int yy, int zz) { return rv_any(3, rr, yy, zz); },
+        [&](int rr, int yy, int zz) { return g.at(rr, yy, zz); },
+        [&](int yy, int zz, double v) { g.at(r, yy, zz) = v; });
+}
+
+// Advance g by `sweeps` Gauss-Seidel sweeps.
+template <class V>
+void tv_gs3d_run_impl(const stencil::C3D7& c, grid::Grid3D<double>& g,
+                      long sweeps, int s) {
+  WorkspaceGs3D<V> ws;
+  ws.prepare(s, g.nx(), g.ny(), g.nz());
+  long t = 0;
+  if (g.nx() >= 4 * s) {
+    for (; t + 4 <= sweeps; t += 4) tv_gs3d_tile(c, g, s, ws);
+  }
+  for (; t < sweeps; ++t) {
+    for (int r = 1; r <= g.nx(); ++r)
+      detailgs3d::gs_plane(
+          c, r, g.ny(), g.nz(),
+          [&](int rr, int yy, int zz) { return g.at(rr, yy, zz); },
+          [&](int rr, int yy, int zz) { return g.at(rr, yy, zz); },
+          [&](int yy, int zz, double v) { g.at(r, yy, zz) = v; });
+  }
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,22 @@
+#include "tv/tv_lcs.hpp"
+
+#include "tv/tv_lcs_impl.hpp"
+
+namespace tvs::tv {
+
+std::vector<std::int32_t> tv_lcs_row(std::span<const std::int32_t> a,
+                                     std::span<const std::int32_t> b) {
+  const std::size_t nb = b.size();
+  std::vector<std::int32_t> row(nb + 1 + 8, 0);
+  if (nb > 0)
+    tv_lcs_rows_impl<simd::NativeVec<std::int32_t, 8>>(a, b, row.data());
+  row.resize(nb + 1);
+  return row;
+}
+
+std::int32_t tv_lcs(std::span<const std::int32_t> a,
+                    std::span<const std::int32_t> b) {
+  return tv_lcs_row(a, b).back();
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,19 @@
+// Public entry points for the temporally vectorized LCS dynamic program
+// (int32 x 8 lanes, stride s = 1; see tv_lcs_impl.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tvs::tv {
+
+// Length of the longest common subsequence of a and b.
+std::int32_t tv_lcs(std::span<const std::int32_t> a,
+                    std::span<const std::int32_t> b);
+
+// Final DP row lcs[|A|][0..|B|] (cell-level comparison against the oracle).
+std::vector<std::int32_t> tv_lcs_row(std::span<const std::int32_t> a,
+                                     std::span<const std::int32_t> b);
+
+}  // namespace tvs::tv

@@ -1,0 +1,15 @@
+#include "tv/tv_life.hpp"
+
+#include "tv/functors2d.hpp"
+#include "tv/tv2d_impl.hpp"
+
+namespace tvs::tv {
+
+void tv_life_run(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
+                 long steps, int stride) {
+  using V = simd::NativeVec<std::int32_t, 8>;
+  Workspace2D<V, std::int32_t> ws;
+  tv2d_run(LifeF<V>(r), u, steps, stride, ws);
+}
+
+}  // namespace tvs::tv

@@ -1,0 +1,15 @@
+// Temporally vectorized Game of Life (int32 x 8 lanes: one tile advances
+// eight generations; §3.4).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid2d.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::tv {
+
+void tv_life_run(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
+                 long steps, int stride = 2);
+
+}  // namespace tvs::tv

@@ -1,0 +1,108 @@
+// The spatial-vectorization baselines must reproduce the oracle: exactly
+// for the intrinsic implementations (canonical fma order), within a small
+// tolerance for the compiler-vectorized TU (contraction order differs).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/autovec.hpp"
+#include "baseline/spatial.hpp"
+#include "stencil/reference1d.hpp"
+
+namespace {
+
+using namespace tvs;
+using Grid = grid::Grid1D<double>;
+
+struct Case {
+  int nx;
+  long steps;
+};
+
+class Baseline1DSweep : public ::testing::TestWithParam<Case> {};
+
+Grid make_random(int nx, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  Grid g(nx);
+  g.fill_random(rng, -1.0, 1.0);
+  return g;
+}
+
+void copy(const Grid& src, Grid& dst) {
+  for (int x = -2; x <= src.nx() + 3; ++x) dst.at(x) = src.at(x);
+}
+
+TEST_P(Baseline1DSweep, MultiloadMatchesOracleExactly) {
+  const auto [nx, steps] = GetParam();
+  const stencil::C1D3 c{0.31, 0.41, 0.26};
+  Grid ref = make_random(nx, 42), got(nx);
+  copy(ref, got);
+  stencil::jacobi1d3_run(c, ref, steps);
+  baseline::multiload_jacobi1d3_run(c, got, steps);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0) << "nx=" << nx;
+}
+
+TEST_P(Baseline1DSweep, ReorgMatchesOracleExactly) {
+  const auto [nx, steps] = GetParam();
+  const stencil::C1D3 c{0.31, 0.41, 0.26};
+  Grid ref = make_random(nx, 43), got(nx);
+  copy(ref, got);
+  stencil::jacobi1d3_run(c, ref, steps);
+  baseline::reorg_jacobi1d3_run(c, got, steps);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0) << "nx=" << nx;
+}
+
+TEST_P(Baseline1DSweep, DltMatchesOracleExactly) {
+  const auto [nx, steps] = GetParam();
+  const stencil::C1D3 c{0.31, 0.41, 0.26};
+  Grid ref = make_random(nx, 44), got(nx);
+  copy(ref, got);
+  stencil::jacobi1d3_run(c, ref, steps);
+  baseline::dlt_jacobi1d3_run(c, got, steps);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0) << "nx=" << nx;
+}
+
+TEST_P(Baseline1DSweep, AutovecMatchesOracleApprox) {
+  const auto [nx, steps] = GetParam();
+  const stencil::C1D3 c{0.31, 0.41, 0.26};
+  Grid ref = make_random(nx, 45), got(nx);
+  copy(ref, got);
+  stencil::jacobi1d3_run(c, ref, steps);
+  baseline::autovec_jacobi1d3_run(c, got, steps);
+  EXPECT_LT(grid::max_abs_diff(ref, got), 1e-12) << "nx=" << nx;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSteps, Baseline1DSweep,
+    ::testing::Values(Case{1, 4}, Case{2, 3}, Case{3, 5}, Case{4, 4},
+                      Case{5, 8}, Case{7, 9}, Case{8, 2}, Case{11, 6},
+                      Case{16, 12}, Case{29, 7}, Case{64, 10}, Case{65, 5},
+                      Case{100, 13}, Case{233, 11}, Case{1024, 9},
+                      Case{1000, 3}, Case{4097, 5}),
+    [](const auto& info) {
+      return "nx" + std::to_string(info.param.nx) + "_t" +
+             std::to_string(info.param.steps);
+    });
+
+TEST(Baseline1D, Autovec5PMatchesOracleApprox) {
+  const stencil::C1D5 c = stencil::heat1d5(0.2);
+  Grid ref = make_random(513, 46), got(513);
+  copy(ref, got);
+  stencil::jacobi1d5_run(c, ref, 9);
+  baseline::autovec_jacobi1d5_run(c, got, 9);
+  EXPECT_LT(grid::max_abs_diff(ref, got), 1e-12);
+}
+
+TEST(Baseline1D, ZeroStepsIsIdentity) {
+  const stencil::C1D3 c{0.2, 0.6, 0.2};
+  Grid a = make_random(50, 47), b(50);
+  copy(a, b);
+  baseline::multiload_jacobi1d3_run(c, b, 0);
+  EXPECT_EQ(grid::max_abs_diff(a, b), 0.0);
+  baseline::reorg_jacobi1d3_run(c, b, 0);
+  EXPECT_EQ(grid::max_abs_diff(a, b), 0.0);
+  baseline::dlt_jacobi1d3_run(c, b, 0);
+  EXPECT_EQ(grid::max_abs_diff(a, b), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Unit tests for the grid substrate: alignment, index mapping, padding,
+// ping-pong discipline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+#include "grid/pingpong.hpp"
+
+namespace {
+
+using namespace tvs::grid;
+
+TEST(AlignedBuffer, AlignmentAndValueInit) {
+  AlignedBuffer<double> b(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kAlignment, 0u);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0.0);
+  EXPECT_EQ(b.size(), 37u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[3] = 42;
+  AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(Grid1D, IndexingAndPadding) {
+  Grid1D<double> g(10);
+  EXPECT_EQ(g.nx(), 10);
+  EXPECT_EQ(g.extent(), 12);
+  // Padding cells are addressable on both sides.
+  g.at(-kPad) = 1.0;
+  g.at(10 + 1 + kPad) = 2.0;
+  EXPECT_EQ(g.at(-kPad), 1.0);
+  EXPECT_EQ(g.at(11 + kPad), 2.0);
+  // p() is anchored at x = 0.
+  g.at(0) = 7.0;
+  EXPECT_EQ(g.p()[0], 7.0);
+  g.at(5) = 8.0;
+  EXPECT_EQ(g.p()[5], 8.0);
+}
+
+TEST(Grid1D, FillAndDiff) {
+  Grid1D<double> a(16), b(16);
+  a.fill(3.0);
+  b.fill(3.0);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  b.at(7) = 4.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.5);
+}
+
+TEST(Grid1D, FillRandomCoversBoundaryCells) {
+  std::mt19937_64 rng(1);
+  Grid1D<double> g(8);
+  g.fill_random(rng, 1.0, 2.0);
+  for (int x = 0; x <= 9; ++x) {
+    EXPECT_GE(g.at(x), 1.0);
+    EXPECT_LE(g.at(x), 2.0);
+  }
+}
+
+TEST(Grid2D, IndexingRowPointersStride) {
+  Grid2D<double> g(4, 6);
+  EXPECT_EQ(g.nx(), 4);
+  EXPECT_EQ(g.ny(), 6);
+  EXPECT_GE(g.stride(), 6 + 2 + 2 * kPad);
+  g.at(2, 3) = 5.0;
+  EXPECT_EQ(g.row(2)[3], 5.0);
+  g.at(3, 0) = -1.0;
+  EXPECT_EQ(g.row(3)[0], -1.0);
+  // Distinct cells do not alias.
+  g.at(1, 1) = 1.0;
+  g.at(1, 2) = 2.0;
+  g.at(2, 1) = 3.0;
+  EXPECT_EQ(g.at(1, 1), 1.0);
+  EXPECT_EQ(g.at(1, 2), 2.0);
+  EXPECT_EQ(g.at(2, 1), 3.0);
+}
+
+TEST(Grid2D, PaddedColumnsAddressable) {
+  Grid2D<std::int32_t> g(3, 5);
+  g.at(1, -kPad) = 11;
+  g.at(3, 5 + 1 + kPad) = 22;
+  EXPECT_EQ(g.at(1, -kPad), 11);
+  EXPECT_EQ(g.at(3, 6 + kPad), 22);
+}
+
+TEST(Grid3D, IndexingLinePointers) {
+  Grid3D<double> g(3, 4, 5);
+  g.at(1, 2, 3) = 9.0;
+  EXPECT_EQ(g.line(1, 2)[3], 9.0);
+  g.at(3, 4, 0) = 1.0;
+  g.at(3, 4, 6) = 2.0;
+  EXPECT_EQ(g.at(3, 4, 0), 1.0);
+  EXPECT_EQ(g.at(3, 4, 6), 2.0);
+  // All distinct interior cells hold distinct values after fill.
+  int v = 0;
+  for (int x = 0; x <= 4; ++x)
+    for (int y = 0; y <= 5; ++y)
+      for (int z = 0; z <= 6; ++z) g.at(x, y, z) = v++;
+  v = 0;
+  for (int x = 0; x <= 4; ++x)
+    for (int y = 0; y <= 5; ++y)
+      for (int z = 0; z <= 6; ++z) EXPECT_EQ(g.at(x, y, z), v++);
+}
+
+TEST(Grid3D, MaxAbsDiff) {
+  Grid3D<double> a(2, 2, 2), b(2, 2, 2);
+  a.fill(1.0);
+  b.fill(1.0);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  b.at(2, 1, 2) = 3.5;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.5);
+}
+
+TEST(PingPong, SwapAndParity) {
+  PingPong<Grid1D<double>> pp(4);
+  pp.even().fill(1.0);
+  pp.odd().fill(2.0);
+  EXPECT_EQ(pp.cur().at(1), 1.0);
+  EXPECT_EQ(pp.next().at(1), 2.0);
+  pp.swap();
+  EXPECT_EQ(pp.cur().at(1), 2.0);
+  EXPECT_EQ(pp.next().at(1), 1.0);
+  EXPECT_EQ(pp.by_parity(0).at(1), 1.0);
+  EXPECT_EQ(pp.by_parity(1).at(1), 2.0);
+  EXPECT_EQ(pp.by_parity(8).at(1), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Tests for the §3.2 legality rule: s*dt > dx for every forward dependence.
+#include <gtest/gtest.h>
+
+#include "stencil/dependence.hpp"
+
+namespace {
+
+using namespace tvs::stencil;
+
+TEST(Legality, Jacobi1D3P) {
+  const auto d = jacobi1d_deps(1);
+  EXPECT_EQ(d.size(), 3u);
+  // Paper: dependencies (1,0), (1,1), (1,-1) -> s > 1, i.e. s >= 2.
+  EXPECT_EQ(min_stride(d), 2);
+}
+
+TEST(Legality, Jacobi1D5P) {
+  EXPECT_EQ(min_stride(jacobi1d_deps(2)), 3);  // dx/dt = 2 -> s >= 3
+}
+
+TEST(Legality, HighOrder) {
+  EXPECT_EQ(min_stride(jacobi1d_deps(4)), 5);
+}
+
+TEST(Legality, Jacobi2D3DProjectSameAs1D) {
+  EXPECT_EQ(min_stride(jacobi2d_deps(1)), 2);
+  EXPECT_EQ(min_stride(jacobi3d_deps(1)), 2);
+}
+
+TEST(Legality, GaussSeidel) {
+  // Forward old-value dep (1,1) -> s >= 2; newest west (0,-1) is free.
+  EXPECT_EQ(min_stride(gauss_seidel_deps(1)), 2);
+}
+
+TEST(Legality, LCS) {
+  // Paper: "the space stride must satisfy s >= 1".
+  EXPECT_EQ(min_stride(lcs_deps()), 1);
+}
+
+TEST(Legality, SameTimeForwardDependenceIsIllegal) {
+  const Dep d[] = {{0, 1}};
+  EXPECT_EQ(min_stride(d), -1);
+}
+
+TEST(Legality, MultiTimeStepDependence) {
+  // (dt=2, dx=5): s*2 > 5 -> s >= 3.
+  const Dep d[] = {{2, 5}};
+  EXPECT_EQ(min_stride(d), 3);
+  // (dt=3, dx=6): s*3 > 6 -> s >= 3.
+  const Dep e[] = {{3, 6}};
+  EXPECT_EQ(min_stride(e), 3);
+}
+
+TEST(Legality, BackwardOnlyNeedsStrideOne) {
+  const Dep d[] = {{1, 0}, {1, -1}, {0, -1}};
+  EXPECT_EQ(min_stride(d), 1);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// The parallel tiled drivers (diamond on x for Jacobi/Life, parallelogram
+// wavefront for Gauss-Seidel) must reproduce the scalar oracles exactly,
+// across tile geometries and under many threads.
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <random>
+#include <tuple>
+
+#include "stencil/life_ref.hpp"
+#include "stencil/reference2d.hpp"
+#include "stencil/reference3d.hpp"
+#include "tiling/diamond2d.hpp"
+#include "tiling/diamond3d.hpp"
+#include "tiling/parallelogram2d.hpp"
+
+namespace {
+
+using namespace tvs;
+using GridD2 = grid::Grid2D<double>;
+using GridI2 = grid::Grid2D<std::int32_t>;
+using GridD3 = grid::Grid3D<double>;
+
+template <class G>
+void copy(const G& src, G& dst) {
+  for (int x = 0; x <= src.nx() + 1; ++x)
+    for (int y = 0; y <= src.ny() + 1; ++y) dst.at(x, y) = src.at(x, y);
+}
+
+// (nx, ny, steps, W, H, s)
+using P2 = std::tuple<int, int, long, int, int, int>;
+class Diamond2DSweep : public ::testing::TestWithParam<P2> {};
+
+TEST_P(Diamond2DSweep, Jacobi5PMatchesOracle) {
+  const auto [nx, ny, steps, w, h, s] = GetParam();
+  const stencil::C2D5 c{0.31, 0.2, 0.17, 0.17, 0.15};
+  std::mt19937_64 rng(1000u + static_cast<unsigned>(nx * 7 + ny));
+  GridD2 ref(nx, ny);
+  ref.fill_random(rng, -1.0, 1.0);
+  GridD2 got(nx, ny);
+  copy(ref, got);
+  stencil::jacobi2d5_run(c, ref, steps);
+  tiling::Diamond2DOptions opt;
+  opt.width = w;
+  opt.height = h;
+  opt.stride = s;
+  tiling::diamond_jacobi2d5_run(c, got, steps, opt);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0)
+      << "nx=" << nx << " ny=" << ny << " t=" << steps << " W=" << w
+      << " H=" << h << " s=" << s;
+}
+
+TEST_P(Diamond2DSweep, Jacobi9PMatchesOracle) {
+  const auto [nx, ny, steps, w, h, s] = GetParam();
+  const stencil::C2D9 c{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
+  std::mt19937_64 rng(1100u + static_cast<unsigned>(nx * 11 + ny));
+  GridD2 ref(nx, ny);
+  ref.fill_random(rng, -1.0, 1.0);
+  GridD2 got(nx, ny);
+  copy(ref, got);
+  stencil::jacobi2d9_run(c, ref, steps);
+  tiling::Diamond2DOptions opt;
+  opt.width = w;
+  opt.height = h;
+  opt.stride = s;
+  tiling::diamond_jacobi2d9_run(c, got, steps, opt);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+}
+
+TEST_P(Diamond2DSweep, GaussSeidel2DMatchesOracle) {
+  const auto [nx, ny, steps, w, h, s] = GetParam();
+  const stencil::C2D5 c{0.3, 0.2, 0.16, 0.19, 0.15};
+  std::mt19937_64 rng(1200u + static_cast<unsigned>(nx * 13 + ny));
+  GridD2 ref(nx, ny);
+  ref.fill_random(rng, -1.0, 1.0);
+  GridD2 got(nx, ny);
+  copy(ref, got);
+  stencil::gs2d5_run(c, ref, steps);
+  tiling::ParallelogramNDOptions opt;
+  opt.width = w;
+  opt.height = h;
+  opt.stride = s;
+  tiling::parallelogram_gs2d5_run(c, got, steps, opt);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0)
+      << "nx=" << nx << " ny=" << ny << " t=" << steps << " W=" << w
+      << " H=" << h << " s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Diamond2DSweep,
+    ::testing::Values(P2{48, 20, 8, 24, 8, 2},    // narrow tiles
+                      P2{100, 30, 16, 32, 8, 2},  // several tiles
+                      P2{100, 30, 18, 32, 8, 2},  // off-grid steps
+                      P2{100, 30, 3, 32, 8, 2},   // scalar residual only
+                      P2{64, 17, 12, 4096, 64, 2},  // single huge tile
+                      P2{130, 20, 24, 48, 12, 2}, P2{97, 13, 9, 40, 8, 2}),
+    [](const auto& info) {
+      return "nx" + std::to_string(std::get<0>(info.param)) + "_ny" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param)) + "_W" +
+             std::to_string(std::get<3>(info.param)) + "_H" +
+             std::to_string(std::get<4>(info.param)) + "_s" +
+             std::to_string(std::get<5>(info.param));
+    });
+
+TEST(DiamondLife, MatchesOracleAcrossGeometries) {
+  const stencil::LifeRule rule{};  // B2S23
+  for (const auto& [nx, ny, steps, w, h] :
+       {std::tuple{120, 24, 16, 48, 8}, std::tuple{200, 16, 24, 64, 16},
+        std::tuple{90, 20, 9, 2048, 32}}) {
+    std::mt19937_64 rng(2000u + static_cast<unsigned>(nx));
+    GridI2 ref(nx, ny);
+    std::uniform_int_distribution<std::int32_t> d(0, 1);
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y) ref.at(x, y) = d(rng);
+    GridI2 got(nx, ny);
+    copy(ref, got);
+    stencil::life_run(rule, ref, steps);
+    tiling::Diamond2DOptions opt;
+    opt.width = w;
+    opt.height = h;
+    tiling::diamond_life_run(rule, got, steps, opt);
+    ASSERT_EQ(grid::max_abs_diff(ref, got), 0.0)
+        << "nx=" << nx << " steps=" << steps;
+  }
+}
+
+TEST(Diamond3D, JacobiMatchesOracleAcrossGeometries) {
+  const stencil::C3D7 c{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+  for (const auto& [nx, ny, nz, steps, w, h] :
+       {std::tuple{40, 10, 12, 8, 20, 4}, std::tuple{64, 12, 8, 12, 24, 8},
+        std::tuple{30, 8, 8, 7, 1024, 8}}) {
+    std::mt19937_64 rng(3000u + static_cast<unsigned>(nx));
+    GridD3 ref(nx, ny, nz);
+    ref.fill_random(rng, -1.0, 1.0);
+    GridD3 got(nx, ny, nz);
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y)
+        for (int z = 0; z <= nz + 1; ++z) got.at(x, y, z) = ref.at(x, y, z);
+    stencil::jacobi3d7_run(c, ref, steps);
+    tiling::Diamond3DOptions opt;
+    opt.width = w;
+    opt.height = h;
+    tiling::diamond_jacobi3d7_run(c, got, steps, opt);
+    ASSERT_EQ(grid::max_abs_diff(ref, got), 0.0)
+        << "nx=" << nx << " steps=" << steps;
+  }
+}
+
+TEST(ParaGs3D, MatchesOracleAcrossGeometries) {
+  const stencil::C3D7 c{0.3, 0.12, 0.11, 0.12, 0.1, 0.13, 0.12};
+  for (const auto& [nx, ny, nz, steps, w, h] :
+       {std::tuple{40, 10, 12, 8, 20, 4}, std::tuple{64, 12, 8, 13, 24, 8},
+        std::tuple{30, 8, 8, 12, 1024, 8}}) {
+    std::mt19937_64 rng(4000u + static_cast<unsigned>(nx));
+    GridD3 ref(nx, ny, nz);
+    ref.fill_random(rng, -1.0, 1.0);
+    GridD3 got(nx, ny, nz);
+    for (int x = 0; x <= nx + 1; ++x)
+      for (int y = 0; y <= ny + 1; ++y)
+        for (int z = 0; z <= nz + 1; ++z) got.at(x, y, z) = ref.at(x, y, z);
+    stencil::gs3d7_run(c, ref, steps);
+    tiling::ParallelogramNDOptions opt;
+    opt.width = w;
+    opt.height = h;
+    tiling::parallelogram_gs3d7_run(c, got, steps, opt);
+    ASSERT_EQ(grid::max_abs_diff(ref, got), 0.0)
+        << "nx=" << nx << " steps=" << steps;
+  }
+}
+
+TEST(Parallel2D, ManyThreadsDeterministicAndExact) {
+  const stencil::C2D5 c = stencil::heat2d(0.2);
+  const int nx = 400, ny = 64;
+  std::mt19937_64 rng(5000);
+  GridD2 ref(nx, ny);
+  ref.fill_random(rng, -1.0, 1.0);
+  GridD2 got(nx, ny);
+  copy(ref, got);
+  stencil::jacobi2d5_run(c, ref, 32);
+  tiling::Diamond2DOptions opt;
+  opt.width = 64;
+  opt.height = 16;
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(12);
+  tiling::diamond_jacobi2d5_run(c, got, 32, opt);
+  omp_set_num_threads(saved);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+// Sanity tests for the scalar reference engines (the oracle itself):
+// hand-computed values, steady states, conservation-style properties, the
+// Life rule table, and LCS against a brute-force recursion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "stencil/lcs_ref.hpp"
+#include "stencil/life_ref.hpp"
+#include "stencil/reference1d.hpp"
+#include "stencil/reference2d.hpp"
+#include "stencil/reference3d.hpp"
+
+namespace {
+
+using namespace tvs;
+using namespace tvs::stencil;
+
+using Grid1DD = grid::Grid1D<double>;
+
+TEST(Reference1D, HandComputedStep) {
+  Grid1DD u(3);
+  // a = [b=1 | 2 3 4 | b=5]
+  u.at(0) = 1;
+  u.at(1) = 2;
+  u.at(2) = 3;
+  u.at(3) = 4;
+  u.at(4) = 5;
+  const C1D3 c{0.25, 0.5, 0.25};
+  grid::Grid1D<double> out(3);
+  jacobi1d3_step(c, u, out);
+  EXPECT_DOUBLE_EQ(out.at(1), 0.25 * 1 + 0.5 * 2 + 0.25 * 3);
+  EXPECT_DOUBLE_EQ(out.at(2), 0.25 * 2 + 0.5 * 3 + 0.25 * 4);
+  EXPECT_DOUBLE_EQ(out.at(3), 0.25 * 3 + 0.5 * 4 + 0.25 * 5);
+  EXPECT_DOUBLE_EQ(out.at(0), 1);
+  EXPECT_DOUBLE_EQ(out.at(4), 5);
+}
+
+TEST(Reference1D, ConstantFieldIsSteadyState) {
+  Grid1DD u(33);
+  u.fill(4.2);
+  jacobi1d3_run(heat1d(0.2), u, 17);
+  for (int x = 0; x <= 34; ++x) EXPECT_DOUBLE_EQ(u.at(x), 4.2);
+}
+
+TEST(Reference1D, HeatDiffusesTowardsBoundary) {
+  Grid1DD u(21);
+  u.fill(0.0);
+  u.at(11) = 1.0;  // hot spot
+  jacobi1d3_run(heat1d(0.25), u, 50);
+  // Everything decays towards the 0 boundary; symmetry about the center.
+  for (int x = 1; x <= 21; ++x) {
+    EXPECT_GT(u.at(x), 0.0);
+    EXPECT_LT(u.at(x), 1.0);
+  }
+  for (int x = 1; x <= 10; ++x) EXPECT_NEAR(u.at(x), u.at(22 - x), 1e-15);
+}
+
+TEST(Reference1D, FivePointMatchesThreePointForZeroOuterCoeffs) {
+  std::mt19937_64 rng(3);
+  Grid1DD a(40), b(40);
+  a.fill_random(rng, -1, 1);
+  a.at(-1) = 0;
+  a.at(42) = 0;
+  for (int x = -1; x <= 42; ++x) b.at(x) = a.at(x);
+  const C1D3 c3{0.3, 0.4, 0.3};
+  const C1D5 c5{0.0, 0.3, 0.4, 0.3, 0.0};
+  jacobi1d3_run(c3, a, 8);
+  jacobi1d5_run(c5, b, 8);
+  for (int x = 1; x <= 40; ++x) EXPECT_NEAR(a.at(x), b.at(x), 1e-14);
+}
+
+TEST(Reference1D, GaussSeidelHandComputed) {
+  Grid1DD u(2);
+  u.at(0) = 1;
+  u.at(1) = 2;
+  u.at(2) = 3;
+  u.at(3) = 4;
+  const C1D3 c{0.5, 0.25, 0.25};
+  gs1d3_sweep(c, u);
+  const double v1 = 0.5 * 1 + 0.25 * 2 + 0.25 * 3;
+  EXPECT_DOUBLE_EQ(u.at(1), v1);
+  EXPECT_DOUBLE_EQ(u.at(2), 0.5 * v1 + 0.25 * 3 + 0.25 * 4);
+}
+
+TEST(Reference1D, GaussSeidelConvergesFasterThanJacobiOnHeat) {
+  // Both iterate to the same fixed point (boundary-driven linear profile);
+  // Gauss-Seidel should be at least as close after the same sweep count.
+  Grid1DD j(31), g(31);
+  j.fill(0);
+  g.fill(0);
+  j.at(0) = g.at(0) = 1.0;
+  j.at(32) = g.at(32) = 0.0;
+  const C1D3 c = heat1d(0.25);
+  jacobi1d3_run(c, j, 60);
+  gs1d3_run(c, g, 60);
+  auto err = [](const Grid1DD& u) {
+    double e = 0;
+    for (int x = 0; x <= 32; ++x) {
+      const double exact = 1.0 - static_cast<double>(x) / 32.0;
+      e = std::max(e, std::abs(u.at(x) - exact));
+    }
+    return e;
+  };
+  EXPECT_LT(err(g), err(j));
+}
+
+TEST(Reference2D, ConstantSteadyStateAndHandComputed) {
+  grid::Grid2D<double> u(3, 3);
+  u.fill(1.5);
+  jacobi2d5_run(heat2d(0.1), u, 9);
+  for (int x = 0; x <= 4; ++x)
+    for (int y = 0; y <= 4; ++y) EXPECT_DOUBLE_EQ(u.at(x, y), 1.5);
+
+  grid::Grid2D<double> v(1, 1);
+  v.at(0, 1) = 1;  // south
+  v.at(2, 1) = 2;  // north
+  v.at(1, 0) = 3;  // west
+  v.at(1, 2) = 4;  // east
+  v.at(1, 1) = 5;
+  const C2D5 c{0.2, 0.1, 0.15, 0.25, 0.3};
+  grid::Grid2D<double> out(1, 1);
+  jacobi2d5_step(c, v, out);
+  EXPECT_DOUBLE_EQ(out.at(1, 1),
+                   0.2 * 5 + 0.1 * 3 + 0.15 * 4 + 0.25 * 1 + 0.3 * 2);
+}
+
+TEST(Reference2D, NinePointHandComputed) {
+  grid::Grid2D<double> v(1, 1);
+  int k = 1;
+  for (int x = 0; x <= 2; ++x)
+    for (int y = 0; y <= 2; ++y) v.at(x, y) = k++;
+  // v = [1 2 3; 4 5 6; 7 8 9], center v(1,1)=5
+  const C2D9 c{0.1, 0.2, 0.3, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09};
+  grid::Grid2D<double> out(1, 1);
+  jacobi2d9_step(c, v, out);
+  const double expect = 0.1 * 5 + 0.2 * 4 + 0.3 * 6 + 0.04 * 2 + 0.05 * 8 +
+                        0.06 * 1 + 0.07 * 3 + 0.08 * 7 + 0.09 * 9;
+  EXPECT_DOUBLE_EQ(out.at(1, 1), expect);
+}
+
+TEST(Reference2D, GaussSeidelUsesNewValues) {
+  grid::Grid2D<double> u(2, 2);
+  u.fill(1.0);
+  const C2D5 c{0.2, 0.2, 0.2, 0.2, 0.2};
+  gs2d5_sweep(c, u);
+  // (1,1) first: all-ones neighbourhood -> 1.0
+  EXPECT_DOUBLE_EQ(u.at(1, 1), 1.0);
+  // every later cell also sees 1.0 everywhere
+  EXPECT_DOUBLE_EQ(u.at(2, 2), 1.0);
+  // Now break symmetry and check (1,2) sees the *new* (1,1).
+  grid::Grid2D<double> w(2, 2);
+  w.fill(0.0);
+  w.at(1, 1) = 1.0;
+  gs2d5_sweep(c, w);
+  const double v11 = 0.2 * 1.0;  // center only
+  EXPECT_DOUBLE_EQ(w.at(1, 1), v11);
+  EXPECT_DOUBLE_EQ(w.at(1, 2), 0.2 * v11);            // west is new
+  EXPECT_DOUBLE_EQ(w.at(2, 1), 0.2 * v11);            // south is new
+  EXPECT_DOUBLE_EQ(w.at(2, 2), 0.2 * 0.2 * v11 * 2);  // west+south new
+}
+
+TEST(Reference3D, ConstantSteadyStateAndHandComputed) {
+  grid::Grid3D<double> u(2, 2, 2);
+  u.fill(2.0);
+  jacobi3d7_run(heat3d(0.05), u, 5);
+  for (int x = 0; x <= 3; ++x)
+    for (int y = 0; y <= 3; ++y)
+      for (int z = 0; z <= 3; ++z) EXPECT_DOUBLE_EQ(u.at(x, y, z), 2.0);
+
+  grid::Grid3D<double> v(1, 1, 1);
+  v.at(1, 1, 1) = 1;
+  v.at(1, 1, 0) = 2;
+  v.at(1, 1, 2) = 3;
+  v.at(1, 0, 1) = 4;
+  v.at(1, 2, 1) = 5;
+  v.at(0, 1, 1) = 6;
+  v.at(2, 1, 1) = 7;
+  const C3D7 c{0.1, 0.2, 0.3, 0.04, 0.05, 0.06, 0.07};
+  grid::Grid3D<double> out(1, 1, 1);
+  jacobi3d7_step(c, v, out);
+  EXPECT_DOUBLE_EQ(out.at(1, 1, 1), 0.1 * 1 + 0.2 * 2 + 0.3 * 3 + 0.04 * 4 +
+                                        0.05 * 5 + 0.06 * 6 + 0.07 * 7);
+}
+
+TEST(LifeRef, RuleTableExhaustive) {
+  const LifeRule b2s23{};  // paper's variant
+  for (std::int32_t alive = 0; alive <= 1; ++alive)
+    for (std::int32_t sum = 0; sum <= 8; ++sum) {
+      const bool expect =
+          alive ? (sum == 2 || sum == 3) : (sum == 2);
+      EXPECT_EQ(life_rule(b2s23, alive, sum), expect ? 1 : 0)
+          << "alive=" << alive << " sum=" << sum;
+    }
+  const LifeRule conway{3, 2, 3};
+  for (std::int32_t sum = 0; sum <= 8; ++sum) {
+    EXPECT_EQ(life_rule(conway, 0, sum), sum == 3 ? 1 : 0);
+    EXPECT_EQ(life_rule(conway, 1, sum), (sum == 2 || sum == 3) ? 1 : 0);
+  }
+}
+
+TEST(LifeRef, ConwayBlinkerPeriodTwo) {
+  const LifeRule conway{3, 2, 3};
+  grid::Grid2D<std::int32_t> u(5, 5);
+  u.fill(0);
+  u.at(3, 2) = u.at(3, 3) = u.at(3, 4) = 1;
+  grid::Grid2D<std::int32_t> v(5, 5);
+  life_step(conway, u, v);
+  // Now vertical.
+  EXPECT_EQ(v.at(2, 3), 1);
+  EXPECT_EQ(v.at(3, 3), 1);
+  EXPECT_EQ(v.at(4, 3), 1);
+  EXPECT_EQ(v.at(3, 2), 0);
+  EXPECT_EQ(v.at(3, 4), 0);
+  grid::Grid2D<std::int32_t> w(5, 5);
+  life_step(conway, v, w);
+  EXPECT_EQ(grid::max_abs_diff(u, w), 0.0);
+}
+
+// Brute-force LCS by exponential recursion on tiny inputs.
+std::int32_t lcs_brute(std::span<const std::int32_t> a,
+                       std::span<const std::int32_t> b) {
+  if (a.empty() || b.empty()) return 0;
+  if (a.back() == b.back())
+    return 1 + lcs_brute(a.first(a.size() - 1), b.first(b.size() - 1));
+  return std::max(lcs_brute(a.first(a.size() - 1), b),
+                  lcs_brute(a, b.first(b.size() - 1)));
+}
+
+TEST(LcsRef, MatchesBruteForceOnRandomSmallInputs) {
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<std::int32_t> d(0, 3);
+  for (int it = 0; it < 60; ++it) {
+    std::vector<std::int32_t> a(1 + it % 9), b(1 + (it * 7) % 10);
+    for (auto& v : a) v = d(rng);
+    for (auto& v : b) v = d(rng);
+    EXPECT_EQ(lcs_ref(a, b), lcs_brute(a, b));
+  }
+}
+
+TEST(LcsRef, KnownCases) {
+  const std::vector<std::int32_t> a{1, 2, 3, 4, 1};
+  const std::vector<std::int32_t> b{3, 4, 1, 2, 1, 3};
+  EXPECT_EQ(lcs_ref(a, b), 3);  // e.g. {3,4,1} or {1,2,3}
+  const std::vector<std::int32_t> c{1, 1, 1};
+  EXPECT_EQ(lcs_ref(c, c), 3);
+  EXPECT_EQ(lcs_ref(a, std::vector<std::int32_t>{}), 0);
+}
+
+TEST(LcsRef, FinalRowIsMonotone) {
+  std::mt19937_64 rng(23);
+  std::uniform_int_distribution<std::int32_t> d(0, 4);
+  std::vector<std::int32_t> a(20), b(30);
+  for (auto& v : a) v = d(rng);
+  for (auto& v : b) v = d(rng);
+  const auto row = lcs_ref_row(a, b);
+  ASSERT_EQ(row.size(), b.size() + 1);
+  EXPECT_EQ(row[0], 0);
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    EXPECT_GE(row[i], row[i - 1]);
+    EXPECT_LE(row[i] - row[i - 1], 1);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,302 @@
+// Unit tests for the SIMD substrate: every operation on the intrinsic
+// backends (when compiled in) is checked lane for lane against the scalar
+// backend, which is itself checked against hand-computed expectations.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+
+#include "simd/reorg.hpp"
+#include "simd/vec.hpp"
+
+namespace {
+
+using tvs::simd::ScalarVec;
+
+template <class V, class T, int N>
+std::array<T, N> to_array(V v) {
+  std::array<T, N> r;
+  for (int i = 0; i < N; ++i) r[static_cast<std::size_t>(i)] = v[i];
+  return r;
+}
+
+// ---- typed test over the double x 4 implementations ----------------------
+
+template <class V>
+class VecD4Like : public ::testing::Test {};
+
+using D4Types = ::testing::Types<
+#if defined(__AVX2__)
+    tvs::simd::VecD4,
+#endif
+    ScalarVec<double, 4>>;
+TYPED_TEST_SUITE(VecD4Like, D4Types);
+
+TYPED_TEST(VecD4Like, LoadStoreRoundTrip) {
+  using V = TypeParam;
+  alignas(64) double src[4] = {1.5, -2.0, 3.25, 4.75};
+  alignas(64) double dst[4] = {};
+  V::load(src).store(dst);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(src[i], dst[i]);
+}
+
+TYPED_TEST(VecD4Like, UnalignedLoadStore) {
+  using V = TypeParam;
+  double src[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  double dst[8] = {};
+  V::loadu(src + 1).storeu(dst + 3);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[3 + i], src[1 + i]);
+}
+
+TYPED_TEST(VecD4Like, Set1AndIndex) {
+  using V = TypeParam;
+  const V v = V::set1(2.5);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], 2.5);
+  EXPECT_EQ(V::zero()[2], 0.0);
+}
+
+TYPED_TEST(VecD4Like, ExtractInsert) {
+  using V = TypeParam;
+  alignas(64) double src[4] = {10, 11, 12, 13};
+  V v = V::load(src);
+  EXPECT_EQ(v.template extract<0>(), 10);
+  EXPECT_EQ(v.template extract<1>(), 11);
+  EXPECT_EQ(v.template extract<2>(), 12);
+  EXPECT_EQ(v.template extract<3>(), 13);
+  v = v.template insert<2>(99);
+  EXPECT_EQ(v[2], 99);
+  EXPECT_EQ(v[1], 11);
+  EXPECT_EQ(tvs::simd::top_lane(v), 13);
+}
+
+TYPED_TEST(VecD4Like, Arithmetic) {
+  using V = TypeParam;
+  alignas(64) double a[4] = {1, 2, 3, 4};
+  alignas(64) double b[4] = {5, 6, 7, 8};
+  const V va = V::load(a), vb = V::load(b);
+  const V sum = va + vb, dif = vb - va, prd = va * vb;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sum[i], a[i] + b[i]);
+    EXPECT_EQ(dif[i], b[i] - a[i]);
+    EXPECT_EQ(prd[i], a[i] * b[i]);
+  }
+}
+
+TYPED_TEST(VecD4Like, FmaMatchesStdFma) {
+  using V = TypeParam;
+  alignas(64) double a[4] = {1.1, 2.2, 3.3, 4.4};
+  alignas(64) double b[4] = {5.5, 6.6, 7.7, 8.8};
+  alignas(64) double c[4] = {9.9, 0.1, -0.2, 0.3};
+  const V r = fma(V::load(a), V::load(b), V::load(c));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r[i], std::fma(a[i], b[i], c[i]));
+}
+
+TYPED_TEST(VecD4Like, MinMax) {
+  using V = TypeParam;
+  alignas(64) double a[4] = {1, 9, -3, 4};
+  alignas(64) double b[4] = {2, 8, -4, 4};
+  const V mn = min(V::load(a), V::load(b));
+  const V mx = max(V::load(a), V::load(b));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(mn[i], std::min(a[i], b[i]));
+    EXPECT_EQ(mx[i], std::max(a[i], b[i]));
+  }
+}
+
+TYPED_TEST(VecD4Like, CmpeqBlendv) {
+  using V = TypeParam;
+  alignas(64) double a[4] = {1, 2, 3, 4};
+  alignas(64) double b[4] = {1, 5, 3, 7};
+  alignas(64) double x[4] = {10, 20, 30, 40};
+  alignas(64) double y[4] = {-1, -2, -3, -4};
+  const V mask = cmpeq(V::load(a), V::load(b));
+  const V r = blendv(V::load(x), V::load(y), mask);
+  EXPECT_EQ(r[0], -1);  // equal -> y
+  EXPECT_EQ(r[1], 20);  // not   -> x
+  EXPECT_EQ(r[2], -3);
+  EXPECT_EQ(r[3], 40);
+}
+
+TYPED_TEST(VecD4Like, Rotations) {
+  using V = TypeParam;
+  alignas(64) double a[4] = {0, 1, 2, 3};
+  const V up = rotate_up(V::load(a));
+  const V dn = rotate_down(V::load(a));
+  const double eup[4] = {3, 0, 1, 2};
+  const double edn[4] = {1, 2, 3, 0};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(up[i], eup[i]);
+    EXPECT_EQ(dn[i], edn[i]);
+  }
+}
+
+TYPED_TEST(VecD4Like, ShiftInLow) {
+  using V = TypeParam;
+  alignas(64) double a[4] = {0, 1, 2, 3};
+  const V r = shift_in_low(V::load(a), 42.0);
+  EXPECT_EQ(r[0], 42.0);
+  EXPECT_EQ(r[1], 0);
+  EXPECT_EQ(r[2], 1);
+  EXPECT_EQ(r[3], 2);  // old top lane (3) is discarded
+  const V rv = tvs::simd::shift_in_low_v(V::load(a), V::set1(42.0));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rv[i], r[i]);
+}
+
+TYPED_TEST(VecD4Like, CollectTops) {
+  using V = TypeParam;
+  alignas(64) double a[4] = {0, 0, 0, 10};
+  alignas(64) double b[4] = {0, 0, 0, 11};
+  alignas(64) double c[4] = {0, 0, 0, 12};
+  alignas(64) double d[4] = {0, 0, 0, 13};
+  const V t =
+      tvs::simd::collect_tops(V::load(a), V::load(b), V::load(c), V::load(d));
+  EXPECT_EQ(t[0], 10);
+  EXPECT_EQ(t[1], 11);
+  EXPECT_EQ(t[2], 12);
+  EXPECT_EQ(t[3], 13);
+}
+
+// ---- typed test over the int32 x 8 implementations ------------------------
+
+template <class V>
+class VecI8Like : public ::testing::Test {};
+
+using I8Types = ::testing::Types<
+#if defined(__AVX2__)
+    tvs::simd::VecI8,
+#endif
+    ScalarVec<std::int32_t, 8>>;
+TYPED_TEST_SUITE(VecI8Like, I8Types);
+
+TYPED_TEST(VecI8Like, LoadStoreArithmetic) {
+  using V = TypeParam;
+  alignas(64) std::int32_t a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  alignas(64) std::int32_t b[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+  const V s = V::load(a) + V::load(b);
+  const V d = V::load(a) - V::load(b);
+  const V p = V::load(a) * V::load(b);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(s[i], a[i] + b[i]);
+    EXPECT_EQ(d[i], a[i] - b[i]);
+    EXPECT_EQ(p[i], a[i] * b[i]);
+  }
+}
+
+TYPED_TEST(VecI8Like, MinMaxCmpBlend) {
+  using V = TypeParam;
+  alignas(64) std::int32_t a[8] = {1, 5, 3, 9, -2, 0, 7, 7};
+  alignas(64) std::int32_t b[8] = {2, 5, 1, 8, -3, 0, 9, 7};
+  const V mn = min(V::load(a), V::load(b));
+  const V mx = max(V::load(a), V::load(b));
+  const V eq = cmpeq(V::load(a), V::load(b));
+  const V bl = blendv(V::set1(100), V::set1(-100), eq);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(mn[i], std::min(a[i], b[i]));
+    EXPECT_EQ(mx[i], std::max(a[i], b[i]));
+    EXPECT_EQ(bl[i], a[i] == b[i] ? -100 : 100);
+  }
+}
+
+TYPED_TEST(VecI8Like, RotationsAndShift) {
+  using V = TypeParam;
+  alignas(64) std::int32_t a[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const V up = rotate_up(V::load(a));
+  const V dn = rotate_down(V::load(a));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(up[i], a[(i + 7) % 8]);
+    EXPECT_EQ(dn[i], a[(i + 1) % 8]);
+  }
+  const V sh = shift_in_low(V::load(a), 42);
+  EXPECT_EQ(sh[0], 42);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(sh[i], a[i - 1]);
+  EXPECT_EQ(tvs::simd::top_lane(V::load(a)), 7);
+}
+
+TYPED_TEST(VecI8Like, ExtractInsert) {
+  using V = TypeParam;
+  alignas(64) std::int32_t a[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  V v = V::load(a);
+  EXPECT_EQ(v.template extract<5>(), 5);
+  v = v.template insert<5>(55);
+  EXPECT_EQ(v[5], 55);
+  EXPECT_EQ(v[4], 4);
+}
+
+TYPED_TEST(VecI8Like, CollectTops8) {
+  using V = TypeParam;
+  std::array<V, 8> ws;
+  for (int j = 0; j < 8; ++j) {
+    alignas(64) std::int32_t tmp[8] = {};
+    tmp[7] = 100 + j;
+    ws[static_cast<std::size_t>(j)] = V::load(tmp);
+  }
+  const V t = tvs::simd::collect_tops(ws[0], ws[1], ws[2], ws[3], ws[4], ws[5],
+                                      ws[6], ws[7]);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(t[i], 100 + i);
+}
+
+#if defined(__AVX2__)
+// Randomized cross-check: intrinsic backends behave exactly like the scalar
+// model on every operation.
+TEST(SimdCrossCheck, D4RandomOps) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> d(-10, 10);
+  for (int it = 0; it < 500; ++it) {
+    alignas(64) double a[4], b[4], c[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = d(rng);
+      b[i] = d(rng);
+      c[i] = d(rng);
+    }
+    using I = tvs::simd::VecD4;
+    using S = ScalarVec<double, 4>;
+    const auto ia = I::load(a), ib = I::load(b), ic = I::load(c);
+    const auto sa = S::load(a), sb = S::load(b), sc = S::load(c);
+    const auto chk = [](auto vi, auto vs) {
+      for (int i = 0; i < 4; ++i) ASSERT_EQ(vi[i], vs[i]);
+    };
+    chk(ia + ib, sa + sb);
+    chk(ia - ib, sa - sb);
+    chk(ia * ib, sa * sb);
+    chk(fma(ia, ib, ic), fma(sa, sb, sc));
+    chk(min(ia, ib), min(sa, sb));
+    chk(max(ia, ib), max(sa, sb));
+    chk(rotate_up(ia), rotate_up(sa));
+    chk(rotate_down(ia), rotate_down(sa));
+    chk(shift_in_low(ia, c[0]), shift_in_low(sa, c[0]));
+    chk(blendv(ia, ib, cmpeq(ia, ic)), blendv(sa, sb, cmpeq(sa, sc)));
+    chk(tvs::simd::collect_tops(ia, ib, ic, ia),
+        tvs::simd::collect_tops(sa, sb, sc, sa));
+  }
+}
+
+TEST(SimdCrossCheck, I8RandomOps) {
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<std::int32_t> d(-1000, 1000);
+  for (int it = 0; it < 500; ++it) {
+    alignas(64) std::int32_t a[8], b[8];
+    for (int i = 0; i < 8; ++i) {
+      a[i] = d(rng);
+      b[i] = d(rng);
+    }
+    using I = tvs::simd::VecI8;
+    using S = ScalarVec<std::int32_t, 8>;
+    const auto ia = I::load(a), ib = I::load(b);
+    const auto sa = S::load(a), sb = S::load(b);
+    const auto chk = [](auto vi, auto vs) {
+      for (int i = 0; i < 8; ++i) ASSERT_EQ(vi[i], vs[i]);
+    };
+    chk(ia + ib, sa + sb);
+    chk(ia * ib, sa * sb);
+    chk(min(ia, ib), min(sa, sb));
+    chk(max(ia, ib), max(sa, sb));
+    chk(rotate_up(ia), rotate_up(sa));
+    chk(rotate_down(ia), rotate_down(sa));
+    chk(shift_in_low(ia, b[0]), shift_in_low(sa, b[0]));
+    chk(blendv(ia, ib, cmpeq(ia, ib)), blendv(sa, sb, cmpeq(sa, sb)));
+  }
+}
+#endif
+
+}  // namespace

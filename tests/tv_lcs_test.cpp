@@ -1,0 +1,101 @@
+// Property tests for the temporally vectorized LCS kernel: the final DP row
+// must equal the scalar oracle cell for cell (integer arithmetic — exact).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "simd/vec.hpp"
+#include "stencil/lcs_ref.hpp"
+#include "tv/tv_lcs.hpp"
+#include "tv/tv_lcs_impl.hpp"
+
+namespace {
+
+using namespace tvs;
+
+std::vector<std::int32_t> random_seq(int n, int alphabet, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int32_t> d(0, alphabet - 1);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+using P = std::tuple<int, int, int>;  // na, nb, alphabet
+class TvLcsSweep : public ::testing::TestWithParam<P> {};
+
+TEST_P(TvLcsSweep, FinalRowMatchesOracle) {
+  const auto [na, nb, alpha] = GetParam();
+  const auto a = random_seq(na, alpha, 1000u + static_cast<unsigned>(na));
+  const auto b = random_seq(nb, alpha, 2000u + static_cast<unsigned>(nb));
+  const auto ref = stencil::lcs_ref_row(a, b);
+  const auto got = tv::tv_lcs_row(a, b);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], got[i]) << "col " << i << " na=" << na << " nb=" << nb;
+}
+
+TEST_P(TvLcsSweep, ScalarBackendMatchesOracle) {
+  const auto [na, nb, alpha] = GetParam();
+  const auto a = random_seq(na, alpha, 3000u + static_cast<unsigned>(na));
+  const auto b = random_seq(nb, alpha, 4000u + static_cast<unsigned>(nb));
+  const auto ref = stencil::lcs_ref_row(a, b);
+  std::vector<std::int32_t> row(b.size() + 1 + 8, 0);
+  if (!b.empty())
+    tv::tv_lcs_rows_impl<simd::ScalarVec<std::int32_t, 8>>(a, b, row.data());
+  for (std::size_t i = 0; i <= b.size(); ++i)
+    ASSERT_EQ(ref[i], row[i]) << "col " << i << " na=" << na << " nb=" << nb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TvLcsSweep,
+    ::testing::Combine(
+        // na: crossing the 8-row tile boundary; nb: crossing nb >= 9
+        ::testing::Values(1, 3, 7, 8, 9, 16, 17, 33, 100),
+        ::testing::Values(1, 4, 8, 9, 10, 17, 40, 129), ::testing::Values(2, 4)),
+    [](const auto& info) {
+      return "na" + std::to_string(std::get<0>(info.param)) + "_nb" +
+             std::to_string(std::get<1>(info.param)) + "_a" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(TvLcs, KnownCases) {
+  const std::vector<std::int32_t> a{1, 2, 3, 4, 1};
+  const std::vector<std::int32_t> b{3, 4, 1, 2, 1, 3};
+  EXPECT_EQ(tv::tv_lcs(a, b), 3);
+  EXPECT_EQ(tv::tv_lcs(a, a), 5);
+  EXPECT_EQ(tv::tv_lcs(a, std::vector<std::int32_t>{}), 0);
+  EXPECT_EQ(tv::tv_lcs(std::vector<std::int32_t>{}, b), 0);
+}
+
+TEST(TvLcs, IdenticalSequences) {
+  const auto a = random_seq(200, 4, 7);
+  EXPECT_EQ(tv::tv_lcs(a, a), 200);
+}
+
+TEST(TvLcs, DisjointAlphabets) {
+  std::vector<std::int32_t> a(50, 1), b(70, 2);
+  EXPECT_EQ(tv::tv_lcs(a, b), 0);
+}
+
+TEST(TvLcs, SubsequenceEmbedding) {
+  // b = a with junk interleaved -> lcs == |a|.
+  const auto a = random_seq(64, 3, 11);
+  std::vector<std::int32_t> b;
+  for (const auto v : a) {
+    b.push_back(9);
+    b.push_back(v);
+    b.push_back(8);
+  }
+  EXPECT_EQ(tv::tv_lcs(a, b), 64);
+}
+
+TEST(TvLcs, LargeRandomMatchesOracleLength) {
+  const auto a = random_seq(1000, 4, 21);
+  const auto b = random_seq(1500, 4, 22);
+  EXPECT_EQ(tv::tv_lcs(a, b), stencil::lcs_ref(a, b));
+}
+
+}  // namespace
