@@ -4,13 +4,12 @@
 // the paper's Table 1 problem sizes.
 #pragma once
 
-#include <omp.h>
-
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_util/bench.hpp"
+#include "util/omp_compat.hpp"
 
 namespace tvs::benchx {
 
@@ -28,6 +27,7 @@ inline void par_figure(const std::string& title,
   std::vector<std::string> hdr{"threads"};
   for (const auto& v : variants) hdr.push_back(v.name);
   b::print_header(hdr);
+#if defined(_OPENMP)
   const int saved = omp_get_max_threads();
   for (const int t : b::thread_sweep()) {
     omp_set_num_threads(t);
@@ -36,6 +36,12 @@ inline void par_figure(const std::string& title,
     b::print_row(row);
   }
   omp_set_num_threads(saved);
+#else
+  // Serial build: the sweep collapses to a single one-thread row.
+  std::vector<std::string> row{"1"};
+  for (const auto& v : variants) row.push_back(b::fmt(v.rate(1)));
+  b::print_row(row);
+#endif
 }
 
 }  // namespace tvs::benchx

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Convert the aligned-table stdout of the bench binaries into JSON.
+
+The bench harness (src/bench_util/bench.cpp) prints
+
+    == <title> ==
+    <col> <col> ...          (header, fixed-width cells)
+    <cell> <cell> ...        (rows)
+
+one or more tables per binary.  This script reads a set of
+`<name>.txt` capture files and emits one JSON document:
+
+    {"schema": "tvs-bench-v1", "generated_by": ..., "host": ...,
+     "mode": "quick"|"full",
+     "benches": [{"name": ..., "seconds": ...,
+                  "tables": [{"title": ..., "columns": [...],
+                              "rows": [[...], ...]}]}]}
+
+Numeric cells are parsed as floats; everything else stays a string.
+
+Usage: parse_tables.py <out.json> <name=seconds=capture.txt> ...
+"""
+import json
+import os
+import platform
+import sys
+
+
+def parse_cell(cell):
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def parse_capture(path):
+    tables = []
+    current = None
+    with open(path, "r", errors="replace") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line.startswith("== ") and line.endswith(" =="):
+                current = {"title": line[3:-3].strip(), "columns": [],
+                           "rows": []}
+                tables.append(current)
+                continue
+            cells = line.split()
+            if current is None or not cells:
+                continue
+            if all(set(c) == {"-"} for c in cells):
+                continue  # the dashed separator under the header
+            if not current["columns"]:
+                current["columns"] = cells
+            else:
+                current["rows"].append([parse_cell(c) for c in cells])
+    return tables
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    out_path = argv[1]
+    benches = []
+    for spec in argv[2:]:
+        name, seconds, path = spec.split("=", 2)
+        benches.append({
+            "name": name,
+            "seconds": float(seconds),
+            "tables": parse_capture(path),
+        })
+    doc = {
+        "schema": "tvs-bench-v1",
+        "generated_by": "bench/run_all.sh",
+        "host": platform.node(),
+        "machine": platform.machine(),
+        "mode": "full" if os.environ.get("TVS_BENCH_FULL") == "1"
+                else "quick",
+        "benches": benches,
+    }
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print("wrote %s (%d benches)" % (out_path, len(benches)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

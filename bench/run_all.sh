@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Runs the figure benchmarks at their quick sizes and writes a
+# machine-readable JSON summary, so every PR leaves a perf data point.
+#
+#   bench/run_all.sh [options]
+#     -b DIR    build directory containing the bench binaries (default: build)
+#     -o FILE   output JSON path (default: BENCH_PR<N>.json next to -b,
+#               N taken from TVS_PR_NUMBER, default 1)
+#     -a        run ALL benches, including the thread-sweep *_par figures
+#               (default: the sequential/ablation set — the par sweeps are
+#               meaningless on a 1-2 core box and dominate wall time)
+#     -q        quick subset only (one bench per kernel family; fastest)
+#
+# Environment: TVS_BENCH_FULL=1 switches binaries to paper-scale sizes;
+# TVS_BENCH_MAXTHREADS caps the thread sweep of the par figures.
+set -euo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+repo="$(dirname "$here")"
+build_dir="$repo/build"
+out_json=""
+mode="seq"
+
+while getopts "b:o:aq" opt; do
+  case "$opt" in
+    b) build_dir="$OPTARG" ;;
+    o) out_json="$OPTARG" ;;
+    a) mode="all" ;;
+    q) mode="quick" ;;
+    *) exit 2 ;;
+  esac
+done
+
+pr="${TVS_PR_NUMBER:-1}"
+[ -n "$out_json" ] || out_json="$repo/BENCH_PR${pr}.json"
+
+bench_bin_dir="$build_dir/bench"
+if [ ! -d "$bench_bin_dir" ]; then
+  echo "error: $bench_bin_dir not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+bench_bin_dir="$(cd "$bench_bin_dir" && pwd)"
+
+seq_benches=(
+  fig4a_heat1d_seq fig4c_heat2d_seq fig4e_heat3d_seq fig4g_2d9p_seq
+  fig4i_life_seq fig5a_gs1d_seq fig5c_gs2d_seq fig5e_gs3d_seq fig5g_lcs_seq
+  ablation_stride ablation_vl table1_blocking
+)
+# ablation_reorg emits google-benchmark console output, not the tvs table
+# format, so it is run manually rather than through this driver.
+par_benches=(
+  fig4b_heat1d_par fig4d_heat2d_par fig4f_heat3d_par fig4h_2d9p_par
+  fig4j_life_par fig5b_gs1d_par fig5d_gs2d_par fig5f_gs3d_par fig5h_lcs_par
+)
+quick_benches=(fig4a_heat1d_seq fig4c_heat2d_seq fig5a_gs1d_seq
+               fig5g_lcs_seq ablation_vl)
+
+case "$mode" in
+  quick) benches=("${quick_benches[@]}") ;;
+  seq)   benches=("${seq_benches[@]}") ;;
+  all)   benches=("${seq_benches[@]}" "${par_benches[@]}") ;;
+esac
+
+capture_dir="$(mktemp -d)"
+trap 'rm -rf "$capture_dir"' EXIT
+
+specs=()
+for b in "${benches[@]}"; do
+  bin="$bench_bin_dir/$b"
+  if [ ! -x "$bin" ]; then
+    echo "-- skipping $b (binary not built)" >&2
+    continue
+  fi
+  echo "-- running $b"
+  t0=$(date +%s.%N)
+  "$bin" | tee "$capture_dir/$b.txt"
+  t1=$(date +%s.%N)
+  secs=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
+  specs+=("$b=$secs=$capture_dir/$b.txt")
+done
+
+if [ "${#specs[@]}" -eq 0 ]; then
+  echo "error: no bench binaries found to run" >&2
+  exit 1
+fi
+
+python3 "$here/parse_tables.py" "$out_json" "${specs[@]}"

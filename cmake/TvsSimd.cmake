@@ -1,0 +1,131 @@
+# SIMD level selection for the temporal-vectorization build.
+#
+# The vector backend is chosen at compile time by `src/simd/vec.hpp` from
+# the architecture macros (__AVX2__ / __AVX512F__), so the instruction-set
+# flags must be applied consistently to every TU that instantiates a kernel.
+# This module resolves the user-facing TVS_SIMD option against what the
+# compiler accepts and (unless cross-compiling) what the host CPU executes:
+#
+#   TVS_SIMD = AUTO    highest level that passes both checks (default)
+#              scalar  no SIMD flags: ScalarVec backend everywhere
+#              avx2    -mavx2 -mfma              (the paper's vl = 4 setting)
+#              avx512  -mavx2 -mfma -mavx512f    (the vl = 8 future-work path)
+#
+# Outputs:
+#   TVS_SIMD_LEVEL  resolved level string (scalar | avx2 | avx512)
+#   TVS_SIMD_FLAGS  list of compile flags for that level
+#   TVS_FP_FLAGS    FP-determinism flags (see below)
+
+include(CheckCXXCompilerFlag)
+include(CheckCXXSourceCompiles)
+
+set(TVS_SIMD "AUTO" CACHE STRING "SIMD level: AUTO, scalar, avx2, avx512")
+set_property(CACHE TVS_SIMD PROPERTY STRINGS AUTO scalar avx2 avx512)
+string(TOLOWER "${TVS_SIMD}" _tvs_simd_req)
+
+# ---- compiler support ------------------------------------------------------
+check_cxx_compiler_flag("-mavx2" TVS_COMPILER_HAS_MAVX2)
+check_cxx_compiler_flag("-mfma" TVS_COMPILER_HAS_MFMA)
+check_cxx_compiler_flag("-mavx512f" TVS_COMPILER_HAS_MAVX512F)
+
+# ---- host CPU support (skipped when cross-compiling) -----------------------
+# try_run compiles a probe with the candidate flags and executes one
+# instruction from the set; SIGILL on an older CPU fails the check and the
+# level degrades gracefully instead of producing binaries that crash.
+function(_tvs_try_run_probe out_var probe_src flags)
+  if(CMAKE_CROSSCOMPILING)
+    # Cannot execute target code; trust the compiler check alone.
+    set(${out_var} TRUE PARENT_SCOPE)
+    return()
+  endif()
+  try_run(_run_result _compile_result
+          ${CMAKE_BINARY_DIR}/tvs_simd_probe
+          ${probe_src}
+          COMPILE_DEFINITIONS ${flags})
+  if(_compile_result AND _run_result EQUAL 0)
+    set(${out_var} TRUE PARENT_SCOPE)
+  else()
+    set(${out_var} FALSE PARENT_SCOPE)
+  endif()
+endfunction()
+
+set(TVS_CPU_HAS_AVX2 FALSE)
+set(TVS_CPU_HAS_AVX512 FALSE)
+if(TVS_COMPILER_HAS_MAVX2 AND TVS_COMPILER_HAS_MFMA)
+  _tvs_try_run_probe(TVS_CPU_HAS_AVX2
+                     ${CMAKE_CURRENT_LIST_DIR}/check_avx2.cpp
+                     "-mavx2;-mfma")
+endif()
+if(TVS_COMPILER_HAS_MAVX512F)
+  _tvs_try_run_probe(TVS_CPU_HAS_AVX512
+                     ${CMAKE_CURRENT_LIST_DIR}/check_avx512.cpp
+                     "-mavx512f")
+endif()
+
+# ---- resolve the requested level against what is available -----------------
+if(_tvs_simd_req STREQUAL "auto")
+  if(CMAKE_CROSSCOMPILING)
+    # The probes could not execute target code, so "highest level that
+    # passes both checks" is unknowable; anything above scalar could
+    # SIGILL on the deployment CPU.  Cross builds must force a level.
+    message(STATUS "Cross-compiling: TVS_SIMD=AUTO resolves to scalar "
+                   "(set TVS_SIMD=avx2/avx512 explicitly for SIMD builds)")
+    set(TVS_SIMD_LEVEL "scalar")
+  elseif(TVS_CPU_HAS_AVX512 AND TVS_CPU_HAS_AVX2)
+    set(TVS_SIMD_LEVEL "avx512")
+  elseif(TVS_CPU_HAS_AVX2)
+    set(TVS_SIMD_LEVEL "avx2")
+  else()
+    set(TVS_SIMD_LEVEL "scalar")
+  endif()
+elseif(_tvs_simd_req STREQUAL "scalar")
+  set(TVS_SIMD_LEVEL "scalar")
+elseif(_tvs_simd_req STREQUAL "avx2")
+  if(NOT (TVS_COMPILER_HAS_MAVX2 AND TVS_COMPILER_HAS_MFMA))
+    message(FATAL_ERROR "TVS_SIMD=avx2 but the compiler rejects -mavx2/-mfma")
+  endif()
+  if(NOT TVS_CPU_HAS_AVX2)
+    message(WARNING "TVS_SIMD=avx2 forced but this host failed the AVX2 "
+                    "probe; binaries may not run here")
+  endif()
+  set(TVS_SIMD_LEVEL "avx2")
+elseif(_tvs_simd_req STREQUAL "avx512")
+  if(NOT (TVS_COMPILER_HAS_MAVX2 AND TVS_COMPILER_HAS_MFMA
+          AND TVS_COMPILER_HAS_MAVX512F))
+    message(FATAL_ERROR "TVS_SIMD=avx512 but the compiler rejects the "
+                        "required -mavx2/-mfma/-mavx512f flags")
+  endif()
+  if(NOT TVS_CPU_HAS_AVX512)
+    message(WARNING "TVS_SIMD=avx512 forced but this host failed the "
+                    "AVX-512F probe; binaries may not run here")
+  endif()
+  set(TVS_SIMD_LEVEL "avx512")
+else()
+  message(FATAL_ERROR "Unknown TVS_SIMD value '${TVS_SIMD}' "
+                      "(expected AUTO, scalar, avx2, or avx512)")
+endif()
+
+if(TVS_SIMD_LEVEL STREQUAL "avx512")
+  set(TVS_SIMD_FLAGS -mavx2 -mfma -mavx512f)
+elseif(TVS_SIMD_LEVEL STREQUAL "avx2")
+  set(TVS_SIMD_FLAGS -mavx2 -mfma)
+else()
+  set(TVS_SIMD_FLAGS "")
+endif()
+
+# ---- FP determinism --------------------------------------------------------
+# The bit-for-bit vector-vs-scalar-oracle contract requires that the ONLY
+# fused multiply-adds are the explicit fma() calls in the kernels and
+# references.  GCC/Clang default to -ffp-contract=fast, which would let the
+# compiler fuse arbitrary a*b+c expressions differently per backend, so
+# contraction is pinned off; explicit std::fma / _mm*_fmadd are unaffected.
+check_cxx_compiler_flag("-ffp-contract=off" TVS_COMPILER_HAS_FP_CONTRACT)
+if(TVS_COMPILER_HAS_FP_CONTRACT)
+  set(TVS_FP_FLAGS -ffp-contract=off)
+else()
+  set(TVS_FP_FLAGS "")
+endif()
+
+message(STATUS "TVS SIMD level: ${TVS_SIMD_LEVEL} "
+               "(flags: '${TVS_SIMD_FLAGS}'; requested: ${TVS_SIMD}; "
+               "cpu avx2=${TVS_CPU_HAS_AVX2} avx512=${TVS_CPU_HAS_AVX512})")

@@ -1,0 +1,13 @@
+// Configure-time CPU probe: executes an AVX2 FMA instruction and exits 0.
+// A machine without AVX2/FMA dies with SIGILL, which CMake's try_run
+// reports as failure, and the build degrades to the ScalarVec backend.
+#include <immintrin.h>
+
+int main() {
+  __m256d a = _mm256_set1_pd(1.5);
+  __m256d b = _mm256_set1_pd(2.0);
+  __m256d c = _mm256_fmadd_pd(a, b, a);
+  alignas(32) double out[4];
+  _mm256_store_pd(out, c);
+  return out[0] == 4.5 ? 0 : 1;
+}

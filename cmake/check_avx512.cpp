@@ -1,0 +1,13 @@
+// Configure-time CPU probe: executes an AVX-512F instruction and exits 0.
+// A machine without AVX-512F dies with SIGILL, which CMake's try_run
+// reports as failure, and the AVX-512 (vl = 8) targets degrade to AVX2.
+#include <immintrin.h>
+
+int main() {
+  __m512d a = _mm512_set1_pd(1.5);
+  __m512d b = _mm512_set1_pd(2.0);
+  __m512d c = _mm512_fmadd_pd(a, b, a);
+  alignas(64) double out[8];
+  _mm512_store_pd(out, c);
+  return out[7] == 4.5 ? 0 : 1;
+}

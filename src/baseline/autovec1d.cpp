@@ -1,4 +1,4 @@
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <utility>
 

@@ -1,6 +1,6 @@
 #include "bench_util/bench.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <chrono>
 #include <cstdio>

@@ -11,7 +11,7 @@
 // phase neighbour, and lanes read from there are provably never consumed.
 #include "tiling/diamond2d.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <algorithm>
 #include <vector>

@@ -1,7 +1,7 @@
 // 3D trapezoid engine + diamond driver; the slab analogue of diamond2d.cpp.
 #include "tiling/diamond3d.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <algorithm>
 #include <vector>

@@ -6,7 +6,7 @@
 // which lifts row-wise / plane-wise verbatim).
 #include "tiling/parallelogram2d.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <algorithm>
 #include <vector>

@@ -1,0 +1,20 @@
+// OpenMP runtime-API shim: includes <omp.h> when compiled with OpenMP and
+// provides serial fallbacks otherwise, so every translation unit — including
+// the sequential figure benches — builds on a toolchain without OpenMP.
+//
+// Only the query/control functions the codebase actually uses are stubbed;
+// `#pragma omp` directives are ignored by non-OpenMP compilers on their own.
+#pragma once
+
+#if defined(_OPENMP)
+
+#include <omp.h>
+
+#else
+
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+inline void omp_set_num_threads(int) {}
+
+#endif

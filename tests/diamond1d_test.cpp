@@ -3,7 +3,7 @@
 // step counts off the band and vl grid, single- and multi-threaded.
 #include <gtest/gtest.h>
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <random>
 #include <tuple>

@@ -3,7 +3,7 @@
 // across tile geometries and under many threads.
 #include <gtest/gtest.h>
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <random>
 #include <tuple>

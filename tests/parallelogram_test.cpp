@@ -2,7 +2,7 @@
 // in-place scalar sweeps exactly, across tile geometries and thread counts.
 #include <gtest/gtest.h>
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <random>
 #include <tuple>
