@@ -3,15 +3,32 @@
 // half the memory traffic, deeper scalar edge triangles, and (on most
 // parts) a lower AVX-512 clock.  This quantifies the paper's future-work
 // trade-off.
+//
+// The columns pin their engines through the registry instead of using the
+// public entry points: on an AVX-512 host the avx512 backend serves the
+// standard 2D ids with the vl = 8 engine, so a dispatched tv_jacobi2d5_run
+// would silently measure vl = 8 against itself.
 #include <string>
 
 #include "bench_util/bench.hpp"
-#include "tv/tv2d.hpp"
-#include "tv/tv2d_wide.hpp"
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
 
 int main() {
   using namespace tvs;
   namespace b = tvs::bench;
+  const auto& reg = dispatch::KernelRegistry::instance();
+  // vl = 4: the avx2 variant when this CPU runs it, ScalarVec<double, 4>
+  // otherwise (get_at falls back downward, never upward).
+  const dispatch::Backend vl4_at = dispatch::cpu_supports(dispatch::Backend::kAvx2)
+                                       ? dispatch::Backend::kAvx2
+                                       : dispatch::Backend::kScalar;
+  auto* run4 = reg.get_at<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5, vl4_at);
+  // vl = 8: the dedicated vl8 id (VecD8 under avx512, ScalarVec<double, 8>
+  // elsewhere) at the best backend this CPU supports.
+  auto* run8 = reg.get_at<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5Vl8,
+                                                   dispatch::best_available());
+
   const stencil::C2D5 c = stencil::heat2d(0.2);
   b::print_title("Ablation  Heat-2D vector length 4 vs 8 (Gstencils/s)");
   b::print_header({"size", "vl=4", "vl=8"});
@@ -21,10 +38,8 @@ int main() {
     grid::Grid2D<double> u(n, n);
     for (int x = 0; x <= n + 1; ++x)
       for (int y = 0; y <= n + 1; ++y) u.at(x, y) = 0.001 * ((x + y) % 83);
-    const double r4 = b::measure_gstencils(
-        pts, [&] { tv::tv_jacobi2d5_run(c, u, steps, 2); });
-    const double r8 = b::measure_gstencils(
-        pts, [&] { tv::tv_jacobi2d5_run_vl8(c, u, steps, 2); });
+    const double r4 = b::measure_gstencils(pts, [&] { run4(c, u, steps, 2); });
+    const double r8 = b::measure_gstencils(pts, [&] { run8(c, u, steps, 2); });
     b::print_row({std::to_string(n), b::fmt(r4), b::fmt(r8)});
   }
   return 0;

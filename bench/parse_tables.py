@@ -16,9 +16,14 @@ one or more tables per binary.  This script reads a set of
                   "tables": [{"title": ..., "columns": [...],
                               "rows": [[...], ...]}]}]}
 
+A bench that failed (missing binary, non-zero exit, unreadable or partial
+capture) still gets an entry, with an "error" field describing what went
+wrong, instead of aborting the whole conversion with a traceback.
+
 Numeric cells are parsed as floats; everything else stays a string.
 
-Usage: parse_tables.py <out.json> <name=seconds=capture.txt> ...
+Usage: parse_tables.py <out.json> <name=seconds=status=capture.txt> ...
+       (legacy three-field specs <name=seconds=capture.txt> imply status ok)
 """
 import json
 import os
@@ -56,6 +61,39 @@ def parse_capture(path):
     return tables
 
 
+def table_problem(tables):
+    """A human-readable description of a truncated/partial table, or None."""
+    if not tables:
+        return "no tables found in output"
+    for t in tables:
+        if not t["columns"]:
+            return "table %r has no header" % t["title"]
+        if not t["rows"]:
+            return "table %r has a header but no rows" % t["title"]
+        for row in t["rows"]:
+            if len(row) != len(t["columns"]):
+                return ("table %r has a row with %d cells (header has %d)"
+                        % (t["title"], len(row), len(t["columns"])))
+    return None
+
+
+def parse_spec(spec):
+    """-> (name, seconds, status, path).  Raises ValueError on bad specs."""
+    parts = spec.split("=", 3)
+    if len(parts) == 3:  # legacy: name=seconds=path
+        name, seconds, path = parts
+        status = "ok"
+    elif len(parts) == 4:
+        name, seconds, status, path = parts
+    else:
+        raise ValueError("malformed spec %r" % spec)
+    try:
+        secs = float(seconds)
+    except ValueError:
+        secs = 0.0
+    return name, secs, status, path
+
+
 def main(argv):
     if len(argv) < 2:
         sys.stderr.write(__doc__)
@@ -63,12 +101,27 @@ def main(argv):
     out_path = argv[1]
     benches = []
     for spec in argv[2:]:
-        name, seconds, path = spec.split("=", 2)
-        benches.append({
-            "name": name,
-            "seconds": float(seconds),
-            "tables": parse_capture(path),
-        })
+        try:
+            name, seconds, status, path = parse_spec(spec)
+        except ValueError as e:
+            sys.stderr.write("parse_tables: %s\n" % e)
+            return 2
+        entry = {"name": name, "seconds": seconds, "tables": []}
+        if status != "ok":
+            entry["error"] = status
+        else:
+            try:
+                entry["tables"] = parse_capture(path)
+            except OSError as e:
+                entry["error"] = "unreadable capture: %s" % e
+            else:
+                problem = table_problem(entry["tables"])
+                if problem is not None:
+                    entry["error"] = "partial output: %s" % problem
+        if "error" in entry:
+            sys.stderr.write("parse_tables: %s: %s\n"
+                             % (name, entry["error"]))
+        benches.append(entry)
     doc = {
         "schema": "tvs-bench-v1",
         "generated_by": "bench/run_all.sh",
@@ -76,12 +129,16 @@ def main(argv):
         "machine": platform.machine(),
         "mode": "full" if os.environ.get("TVS_BENCH_FULL") == "1"
                 else "quick",
+        # Kernel dispatch is runtime now; record what the run was pinned to.
+        "force_backend": os.environ.get("TVS_FORCE_BACKEND") or "auto",
         "benches": benches,
     }
     with open(out_path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
-    print("wrote %s (%d benches)" % (out_path, len(benches)))
+    errors = sum(1 for b in benches if "error" in b)
+    print("wrote %s (%d benches, %d with errors)"
+          % (out_path, len(benches), errors))
     return 0
 
 

@@ -65,19 +65,39 @@ esac
 capture_dir="$(mktemp -d)"
 trap 'rm -rf "$capture_dir"' EXIT
 
+# Per-bench failures (missing binary, non-zero exit) do not abort the run:
+# they are recorded as "error" entries in the JSON so one crashed bench
+# cannot throw away the whole run's data.  The script still fails fast on
+# infrastructure errors (unbuilt tree, unparseable output) via set -e, and
+# exits non-zero at the end if any bench errored.
 specs=()
+failed=0
 for b in "${benches[@]}"; do
   bin="$bench_bin_dir/$b"
   if [ ! -x "$bin" ]; then
-    echo "-- skipping $b (binary not built)" >&2
+    echo "-- ERROR: $b not built" >&2
+    specs+=("$b=0=error:not-built=/dev/null")
+    failed=1
     continue
   fi
   echo "-- running $b"
   t0=$(date +%s.%N)
-  "$bin" | tee "$capture_dir/$b.txt"
+  rc=0
+  # stderr goes to its own file: a stray diagnostic line inside a table
+  # would otherwise be parsed as a malformed row.
+  "$bin" 2>"$capture_dir/$b.stderr" | tee "$capture_dir/$b.txt" || rc=$?
   t1=$(date +%s.%N)
   secs=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", b - a }')
-  specs+=("$b=$secs=$capture_dir/$b.txt")
+  if [ -s "$capture_dir/$b.stderr" ]; then
+    sed "s/^/-- $b stderr: /" "$capture_dir/$b.stderr" >&2
+  fi
+  if [ "$rc" -ne 0 ]; then
+    echo "-- ERROR: $b exited with status $rc" >&2
+    specs+=("$b=$secs=error:exit-$rc=$capture_dir/$b.txt")
+    failed=1
+  else
+    specs+=("$b=$secs=ok=$capture_dir/$b.txt")
+  fi
 done
 
 if [ "${#specs[@]}" -eq 0 ]; then
@@ -86,3 +106,8 @@ if [ "${#specs[@]}" -eq 0 ]; then
 fi
 
 python3 "$here/parse_tables.py" "$out_json" "${specs[@]}"
+
+if [ "$failed" -ne 0 ]; then
+  echo "error: some benches failed; see the \"error\" entries in $out_json" >&2
+  exit 1
+fi

@@ -1,25 +1,32 @@
-# SIMD level selection for the temporal-vectorization build.
+# SIMD backend resolution for the multi-backend runtime-dispatch build.
 #
-# The vector backend is chosen at compile time by `src/simd/vec.hpp` from
-# the architecture macros (__AVX2__ / __AVX512F__), so the instruction-set
-# flags must be applied consistently to every TU that instantiates a kernel.
-# This module resolves the user-facing TVS_SIMD option against what the
-# compiler accepts and (unless cross-compiling) what the host CPU executes:
+# Since the dispatch refactor the vector ISA is a *runtime* choice: the
+# scalar, AVX2 and AVX-512 variants of every kernel are compiled side by
+# side into one binary (per-backend TUs with per-file flags, see
+# src/CMakeLists.txt) and selected via CPUID at first call.  Configure time
+# therefore only answers "which backends can this *compiler* produce?" —
+# the host CPU no longer gates the build, only which tests can execute.
 #
-#   TVS_SIMD = AUTO    highest level that passes both checks (default)
-#              scalar  no SIMD flags: ScalarVec backend everywhere
-#              avx2    -mavx2 -mfma              (the paper's vl = 4 setting)
-#              avx512  -mavx2 -mfma -mavx512f    (the vl = 8 future-work path)
+#   TVS_SIMD = AUTO    compile every backend the compiler supports (default)
+#              scalar  scalar backend only (fully portable library)
+#              avx2    scalar + avx2            (-mavx2 -mfma)
+#              avx512  scalar + avx2 + avx512   (+ -mavx512f)
 #
 # Outputs:
-#   TVS_SIMD_LEVEL  resolved level string (scalar | avx2 | avx512)
-#   TVS_SIMD_FLAGS  list of compile flags for that level
-#   TVS_FP_FLAGS    FP-determinism flags (see below)
+#   TVS_BACKEND_AVX2        TRUE when the avx2 backend objects are built
+#   TVS_BACKEND_AVX2_FLAGS  its per-file compile flags
+#   TVS_BACKEND_AVX512 / TVS_BACKEND_AVX512_FLAGS   likewise
+#   TVS_SIMD_LEVEL          highest compiled backend (scalar|avx2|avx512)
+#   TVS_CPU_HAS_AVX2 / TVS_CPU_HAS_AVX512
+#                           host-CPU probe results — used only to decide
+#                           which forced-backend CTest variants to register,
+#                           never to drop a backend from the build
+#   TVS_FP_FLAGS            FP-determinism flags (see below)
 
 include(CheckCXXCompilerFlag)
-include(CheckCXXSourceCompiles)
 
-set(TVS_SIMD "AUTO" CACHE STRING "SIMD level: AUTO, scalar, avx2, avx512")
+set(TVS_SIMD "AUTO" CACHE STRING
+    "Highest SIMD backend to compile: AUTO, scalar, avx2, avx512")
 set_property(CACHE TVS_SIMD PROPERTY STRINGS AUTO scalar avx2 avx512)
 string(TOLOWER "${TVS_SIMD}" _tvs_simd_req)
 
@@ -28,14 +35,61 @@ check_cxx_compiler_flag("-mavx2" TVS_COMPILER_HAS_MAVX2)
 check_cxx_compiler_flag("-mfma" TVS_COMPILER_HAS_MFMA)
 check_cxx_compiler_flag("-mavx512f" TVS_COMPILER_HAS_MAVX512F)
 
-# ---- host CPU support (skipped when cross-compiling) -----------------------
+set(_tvs_compiler_avx2 FALSE)
+if(TVS_COMPILER_HAS_MAVX2 AND TVS_COMPILER_HAS_MFMA)
+  set(_tvs_compiler_avx2 TRUE)
+endif()
+set(_tvs_compiler_avx512 FALSE)
+if(_tvs_compiler_avx2 AND TVS_COMPILER_HAS_MAVX512F)
+  set(_tvs_compiler_avx512 TRUE)
+endif()
+
+# ---- resolve the requested ceiling against compiler support ----------------
+if(_tvs_simd_req STREQUAL "auto")
+  set(_tvs_want_avx2 ${_tvs_compiler_avx2})
+  set(_tvs_want_avx512 ${_tvs_compiler_avx512})
+elseif(_tvs_simd_req STREQUAL "scalar")
+  set(_tvs_want_avx2 FALSE)
+  set(_tvs_want_avx512 FALSE)
+elseif(_tvs_simd_req STREQUAL "avx2")
+  if(NOT _tvs_compiler_avx2)
+    message(FATAL_ERROR "TVS_SIMD=avx2 but the compiler rejects -mavx2/-mfma")
+  endif()
+  set(_tvs_want_avx2 TRUE)
+  set(_tvs_want_avx512 FALSE)
+elseif(_tvs_simd_req STREQUAL "avx512")
+  if(NOT _tvs_compiler_avx512)
+    message(FATAL_ERROR "TVS_SIMD=avx512 but the compiler rejects the "
+                        "required -mavx2/-mfma/-mavx512f flags")
+  endif()
+  set(_tvs_want_avx2 TRUE)
+  set(_tvs_want_avx512 TRUE)
+else()
+  message(FATAL_ERROR "Unknown TVS_SIMD value '${TVS_SIMD}' "
+                      "(expected AUTO, scalar, avx2, or avx512)")
+endif()
+
+set(TVS_BACKEND_AVX2 ${_tvs_want_avx2})
+set(TVS_BACKEND_AVX2_FLAGS -mavx2 -mfma)
+set(TVS_BACKEND_AVX512 ${_tvs_want_avx512})
+set(TVS_BACKEND_AVX512_FLAGS -mavx2 -mfma -mavx512f)
+
+if(TVS_BACKEND_AVX512)
+  set(TVS_SIMD_LEVEL "avx512")
+elseif(TVS_BACKEND_AVX2)
+  set(TVS_SIMD_LEVEL "avx2")
+else()
+  set(TVS_SIMD_LEVEL "scalar")
+endif()
+
+# ---- host CPU probes (test registration only) ------------------------------
 # try_run compiles a probe with the candidate flags and executes one
-# instruction from the set; SIGILL on an older CPU fails the check and the
-# level degrades gracefully instead of producing binaries that crash.
+# instruction from the set; SIGILL on an older CPU fails the probe and the
+# forced-backend CTest variants for that backend are simply not registered.
+# Cross builds cannot execute target code and register none of them.
 function(_tvs_try_run_probe out_var probe_src flags)
   if(CMAKE_CROSSCOMPILING)
-    # Cannot execute target code; trust the compiler check alone.
-    set(${out_var} TRUE PARENT_SCOPE)
+    set(${out_var} FALSE PARENT_SCOPE)
     return()
   endif()
   try_run(_run_result _compile_result
@@ -51,66 +105,65 @@ endfunction()
 
 set(TVS_CPU_HAS_AVX2 FALSE)
 set(TVS_CPU_HAS_AVX512 FALSE)
-if(TVS_COMPILER_HAS_MAVX2 AND TVS_COMPILER_HAS_MFMA)
+if(TVS_BACKEND_AVX2)
   _tvs_try_run_probe(TVS_CPU_HAS_AVX2
                      ${CMAKE_CURRENT_LIST_DIR}/check_avx2.cpp
                      "-mavx2;-mfma")
 endif()
-if(TVS_COMPILER_HAS_MAVX512F)
+if(TVS_BACKEND_AVX512)
   _tvs_try_run_probe(TVS_CPU_HAS_AVX512
                      ${CMAKE_CURRENT_LIST_DIR}/check_avx512.cpp
                      "-mavx512f")
 endif()
 
-# ---- resolve the requested level against what is available -----------------
-if(_tvs_simd_req STREQUAL "auto")
-  if(CMAKE_CROSSCOMPILING)
-    # The probes could not execute target code, so "highest level that
-    # passes both checks" is unknowable; anything above scalar could
-    # SIGILL on the deployment CPU.  Cross builds must force a level.
-    message(STATUS "Cross-compiling: TVS_SIMD=AUTO resolves to scalar "
-                   "(set TVS_SIMD=avx2/avx512 explicitly for SIMD builds)")
-    set(TVS_SIMD_LEVEL "scalar")
-  elseif(TVS_CPU_HAS_AVX512 AND TVS_CPU_HAS_AVX2)
+# ---- backend isolation (localization) --------------------------------------
+# Per-backend TUs are merged with `ld -r --force-group-allocation` and have
+# their hidden symbols localized with objcopy, so the linker can never
+# satisfy a common-code reference with backend-flagged code.  STB_GNU_UNIQUE
+# symbols resist both steps; -fno-gnu-unique demotes them to ordinary weak.
+check_cxx_compiler_flag("-fno-gnu-unique" TVS_COMPILER_HAS_NO_GNU_UNIQUE)
+set(TVS_BACKEND_VIS_FLAGS -fvisibility=hidden -fvisibility-inlines-hidden)
+if(TVS_COMPILER_HAS_NO_GNU_UNIQUE)
+  list(APPEND TVS_BACKEND_VIS_FLAGS -fno-gnu-unique)
+endif()
+
+set(TVS_LOCALIZE_BACKENDS FALSE)
+if(CMAKE_OBJCOPY AND CMAKE_LINKER AND NOT TVS_SANITIZE
+   AND CMAKE_SYSTEM_NAME STREQUAL "Linux")
+  # --force-group-allocation dissolves COMDAT groups during the ld -r step;
+  # without it the final link could discard a (by then local) group in
+  # favour of a same-named group from another object and strand references.
+  execute_process(COMMAND ${CMAKE_LINKER} --help
+                  OUTPUT_VARIABLE _tvs_ld_help ERROR_QUIET)
+  if(_tvs_ld_help MATCHES "force-group-allocation")
+    set(TVS_LOCALIZE_BACKENDS TRUE)
+  endif()
+endif()
+
+if(NOT TVS_LOCALIZE_BACKENDS)
+  # Without the localization pass, a weak template instantiation compiled in
+  # a backend-flagged TU could win final-link deduplication and be reached
+  # from common code.  That is only safe when this host can execute every
+  # compiled backend, so fall back to host-gating the backend set (the
+  # pre-dispatch behaviour).  Applies to sanitizer builds, non-Linux hosts,
+  # and toolchains without binutils' --force-group-allocation.
+  if(TVS_BACKEND_AVX512 AND NOT TVS_CPU_HAS_AVX512)
+    message(STATUS "TVS: no symbol localization available - dropping the "
+                   "avx512 backend (host CPU cannot execute it)")
+    set(TVS_BACKEND_AVX512 FALSE)
+  endif()
+  if(TVS_BACKEND_AVX2 AND NOT TVS_CPU_HAS_AVX2)
+    message(STATUS "TVS: no symbol localization available - dropping the "
+                   "avx2 backend (host CPU cannot execute it)")
+    set(TVS_BACKEND_AVX2 FALSE)
+  endif()
+  if(TVS_BACKEND_AVX512)
     set(TVS_SIMD_LEVEL "avx512")
-  elseif(TVS_CPU_HAS_AVX2)
+  elseif(TVS_BACKEND_AVX2)
     set(TVS_SIMD_LEVEL "avx2")
   else()
     set(TVS_SIMD_LEVEL "scalar")
   endif()
-elseif(_tvs_simd_req STREQUAL "scalar")
-  set(TVS_SIMD_LEVEL "scalar")
-elseif(_tvs_simd_req STREQUAL "avx2")
-  if(NOT (TVS_COMPILER_HAS_MAVX2 AND TVS_COMPILER_HAS_MFMA))
-    message(FATAL_ERROR "TVS_SIMD=avx2 but the compiler rejects -mavx2/-mfma")
-  endif()
-  if(NOT TVS_CPU_HAS_AVX2)
-    message(WARNING "TVS_SIMD=avx2 forced but this host failed the AVX2 "
-                    "probe; binaries may not run here")
-  endif()
-  set(TVS_SIMD_LEVEL "avx2")
-elseif(_tvs_simd_req STREQUAL "avx512")
-  if(NOT (TVS_COMPILER_HAS_MAVX2 AND TVS_COMPILER_HAS_MFMA
-          AND TVS_COMPILER_HAS_MAVX512F))
-    message(FATAL_ERROR "TVS_SIMD=avx512 but the compiler rejects the "
-                        "required -mavx2/-mfma/-mavx512f flags")
-  endif()
-  if(NOT TVS_CPU_HAS_AVX512)
-    message(WARNING "TVS_SIMD=avx512 forced but this host failed the "
-                    "AVX-512F probe; binaries may not run here")
-  endif()
-  set(TVS_SIMD_LEVEL "avx512")
-else()
-  message(FATAL_ERROR "Unknown TVS_SIMD value '${TVS_SIMD}' "
-                      "(expected AUTO, scalar, avx2, or avx512)")
-endif()
-
-if(TVS_SIMD_LEVEL STREQUAL "avx512")
-  set(TVS_SIMD_FLAGS -mavx2 -mfma -mavx512f)
-elseif(TVS_SIMD_LEVEL STREQUAL "avx2")
-  set(TVS_SIMD_FLAGS -mavx2 -mfma)
-else()
-  set(TVS_SIMD_FLAGS "")
 endif()
 
 # ---- FP determinism --------------------------------------------------------
@@ -126,6 +179,7 @@ else()
   set(TVS_FP_FLAGS "")
 endif()
 
-message(STATUS "TVS SIMD level: ${TVS_SIMD_LEVEL} "
-               "(flags: '${TVS_SIMD_FLAGS}'; requested: ${TVS_SIMD}; "
-               "cpu avx2=${TVS_CPU_HAS_AVX2} avx512=${TVS_CPU_HAS_AVX512})")
+message(STATUS "TVS SIMD: compiled backends = scalar"
+               " avx2=${TVS_BACKEND_AVX2} avx512=${TVS_BACKEND_AVX512}"
+               " (requested: ${TVS_SIMD}); host cpu:"
+               " avx2=${TVS_CPU_HAS_AVX2} avx512=${TVS_CPU_HAS_AVX512}")

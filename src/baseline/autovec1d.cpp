@@ -1,3 +1,4 @@
+#include "dispatch/backend_variant.hpp"
 #include "util/omp_compat.hpp"
 
 #include <utility>
@@ -5,8 +6,9 @@
 #include "baseline/autovec.hpp"
 
 namespace tvs::baseline {
+namespace {
 
-void autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+void autovec_jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u,
                            long steps) {
   const int nx = u.nx();
   grid::Grid1D<double> tmp(nx);
@@ -25,7 +27,7 @@ void autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
     for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur->at(x);
 }
 
-void autovec_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
+void autovec_jacobi1d5(const stencil::C1D5& c, grid::Grid1D<double>& u,
                            long steps) {
   const int nx = u.nx();
   grid::Grid1D<double> tmp(nx);
@@ -45,7 +47,7 @@ void autovec_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
     for (int x = -1; x <= nx + 2; ++x) u.at(x) = cur->at(x);
 }
 
-void par_autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+void par_autovec_jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u,
                                long steps) {
   const int nx = u.nx();
   grid::Grid1D<double> tmp(nx);
@@ -63,6 +65,14 @@ void par_autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
   }
   if (cur != &u)
     for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur->at(x);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(autovec1d) {
+  TVS_REGISTER(kAutovecJacobi1D3, BlJacobi1DFn, autovec_jacobi1d3);
+  TVS_REGISTER(kAutovecJacobi1D5, BlJacobi1D5Fn, autovec_jacobi1d5);
+  TVS_REGISTER(kParAutovecJacobi1D3, BlJacobi1DFn, par_autovec_jacobi1d3);
 }
 
 }  // namespace tvs::baseline

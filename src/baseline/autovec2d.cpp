@@ -1,3 +1,4 @@
+#include "dispatch/backend_variant.hpp"
 #include "util/omp_compat.hpp"
 
 #include <utility>
@@ -5,8 +6,9 @@
 #include "baseline/autovec.hpp"
 
 namespace tvs::baseline {
+namespace {
 
-void autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+void autovec_jacobi2d5(const stencil::C2D5& c, grid::Grid2D<double>& u,
                            long steps) {
   const int nx = u.nx(), ny = u.ny();
   grid::Grid2D<double> tmp(nx, ny);
@@ -37,7 +39,7 @@ void autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
       for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
 }
 
-void autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+void autovec_jacobi2d9(const stencil::C2D9& c, grid::Grid2D<double>& u,
                            long steps) {
   const int nx = u.nx(), ny = u.ny();
   grid::Grid2D<double> tmp(nx, ny);
@@ -69,7 +71,7 @@ void autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
       for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
 }
 
-void autovec_life_run(const stencil::LifeRule& r,
+void autovec_life(const stencil::LifeRule& r,
                       grid::Grid2D<std::int32_t>& u, long steps) {
   const int nx = u.nx(), ny = u.ny();
   grid::Grid2D<std::int32_t> tmp(nx, ny);
@@ -107,7 +109,6 @@ void autovec_life_run(const stencil::LifeRule& r,
       for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
 }
 
-namespace {
 template <class T, class RowFn>
 void par_steps2d(grid::Grid2D<T>& u, long steps, RowFn row_fn) {
   const int nx = u.nx(), ny = u.ny();
@@ -131,9 +132,8 @@ void par_steps2d(grid::Grid2D<T>& u, long steps, RowFn row_fn) {
     for (int x = 0; x <= nx + 1; ++x)
       for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
 }
-}  // namespace
 
-void par_autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+void par_autovec_jacobi2d5(const stencil::C2D5& c, grid::Grid2D<double>& u,
                                long steps) {
   const int ny = u.ny();
   par_steps2d(u, steps, [&, ny](const grid::Grid2D<double>& in,
@@ -148,7 +148,7 @@ void par_autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
   });
 }
 
-void par_autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+void par_autovec_jacobi2d9(const stencil::C2D9& c, grid::Grid2D<double>& u,
                                long steps) {
   const int ny = u.ny();
   par_steps2d(u, steps, [&, ny](const grid::Grid2D<double>& in,
@@ -164,7 +164,7 @@ void par_autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
   });
 }
 
-void par_autovec_life_run(const stencil::LifeRule& r,
+void par_autovec_life(const stencil::LifeRule& r,
                           grid::Grid2D<std::int32_t>& u, long steps) {
   const int ny = u.ny();
   const std::int32_t b = r.b, s1 = r.s1, s2 = r.s2;
@@ -182,6 +182,17 @@ void par_autovec_life_run(const stencil::LifeRule& r,
       o[y] = ic[y] != 0 ? surv : born;
     }
   });
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(autovec2d) {
+  TVS_REGISTER(kAutovecJacobi2D5, BlJacobi2D5Fn, autovec_jacobi2d5);
+  TVS_REGISTER(kAutovecJacobi2D9, BlJacobi2D9Fn, autovec_jacobi2d9);
+  TVS_REGISTER(kAutovecLife, BlLifeFn, autovec_life);
+  TVS_REGISTER(kParAutovecJacobi2D5, BlJacobi2D5Fn, par_autovec_jacobi2d5);
+  TVS_REGISTER(kParAutovecJacobi2D9, BlJacobi2D9Fn, par_autovec_jacobi2d9);
+  TVS_REGISTER(kParAutovecLife, BlLifeFn, par_autovec_life);
 }
 
 }  // namespace tvs::baseline

@@ -1,3 +1,4 @@
+#include "dispatch/backend_variant.hpp"
 #include "util/omp_compat.hpp"
 
 #include <utility>
@@ -5,8 +6,9 @@
 #include "baseline/autovec.hpp"
 
 namespace tvs::baseline {
+namespace {
 
-void autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+void autovec_jacobi3d7(const stencil::C3D7& c, grid::Grid3D<double>& u,
                            long steps) {
   const int nx = u.nx(), ny = u.ny(), nz = u.nz();
   grid::Grid3D<double> tmp(nx, ny, nz);
@@ -40,7 +42,7 @@ void autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
         for (int z = 0; z <= nz + 1; ++z) u.at(x, y, z) = cur->at(x, y, z);
 }
 
-void par_autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+void par_autovec_jacobi3d7(const stencil::C3D7& c, grid::Grid3D<double>& u,
                                long steps) {
   const int nx = u.nx(), ny = u.ny(), nz = u.nz();
   grid::Grid3D<double> tmp(nx, ny, nz);
@@ -72,6 +74,13 @@ void par_autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
     for (int x = 0; x <= nx + 1; ++x)
       for (int y = 0; y <= ny + 1; ++y)
         for (int z = 0; z <= nz + 1; ++z) u.at(x, y, z) = cur->at(x, y, z);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(autovec3d) {
+  TVS_REGISTER(kAutovecJacobi3D7, BlJacobi3D7Fn, autovec_jacobi3d7);
+  TVS_REGISTER(kParAutovecJacobi3D7, BlJacobi3D7Fn, par_autovec_jacobi3d7);
 }
 
 }  // namespace tvs::baseline

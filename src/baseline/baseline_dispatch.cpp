@@ -1,0 +1,143 @@
+// Public baseline/ entry points: registry dispatch (common code, no SIMD
+// flags).  The baselines take no stride, so there is nothing to validate.
+#include "baseline/autovec.hpp"
+#include "baseline/spatial.hpp"
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
+
+namespace tvs::baseline {
+
+namespace {
+
+template <class Fn>
+Fn* lookup(std::string_view id) {
+  return dispatch::KernelRegistry::instance().get<Fn>(id);
+}
+
+}  // namespace
+
+// ---- compiler-vectorized ("auto") ------------------------------------------
+
+void autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                           long steps) {
+  static const auto fn = lookup<dispatch::BlJacobi1DFn>(dispatch::kAutovecJacobi1D3);
+  fn(c, u, steps);
+}
+
+void autovec_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
+                           long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi1D5Fn>(dispatch::kAutovecJacobi1D5);
+  fn(c, u, steps);
+}
+
+void autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                           long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi2D5Fn>(dispatch::kAutovecJacobi2D5);
+  fn(c, u, steps);
+}
+
+void autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                           long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi2D9Fn>(dispatch::kAutovecJacobi2D9);
+  fn(c, u, steps);
+}
+
+void autovec_life_run(const stencil::LifeRule& r,
+                      grid::Grid2D<std::int32_t>& u, long steps) {
+  static const auto fn = lookup<dispatch::BlLifeFn>(dispatch::kAutovecLife);
+  fn(r, u, steps);
+}
+
+void autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                           long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi3D7Fn>(dispatch::kAutovecJacobi3D7);
+  fn(c, u, steps);
+}
+
+void par_autovec_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                               long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi1DFn>(dispatch::kParAutovecJacobi1D3);
+  fn(c, u, steps);
+}
+
+void par_autovec_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                               long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi2D5Fn>(dispatch::kParAutovecJacobi2D5);
+  fn(c, u, steps);
+}
+
+void par_autovec_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                               long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi2D9Fn>(dispatch::kParAutovecJacobi2D9);
+  fn(c, u, steps);
+}
+
+void par_autovec_life_run(const stencil::LifeRule& r,
+                          grid::Grid2D<std::int32_t>& u, long steps) {
+  static const auto fn = lookup<dispatch::BlLifeFn>(dispatch::kParAutovecLife);
+  fn(r, u, steps);
+}
+
+void par_autovec_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                               long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi3D7Fn>(dispatch::kParAutovecJacobi3D7);
+  fn(c, u, steps);
+}
+
+// ---- explicit spatial vectorization ----------------------------------------
+
+void multiload_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                             long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi1DFn>(dispatch::kMultiloadJacobi1D3);
+  fn(c, u, steps);
+}
+
+void reorg_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                         long steps) {
+  static const auto fn = lookup<dispatch::BlJacobi1DFn>(dispatch::kReorgJacobi1D3);
+  fn(c, u, steps);
+}
+
+void dlt_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                       long steps) {
+  static const auto fn = lookup<dispatch::BlJacobi1DFn>(dispatch::kDltJacobi1D3);
+  fn(c, u, steps);
+}
+
+void multiload_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                             long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi2D5Fn>(dispatch::kMultiloadJacobi2D5);
+  fn(c, u, steps);
+}
+
+void multiload_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                             long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi2D9Fn>(dispatch::kMultiloadJacobi2D9);
+  fn(c, u, steps);
+}
+
+void multiload_life_run(const stencil::LifeRule& r,
+                        grid::Grid2D<std::int32_t>& u, long steps) {
+  static const auto fn = lookup<dispatch::BlLifeFn>(dispatch::kMultiloadLife);
+  fn(r, u, steps);
+}
+
+void multiload_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                             long steps) {
+  static const auto fn =
+      lookup<dispatch::BlJacobi3D7Fn>(dispatch::kMultiloadJacobi3D7);
+  fn(c, u, steps);
+}
+
+}  // namespace tvs::baseline

@@ -5,6 +5,7 @@
 // share no elements and need no shuffles except at the two seams (c = 0 and
 // c = L-1).  The transposes before/after the time loop are the overhead the
 // paper's small-size results show.
+#include "dispatch/backend_variant.hpp"
 #include <utility>
 #include <vector>
 
@@ -13,10 +14,11 @@
 #include "simd/vec.hpp"
 
 namespace tvs::baseline {
+namespace {
 
 using V = simd::NativeVec<double, 4>;
 
-void dlt_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+void dlt_jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u,
                        long steps) {
   const int nx = u.nx();
   const int L = nx / 4;
@@ -90,6 +92,12 @@ void dlt_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
   for (int col = 0; col < L; ++col)
     for (int r = 0; r < 4; ++r)
       u.at(1 + r * L + col) = curb[static_cast<std::size_t>(col) * 4 + r];
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(dlt1d) {
+  TVS_REGISTER(kDltJacobi1D3, BlJacobi1DFn, dlt_jacobi1d3);
 }
 
 }  // namespace tvs::baseline

@@ -2,14 +2,16 @@
 // (Algorithm 2 of the paper): three overlapping vector loads per output
 // vector, two of them unaligned — the data-alignment conflict in its
 // rawest form.
+#include "dispatch/backend_variant.hpp"
 #include "baseline/spatial.hpp"
 #include "simd/vec.hpp"
 
 namespace tvs::baseline {
+namespace {
 
 using V = simd::NativeVec<double, 4>;
 
-void multiload_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+void multiload_jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u,
                              long steps) {
   const int nx = u.nx();
   grid::Grid1D<double> tmp(nx);
@@ -34,6 +36,12 @@ void multiload_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
   }
   if (cur != &u)
     for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur->at(x);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(multiload1d) {
+  TVS_REGISTER(kMultiloadJacobi1D3, BlJacobi1DFn, multiload_jacobi1d3);
 }
 
 }  // namespace tvs::baseline

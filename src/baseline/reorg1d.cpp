@@ -2,12 +2,13 @@
 // (§2.2): each input element is loaded exactly once with aligned vector
 // loads; the west/east shifted vectors are assembled with in-register
 // shuffles (2 lane-crossing + 2 in-lane per output vector with AVX2).
+#include "dispatch/backend_variant.hpp"
 #include "baseline/spatial.hpp"
 #include "simd/vec.hpp"
 
 namespace tvs::baseline {
-
 namespace {
+
 
 #if defined(__AVX2__)
 // {p3, c0, c1, c2}: previous block's top + current block shifted up.
@@ -41,9 +42,8 @@ inline V east_of(V cur, V next) {
 }
 #endif
 
-}  // namespace
 
-void reorg_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+void reorg_jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u,
                          long steps) {
   const int nx = u.nx();
   grid::Grid1D<double> tmp(nx);
@@ -76,6 +76,12 @@ void reorg_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
   }
   if (cur_g != &u)
     for (int x = 0; x <= nx + 1; ++x) u.at(x) = cur_g->at(x);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(reorg1d) {
+  TVS_REGISTER(kReorgJacobi1D3, BlJacobi1DFn, reorg_jacobi1d3);
 }
 
 }  // namespace tvs::baseline

@@ -1,14 +1,15 @@
 // Multi-load spatial vectorization, 2D kernels (Jacobi 2D5P/2D9P and Life).
 // Unaligned overlapping loads along the unit-stride y dimension; the
 // canonical fma order keeps results bit-identical to the scalar oracle.
+#include "dispatch/backend_variant.hpp"
 #include <utility>
 
 #include "baseline/spatial.hpp"
 #include "simd/vec.hpp"
 
 namespace tvs::baseline {
-
 namespace {
+
 using VD = simd::NativeVec<double, 4>;
 using VI = simd::NativeVec<std::int32_t, 8>;
 
@@ -24,9 +25,8 @@ void copy_frame(const grid::Grid2D<T>& src, grid::Grid2D<T>& dst) {
     dst.at(x, ny + 1) = src.at(x, ny + 1);
   }
 }
-}  // namespace
 
-void multiload_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+void multiload_jacobi2d5(const stencil::C2D5& c, grid::Grid2D<double>& u,
                              long steps) {
   const int nx = u.nx(), ny = u.ny();
   grid::Grid2D<double> tmp(nx, ny);
@@ -59,7 +59,7 @@ void multiload_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
       for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
 }
 
-void multiload_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+void multiload_jacobi2d9(const stencil::C2D9& c, grid::Grid2D<double>& u,
                              long steps) {
   const int nx = u.nx(), ny = u.ny();
   grid::Grid2D<double> tmp(nx, ny);
@@ -96,7 +96,7 @@ void multiload_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
       for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
 }
 
-void multiload_life_run(const stencil::LifeRule& r,
+void multiload_life(const stencil::LifeRule& r,
                         grid::Grid2D<std::int32_t>& u, long steps) {
   const int nx = u.nx(), ny = u.ny();
   grid::Grid2D<std::int32_t> tmp(nx, ny);
@@ -128,6 +128,14 @@ void multiload_life_run(const stencil::LifeRule& r,
   if (cur != &u)
     for (int x = 0; x <= nx + 1; ++x)
       for (int y = 0; y <= ny + 1; ++y) u.at(x, y) = cur->at(x, y);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(spatial2d) {
+  TVS_REGISTER(kMultiloadJacobi2D5, BlJacobi2D5Fn, multiload_jacobi2d5);
+  TVS_REGISTER(kMultiloadJacobi2D9, BlJacobi2D9Fn, multiload_jacobi2d9);
+  TVS_REGISTER(kMultiloadLife, BlLifeFn, multiload_life);
 }
 
 }  // namespace tvs::baseline

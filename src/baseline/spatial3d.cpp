@@ -1,16 +1,16 @@
 // Multi-load spatial vectorization, 3D7P Jacobi.
+#include "dispatch/backend_variant.hpp"
 #include <utility>
 
 #include "baseline/spatial.hpp"
 #include "simd/vec.hpp"
 
 namespace tvs::baseline {
-
 namespace {
-using VD = simd::NativeVec<double, 4>;
-}
 
-void multiload_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+using VD = simd::NativeVec<double, 4>;
+
+void multiload_jacobi3d7(const stencil::C3D7& c, grid::Grid3D<double>& u,
                              long steps) {
   const int nx = u.nx(), ny = u.ny(), nz = u.nz();
   grid::Grid3D<double> tmp(nx, ny, nz);
@@ -54,6 +54,12 @@ void multiload_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
     for (int x = 0; x <= nx + 1; ++x)
       for (int y = 0; y <= ny + 1; ++y)
         for (int z = 0; z <= nz + 1; ++z) u.at(x, y, z) = cur->at(x, y, z);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(spatial3d) {
+  TVS_REGISTER(kMultiloadJacobi3D7, BlJacobi3D7Fn, multiload_jacobi3d7);
 }
 
 }  // namespace tvs::baseline

@@ -1,0 +1,83 @@
+#include "dispatch/backend.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "dispatch/registry.hpp"
+
+namespace tvs::dispatch {
+
+std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
+  return std::nullopt;
+}
+
+bool cpu_supports(Backend b) {
+  if (b == Backend::kScalar) return true;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults libgcc/compiler-rt's cached CPUID model,
+  // which also checks XCR0, so OS save-state support is included.
+  if (b == Backend::kAvx2)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (b == Backend::kAvx512) return __builtin_cpu_supports("avx512f");
+#endif
+  return false;
+}
+
+Backend best_available() {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  for (Backend b : {Backend::kAvx512, Backend::kAvx2}) {
+    if (cpu_supports(b) && reg.has_backend(b)) return b;
+  }
+  return Backend::kScalar;
+}
+
+Backend resolve_backend(std::optional<std::string_view> force) {
+  if (!force.has_value() || force->empty()) return best_available();
+  const std::optional<Backend> b = parse_backend(*force);
+  if (!b.has_value()) {
+    throw std::runtime_error(
+        "TVS_FORCE_BACKEND=\"" + std::string(*force) +
+        "\" is not a known backend (valid: scalar, avx2, avx512)");
+  }
+  if (!KernelRegistry::instance().has_backend(*b)) {
+    throw std::runtime_error("TVS_FORCE_BACKEND=" + std::string(*force) +
+                             " requested, but that backend was not compiled "
+                             "into this binary");
+  }
+  if (!cpu_supports(*b)) {
+    throw std::runtime_error("TVS_FORCE_BACKEND=" + std::string(*force) +
+                             " requested, but this CPU cannot execute it");
+  }
+  return *b;
+}
+
+Backend selected_backend() {
+  // Magic-static: resolved once, at the first dispatched call.  If the
+  // forced value is invalid the exception propagates and resolution is
+  // retried on the next call (the static stays uninitialized).
+  static const Backend selected = [] {
+    const char* force = std::getenv("TVS_FORCE_BACKEND");
+    return resolve_backend(force == nullptr
+                               ? std::nullopt
+                               : std::optional<std::string_view>(force));
+  }();
+  return selected;
+}
+
+}  // namespace tvs::dispatch

@@ -1,0 +1,58 @@
+// Runtime SIMD backend identification and selection.
+//
+// Since the multi-backend refactor, one binary carries the scalar, AVX2 and
+// AVX-512 variants of every kernel (see registry.hpp); nothing about the
+// vector ISA is decided at configure time any more.  This header names the
+// backends and answers the two runtime questions:
+//
+//   * what can this CPU execute?           cpu_supports() / best_available()
+//   * what did the operator ask for?       selected_backend(), honouring the
+//                                          TVS_FORCE_BACKEND env override
+//
+// TVS_FORCE_BACKEND contract (ops + testing):
+//   unset or ""   -> best_available()
+//   "scalar"      -> the portable ScalarVec kernels
+//   "avx2"        -> the AVX2 kernels (error if the CPU lacks AVX2+FMA or
+//                    the backend was not compiled in)
+//   "avx512"      -> the AVX-512 kernels (same availability rule)
+//   anything else -> std::runtime_error naming the valid values
+//
+// The environment is read once, at the first dispatched call; changing it
+// afterwards has no effect on a running process.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace tvs::dispatch {
+
+enum class Backend : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+inline constexpr int kBackendCount = 3;
+
+// "scalar" / "avx2" / "avx512".
+std::string_view backend_name(Backend b);
+
+// Inverse of backend_name; nullopt for unknown strings.
+std::optional<Backend> parse_backend(std::string_view name);
+
+// True when the host CPU (and OS) can execute the backend's instruction
+// set.  kScalar is always true; AVX2 requires AVX2+FMA, AVX-512 requires
+// AVX-512F.
+bool cpu_supports(Backend b);
+
+// Highest backend that is both compiled into this binary (has registered
+// kernels) and executable on this CPU.  Never less than kScalar.
+Backend best_available();
+
+// The backend dispatched calls use: TVS_FORCE_BACKEND if set, otherwise
+// best_available().  Cached after the first call.  Throws std::runtime_error
+// on an unknown or unavailable forced value.
+Backend selected_backend();
+
+// Uncached core of selected_backend(), exposed so tests can exercise the
+// force semantics without mutating the process environment: resolves as if
+// TVS_FORCE_BACKEND held *force* (nullopt / empty string = unset).
+Backend resolve_backend(std::optional<std::string_view> force);
+
+}  // namespace tvs::dispatch

@@ -1,0 +1,62 @@
+// Scaffolding for per-backend kernel translation units.
+//
+// Every kernel TU in tv/, baseline/ and tiling/ is compiled once per SIMD
+// backend, with that backend's instruction-set flags and the definitions
+//
+//   TVS_BACKEND_BUILD   (marks a backend compilation)
+//   TVS_BACKEND_ID      scalar | avx2 | avx512   (a plain token)
+//   TVS_BACKEND_LEVEL   0      | 1    | 2
+//
+// set by src/CMakeLists.txt.  Inside such a TU `simd::NativeVec<T, N>`
+// resolves per the TU's own flags, so the same source yields the ScalarVec,
+// AVX2 or AVX-512 instantiation of each kernel.
+//
+// ODR discipline — how three compilations of one function coexist in one
+// binary without any backend's code leaking into another:
+//   * every definition in a kernel TU lives in an anonymous namespace
+//     (internal linkage, no cross-TU symbols);
+//   * the single external symbol per TU is the extern "C" registrar
+//     declared with TVS_BACKEND_REGISTRAR(module), whose name embeds the
+//     backend id (e.g. tvs_kreg_avx2_tv1d) and which only stores function
+//     pointers into the KernelRegistry;
+//   * remaining weak template instantiations on shared types (std::vector,
+//     grids) are compiled with -fvisibility=hidden and localized post-build
+//     (objcopy --localize-hidden), so the linker can never satisfy a
+//     common-code reference with backend-flagged code.
+#pragma once
+
+#if !defined(TVS_BACKEND_BUILD)
+#error "backend_variant.hpp is only for per-backend kernel TUs (see src/CMakeLists.txt)"
+#endif
+
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
+
+namespace tvs::dispatch {
+inline constexpr Backend kThisBackend = static_cast<Backend>(TVS_BACKEND_LEVEL);
+}  // namespace tvs::dispatch
+
+#define TVS_PP_CAT2(a, b) a##b
+#define TVS_PP_CAT(a, b) TVS_PP_CAT2(a, b)
+
+// tvs_kreg_<backend>_<module>
+#define TVS_KREG_NAME(mod) \
+  TVS_PP_CAT(TVS_PP_CAT(TVS_PP_CAT(tvs_kreg_, TVS_BACKEND_ID), _), mod)
+
+// tvs_register_backend_<backend>
+#define TVS_BACKEND_ENTRY_NAME TVS_PP_CAT(tvs_register_backend_, TVS_BACKEND_ID)
+
+// Defines the module's registrar.  Kept default-visibility explicitly: the
+// backend TUs compile with -fvisibility=hidden and are localized after the
+// archive is built, and these entry points are the deliberate exceptions.
+#define TVS_BACKEND_REGISTRAR(mod)                                      \
+  extern "C" __attribute__((visibility("default"))) void TVS_KREG_NAME( \
+      mod)(tvs::dispatch::KernelRegistry * tvs_reg_)
+
+// Registers `fn` for `id` under this TU's backend.  The static_cast against
+// the signature alias makes a producer/consumer signature mismatch a
+// compile error here rather than undefined behaviour at the call site.
+#define TVS_REGISTER(id, FnAlias, fn)                           \
+  tvs_reg_->add(tvs::dispatch::id, tvs::dispatch::kThisBackend, \
+                reinterpret_cast<tvs::dispatch::AnyFn>(         \
+                    static_cast<tvs::dispatch::FnAlias*>(&(fn))))

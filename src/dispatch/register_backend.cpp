@@ -1,0 +1,78 @@
+// Per-backend registration entry point, compiled once per backend library.
+//
+// This TU turns the archive's passive object files into a reachable graph:
+// common code references tvs_register_backend_<id> (registry.cpp), the
+// linker pulls this object from the backend archive, and its calls to the
+// per-module registrars pull every kernel object of the backend in turn.
+// No static-initializer registration, no --whole-archive.
+//
+// Module sets per backend level:
+//   scalar (0)  every kernel module, including tv_wide (ScalarVec<double,8>)
+//   avx2   (1)  every kernel module except tv_wide — the vl = 8 engines have
+//               no 8-wide double type under AVX2, so those ids fall back
+//   avx512 (2)  only tv_wide: the AVX-512 backend serves the 2D/3D Jacobi
+//               kernels with the natural double x 8 shape; everything else
+//               falls back to avx2 per the registry's downward resolution
+#include "dispatch/backend_variant.hpp"
+
+#define TVS_DECLARE_MODULE(mod) \
+  extern "C" void TVS_KREG_NAME(mod)(tvs::dispatch::KernelRegistry*)
+
+#if TVS_BACKEND_LEVEL != 2
+TVS_DECLARE_MODULE(tv1d);
+TVS_DECLARE_MODULE(tv2d);
+TVS_DECLARE_MODULE(tv3d);
+TVS_DECLARE_MODULE(tv_gs1d);
+TVS_DECLARE_MODULE(tv_gs2d);
+TVS_DECLARE_MODULE(tv_gs3d);
+TVS_DECLARE_MODULE(tv_lcs);
+TVS_DECLARE_MODULE(tv_life);
+TVS_DECLARE_MODULE(autovec1d);
+TVS_DECLARE_MODULE(autovec2d);
+TVS_DECLARE_MODULE(autovec3d);
+TVS_DECLARE_MODULE(multiload1d);
+TVS_DECLARE_MODULE(reorg1d);
+TVS_DECLARE_MODULE(dlt1d);
+TVS_DECLARE_MODULE(spatial2d);
+TVS_DECLARE_MODULE(spatial3d);
+TVS_DECLARE_MODULE(diamond1d);
+TVS_DECLARE_MODULE(diamond2d);
+TVS_DECLARE_MODULE(diamond3d);
+TVS_DECLARE_MODULE(parallelogram1d);
+TVS_DECLARE_MODULE(parallelogram2d);
+TVS_DECLARE_MODULE(lcs_wavefront);
+#endif
+#if TVS_BACKEND_LEVEL != 1
+TVS_DECLARE_MODULE(tv_wide);
+#endif
+
+extern "C" __attribute__((visibility("default"))) void TVS_BACKEND_ENTRY_NAME(
+    tvs::dispatch::KernelRegistry* r) {
+#if TVS_BACKEND_LEVEL != 2
+  TVS_KREG_NAME(tv1d)(r);
+  TVS_KREG_NAME(tv2d)(r);
+  TVS_KREG_NAME(tv3d)(r);
+  TVS_KREG_NAME(tv_gs1d)(r);
+  TVS_KREG_NAME(tv_gs2d)(r);
+  TVS_KREG_NAME(tv_gs3d)(r);
+  TVS_KREG_NAME(tv_lcs)(r);
+  TVS_KREG_NAME(tv_life)(r);
+  TVS_KREG_NAME(autovec1d)(r);
+  TVS_KREG_NAME(autovec2d)(r);
+  TVS_KREG_NAME(autovec3d)(r);
+  TVS_KREG_NAME(multiload1d)(r);
+  TVS_KREG_NAME(reorg1d)(r);
+  TVS_KREG_NAME(dlt1d)(r);
+  TVS_KREG_NAME(spatial2d)(r);
+  TVS_KREG_NAME(spatial3d)(r);
+  TVS_KREG_NAME(diamond1d)(r);
+  TVS_KREG_NAME(diamond2d)(r);
+  TVS_KREG_NAME(diamond3d)(r);
+  TVS_KREG_NAME(parallelogram1d)(r);
+  TVS_KREG_NAME(parallelogram2d)(r);
+  TVS_KREG_NAME(lcs_wavefront)(r);
+#endif
+#if TVS_BACKEND_LEVEL != 1
+  TVS_KREG_NAME(tv_wide)(r);
+#endif
+}

@@ -1,0 +1,87 @@
+#include "dispatch/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+// Per-backend registration entry points, one per compiled backend library
+// (dispatch/register_backend.cpp).  Which ones exist is a link-time fact,
+// communicated by the build system via the TVS_HAVE_*_BACKEND definitions
+// on this translation unit.
+extern "C" void tvs_register_backend_scalar(tvs::dispatch::KernelRegistry*);
+#if defined(TVS_HAVE_AVX2_BACKEND)
+extern "C" void tvs_register_backend_avx2(tvs::dispatch::KernelRegistry*);
+#endif
+#if defined(TVS_HAVE_AVX512_BACKEND)
+extern "C" void tvs_register_backend_avx512(tvs::dispatch::KernelRegistry*);
+#endif
+
+namespace tvs::dispatch {
+
+KernelRegistry& KernelRegistry::instance() {
+  // Thread-safe one-time build.  Registering a backend only stores function
+  // pointers; no backend instruction executes until a kernel is called, so
+  // it is safe to register e.g. the AVX-512 variants on a CPU without them.
+  static KernelRegistry reg = [] {
+    KernelRegistry r;
+    tvs_register_backend_scalar(&r);
+#if defined(TVS_HAVE_AVX2_BACKEND)
+    tvs_register_backend_avx2(&r);
+#endif
+#if defined(TVS_HAVE_AVX512_BACKEND)
+    tvs_register_backend_avx512(&r);
+#endif
+    return r;
+  }();
+  return reg;
+}
+
+void KernelRegistry::add(std::string_view id, Backend b, AnyFn fn) {
+  entries_.push_back(Entry{id, b, fn});
+  backend_seen_[static_cast<int>(b)] = true;
+}
+
+AnyFn KernelRegistry::find(std::string_view id, Backend b) const {
+  for (const Entry& e : entries_) {
+    if (e.backend == b && e.id == id) return e.fn;
+  }
+  return nullptr;
+}
+
+Backend KernelRegistry::resolved_backend_at(std::string_view id,
+                                            Backend b) const {
+  for (int l = static_cast<int>(b); l >= 0; --l) {
+    if (find(id, static_cast<Backend>(l)) != nullptr)
+      return static_cast<Backend>(l);
+  }
+  throw std::runtime_error("tvs: no kernel registered under id \"" +
+                           std::string(id) + "\" at or below backend " +
+                           std::string(backend_name(b)));
+}
+
+AnyFn KernelRegistry::resolve_at(std::string_view id, Backend b) const {
+  return find(id, resolved_backend_at(id, b));
+}
+
+AnyFn KernelRegistry::resolve(std::string_view id) const {
+  return resolve_at(id, selected_backend());
+}
+
+Backend KernelRegistry::resolved_backend(std::string_view id) const {
+  return resolved_backend_at(id, selected_backend());
+}
+
+bool KernelRegistry::has_backend(Backend b) const {
+  return backend_seen_[static_cast<int>(b)];
+}
+
+std::vector<std::string_view> KernelRegistry::kernel_ids() const {
+  std::vector<std::string_view> ids;
+  ids.reserve(entries_.size());
+  for (const Entry& e : entries_) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace tvs::dispatch

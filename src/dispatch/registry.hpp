@@ -1,0 +1,84 @@
+// KernelRegistry: the (kernel id, backend) -> function pointer table behind
+// every public `*_run` entry point.
+//
+// Layout of the dispatch subsystem:
+//
+//   * Each kernel translation unit in tv/, baseline/ and tiling/ is compiled
+//     once per backend with that backend's instruction-set flags (see
+//     src/CMakeLists.txt).  All code in those TUs has internal linkage; the
+//     only external symbol each contributes is an `extern "C"` registrar
+//     (backend_variant.hpp) that deposits its function pointers here.
+//   * The common library (grids, references, dispatchers — this file's
+//     world) is compiled with no SIMD flags at all, so no illegal
+//     instruction can leak into code that runs before backend selection.
+//   * Public entry points look their implementation up by id at first call
+//     (`get<Fn>(id)`), honouring selected_backend().
+//
+// Lookup falls back *downward* only: a kernel asked for at avx512 that has
+// no avx512 variant resolves to its avx2 variant, then scalar.  Every
+// kernel has a scalar variant, so resolution always succeeds for known ids.
+// Registration happens once, inside instance()'s initialization; afterwards
+// the table is immutable and lookups are safe from any thread.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dispatch/backend.hpp"
+
+namespace tvs::dispatch {
+
+// Erased function-pointer type.  Entries are cast back to their real
+// signature by the dispatcher that registered/looks up the id, which is the
+// only code that names both the id and the signature (dispatch/kernels.hpp).
+using AnyFn = void (*)();
+
+class KernelRegistry {
+ public:
+  // The process-wide registry; builds the table (runs every compiled-in
+  // backend's registrar) on first use.
+  static KernelRegistry& instance();
+
+  // Registration-phase only (called by the backend registrars).
+  void add(std::string_view id, Backend b, AnyFn fn);
+
+  // Exact lookup: nullptr when (id, b) has no entry.
+  AnyFn find(std::string_view id, Backend b) const;
+
+  // Lookup at backend `b` with downward fallback; throws std::runtime_error
+  // for an id with no entry at or below `b`.
+  AnyFn resolve_at(std::string_view id, Backend b) const;
+  // The backend resolve_at() would use (for tests / introspection).
+  Backend resolved_backend_at(std::string_view id, Backend b) const;
+
+  // resolve_at / resolved_backend_at at selected_backend().
+  AnyFn resolve(std::string_view id) const;
+  Backend resolved_backend(std::string_view id) const;
+
+  // True when any kernel is registered for `b` (i.e. the backend's objects
+  // were compiled into this binary).
+  bool has_backend(Backend b) const;
+
+  // Sorted unique kernel ids.
+  std::vector<std::string_view> kernel_ids() const;
+
+  template <class Fn>
+  Fn* get(std::string_view id) const {
+    return reinterpret_cast<Fn*>(resolve(id));
+  }
+  template <class Fn>
+  Fn* get_at(std::string_view id, Backend b) const {
+    return reinterpret_cast<Fn*>(resolve_at(id, b));
+  }
+
+ private:
+  struct Entry {
+    std::string_view id;  // points at a string literal from kernels.hpp
+    Backend backend;
+    AnyFn fn;
+  };
+  std::vector<Entry> entries_;
+  bool backend_seen_[kBackendCount] = {};
+};
+
+}  // namespace tvs::dispatch

@@ -26,9 +26,18 @@ class Grid1D {
 
   int nx() const { return nx_; }
 
+  // Linear offset of x from the buffer base, in std::ptrdiff_t so the math
+  // cannot overflow `int` on large grids (the 2D/3D grids share this rule).
+  static std::ptrdiff_t linear_offset(int x) {
+    return static_cast<std::ptrdiff_t>(x) + kPad;
+  }
+  std::ptrdiff_t offset(int x) const { return linear_offset(x); }
+
   // Valid x range: [-kPad, nx()+1+kPad].
-  T& at(int x) { return buf_[static_cast<std::size_t>(x + kPad)]; }
-  const T& at(int x) const { return buf_[static_cast<std::size_t>(x + kPad)]; }
+  T& at(int x) { return buf_[static_cast<std::size_t>(linear_offset(x))]; }
+  const T& at(int x) const {
+    return buf_[static_cast<std::size_t>(linear_offset(x))];
+  }
 
   // Raw pointer anchored at x = 0 (the left boundary cell).
   T* p() { return buf_.data() + kPad; }

@@ -28,6 +28,17 @@ class Grid2D {
   int ny() const { return ny_; }
   std::ptrdiff_t stride() const { return stride_; }
 
+  // Linear offset of (x, y) from the buffer base.  All offset arithmetic is
+  // std::ptrdiff_t: with `int` math a grid of nx * ny >= 2^31 elements
+  // (e.g. 46341 x 46341 doubles) would overflow and index garbage.
+  static std::ptrdiff_t linear_offset(int x, int y, std::ptrdiff_t stride) {
+    return static_cast<std::ptrdiff_t>(x) * stride + y +
+           static_cast<std::ptrdiff_t>(kPad);
+  }
+  std::ptrdiff_t offset(int x, int y) const {
+    return linear_offset(x, y, stride_);
+  }
+
   // Valid: x in [0, nx+1], y in [-kPad, ny+1+kPad].
   T& at(int x, int y) { return buf_[idx(x, y)]; }
   const T& at(int x, int y) const { return buf_[idx(x, y)]; }
@@ -55,18 +66,18 @@ class Grid2D {
   }
 
  private:
-  static int round_up(int n) {
-    constexpr int q = static_cast<int>(kAlignment / sizeof(T));
+  static std::ptrdiff_t round_up(int n) {
+    constexpr std::ptrdiff_t q =
+        static_cast<std::ptrdiff_t>(kAlignment / sizeof(T));
     return (n + q - 1) / q * q;
   }
   std::size_t idx(int x, int y) const {
-    return static_cast<std::size_t>(x) * static_cast<std::size_t>(stride_) +
-           static_cast<std::size_t>(y + kPad);
+    return static_cast<std::size_t>(offset(x, y));
   }
 
   int nx_ = 0;
   int ny_ = 0;
-  int stride_ = 0;
+  std::ptrdiff_t stride_ = 0;
   AlignedBuffer<T> buf_;
 };
 

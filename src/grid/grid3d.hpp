@@ -31,6 +31,19 @@ class Grid3D {
   int nz() const { return nz_; }
   std::ptrdiff_t zstride() const { return zstride_; }
 
+  // Linear offset of (x, y, z) from the buffer base, in std::ptrdiff_t so
+  // grids beyond 2^31 elements index correctly (see grid2d.hpp).
+  static std::ptrdiff_t linear_offset(int x, int y, int z,
+                                      std::ptrdiff_t ystride,
+                                      std::ptrdiff_t zstride) {
+    return static_cast<std::ptrdiff_t>(x) * ystride +
+           static_cast<std::ptrdiff_t>(y) * zstride + z +
+           static_cast<std::ptrdiff_t>(kPad);
+  }
+  std::ptrdiff_t offset(int x, int y, int z) const {
+    return linear_offset(x, y, z, ystride_, zstride_);
+  }
+
   // Valid: x in [0, nx+1], y in [0, ny+1], z in [-kPad, nz+1+kPad].
   T& at(int x, int y, int z) { return buf_[idx(x, y, z)]; }
   const T& at(int x, int y, int z) const { return buf_[idx(x, y, z)]; }
@@ -55,14 +68,13 @@ class Grid3D {
   }
 
  private:
-  static int round_up(int n) {
-    constexpr int q = static_cast<int>(kAlignment / sizeof(T));
+  static std::ptrdiff_t round_up(int n) {
+    constexpr std::ptrdiff_t q =
+        static_cast<std::ptrdiff_t>(kAlignment / sizeof(T));
     return (n + q - 1) / q * q;
   }
   std::size_t idx(int x, int y, int z) const {
-    return static_cast<std::size_t>(x) * static_cast<std::size_t>(ystride_) +
-           static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride_) +
-           static_cast<std::size_t>(z + kPad);
+    return static_cast<std::size_t>(offset(x, y, z));
   }
 
   int nx_ = 0, ny_ = 0, nz_ = 0;

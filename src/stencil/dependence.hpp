@@ -13,6 +13,7 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace tvs::stencil {
@@ -25,6 +26,15 @@ struct Dep {
 // Smallest legal space stride, or -1 if no stride makes the scheme legal
 // (a same-time forward dependence).  Defined in legality.cpp.
 int min_stride(std::span<const Dep> deps);
+
+// API-boundary guard for the public tv_*_run entry points: throws
+// std::invalid_argument (naming `kernel`, the offending stride, and the
+// smallest legal one) unless `stride >= min_stride(deps)` — the §3.2
+// condition `s * dt > dx` for every forward dependence.  When
+// `max_stride > 0` the engine's capacity bound `stride <= max_stride` is
+// enforced too.  An illegal stride used to corrupt results silently.
+void require_legal_stride(std::string_view kernel, std::span<const Dep> deps,
+                          int stride, int max_stride = 0);
 
 // Standard dependence sets for the kernels in this library, projected on
 // (t, outermost-space-dim).

@@ -1,5 +1,8 @@
 #include "stencil/dependence.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace tvs::stencil {
 
 int min_stride(std::span<const Dep> deps) {
@@ -12,6 +15,30 @@ int min_stride(std::span<const Dep> deps) {
     if (need > s) s = need;
   }
   return s;
+}
+
+void require_legal_stride(std::string_view kernel, std::span<const Dep> deps,
+                          int stride, int max_stride) {
+  const int need = min_stride(deps);
+  if (need < 0) {
+    throw std::invalid_argument(
+        std::string(kernel) +
+        ": this dependence set has a same-time forward dependence; no space "
+        "stride makes temporal vectorization legal");
+  }
+  if (stride < need) {
+    throw std::invalid_argument(
+        std::string(kernel) + ": stride " + std::to_string(stride) +
+        " violates the temporal-vectorization legality condition (§3.2 "
+        "requires s * dt > dx for every forward dependence): the smallest "
+        "legal stride here is " + std::to_string(need));
+  }
+  if (max_stride > 0 && stride > max_stride) {
+    throw std::invalid_argument(std::string(kernel) + ": stride " +
+                                std::to_string(stride) +
+                                " exceeds this engine's ring capacity (max " +
+                                std::to_string(max_stride) + ")");
+  }
 }
 
 std::vector<Dep> jacobi1d_deps(int radius) {

@@ -1,7 +1,10 @@
-#include "tiling/diamond.hpp"
-
+// Diamond-tiled 1D Jacobi engine variant — compiled once per SIMD backend.
+// The Grid1D convenience wrapper and fix_boundaries live in
+// tiling_dispatch.cpp (common code).
 #include <algorithm>
 
+#include "dispatch/backend_variant.hpp"
+#include "tiling/diamond.hpp"
 #include "tiling/diamond_impl.hpp"
 #include "tv/functors1d.hpp"
 #include "tv/tv1d_impl.hpp"
@@ -71,18 +74,9 @@ void diamond_run(const F& f, double* even, double* odd, int nx, long steps,
   }
 }
 
-}  // namespace
-
-void fix_boundaries(grid::PingPong<grid::Grid1D<double>>& pp) {
-  const int nx = pp.even().nx();
-  for (int x = -grid::kPad; x <= 0; ++x) pp.odd().at(x) = pp.even().at(x);
-  for (int x = nx + 1; x <= nx + 1 + grid::kPad; ++x)
-    pp.odd().at(x) = pp.even().at(x);
-}
-
-void diamond_jacobi1d3_run(const stencil::C1D3& c,
-                           grid::PingPong<grid::Grid1D<double>>& pp,
-                           long steps, const Diamond1DOptions& opt) {
+void diamond_jacobi1d3(const stencil::C1D3& c,
+                       grid::PingPong<grid::Grid1D<double>>& pp, long steps,
+                       const Diamond1DOptions& opt) {
   const int nx = pp.even().nx();
   const tv::J1D3F<V> f(c);
   const int s = std::min(opt.stride, 3 * tv::J1D3F<V>::radius + 5);
@@ -91,15 +85,10 @@ void diamond_jacobi1d3_run(const stencil::C1D3& c,
   diamond_run(f, pp.even().p(), pp.odd().p(), nx, steps, o);
 }
 
-void diamond_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
-                           long steps, const Diamond1DOptions& opt) {
-  grid::PingPong<grid::Grid1D<double>> pp(u.nx());
-  for (int x = -grid::kPad; x <= u.nx() + 1 + grid::kPad; ++x)
-    pp.even().at(x) = u.at(x);
-  fix_boundaries(pp);
-  diamond_jacobi1d3_run(c, pp, steps, opt);
-  grid::Grid1D<double>& res = pp.by_parity(steps);
-  for (int x = 0; x <= u.nx() + 1; ++x) u.at(x) = res.at(x);
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(diamond1d) {
+  TVS_REGISTER(kDiamondJacobi1D3, DiamondJacobi1D3Fn, diamond_jacobi1d3);
 }
 
 }  // namespace tvs::tiling

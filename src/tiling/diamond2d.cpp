@@ -9,6 +9,7 @@
 // in the flat 2D engine (tv2d_impl.hpp).  Grouped bottom-row loads are
 // clamped at row XR[1]+1: rows past it may be rewritten concurrently by the
 // phase neighbour, and lanes read from there are provably never consumed.
+#include "dispatch/backend_variant.hpp"
 #include "tiling/diamond2d.hpp"
 
 #include "util/omp_compat.hpp"
@@ -215,56 +216,29 @@ void diamond2d_run(const F& f, grid::PingPong<grid::Grid2D<T>>& pp, long steps,
   }
 }
 
-template <class T, class Run>
-void with_pingpong(grid::Grid2D<T>& u, long steps, Run run) {
-  grid::PingPong<grid::Grid2D<T>> pp(u.nx(), u.ny());
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = -grid::kPad; y <= u.ny() + 1 + grid::kPad; ++y)
-      pp.even().at(x, y) = u.at(x, y);
-  fix_boundaries2d(pp);
-  run(pp);
-  const grid::Grid2D<T>& res = pp.by_parity(steps);
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = 0; y <= u.ny() + 1; ++y) u.at(x, y) = res.at(x, y);
-}
-
 using VD = simd::NativeVec<double, 4>;
 using VI = simd::NativeVec<std::int32_t, 8>;
 
-}  // namespace
-
-void diamond_jacobi2d5_run(const stencil::C2D5& c,
-                           grid::PingPong<grid::Grid2D<double>>& pp,
-                           long steps, const Diamond2DOptions& opt) {
+void jacobi2d5(const stencil::C2D5& c, grid::PingPong<grid::Grid2D<double>>& pp,
+               long steps, const Diamond2DOptions& opt) {
   diamond2d_run<VD>(tv::J2D5F<VD>(c), pp, steps, opt);
 }
-void diamond_jacobi2d9_run(const stencil::C2D9& c,
-                           grid::PingPong<grid::Grid2D<double>>& pp,
-                           long steps, const Diamond2DOptions& opt) {
+void jacobi2d9(const stencil::C2D9& c, grid::PingPong<grid::Grid2D<double>>& pp,
+               long steps, const Diamond2DOptions& opt) {
   diamond2d_run<VD>(tv::J2D9F<VD>(c), pp, steps, opt);
 }
-void diamond_life_run(const stencil::LifeRule& r,
-                      grid::PingPong<grid::Grid2D<std::int32_t>>& pp,
-                      long steps, const Diamond2DOptions& opt) {
+void life(const stencil::LifeRule& r,
+          grid::PingPong<grid::Grid2D<std::int32_t>>& pp, long steps,
+          const Diamond2DOptions& opt) {
   diamond2d_run<VI>(tv::LifeF<VI>(r), pp, steps, opt);
 }
 
-void diamond_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
-                           long steps, const Diamond2DOptions& opt) {
-  with_pingpong(u, steps, [&](auto& pp) {
-    diamond_jacobi2d5_run(c, pp, steps, opt);
-  });
-}
-void diamond_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
-                           long steps, const Diamond2DOptions& opt) {
-  with_pingpong(u, steps, [&](auto& pp) {
-    diamond_jacobi2d9_run(c, pp, steps, opt);
-  });
-}
-void diamond_life_run(const stencil::LifeRule& r,
-                      grid::Grid2D<std::int32_t>& u, long steps,
-                      const Diamond2DOptions& opt) {
-  with_pingpong(u, steps, [&](auto& pp) { diamond_life_run(r, pp, steps, opt); });
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(diamond2d) {
+  TVS_REGISTER(kDiamondJacobi2D5, DiamondJacobi2D5Fn, jacobi2d5);
+  TVS_REGISTER(kDiamondJacobi2D9, DiamondJacobi2D9Fn, jacobi2d9);
+  TVS_REGISTER(kDiamondLife, DiamondLifeFn, life);
 }
 
 }  // namespace tvs::tiling

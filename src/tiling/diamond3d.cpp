@@ -1,4 +1,5 @@
 // 3D trapezoid engine + diamond driver; the slab analogue of diamond2d.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tiling/diamond3d.hpp"
 
 #include "util/omp_compat.hpp"
@@ -156,11 +157,9 @@ void trapezoid3d(const tv::J3D7F<V>& f, grid::Grid3D<double>& g0,
     scalar_slabs(l, std::max(XL[l], x_end + (VL - l) * s + 1), XR[l]);
 }
 
-}  // namespace
-
-void diamond_jacobi3d7_run(const stencil::C3D7& c,
-                           grid::PingPong<grid::Grid3D<double>>& pp,
-                           long steps, const Diamond3DOptions& opt) {
+void jacobi3d7(const stencil::C3D7& c,
+               grid::PingPong<grid::Grid3D<double>>& pp, long steps,
+               const Diamond3DOptions& opt) {
   const tv::J3D7F<V> f(c);
   const int nx = pp.even().nx(), ny = pp.even().ny(), nz = pp.even().nz();
   const int s = std::max(2, opt.stride);
@@ -213,19 +212,10 @@ void diamond_jacobi3d7_run(const stencil::C3D7& c,
   }
 }
 
-void diamond_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
-                           long steps, const Diamond3DOptions& opt) {
-  grid::PingPong<grid::Grid3D<double>> pp(u.nx(), u.ny(), u.nz());
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = 0; y <= u.ny() + 1; ++y)
-      for (int z = -grid::kPad; z <= u.nz() + 1 + grid::kPad; ++z)
-        pp.even().at(x, y, z) = u.at(x, y, z);
-  fix_boundaries3d(pp);
-  diamond_jacobi3d7_run(c, pp, steps, opt);
-  const grid::Grid3D<double>& res = pp.by_parity(steps);
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = 0; y <= u.ny() + 1; ++y)
-      for (int z = 0; z <= u.nz() + 1; ++z) u.at(x, y, z) = res.at(x, y, z);
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(diamond3d) {
+  TVS_REGISTER(kDiamondJacobi3D7, DiamondJacobi3D7Fn, jacobi3d7);
 }
 
 }  // namespace tvs::tiling

@@ -1,3 +1,4 @@
+#include "dispatch/backend_variant.hpp"
 #include "tiling/lcs_wavefront.hpp"
 
 #include <algorithm>
@@ -7,8 +8,9 @@
 #include "tv/tv_lcs_impl.hpp"
 
 namespace tvs::tiling {
+namespace {
 
-std::int32_t lcs_wavefront(std::span<const std::int32_t> a,
+std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
                            std::span<const std::int32_t> b,
                            const LcsWavefrontOptions& opt) {
   using V = simd::NativeVec<std::int32_t, 8>;
@@ -59,6 +61,12 @@ std::int32_t lcs_wavefront(std::span<const std::int32_t> a,
     }
   }
   return row[static_cast<std::size_t>(nb)];
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(lcs_wavefront) {
+  TVS_REGISTER(kLcsWavefront, LcsWavefrontFn, lcs_wavefront_tiled);
 }
 
 }  // namespace tvs::tiling

@@ -1,3 +1,4 @@
+#include "dispatch/backend_variant.hpp"
 #include "tiling/parallelogram.hpp"
 
 #include <algorithm>
@@ -5,12 +6,11 @@
 #include "tiling/parallelogram_impl.hpp"
 
 namespace tvs::tiling {
-
 namespace {
-using V = simd::NativeVec<double, 4>;
-}
 
-void parallelogram_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+using V = simd::NativeVec<double, 4>;
+
+void gs1d3_tiled(const stencil::C1D3& c, grid::Grid1D<double>& u,
                              long sweeps, const Parallelogram1DOptions& opt) {
   const int nx = u.nx();
   double* a = u.p();
@@ -76,6 +76,12 @@ void parallelogram_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
       west = v;
     }
   }
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(parallelogram1d) {
+  TVS_REGISTER(kParallelogramGs1D3, ParallelogramGs1D3Fn, gs1d3_tiled);
 }
 
 }  // namespace tvs::tiling

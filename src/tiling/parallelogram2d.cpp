@@ -4,6 +4,7 @@
 // the slope -1 interface ladder guarantees each slot holds exactly the
 // level its reader needs (see parallelogram_impl.hpp for the 1D proof,
 // which lifts row-wise / plane-wise verbatim).
+#include "dispatch/backend_variant.hpp"
 #include "tiling/parallelogram2d.hpp"
 
 #include "util/omp_compat.hpp"
@@ -17,7 +18,6 @@
 #include "stencil/kernels.hpp"
 
 namespace tvs::tiling {
-
 namespace {
 
 using V = simd::NativeVec<double, 4>;
@@ -419,9 +419,8 @@ void wavefront_run(int nx, long sweeps, ParallelogramNDOptions opt, int min_s,
   for (long t = t_vec; t < sweeps; ++t) residual();
 }
 
-}  // namespace
 
-void parallelogram_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+void gs2d5_tiled(const stencil::C2D5& c, grid::Grid2D<double>& u,
                              long sweeps, const ParallelogramNDOptions& opt) {
   std::vector<GsWs2D> tls(static_cast<std::size_t>(omp_get_max_threads()));
   wavefront_run(
@@ -444,7 +443,7 @@ void parallelogram_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
       });
 }
 
-void parallelogram_gs3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+void gs3d7_tiled(const stencil::C3D7& c, grid::Grid3D<double>& u,
                              long sweeps, const ParallelogramNDOptions& opt) {
   std::vector<GsWs3D> tls(static_cast<std::size_t>(omp_get_max_threads()));
   wavefront_run(
@@ -463,6 +462,13 @@ void parallelogram_gs3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
                   u.at(r, y, z - 1), u.at(r, y, z + 1), u.at(r, y - 1, z),
                   u.at(r, y + 1, z), u.at(r - 1, y, z), u.at(r + 1, y, z));
   });
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(parallelogram2d) {
+  TVS_REGISTER(kParallelogramGs2D5, ParallelogramGs2D5Fn, gs2d5_tiled);
+  TVS_REGISTER(kParallelogramGs3D7, ParallelogramGs3D7Fn, gs3d7_tiled);
 }
 
 }  // namespace tvs::tiling

@@ -1,22 +1,30 @@
-#include "tv/tv1d.hpp"
-
+// 1D Jacobi kernel variants — compiled once per SIMD backend (see
+// dispatch/backend_variant.hpp for the per-backend TU rules).  The public
+// tv_jacobi1d*_run entry points live in tv_dispatch.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tv/functors1d.hpp"
 #include "tv/tv1d_impl.hpp"
 
 namespace tvs::tv {
-
 namespace {
-using V = simd::NativeVec<double, 4>;
-}
 
-void tv_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
-                      long steps, int stride) {
+using V = simd::NativeVec<double, 4>;
+
+void jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u, long steps,
+               int stride) {
   tv1d_run<V>(J1D3F<V>(c), u, steps, stride);
 }
 
-void tv_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
-                      long steps, int stride) {
+void jacobi1d5(const stencil::C1D5& c, grid::Grid1D<double>& u, long steps,
+               int stride) {
   tv1d_run<V>(J1D5F<V>(c), u, steps, stride);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv1d) {
+  TVS_REGISTER(kTvJacobi1D3, TvJacobi1D3Fn, jacobi1d3);
+  TVS_REGISTER(kTvJacobi1D5, TvJacobi1D5Fn, jacobi1d5);
 }
 
 }  // namespace tvs::tv

@@ -1,24 +1,31 @@
-#include "tv/tv2d.hpp"
-
+// 2D Jacobi kernel variants — compiled once per SIMD backend.  Public entry
+// points live in tv_dispatch.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tv/functors2d.hpp"
 #include "tv/tv2d_impl.hpp"
 
 namespace tvs::tv {
-
 namespace {
-using V = simd::NativeVec<double, 4>;
-}
 
-void tv_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
-                      long steps, int stride) {
+using V = simd::NativeVec<double, 4>;
+
+void jacobi2d5(const stencil::C2D5& c, grid::Grid2D<double>& u, long steps,
+               int stride) {
   Workspace2D<V, double> ws;
   tv2d_run(J2D5F<V>(c), u, steps, stride, ws);
 }
 
-void tv_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
-                      long steps, int stride) {
+void jacobi2d9(const stencil::C2D9& c, grid::Grid2D<double>& u, long steps,
+               int stride) {
   Workspace2D<V, double> ws;
   tv2d_run(J2D9F<V>(c), u, steps, stride, ws);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv2d) {
+  TVS_REGISTER(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5);
+  TVS_REGISTER(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9);
 }
 
 }  // namespace tvs::tv

@@ -1,34 +1,53 @@
-// Eight-lane (AVX-512 when available) variants of the 2D/3D Jacobi engines:
-// one temporal tile advances eight time steps.  The paper's future-work
-// direction; compare against the vl = 4 kernels with bench/ablation_vl.
+// Eight-lane (vl = 8) variants of the 2D/3D Jacobi engines: one temporal
+// tile advances eight time steps.  Compiled for the scalar backend
+// (ScalarVec<double, 8>) and the AVX-512 backend (VecD8) — there is no
+// 8-wide double type under AVX2, so the avx2 backend does not build this
+// module and the vl8 ids resolve downward to the scalar variant there.
+//
+// Under the AVX-512 backend this module additionally serves the *standard*
+// 2D/3D Jacobi ids: double x 8 is the natural AVX-512 vector shape, and the
+// temporal scheme's results are bit-identical for any vl (the tv_wide suite
+// checks exactly that), so the deeper tile is purely a perf choice.
+#include "dispatch/backend_variant.hpp"
 #include "tv/functors2d.hpp"
 #include "tv/functors3d.hpp"
 #include "tv/tv2d_impl.hpp"
 #include "tv/tv3d_impl.hpp"
-#include "tv/tv2d_wide.hpp"
 
 namespace tvs::tv {
-
 namespace {
-using V8 = simd::NativeVec<double, 8>;  // VecD8 or the scalar fallback
-}
 
-void tv_jacobi2d5_run_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u,
-                          long steps, int stride) {
+using V8 = simd::NativeVec<double, 8>;  // VecD8 or the scalar fallback
+
+void jacobi2d5_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u, long steps,
+                   int stride) {
   Workspace2D<V8, double> ws;
   tv2d_run(J2D5F<V8>(c), u, steps, stride, ws);
 }
 
-void tv_jacobi2d9_run_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u,
-                          long steps, int stride) {
+void jacobi2d9_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u, long steps,
+                   int stride) {
   Workspace2D<V8, double> ws;
   tv2d_run(J2D9F<V8>(c), u, steps, stride, ws);
 }
 
-void tv_jacobi3d7_run_vl8(const stencil::C3D7& c, grid::Grid3D<double>& u,
-                          long steps, int stride) {
+void jacobi3d7_vl8(const stencil::C3D7& c, grid::Grid3D<double>& u, long steps,
+                   int stride) {
   Workspace3D<V8, double> ws;
   tv3d_run(J3D7F<V8>(c), u, steps, stride, ws);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv_wide) {
+  TVS_REGISTER(kTvJacobi2D5Vl8, TvJacobi2D5Fn, jacobi2d5_vl8);
+  TVS_REGISTER(kTvJacobi2D9Vl8, TvJacobi2D9Fn, jacobi2d9_vl8);
+  TVS_REGISTER(kTvJacobi3D7Vl8, TvJacobi3D7Fn, jacobi3d7_vl8);
+#if TVS_BACKEND_LEVEL == 2
+  TVS_REGISTER(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5_vl8);
+  TVS_REGISTER(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9_vl8);
+  TVS_REGISTER(kTvJacobi3D7, TvJacobi3D7Fn, jacobi3d7_vl8);
+#endif
 }
 
 }  // namespace tvs::tv

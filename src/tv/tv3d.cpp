@@ -1,15 +1,24 @@
-#include "tv/tv3d.hpp"
-
+// 3D Jacobi kernel variant — compiled once per SIMD backend.  Public entry
+// point lives in tv_dispatch.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tv/functors3d.hpp"
 #include "tv/tv3d_impl.hpp"
 
 namespace tvs::tv {
+namespace {
 
-void tv_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
-                      long steps, int stride) {
-  using V = simd::NativeVec<double, 4>;
+using V = simd::NativeVec<double, 4>;
+
+void jacobi3d7(const stencil::C3D7& c, grid::Grid3D<double>& u, long steps,
+               int stride) {
   Workspace3D<V, double> ws;
   tv3d_run(J3D7F<V>(c), u, steps, stride, ws);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv3d) {
+  TVS_REGISTER(kTvJacobi3D7, TvJacobi3D7Fn, jacobi3d7);
 }
 
 }  // namespace tvs::tv

@@ -1,0 +1,152 @@
+// Public tv/ entry points: legality checking + registry dispatch.
+//
+// This TU is common code (no SIMD flags).  Each entry point validates the
+// caller's stride against the §3.2 legality condition for its dependence
+// set — an illegal stride now raises std::invalid_argument instead of
+// silently corrupting results — then resolves its kernel id once (first
+// call) against the selected backend and caches the function pointer.
+#include <span>
+#include <vector>
+
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
+#include "stencil/dependence.hpp"
+#include "tv/tv1d.hpp"
+#include "tv/tv1d_impl.hpp"  // kMaxStride (ring capacity of the 1D engines)
+#include "tv/tv2d.hpp"
+#include "tv/tv2d_wide.hpp"
+#include "tv/tv3d.hpp"
+#include "tv/tv_gs1d.hpp"
+#include "tv/tv_gs2d.hpp"
+#include "tv/tv_gs3d.hpp"
+#include "tv/tv_lcs.hpp"
+#include "tv/tv_life.hpp"
+
+namespace tvs::tv {
+
+namespace {
+
+template <class Fn>
+Fn* lookup(std::string_view id) {
+  return dispatch::KernelRegistry::instance().get<Fn>(id);
+}
+
+}  // namespace
+
+void tv_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi1d3_run", stencil::jacobi1d_deps(1),
+                                stride, kMaxStride);
+  static const auto fn = lookup<dispatch::TvJacobi1D3Fn>(dispatch::kTvJacobi1D3);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi1d5_run", stencil::jacobi1d_deps(2),
+                                stride, kMaxStride);
+  static const auto fn = lookup<dispatch::TvJacobi1D5Fn>(dispatch::kTvJacobi1D5);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi2d5_run", stencil::jacobi2d_deps(1),
+                                stride);
+  static const auto fn = lookup<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi2d9_run", stencil::jacobi2d_deps(1),
+                                stride);
+  static const auto fn = lookup<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi3d7_run", stencil::jacobi3d_deps(1),
+                                stride);
+  static const auto fn = lookup<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi2d5_run_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u,
+                          long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi2d5_run_vl8",
+                                stencil::jacobi2d_deps(1), stride);
+  static const auto fn =
+      lookup<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5Vl8);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi2d9_run_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u,
+                          long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi2d9_run_vl8",
+                                stencil::jacobi2d_deps(1), stride);
+  static const auto fn =
+      lookup<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9Vl8);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi3d7_run_vl8(const stencil::C3D7& c, grid::Grid3D<double>& u,
+                          long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi3d7_run_vl8",
+                                stencil::jacobi3d_deps(1), stride);
+  static const auto fn =
+      lookup<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7Vl8);
+  fn(c, u, steps, stride);
+}
+
+void tv_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
+                  int stride) {
+  stencil::require_legal_stride("tv_gs1d3_run", stencil::gauss_seidel_deps(1),
+                                stride, kMaxStride);
+  static const auto fn = lookup<dispatch::TvGs1D3Fn>(dispatch::kTvGs1D3);
+  fn(c, u, sweeps, stride);
+}
+
+void tv_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
+                  int stride) {
+  stencil::require_legal_stride("tv_gs2d5_run", stencil::gauss_seidel_deps(1),
+                                stride);
+  static const auto fn = lookup<dispatch::TvGs2D5Fn>(dispatch::kTvGs2D5);
+  fn(c, u, sweeps, stride);
+}
+
+void tv_gs3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u, long sweeps,
+                  int stride) {
+  stencil::require_legal_stride("tv_gs3d7_run", stencil::gauss_seidel_deps(1),
+                                stride);
+  static const auto fn = lookup<dispatch::TvGs3D7Fn>(dispatch::kTvGs3D7);
+  fn(c, u, sweeps, stride);
+}
+
+void tv_life_run(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
+                 long steps, int stride) {
+  stencil::require_legal_stride("tv_life_run", stencil::jacobi2d_deps(1),
+                                stride);
+  static const auto fn = lookup<dispatch::TvLifeFn>(dispatch::kTvLife);
+  fn(r, u, steps, stride);
+}
+
+std::vector<std::int32_t> tv_lcs_row(std::span<const std::int32_t> a,
+                                     std::span<const std::int32_t> b) {
+  const std::size_t nb = b.size();
+  std::vector<std::int32_t> row(nb + 1 + 8, 0);
+  if (nb > 0) {
+    static const auto fn = lookup<dispatch::TvLcsRowsFn>(dispatch::kTvLcsRows);
+    fn(a, b, row.data());
+  }
+  row.resize(nb + 1);
+  return row;
+}
+
+std::int32_t tv_lcs(std::span<const std::int32_t> a,
+                    std::span<const std::int32_t> b) {
+  return tv_lcs_row(a, b).back();
+}
+
+}  // namespace tvs::tv

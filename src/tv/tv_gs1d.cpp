@@ -1,12 +1,20 @@
-#include "tv/tv_gs1d.hpp"
-
+// 1D Gauss-Seidel kernel variant — compiled once per SIMD backend.  Public
+// entry point lives in tv_dispatch.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tv/tv_gs1d_impl.hpp"
 
 namespace tvs::tv {
+namespace {
 
-void tv_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
-                  int stride) {
+void gs1d3(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
+           int stride) {
   tv_gs1d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv_gs1d) {
+  TVS_REGISTER(kTvGs1D3, TvGs1D3Fn, gs1d3);
 }
 
 }  // namespace tvs::tv

@@ -1,12 +1,20 @@
-#include "tv/tv_gs2d.hpp"
-
+// 2D Gauss-Seidel kernel variant — compiled once per SIMD backend.  Public
+// entry point lives in tv_dispatch.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tv/tv_gs2d_impl.hpp"
 
 namespace tvs::tv {
+namespace {
 
-void tv_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
-                  int stride) {
+void gs2d5(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
+           int stride) {
   tv_gs2d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv_gs2d) {
+  TVS_REGISTER(kTvGs2D5, TvGs2D5Fn, gs2d5);
 }
 
 }  // namespace tvs::tv

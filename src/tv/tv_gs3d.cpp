@@ -1,12 +1,20 @@
-#include "tv/tv_gs3d.hpp"
-
+// 3D Gauss-Seidel kernel variant — compiled once per SIMD backend.  Public
+// entry point lives in tv_dispatch.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tv/tv_gs3d_impl.hpp"
 
 namespace tvs::tv {
+namespace {
 
-void tv_gs3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u, long sweeps,
-                  int stride) {
+void gs3d7(const stencil::C3D7& c, grid::Grid3D<double>& u, long sweeps,
+           int stride) {
   tv_gs3d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv_gs3d) {
+  TVS_REGISTER(kTvGs3D7, TvGs3D7Fn, gs3d7);
 }
 
 }  // namespace tvs::tv

@@ -1,22 +1,21 @@
-#include "tv/tv_lcs.hpp"
-
+// LCS strip kernel variant (int32 x 8) — compiled once per vl4-family
+// backend.  The public tv_lcs / tv_lcs_row wrappers (allocation, resize)
+// live in tv_dispatch.cpp; only the raw row engine is backend code.
+#include "dispatch/backend_variant.hpp"
 #include "tv/tv_lcs_impl.hpp"
 
 namespace tvs::tv {
+namespace {
 
-std::vector<std::int32_t> tv_lcs_row(std::span<const std::int32_t> a,
-                                     std::span<const std::int32_t> b) {
-  const std::size_t nb = b.size();
-  std::vector<std::int32_t> row(nb + 1 + 8, 0);
-  if (nb > 0)
-    tv_lcs_rows_impl<simd::NativeVec<std::int32_t, 8>>(a, b, row.data());
-  row.resize(nb + 1);
-  return row;
+void lcs_rows(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
+              std::int32_t* row) {
+  tv_lcs_rows_impl<simd::NativeVec<std::int32_t, 8>>(a, b, row);
 }
 
-std::int32_t tv_lcs(std::span<const std::int32_t> a,
-                    std::span<const std::int32_t> b) {
-  return tv_lcs_row(a, b).back();
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv_lcs) {
+  TVS_REGISTER(kTvLcsRows, TvLcsRowsFn, lcs_rows);
 }
 
 }  // namespace tvs::tv

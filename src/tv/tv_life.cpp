@@ -1,15 +1,24 @@
-#include "tv/tv_life.hpp"
-
+// Game-of-Life kernel variant (int32 x 8 lanes, eight generations per
+// tile) — compiled once per vl4-family backend.  Public entry point lives
+// in tv_dispatch.cpp.
+#include "dispatch/backend_variant.hpp"
 #include "tv/functors2d.hpp"
 #include "tv/tv2d_impl.hpp"
 
 namespace tvs::tv {
+namespace {
 
-void tv_life_run(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
-                 long steps, int stride) {
+void life(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
+          long steps, int stride) {
   using V = simd::NativeVec<std::int32_t, 8>;
   Workspace2D<V, std::int32_t> ws;
   tv2d_run(LifeF<V>(r), u, steps, stride, ws);
+}
+
+}  // namespace
+
+TVS_BACKEND_REGISTRAR(tv_life) {
+  TVS_REGISTER(kTvLife, TvLifeFn, life);
 }
 
 }  // namespace tvs::tv

@@ -1,0 +1,542 @@
+// Dispatch-layer tests: backend identification/forcing semantics, registry
+// wiring, and lane-for-lane equality of every registered kernel against the
+// scalar reference oracles under EVERY backend this host can execute —
+// looked up explicitly per backend, so one test process covers them all
+// regardless of TVS_FORCE_BACKEND.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "dispatch/backend.hpp"
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
+#include "stencil/lcs_ref.hpp"
+#include "stencil/life_ref.hpp"
+#include "stencil/reference1d.hpp"
+#include "stencil/reference2d.hpp"
+#include "stencil/reference3d.hpp"
+
+namespace {
+
+using namespace tvs;
+using dispatch::Backend;
+using dispatch::KernelRegistry;
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> r;
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    if (dispatch::cpu_supports(b) && KernelRegistry::instance().has_backend(b))
+      r.push_back(b);
+  }
+  return r;
+}
+
+// ---- backend naming / forcing ----------------------------------------------
+
+TEST(Backend, NamesRoundTrip) {
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    const auto parsed = dispatch::parse_backend(dispatch::backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+}
+
+TEST(Backend, ParseRejectsUnknown) {
+  EXPECT_FALSE(dispatch::parse_backend("neon").has_value());
+  EXPECT_FALSE(dispatch::parse_backend("AVX2").has_value());  // case-sensitive
+  EXPECT_FALSE(dispatch::parse_backend("avx-512").has_value());
+}
+
+TEST(Backend, ResolveForceSemantics) {
+  EXPECT_EQ(dispatch::resolve_backend(std::nullopt), dispatch::best_available());
+  EXPECT_EQ(dispatch::resolve_backend(""), dispatch::best_available());
+  EXPECT_EQ(dispatch::resolve_backend("scalar"), Backend::kScalar);
+  EXPECT_THROW(dispatch::resolve_backend("neon"), std::runtime_error);
+  EXPECT_THROW(dispatch::resolve_backend("AVX2"), std::runtime_error);
+  for (Backend b : {Backend::kAvx2, Backend::kAvx512}) {
+    const bool usable = dispatch::cpu_supports(b) &&
+                        KernelRegistry::instance().has_backend(b);
+    if (usable) {
+      EXPECT_EQ(dispatch::resolve_backend(dispatch::backend_name(b)), b);
+    } else {
+      // Forcing an uncompiled or CPU-unsupported backend is an error, not a
+      // silent fallback.
+      EXPECT_THROW(dispatch::resolve_backend(dispatch::backend_name(b)),
+                   std::runtime_error);
+    }
+  }
+}
+
+TEST(Backend, SelectedHonoursEnvironment) {
+  const char* force = std::getenv("TVS_FORCE_BACKEND");
+  if (force != nullptr && force[0] != '\0') {
+    const auto parsed = dispatch::parse_backend(force);
+    ASSERT_TRUE(parsed.has_value()) << "CTest forced an unknown backend";
+    EXPECT_EQ(dispatch::selected_backend(), *parsed);
+  } else {
+    EXPECT_EQ(dispatch::selected_backend(), dispatch::best_available());
+  }
+}
+
+TEST(Backend, BestAvailableIsConsistent) {
+  const Backend best = dispatch::best_available();
+  EXPECT_TRUE(dispatch::cpu_supports(best));
+  EXPECT_TRUE(KernelRegistry::instance().has_backend(best));
+  for (int l = static_cast<int>(best) + 1; l < dispatch::kBackendCount; ++l) {
+    const Backend higher = static_cast<Backend>(l);
+    EXPECT_FALSE(dispatch::cpu_supports(higher) &&
+                 KernelRegistry::instance().has_backend(higher))
+        << "best_available skipped a usable backend";
+  }
+}
+
+// ---- registry wiring -------------------------------------------------------
+
+TEST(Registry, ScalarCoversEveryKernel) {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  for (std::string_view id : reg.kernel_ids()) {
+    EXPECT_NE(reg.find(id, Backend::kScalar), nullptr)
+        << id << " has no scalar variant";
+  }
+}
+
+TEST(Registry, ExpectedIdsPresent) {
+  const auto ids = KernelRegistry::instance().kernel_ids();
+  const auto has = [&](std::string_view id) {
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+  };
+  for (std::string_view id :
+       {dispatch::kTvJacobi1D3, dispatch::kTvJacobi1D5, dispatch::kTvJacobi2D5,
+        dispatch::kTvJacobi2D9, dispatch::kTvJacobi3D7,
+        dispatch::kTvJacobi2D5Vl8, dispatch::kTvJacobi2D9Vl8,
+        dispatch::kTvJacobi3D7Vl8, dispatch::kTvGs1D3, dispatch::kTvGs2D5,
+        dispatch::kTvGs3D7, dispatch::kTvLife, dispatch::kTvLcsRows,
+        dispatch::kAutovecJacobi1D3, dispatch::kAutovecJacobi1D5,
+        dispatch::kAutovecJacobi2D5, dispatch::kAutovecJacobi2D9,
+        dispatch::kAutovecJacobi3D7, dispatch::kAutovecLife,
+        dispatch::kParAutovecJacobi1D3, dispatch::kParAutovecJacobi2D5,
+        dispatch::kParAutovecJacobi2D9, dispatch::kParAutovecJacobi3D7,
+        dispatch::kParAutovecLife, dispatch::kMultiloadJacobi1D3,
+        dispatch::kReorgJacobi1D3, dispatch::kDltJacobi1D3,
+        dispatch::kMultiloadJacobi2D5, dispatch::kMultiloadJacobi2D9,
+        dispatch::kMultiloadJacobi3D7, dispatch::kMultiloadLife,
+        dispatch::kDiamondJacobi1D3, dispatch::kDiamondJacobi2D5,
+        dispatch::kDiamondJacobi2D9, dispatch::kDiamondLife,
+        dispatch::kDiamondJacobi3D7, dispatch::kParallelogramGs1D3,
+        dispatch::kParallelogramGs2D5, dispatch::kParallelogramGs3D7,
+        dispatch::kLcsWavefront}) {
+    EXPECT_TRUE(has(id)) << id << " not registered";
+  }
+}
+
+TEST(Registry, DownwardFallbackSemantics) {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  // Fallback never selects a higher backend than asked for.
+  EXPECT_EQ(reg.resolved_backend_at(dispatch::kTvJacobi1D3, Backend::kScalar),
+            Backend::kScalar);
+  if (reg.has_backend(Backend::kAvx2)) {
+    EXPECT_EQ(reg.resolved_backend_at(dispatch::kTvJacobi1D3, Backend::kAvx2),
+              Backend::kAvx2);
+    // The vl8 engines have no AVX2 variant: they resolve down to scalar.
+    EXPECT_EQ(
+        reg.resolved_backend_at(dispatch::kTvJacobi2D5Vl8, Backend::kAvx2),
+        Backend::kScalar);
+  }
+  if (reg.has_backend(Backend::kAvx512)) {
+    // The avx512 backend serves the 2D/3D Jacobi ids itself (vl = 8) and
+    // everything else through fallback.
+    EXPECT_EQ(
+        reg.resolved_backend_at(dispatch::kTvJacobi2D5, Backend::kAvx512),
+        Backend::kAvx512);
+    EXPECT_NE(reg.resolved_backend_at(dispatch::kTvGs1D3, Backend::kAvx512),
+              Backend::kAvx512);
+  }
+}
+
+TEST(Registry, UnknownIdThrows) {
+  EXPECT_THROW(
+      KernelRegistry::instance().resolve_at("no_such_kernel", Backend::kScalar),
+      std::runtime_error);
+}
+
+// ---- lane-for-lane equality vs the scalar oracles, per backend -------------
+
+template <class Fn>
+Fn* at(std::string_view id, Backend b) {
+  return KernelRegistry::instance().get_at<Fn>(id, b);
+}
+
+grid::Grid1D<double> random1d(int nx, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  grid::Grid1D<double> g(nx);
+  g.fill_random(rng, -1.0, 1.0);
+  return g;
+}
+
+grid::Grid2D<double> random2d(int nx, int ny, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  grid::Grid2D<double> g(nx, ny);
+  g.fill_random(rng, -1.0, 1.0);
+  return g;
+}
+
+grid::Grid3D<double> random3d(int nx, int ny, int nz, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  grid::Grid3D<double> g(nx, ny, nz);
+  g.fill_random(rng, -1.0, 1.0);
+  return g;
+}
+
+grid::Grid2D<std::int32_t> random_life(int nx, int ny, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  grid::Grid2D<std::int32_t> g(nx, ny);
+  g.fill_random(rng, 0, 1);
+  return g;
+}
+
+class LaneForLane : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, LaneForLane,
+                         ::testing::ValuesIn(available_backends()),
+                         [](const auto& info) {
+                           return std::string(
+                               tvs::dispatch::backend_name(info.param));
+                         });
+
+TEST_P(LaneForLane, TvJacobi1D) {
+  const Backend b = GetParam();
+  const stencil::C1D3 c3 = stencil::heat1d(0.25);
+  auto ref = random1d(103, 11);
+  auto got = random1d(103, 11);
+  stencil::jacobi1d3_run(c3, ref, 9);
+  at<dispatch::TvJacobi1D3Fn>(dispatch::kTvJacobi1D3, b)(c3, got, 9, 7);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+
+  const stencil::C1D5 c5{0.05, 0.2, 0.5, 0.15, 0.1};
+  auto ref5 = random1d(131, 12);
+  auto got5 = random1d(131, 12);
+  stencil::jacobi1d5_run(c5, ref5, 9);
+  at<dispatch::TvJacobi1D5Fn>(dispatch::kTvJacobi1D5, b)(c5, got5, 9, 7);
+  EXPECT_EQ(grid::max_abs_diff(ref5, got5), 0.0);
+}
+
+TEST_P(LaneForLane, TvJacobi2D) {
+  const Backend b = GetParam();
+  const stencil::C2D5 c5{0.3, 0.2, 0.18, 0.17, 0.15};
+  auto ref = random2d(40, 18, 21);
+  auto got = random2d(40, 18, 21);
+  stencil::jacobi2d5_run(c5, ref, 9);
+  at<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5, b)(c5, got, 9, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+
+  const stencil::C2D9 c9{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
+  auto ref9 = random2d(41, 17, 22);
+  auto got9 = random2d(41, 17, 22);
+  stencil::jacobi2d9_run(c9, ref9, 10);
+  at<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9, b)(c9, got9, 10, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref9, got9), 0.0);
+}
+
+TEST_P(LaneForLane, TvJacobi2D3DVl8) {
+  const Backend b = GetParam();
+  const stencil::C2D5 c5{0.3, 0.2, 0.18, 0.17, 0.15};
+  auto ref = random2d(40, 12, 31);
+  auto got = random2d(40, 12, 31);
+  stencil::jacobi2d5_run(c5, ref, 9);
+  at<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5Vl8, b)(c5, got, 9, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+
+  const stencil::C2D9 c9{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
+  auto ref9 = random2d(40, 12, 32);
+  auto got9 = random2d(40, 12, 32);
+  stencil::jacobi2d9_run(c9, ref9, 17);
+  at<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9Vl8, b)(c9, got9, 17, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref9, got9), 0.0);
+
+  const stencil::C3D7 c7{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+  auto ref3 = random3d(40, 8, 8, 33);
+  auto got3 = random3d(40, 8, 8, 33);
+  stencil::jacobi3d7_run(c7, ref3, 9);
+  at<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7Vl8, b)(c7, got3, 9, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref3, got3), 0.0);
+}
+
+TEST_P(LaneForLane, TvJacobi3D) {
+  const Backend b = GetParam();
+  const stencil::C3D7 c{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+  auto ref = random3d(24, 10, 8, 41);
+  auto got = random3d(24, 10, 8, 41);
+  stencil::jacobi3d7_run(c, ref, 9);
+  at<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7, b)(c, got, 9, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+}
+
+TEST_P(LaneForLane, TvGaussSeidel) {
+  const Backend b = GetParam();
+  const stencil::C1D3 c3 = stencil::heat1d(0.25);
+  auto ref = random1d(120, 51);
+  auto got = random1d(120, 51);
+  stencil::gs1d3_run(c3, ref, 10);
+  at<dispatch::TvGs1D3Fn>(dispatch::kTvGs1D3, b)(c3, got, 10, 3);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+
+  const stencil::C2D5 c5{0.3, 0.2, 0.18, 0.17, 0.15};
+  auto ref2 = random2d(40, 12, 52);
+  auto got2 = random2d(40, 12, 52);
+  stencil::gs2d5_run(c5, ref2, 6);
+  at<dispatch::TvGs2D5Fn>(dispatch::kTvGs2D5, b)(c5, got2, 6, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref2, got2), 0.0);
+
+  const stencil::C3D7 c7{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+  auto ref3 = random3d(24, 8, 8, 53);
+  auto got3 = random3d(24, 8, 8, 53);
+  stencil::gs3d7_run(c7, ref3, 5);
+  at<dispatch::TvGs3D7Fn>(dispatch::kTvGs3D7, b)(c7, got3, 5, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref3, got3), 0.0);
+}
+
+TEST_P(LaneForLane, TvLifeAndLcs) {
+  const Backend b = GetParam();
+  const stencil::LifeRule rule{};
+  auto ref = random_life(40, 20, 61);
+  auto got = random_life(40, 20, 61);
+  stencil::life_run(rule, ref, 8);
+  at<dispatch::TvLifeFn>(dispatch::kTvLife, b)(rule, got, 8, 2);
+  EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+
+  std::mt19937_64 rng(62);
+  std::uniform_int_distribution<std::int32_t> d(0, 3);
+  std::vector<std::int32_t> a(150), bb(130);
+  for (auto& v : a) v = d(rng);
+  for (auto& v : bb) v = d(rng);
+  const auto expect = stencil::lcs_ref_row(a, bb);
+  std::vector<std::int32_t> row(bb.size() + 1 + 8, 0);
+  at<dispatch::TvLcsRowsFn>(dispatch::kTvLcsRows, b)(a, bb, row.data());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    ASSERT_EQ(row[i], expect[i]) << "i=" << i;
+}
+
+TEST_P(LaneForLane, BaselinesBitExact) {
+  const Backend b = GetParam();
+  const stencil::C1D3 c3 = stencil::heat1d(0.25);
+  for (std::string_view id :
+       {dispatch::kMultiloadJacobi1D3, dispatch::kReorgJacobi1D3,
+        dispatch::kDltJacobi1D3}) {
+    auto ref = random1d(95, 71);
+    auto got = random1d(95, 71);
+    stencil::jacobi1d3_run(c3, ref, 6);
+    at<dispatch::BlJacobi1DFn>(id, b)(c3, got, 6);
+    EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0) << id;
+  }
+
+  const stencil::C2D5 c5{0.3, 0.2, 0.18, 0.17, 0.15};
+  auto ref2 = random2d(40, 18, 72);
+  auto got2 = random2d(40, 18, 72);
+  stencil::jacobi2d5_run(c5, ref2, 6);
+  at<dispatch::BlJacobi2D5Fn>(dispatch::kMultiloadJacobi2D5, b)(c5, got2, 6);
+  EXPECT_EQ(grid::max_abs_diff(ref2, got2), 0.0);
+
+  const stencil::C2D9 c9{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
+  auto ref9 = random2d(40, 18, 73);
+  auto got9 = random2d(40, 18, 73);
+  stencil::jacobi2d9_run(c9, ref9, 6);
+  at<dispatch::BlJacobi2D9Fn>(dispatch::kMultiloadJacobi2D9, b)(c9, got9, 6);
+  EXPECT_EQ(grid::max_abs_diff(ref9, got9), 0.0);
+
+  const stencil::LifeRule rule{};
+  auto refl = random_life(40, 20, 74);
+  auto gotl = random_life(40, 20, 74);
+  stencil::life_run(rule, refl, 6);
+  at<dispatch::BlLifeFn>(dispatch::kMultiloadLife, b)(rule, gotl, 6);
+  EXPECT_EQ(grid::max_abs_diff(refl, gotl), 0.0);
+
+  const stencil::C3D7 c7{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+  auto ref3 = random3d(20, 8, 8, 75);
+  auto got3 = random3d(20, 8, 8, 75);
+  stencil::jacobi3d7_run(c7, ref3, 5);
+  at<dispatch::BlJacobi3D7Fn>(dispatch::kMultiloadJacobi3D7, b)(c7, got3, 5);
+  EXPECT_EQ(grid::max_abs_diff(ref3, got3), 0.0);
+}
+
+TEST_P(LaneForLane, BaselinesAutovec) {
+  // The compiler-vectorized TUs may contract differently per backend, so
+  // these compare with the same tolerance the baseline suite uses.
+  const Backend b = GetParam();
+  const stencil::C1D3 c3 = stencil::heat1d(0.25);
+  for (std::string_view id :
+       {dispatch::kAutovecJacobi1D3, dispatch::kParAutovecJacobi1D3}) {
+    auto ref = random1d(95, 81);
+    auto got = random1d(95, 81);
+    stencil::jacobi1d3_run(c3, ref, 6);
+    at<dispatch::BlJacobi1DFn>(id, b)(c3, got, 6);
+    EXPECT_LT(grid::max_abs_diff(ref, got), 1e-12) << id;
+  }
+  const stencil::C1D5 c1d5{0.05, 0.2, 0.5, 0.15, 0.1};
+  auto ref5 = random1d(95, 82);
+  auto got5 = random1d(95, 82);
+  stencil::jacobi1d5_run(c1d5, ref5, 6);
+  at<dispatch::BlJacobi1D5Fn>(dispatch::kAutovecJacobi1D5, b)(c1d5, got5, 6);
+  EXPECT_LT(grid::max_abs_diff(ref5, got5), 1e-12);
+
+  const stencil::C2D5 c5{0.3, 0.2, 0.18, 0.17, 0.15};
+  for (std::string_view id :
+       {dispatch::kAutovecJacobi2D5, dispatch::kParAutovecJacobi2D5}) {
+    auto ref = random2d(40, 18, 83);
+    auto got = random2d(40, 18, 83);
+    stencil::jacobi2d5_run(c5, ref, 6);
+    at<dispatch::BlJacobi2D5Fn>(id, b)(c5, got, 6);
+    EXPECT_LT(grid::max_abs_diff(ref, got), 1e-12) << id;
+  }
+  const stencil::C2D9 c9{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
+  for (std::string_view id :
+       {dispatch::kAutovecJacobi2D9, dispatch::kParAutovecJacobi2D9}) {
+    auto ref = random2d(40, 18, 84);
+    auto got = random2d(40, 18, 84);
+    stencil::jacobi2d9_run(c9, ref, 6);
+    at<dispatch::BlJacobi2D9Fn>(id, b)(c9, got, 6);
+    EXPECT_LT(grid::max_abs_diff(ref, got), 1e-12) << id;
+  }
+  const stencil::LifeRule rule{};
+  for (std::string_view id :
+       {dispatch::kAutovecLife, dispatch::kParAutovecLife}) {
+    auto ref = random_life(40, 20, 85);
+    auto got = random_life(40, 20, 85);
+    stencil::life_run(rule, ref, 6);
+    at<dispatch::BlLifeFn>(id, b)(rule, got, 6);
+    EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0) << id;  // integers: exact
+  }
+  const stencil::C3D7 c7{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+  for (std::string_view id :
+       {dispatch::kAutovecJacobi3D7, dispatch::kParAutovecJacobi3D7}) {
+    auto ref = random3d(20, 8, 8, 86);
+    auto got = random3d(20, 8, 8, 86);
+    stencil::jacobi3d7_run(c7, ref, 5);
+    at<dispatch::BlJacobi3D7Fn>(id, b)(c7, got, 5);
+    EXPECT_LT(grid::max_abs_diff(ref, got), 1e-12) << id;
+  }
+}
+
+TEST_P(LaneForLane, TilingDiamond) {
+  const Backend b = GetParam();
+  const stencil::C1D3 c3 = stencil::heat1d(0.25);
+  {
+    auto ref = random1d(200, 91);
+    grid::PingPong<grid::Grid1D<double>> pp(200);
+    for (int x = -grid::kPad; x <= 200 + 1 + grid::kPad; ++x)
+      pp.even().at(x) = ref.at(x);
+    tiling::fix_boundaries(pp);
+    const long steps = 18;
+    stencil::jacobi1d3_run(c3, ref, steps);
+    at<dispatch::DiamondJacobi1D3Fn>(dispatch::kDiamondJacobi1D3, b)(
+        c3, pp, steps, tiling::Diamond1DOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, pp.by_parity(steps)), 0.0);
+  }
+  {
+    const stencil::C2D5 c5{0.3, 0.2, 0.18, 0.17, 0.15};
+    auto ref = random2d(48, 14, 92);
+    grid::PingPong<grid::Grid2D<double>> pp(48, 14);
+    for (int x = 0; x <= 48 + 1; ++x)
+      for (int y = -grid::kPad; y <= 14 + 1 + grid::kPad; ++y)
+        pp.even().at(x, y) = ref.at(x, y);
+    tiling::fix_boundaries2d(pp);
+    const long steps = 10;
+    stencil::jacobi2d5_run(c5, ref, steps);
+    at<dispatch::DiamondJacobi2D5Fn>(dispatch::kDiamondJacobi2D5, b)(
+        c5, pp, steps, tiling::Diamond2DOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, pp.by_parity(steps)), 0.0);
+  }
+  {
+    const stencil::C2D9 c9{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
+    auto ref = random2d(48, 14, 93);
+    grid::PingPong<grid::Grid2D<double>> pp(48, 14);
+    for (int x = 0; x <= 48 + 1; ++x)
+      for (int y = -grid::kPad; y <= 14 + 1 + grid::kPad; ++y)
+        pp.even().at(x, y) = ref.at(x, y);
+    tiling::fix_boundaries2d(pp);
+    const long steps = 9;
+    stencil::jacobi2d9_run(c9, ref, steps);
+    at<dispatch::DiamondJacobi2D9Fn>(dispatch::kDiamondJacobi2D9, b)(
+        c9, pp, steps, tiling::Diamond2DOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, pp.by_parity(steps)), 0.0);
+  }
+  {
+    const stencil::LifeRule rule{};
+    auto ref = random_life(48, 14, 94);
+    grid::PingPong<grid::Grid2D<std::int32_t>> pp(48, 14);
+    for (int x = 0; x <= 48 + 1; ++x)
+      for (int y = -grid::kPad; y <= 14 + 1 + grid::kPad; ++y)
+        pp.even().at(x, y) = ref.at(x, y);
+    tiling::fix_boundaries2d(pp);
+    const long steps = 9;
+    stencil::life_run(rule, ref, steps);
+    at<dispatch::DiamondLifeFn>(dispatch::kDiamondLife, b)(
+        rule, pp, steps, tiling::Diamond2DOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, pp.by_parity(steps)), 0.0);
+  }
+  {
+    const stencil::C3D7 c7{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+    auto ref = random3d(24, 8, 8, 95);
+    grid::PingPong<grid::Grid3D<double>> pp(24, 8, 8);
+    for (int x = 0; x <= 24 + 1; ++x)
+      for (int y = 0; y <= 8 + 1; ++y)
+        for (int z = -grid::kPad; z <= 8 + 1 + grid::kPad; ++z)
+          pp.even().at(x, y, z) = ref.at(x, y, z);
+    tiling::fix_boundaries3d(pp);
+    const long steps = 9;
+    stencil::jacobi3d7_run(c7, ref, steps);
+    at<dispatch::DiamondJacobi3D7Fn>(dispatch::kDiamondJacobi3D7, b)(
+        c7, pp, steps, tiling::Diamond3DOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, pp.by_parity(steps)), 0.0);
+  }
+}
+
+TEST_P(LaneForLane, TilingParallelogramAndWavefront) {
+  const Backend b = GetParam();
+  const stencil::C1D3 c3 = stencil::heat1d(0.25);
+  {
+    auto ref = random1d(160, 96);
+    auto got = random1d(160, 96);
+    stencil::gs1d3_run(c3, ref, 10);
+    at<dispatch::ParallelogramGs1D3Fn>(dispatch::kParallelogramGs1D3, b)(
+        c3, got, 10, tiling::Parallelogram1DOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+  }
+  {
+    const stencil::C2D5 c5{0.3, 0.2, 0.18, 0.17, 0.15};
+    auto ref = random2d(40, 12, 97);
+    auto got = random2d(40, 12, 97);
+    stencil::gs2d5_run(c5, ref, 6);
+    at<dispatch::ParallelogramGs2D5Fn>(dispatch::kParallelogramGs2D5, b)(
+        c5, got, 6, tiling::ParallelogramNDOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+  }
+  {
+    const stencil::C3D7 c7{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
+    auto ref = random3d(24, 8, 8, 98);
+    auto got = random3d(24, 8, 8, 98);
+    stencil::gs3d7_run(c7, ref, 5);
+    at<dispatch::ParallelogramGs3D7Fn>(dispatch::kParallelogramGs3D7, b)(
+        c7, got, 5, tiling::ParallelogramNDOptions{});
+    EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
+  }
+  {
+    std::mt19937_64 rng(99);
+    std::uniform_int_distribution<std::int32_t> d(0, 3);
+    std::vector<std::int32_t> a(300), bb(270);
+    for (auto& v : a) v = d(rng);
+    for (auto& v : bb) v = d(rng);
+    const std::int32_t expect = stencil::lcs_ref(a, bb);
+    tiling::LcsWavefrontOptions opt;
+    opt.block = 64;
+    opt.band = 64;
+    EXPECT_EQ(at<dispatch::LcsWavefrontFn>(dispatch::kLcsWavefront, b)(a, bb,
+                                                                       opt),
+              expect);
+  }
+}
+
+}  // namespace

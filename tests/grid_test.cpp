@@ -54,6 +54,56 @@ TEST(Grid1D, FillAndDiff) {
   EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.5);
 }
 
+TEST(GridOffsets, MatchPointerArithmeticOnSmallGrids) {
+  Grid2D<double> g2(6, 9);
+  for (int x = 0; x <= 7; ++x)
+    for (int y = -kPad; y <= 10 + kPad; ++y)
+      EXPECT_EQ(&g2.at(x, y), g2.row(x) + y) << x << "," << y;
+  EXPECT_EQ(g2.offset(3, 4) - g2.offset(3, 0), 4);
+  EXPECT_EQ(g2.offset(4, 0) - g2.offset(3, 0), g2.stride());
+
+  Grid3D<double> g3(4, 5, 6);
+  for (int x = 0; x <= 5; ++x)
+    for (int y = 0; y <= 6; ++y)
+      for (int z = -kPad; z <= 7 + kPad; ++z)
+        EXPECT_EQ(&g3.at(x, y, z), g3.line(x, y) + z);
+  EXPECT_EQ(g3.offset(1, 2, 3) - g3.offset(1, 2, 0), 3);
+  EXPECT_EQ(g3.offset(1, 3, 0) - g3.offset(1, 2, 0), g3.zstride());
+
+  Grid1D<double> g1(12);
+  EXPECT_EQ(g1.offset(5) - g1.offset(0), 5);
+  EXPECT_EQ(g1.offset(-kPad), 0);
+}
+
+// Regression: offsets are computed in std::ptrdiff_t, not int.  A grid of
+// nx * ny >= 2^31 elements (46341^2 doubles ~ 16 GiB — far too large to
+// allocate here) used to overflow 32-bit offset math; the static layout
+// helpers let the arithmetic be checked without the allocation.
+TEST(GridOffsets, No32BitOverflowNearTheBoundary) {
+  {
+    // stride for ny = 46341 doubles: rounded up to a multiple of 8.
+    const std::ptrdiff_t stride = 46344;
+    const int x = 46340, y = 46340;
+    const std::ptrdiff_t expect =
+        static_cast<std::ptrdiff_t>(x) * stride + y + kPad;
+    ASSERT_GT(expect, std::ptrdiff_t{1} << 31);  // would wrap in int math
+    EXPECT_EQ(Grid2D<double>::linear_offset(x, y, stride), expect);
+    // int32 cells hit the same boundary at the same element count.
+    EXPECT_EQ(Grid2D<std::int32_t>::linear_offset(x, y, stride), expect);
+  }
+  {
+    const std::ptrdiff_t zstride = 2064;  // nz = 2048 + 2 + 2*kPad rounded
+    const std::ptrdiff_t ystride = zstride * 1300;
+    const int x = 1290, y = 1290, z = 2040;
+    const std::ptrdiff_t expect = static_cast<std::ptrdiff_t>(x) * ystride +
+                                  static_cast<std::ptrdiff_t>(y) * zstride +
+                                  z + kPad;
+    ASSERT_GT(expect, std::ptrdiff_t{1} << 31);
+    EXPECT_EQ(Grid3D<double>::linear_offset(x, y, z, ystride, zstride),
+              expect);
+  }
+}
+
 TEST(Grid1D, FillRandomCoversBoundaryCells) {
   std::mt19937_64 rng(1);
   Grid1D<double> g(8);

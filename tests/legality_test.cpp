@@ -1,7 +1,14 @@
-// Tests for the §3.2 legality rule: s*dt > dx for every forward dependence.
+// Tests for the §3.2 legality rule: s*dt > dx for every forward dependence,
+// and for its enforcement at the public tv_*_run API boundary.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "stencil/dependence.hpp"
+#include "tv/tv1d.hpp"
+#include "tv/tv2d.hpp"
+#include "tv/tv_gs1d.hpp"
+#include "tv/tv_life.hpp"
 
 namespace {
 
@@ -54,6 +61,70 @@ TEST(Legality, MultiTimeStepDependence) {
 TEST(Legality, BackwardOnlyNeedsStrideOne) {
   const Dep d[] = {{1, 0}, {1, -1}, {0, -1}};
   EXPECT_EQ(min_stride(d), 1);
+}
+
+// ---- require_legal_stride: the API-boundary guard --------------------------
+
+TEST(RequireLegalStride, AcceptsLegalRejectsIllegal) {
+  const auto deps = jacobi1d_deps(1);
+  EXPECT_NO_THROW(require_legal_stride("k", deps, 2));
+  EXPECT_NO_THROW(require_legal_stride("k", deps, 7));
+  EXPECT_THROW(require_legal_stride("k", deps, 1), std::invalid_argument);
+  EXPECT_THROW(require_legal_stride("k", deps, 0), std::invalid_argument);
+  EXPECT_THROW(require_legal_stride("k", deps, -3), std::invalid_argument);
+}
+
+TEST(RequireLegalStride, EnforcesMaxStride) {
+  const auto deps = jacobi1d_deps(1);
+  EXPECT_NO_THROW(require_legal_stride("k", deps, 32, 32));
+  EXPECT_THROW(require_legal_stride("k", deps, 33, 32), std::invalid_argument);
+}
+
+TEST(RequireLegalStride, NamesKernelAndMinimumInMessage) {
+  try {
+    require_legal_stride("tv_jacobi1d5_run", jacobi1d_deps(2), 2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tv_jacobi1d5_run"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3"), std::string::npos) << msg;  // smallest legal s
+  }
+}
+
+TEST(RequireLegalStride, SameTimeForwardDependenceAlwaysThrows) {
+  const Dep d[] = {{0, 1}};
+  EXPECT_THROW(require_legal_stride("k", d, 100), std::invalid_argument);
+}
+
+// The public entry points enforce the rule instead of corrupting results.
+TEST(ApiBoundary, TvEntryPointsRejectIllegalStrides) {
+  namespace tv = tvs::tv;
+  namespace grid = tvs::grid;
+  const C1D3 c3 = heat1d(0.25);
+  grid::Grid1D<double> u1(64);
+  u1.fill(1.0);
+  EXPECT_THROW(tv::tv_jacobi1d3_run(c3, u1, 4, 1), std::invalid_argument);
+  EXPECT_THROW(tv::tv_jacobi1d3_run(c3, u1, 4, 0), std::invalid_argument);
+  EXPECT_THROW(tv::tv_jacobi1d3_run(c3, u1, 4, 33), std::invalid_argument);
+  EXPECT_NO_THROW(tv::tv_jacobi1d3_run(c3, u1, 4, 2));
+
+  const C1D5 c5 = heat1d5(0.1);
+  EXPECT_THROW(tv::tv_jacobi1d5_run(c5, u1, 4, 2), std::invalid_argument);
+  EXPECT_NO_THROW(tv::tv_jacobi1d5_run(c5, u1, 4, 3));
+
+  EXPECT_THROW(tv::tv_gs1d3_run(c3, u1, 4, 1), std::invalid_argument);
+  EXPECT_NO_THROW(tv::tv_gs1d3_run(c3, u1, 4, 2));
+
+  const C2D5 c2 = heat2d(0.1);
+  grid::Grid2D<double> u2(24, 12);
+  u2.fill(1.0);
+  EXPECT_THROW(tv::tv_jacobi2d5_run(c2, u2, 4, 1), std::invalid_argument);
+  EXPECT_NO_THROW(tv::tv_jacobi2d5_run(c2, u2, 4, 2));
+
+  const LifeRule rule{};
+  grid::Grid2D<std::int32_t> ul(24, 12);
+  ul.fill(0);
+  EXPECT_THROW(tv::tv_life_run(rule, ul, 4, 1), std::invalid_argument);
 }
 
 }  // namespace
