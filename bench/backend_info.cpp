@@ -1,0 +1,38 @@
+// Prints the runtime dispatch state as `key=value` lines, one per line —
+// consumed by bench/run_all.sh to stamp the resolved backend and CPU
+// capabilities into the BENCH JSON metadata, so perf trajectories recorded
+// on different hosts (or under different TVS_FORCE_BACKEND pins) stay
+// interpretable.
+//
+// Keys:
+//   selected_backend   what dispatched kernel calls will use (honours
+//                      TVS_FORCE_BACKEND; `error` if the forced value is
+//                      unavailable — reported instead of crashing the run)
+//   best_available     highest compiled+executable backend
+//   cpu_avx2/avx512    CPUID: can this host execute the backend?
+//   compiled_avx2/...  was the backend compiled into this binary?
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "dispatch/backend.hpp"
+#include "dispatch/registry.hpp"
+
+int main() {
+  using namespace tvs::dispatch;
+  const auto& reg = KernelRegistry::instance();
+  try {
+    std::printf("selected_backend=%s\n",
+                std::string(backend_name(selected_backend())).c_str());
+  } catch (const std::exception&) {
+    std::printf("selected_backend=error\n");
+  }
+  std::printf("best_available=%s\n",
+              std::string(backend_name(best_available())).c_str());
+  std::printf("cpu_avx2=%d\n", cpu_supports(Backend::kAvx2) ? 1 : 0);
+  std::printf("cpu_avx512=%d\n", cpu_supports(Backend::kAvx512) ? 1 : 0);
+  std::printf("compiled_avx2=%d\n", reg.has_backend(Backend::kAvx2) ? 1 : 0);
+  std::printf("compiled_avx512=%d\n",
+              reg.has_backend(Backend::kAvx512) ? 1 : 0);
+  return 0;
+}

@@ -12,9 +12,16 @@ one or more tables per binary.  This script reads a set of
 
     {"schema": "tvs-bench-v1", "generated_by": ..., "host": ...,
      "mode": "quick"|"full",
+     "backend": {"selected_backend": ..., "cpu_avx512": ...},  # backend_info
+     "cpu_features": ["avx", "avx2", ...],                     # CPUID flags
      "benches": [{"name": ..., "seconds": ...,
                   "tables": [{"title": ..., "columns": [...],
                               "rows": [[...], ...]}]}]}
+
+The "backend" dict is parsed from the key=value lines run_all.sh captures
+from the backend_info binary (TVS_BENCH_BACKEND_INFO); "cpu_features" is
+the SIMD-relevant subset of this host's CPUID flags (/proc/cpuinfo where
+available).  Both are best-effort: absent data yields {} / [].
 
 A bench that failed (missing binary, non-zero exit, unreadable or partial
 capture) still gets an entry, with an "error" field describing what went
@@ -77,6 +84,39 @@ def table_problem(tables):
     return None
 
 
+def parse_backend_info(raw):
+    """key=value lines from the backend_info helper -> dict (ints where
+    possible)."""
+    info = {}
+    for line in (raw or "").splitlines():
+        line = line.strip()
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        try:
+            info[key] = int(value)
+        except ValueError:
+            info[key] = value
+    return info
+
+
+def cpu_features():
+    """The SIMD-relevant CPUID flags of this host (best-effort)."""
+    interesting = ("sse", "ssse", "avx", "fma", "amx")
+    flags = set()
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("flags") or line.startswith("Features"):
+                    for flag in line.split(":", 1)[1].split():
+                        if flag.startswith(interesting):
+                            flags.add(flag)
+                    break
+    except OSError:
+        pass
+    return sorted(flags)
+
+
 def parse_spec(spec):
     """-> (name, seconds, status, path).  Raises ValueError on bad specs."""
     parts = spec.split("=", 3)
@@ -129,8 +169,13 @@ def main(argv):
         "machine": platform.machine(),
         "mode": "full" if os.environ.get("TVS_BENCH_FULL") == "1"
                 else "quick",
-        # Kernel dispatch is runtime now; record what the run was pinned to.
+        # Kernel dispatch is runtime now; record what the run was pinned to
+        # AND what actually resolved on this host (backend_info helper),
+        # plus the host's SIMD CPUID flags.
         "force_backend": os.environ.get("TVS_FORCE_BACKEND") or "auto",
+        "backend": parse_backend_info(
+            os.environ.get("TVS_BENCH_BACKEND_INFO")),
+        "cpu_features": cpu_features(),
         "benches": benches,
     }
     with open(out_path, "w") as f:

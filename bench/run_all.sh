@@ -65,6 +65,18 @@ esac
 capture_dir="$(mktemp -d)"
 trap 'rm -rf "$capture_dir"' EXIT
 
+# Stamp the resolved runtime backend + CPU capabilities into the JSON
+# metadata (key=value lines from the backend_info helper), so numbers from
+# different hosts / forced backends stay interpretable.  Missing helper
+# (old build tree) degrades to an empty stamp, not a failed run.
+backend_info=""
+if [ -x "$bench_bin_dir/backend_info" ]; then
+  backend_info="$("$bench_bin_dir/backend_info" 2>/dev/null || true)"
+else
+  echo "-- warning: backend_info not built; JSON will lack the backend stamp" >&2
+fi
+export TVS_BENCH_BACKEND_INFO="$backend_info"
+
 # Per-bench failures (missing binary, non-zero exit) do not abort the run:
 # they are recorded as "error" entries in the JSON so one crashed bench
 # cannot throw away the whole run's data.  The script still fails fast on

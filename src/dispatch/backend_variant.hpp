@@ -31,9 +31,22 @@
 
 #include "dispatch/kernels.hpp"
 #include "dispatch/registry.hpp"
+#include "simd/vec.hpp"
 
 namespace tvs::dispatch {
 inline constexpr Backend kThisBackend = static_cast<Backend>(TVS_BACKEND_LEVEL);
+
+// The backend's native vector width in bytes, and the vector type a kernel
+// TU should instantiate its engines with: 512-bit under avx512, 256-bit
+// elsewhere (the scalar backend mirrors the paper's AVX2 shapes so it can
+// serve as the bit-exact oracle for them).  Every temporal engine is
+// lane-count generic, so `BackendVec<double>` / `BackendVec<int32_t>` is
+// all a TU needs to come out at its backend's full width.
+inline constexpr int kBackendVectorBytes = TVS_BACKEND_LEVEL == 2 ? 64 : 32;
+
+template <class T>
+using BackendVec =
+    simd::NativeVec<T, kBackendVectorBytes / static_cast<int>(sizeof(T))>;
 }  // namespace tvs::dispatch
 
 #define TVS_PP_CAT2(a, b) a##b
@@ -53,10 +66,18 @@ inline constexpr Backend kThisBackend = static_cast<Backend>(TVS_BACKEND_LEVEL);
   extern "C" __attribute__((visibility("default"))) void TVS_KREG_NAME( \
       mod)(tvs::dispatch::KernelRegistry * tvs_reg_)
 
-// Registers `fn` for `id` under this TU's backend.  The static_cast against
-// the signature alias makes a producer/consumer signature mismatch a
-// compile error here rather than undefined behaviour at the call site.
-#define TVS_REGISTER(id, FnAlias, fn)                           \
-  tvs_reg_->add(tvs::dispatch::id, tvs::dispatch::kThisBackend, \
-                reinterpret_cast<tvs::dispatch::AnyFn>(         \
+// Registers `fn` for `id` under this TU's backend at vector length `vl`
+// (the registry's width axis; a TU's first registration of an id is its
+// native engine, so register the native width before any pinned extras).
+// The static_cast against the signature alias makes a producer/consumer
+// signature mismatch a compile error here rather than undefined behaviour
+// at the call site.
+#define TVS_REGISTER_VL(id, FnAlias, fn, vl)                        \
+  tvs_reg_->add(tvs::dispatch::id, tvs::dispatch::kThisBackend, vl, \
+                reinterpret_cast<tvs::dispatch::AnyFn>(             \
                     static_cast<tvs::dispatch::FnAlias*>(&(fn))))
+
+// Width-agnostic form for kernels with no meaningful lane count
+// (autovectorized baselines, tiling drivers).
+#define TVS_REGISTER(id, FnAlias, fn) \
+  TVS_REGISTER_VL(id, FnAlias, fn, tvs::dispatch::kAnyVl)

@@ -47,7 +47,9 @@ using TvGs2D5Fn = void(const stencil::C2D5&, grid::Grid2D<double>&, long, int);
 using TvGs3D7Fn = void(const stencil::C3D7&, grid::Grid3D<double>&, long, int);
 using TvLifeFn = void(const stencil::LifeRule&, grid::Grid2D<std::int32_t>&,
                       long, int);
-// Fills row[0..|b|] with the final DP row; row must have |b|+1+8 slots.
+// Fills row[0..|b|] with the final DP row; row must have
+// |b|+1+tv::kLcsRowPad slots (padding for the grouped loads of the widest
+// engine).
 using TvLcsRowsFn = void(std::span<const std::int32_t>,
                          std::span<const std::int32_t>, std::int32_t*);
 
@@ -56,6 +58,9 @@ inline constexpr std::string_view kTvJacobi1D5 = "tv_jacobi1d5";
 inline constexpr std::string_view kTvJacobi2D5 = "tv_jacobi2d5";
 inline constexpr std::string_view kTvJacobi2D9 = "tv_jacobi2d9";
 inline constexpr std::string_view kTvJacobi3D7 = "tv_jacobi3d7";
+// DEPRECATED aliases (kept registered for one release): the vector length
+// is a registry axis now — resolve the base id with get_at(id, backend, 8)
+// instead of a dedicated `_vl8` id.
 inline constexpr std::string_view kTvJacobi2D5Vl8 = "tv_jacobi2d5_vl8";
 inline constexpr std::string_view kTvJacobi2D9Vl8 = "tv_jacobi2d9_vl8";
 inline constexpr std::string_view kTvJacobi3D7Vl8 = "tv_jacobi3d7_vl8";

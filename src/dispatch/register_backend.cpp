@@ -6,19 +6,16 @@
 // per-module registrars pull every kernel object of the backend in turn.
 // No static-initializer registration, no --whole-archive.
 //
-// Module sets per backend level:
-//   scalar (0)  every kernel module, including tv_wide (ScalarVec<double,8>)
-//   avx2   (1)  every kernel module except tv_wide — the vl = 8 engines have
-//               no 8-wide double type under AVX2, so those ids fall back
-//   avx512 (2)  only tv_wide: the AVX-512 backend serves the 2D/3D Jacobi
-//               kernels with the natural double x 8 shape; everything else
-//               falls back to avx2 per the registry's downward resolution
+// Every backend level compiles the same module set: since the temporal
+// engines became lane-count generic, each backend simply instantiates them
+// at its native width (BackendVec in backend_variant.hpp) — there is no
+// wide-kernel carve-out any more, and the avx512 backend registers every
+// kernel id itself instead of falling back to avx2.
 #include "dispatch/backend_variant.hpp"
 
 #define TVS_DECLARE_MODULE(mod) \
   extern "C" void TVS_KREG_NAME(mod)(tvs::dispatch::KernelRegistry*)
 
-#if TVS_BACKEND_LEVEL != 2
 TVS_DECLARE_MODULE(tv1d);
 TVS_DECLARE_MODULE(tv2d);
 TVS_DECLARE_MODULE(tv3d);
@@ -41,14 +38,9 @@ TVS_DECLARE_MODULE(diamond3d);
 TVS_DECLARE_MODULE(parallelogram1d);
 TVS_DECLARE_MODULE(parallelogram2d);
 TVS_DECLARE_MODULE(lcs_wavefront);
-#endif
-#if TVS_BACKEND_LEVEL != 1
-TVS_DECLARE_MODULE(tv_wide);
-#endif
 
 extern "C" __attribute__((visibility("default"))) void TVS_BACKEND_ENTRY_NAME(
     tvs::dispatch::KernelRegistry* r) {
-#if TVS_BACKEND_LEVEL != 2
   TVS_KREG_NAME(tv1d)(r);
   TVS_KREG_NAME(tv2d)(r);
   TVS_KREG_NAME(tv3d)(r);
@@ -71,8 +63,4 @@ extern "C" __attribute__((visibility("default"))) void TVS_BACKEND_ENTRY_NAME(
   TVS_KREG_NAME(parallelogram1d)(r);
   TVS_KREG_NAME(parallelogram2d)(r);
   TVS_KREG_NAME(lcs_wavefront)(r);
-#endif
-#if TVS_BACKEND_LEVEL != 1
-  TVS_KREG_NAME(tv_wide)(r);
-#endif
 }

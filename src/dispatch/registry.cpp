@@ -36,16 +36,48 @@ KernelRegistry& KernelRegistry::instance() {
   return reg;
 }
 
-void KernelRegistry::add(std::string_view id, Backend b, AnyFn fn) {
-  entries_.push_back(Entry{id, b, fn});
+void KernelRegistry::add(std::string_view id, Backend b, int vl, AnyFn fn) {
+  entries_.push_back(Entry{id, b, vl, fn});
   backend_seen_[static_cast<int>(b)] = true;
 }
 
 AnyFn KernelRegistry::find(std::string_view id, Backend b) const {
+  // First match = the backend's native registration (registrars register
+  // the native engine before any width-pinned extras).
   for (const Entry& e : entries_) {
     if (e.backend == b && e.id == id) return e.fn;
   }
   return nullptr;
+}
+
+AnyFn KernelRegistry::find(std::string_view id, Backend b, int vl) const {
+  for (const Entry& e : entries_) {
+    if (e.backend == b && e.vl == vl && e.id == id) return e.fn;
+  }
+  return nullptr;
+}
+
+void KernelRegistry::throw_unknown(std::string_view id, Backend b,
+                                   int vl) const {
+  // A failed lookup during a refactor usually means a registrar was not
+  // updated; list what IS registered so the missing piece is obvious — the
+  // id's available widths when only the pinned width is missing, the full
+  // id list when the id itself is unknown.
+  std::string msg = "tvs: no kernel registered under id \"" + std::string(id) +
+                    "\" at or below backend " + std::string(backend_name(b));
+  if (vl != kAnyVl) msg += " with vl=" + std::to_string(vl);
+  const std::vector<int> widths = registered_widths(id, b);
+  if (!widths.empty()) {
+    msg += ". Registered widths for this id:";
+    for (int w : widths) msg += ' ' + std::to_string(w);
+  } else {
+    msg += ". Registered ids:";
+    for (std::string_view known : kernel_ids()) {
+      msg += ' ';
+      msg += known;
+    }
+  }
+  throw std::runtime_error(msg);
 }
 
 Backend KernelRegistry::resolved_backend_at(std::string_view id,
@@ -54,13 +86,25 @@ Backend KernelRegistry::resolved_backend_at(std::string_view id,
     if (find(id, static_cast<Backend>(l)) != nullptr)
       return static_cast<Backend>(l);
   }
-  throw std::runtime_error("tvs: no kernel registered under id \"" +
-                           std::string(id) + "\" at or below backend " +
-                           std::string(backend_name(b)));
+  throw_unknown(id, b, kAnyVl);
+}
+
+Backend KernelRegistry::resolved_backend_at(std::string_view id, Backend b,
+                                            int vl) const {
+  for (int l = static_cast<int>(b); l >= 0; --l) {
+    if (find(id, static_cast<Backend>(l), vl) != nullptr)
+      return static_cast<Backend>(l);
+  }
+  throw_unknown(id, b, vl);
 }
 
 AnyFn KernelRegistry::resolve_at(std::string_view id, Backend b) const {
   return find(id, resolved_backend_at(id, b));
+}
+
+AnyFn KernelRegistry::resolve_at(std::string_view id, Backend b,
+                                 int vl) const {
+  return find(id, resolved_backend_at(id, b, vl), vl);
 }
 
 AnyFn KernelRegistry::resolve(std::string_view id) const {
@@ -82,6 +126,19 @@ std::vector<std::string_view> KernelRegistry::kernel_ids() const {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
+}
+
+std::vector<int> KernelRegistry::registered_widths(std::string_view id,
+                                                   Backend b) const {
+  std::vector<int> widths;
+  for (const Entry& e : entries_) {
+    if (e.id == id && e.vl != kAnyVl &&
+        static_cast<int>(e.backend) <= static_cast<int>(b))
+      widths.push_back(e.vl);
+  }
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+  return widths;
 }
 
 }  // namespace tvs::dispatch

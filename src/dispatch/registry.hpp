@@ -1,5 +1,5 @@
-// KernelRegistry: the (kernel id, backend) -> function pointer table behind
-// every public `*_run` entry point.
+// KernelRegistry: the (kernel id, backend, vector length) -> function
+// pointer table behind every public `*_run` entry point.
 //
 // Layout of the dispatch subsystem:
 //
@@ -14,9 +14,20 @@
 //   * Public entry points look their implementation up by id at first call
 //     (`get<Fn>(id)`), honouring selected_backend().
 //
+// The vector length is a first-class registry axis: every temporal kernel
+// registers with the lane count it was instantiated at (its backend's
+// native width — 4/8 doubles, 8/16 int32s), and the scalar backend
+// additionally registers width-pinned wide instantiations
+// (ScalarVec<double, 8>, ScalarVec<int32, 16>) so a width-pinned lookup
+// resolves on every host.  `resolve_at(id, b)` ignores the width (each
+// backend's *first* registration of an id is its native engine);
+// `resolve_at(id, b, vl)` pins it.  Kernels with no meaningful lane count
+// (autovectorized baselines, tiling drivers) register with vl = 0.
+//
 // Lookup falls back *downward* only: a kernel asked for at avx512 that has
 // no avx512 variant resolves to its avx2 variant, then scalar.  Every
-// kernel has a scalar variant, so resolution always succeeds for known ids.
+// kernel has a scalar variant, so resolution always succeeds for known
+// ids; an unknown id throws an error listing every registered id.
 // Registration happens once, inside instance()'s initialization; afterwards
 // the table is immutable and lookups are safe from any thread.
 #pragma once
@@ -33,23 +44,34 @@ namespace tvs::dispatch {
 // only code that names both the id and the signature (dispatch/kernels.hpp).
 using AnyFn = void (*)();
 
+// Wildcard for the vector-length axis: match any width.
+inline constexpr int kAnyVl = 0;
+
 class KernelRegistry {
  public:
   // The process-wide registry; builds the table (runs every compiled-in
   // backend's registrar) on first use.
   static KernelRegistry& instance();
 
-  // Registration-phase only (called by the backend registrars).
-  void add(std::string_view id, Backend b, AnyFn fn);
+  // Registration-phase only (called by the backend registrars).  `vl` is
+  // the lane count of the registered engine (kAnyVl for kernels with no
+  // meaningful vector length).  The first registration of an id per
+  // backend is that backend's native engine.
+  void add(std::string_view id, Backend b, int vl, AnyFn fn);
 
-  // Exact lookup: nullptr when (id, b) has no entry.
+  // Exact lookup at the backend's native engine: nullptr when (id, b) has
+  // no entry.  The 3-argument form requires the exact vector length.
   AnyFn find(std::string_view id, Backend b) const;
+  AnyFn find(std::string_view id, Backend b, int vl) const;
 
   // Lookup at backend `b` with downward fallback; throws std::runtime_error
-  // for an id with no entry at or below `b`.
+  // listing the registered ids for an id with no entry at or below `b`.
+  // The `vl` forms restrict the search to engines at that lane count.
   AnyFn resolve_at(std::string_view id, Backend b) const;
+  AnyFn resolve_at(std::string_view id, Backend b, int vl) const;
   // The backend resolve_at() would use (for tests / introspection).
   Backend resolved_backend_at(std::string_view id, Backend b) const;
+  Backend resolved_backend_at(std::string_view id, Backend b, int vl) const;
 
   // resolve_at / resolved_backend_at at selected_backend().
   AnyFn resolve(std::string_view id) const;
@@ -62,6 +84,10 @@ class KernelRegistry {
   // Sorted unique kernel ids.
   std::vector<std::string_view> kernel_ids() const;
 
+  // Sorted unique lane counts registered for `id` at or below `b`
+  // (kAnyVl entries excluded) — which widths a pinned lookup can resolve.
+  std::vector<int> registered_widths(std::string_view id, Backend b) const;
+
   template <class Fn>
   Fn* get(std::string_view id) const {
     return reinterpret_cast<Fn*>(resolve(id));
@@ -70,13 +96,22 @@ class KernelRegistry {
   Fn* get_at(std::string_view id, Backend b) const {
     return reinterpret_cast<Fn*>(resolve_at(id, b));
   }
+  // Width-pinned lookup: the engine at exactly `vl` lanes, searched
+  // downward from `b` (e.g. vl=4 on an avx512 host resolves to the avx2
+  // engine; vl=8 on an avx2-only host to ScalarVec<double, 8>).
+  template <class Fn>
+  Fn* get_at(std::string_view id, Backend b, int vl) const {
+    return reinterpret_cast<Fn*>(resolve_at(id, b, vl));
+  }
 
  private:
   struct Entry {
     std::string_view id;  // points at a string literal from kernels.hpp
     Backend backend;
+    int vl;  // lane count of the registered engine (kAnyVl = unspecified)
     AnyFn fn;
   };
+  [[noreturn]] void throw_unknown(std::string_view id, Backend b, int vl) const;
   std::vector<Entry> entries_;
   bool backend_seen_[kBackendCount] = {};
 };

@@ -10,24 +10,34 @@
 //   * bottom vector — `vl` consecutive level-0 elements are fetched with a
 //     single vector load and dispensed one per iteration.
 //
-// `collect_tops` implements the assembly (3 shuffles for VecD4, the count
-// the paper reports).  Bottom dispensing is a `rotate_down` per iteration in
-// the kernels: the next fresh element is always at lane 0.
+// `collect_tops_arr` implements the assembly for ANY lane count; the
+// intrinsic types override it with shuffle trees (3 shuffles for VecD4, the
+// count the paper reports) or masked-permute chains (AVX-512).  Bottom
+// dispensing is a `rotate_down` per iteration in the kernels: the next
+// fresh element is always at lane 0.
 #pragma once
 
 #include "simd/vec.hpp"
 
 namespace tvs::simd {
 
-// Generic: gather the top lane of 4 output vectors into lanes 0..3.
+// Lane-count-generic top-vector assembly: lane i of the result is the top
+// lane of w[i], for i = 0 .. V::lanes-1.
 template <class V>
-  requires(V::lanes == 4)
-inline V collect_tops(V a, V b, V c, V d) {
-  V r = V::set1(top_lane(a));
-  r = r.template insert<1>(top_lane(b));
-  r = r.template insert<2>(top_lane(c));
-  r = r.template insert<3>(top_lane(d));
-  return r;
+inline V collect_tops_arr(const V* w) {
+  alignas(64) typename V::value_type tmp[V::lanes];
+  for (int i = 0; i < V::lanes; ++i) tmp[i] = top_lane(w[i]);
+  return V::load(tmp);
+}
+
+// Variadic form (one argument per lane); kept for the compile-time-unrolled
+// fast paths and the unit tests.
+template <class V, class... Vs>
+  requires(sizeof...(Vs) + 1 == static_cast<std::size_t>(V::lanes) &&
+           (std::is_same_v<V, Vs> && ...))
+inline V collect_tops(V a, Vs... rest) {
+  const V w[] = {a, rest...};
+  return collect_tops_arr(w);
 }
 
 #if defined(__AVX2__)
@@ -37,24 +47,10 @@ inline VecD4 collect_tops(VecD4 a, VecD4 b, VecD4 c, VecD4 d) {
   const __m256d h23 = _mm256_unpackhi_pd(c.r, d.r);  // {c1,d1,c3,d3}
   return VecD4{_mm256_permute2f128_pd(h01, h23, 0x31)};
 }
-#endif
-
-// Generic: gather the top lane of 8 output vectors into lanes 0..7.
-template <class V>
-  requires(V::lanes == 8)
-inline V collect_tops(V a, V b, V c, V d, V e, V f, V g, V h) {
-  V r = V::set1(top_lane(a));
-  r = r.template insert<1>(top_lane(b));
-  r = r.template insert<2>(top_lane(c));
-  r = r.template insert<3>(top_lane(d));
-  r = r.template insert<4>(top_lane(e));
-  r = r.template insert<5>(top_lane(f));
-  r = r.template insert<6>(top_lane(g));
-  r = r.template insert<7>(top_lane(h));
-  return r;
+inline VecD4 collect_tops_arr(const VecD4* w) {
+  return collect_tops(w[0], w[1], w[2], w[3]);
 }
 
-#if defined(__AVX2__)
 // {a7,b7,...,h7} via an unpack tree (6 in-lane unpacks + 1 lane-crossing).
 inline VecI8 collect_tops(VecI8 a, VecI8 b, VecI8 c, VecI8 d, VecI8 e,
                           VecI8 f, VecI8 g, VecI8 h) {
@@ -68,16 +64,40 @@ inline VecI8 collect_tops(VecI8 a, VecI8 b, VecI8 c, VecI8 d, VecI8 e,
   const __m256i efgh = _mm256_unpackhi_epi64(ef, gh);  // {..,..,..,..,e7,f7,g7,h7}
   return VecI8{_mm256_permute2x128_si256(abcd, efgh, 0x31)};
 }
+inline VecI8 collect_tops_arr(const VecI8* w) {
+  return collect_tops(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7]);
+}
 #endif
 
-// Array-of-outputs form used by the vl-generic 2D/3D engines.
-template <class V>
-inline V collect_tops_arr(const V* w) {
-  if constexpr (V::lanes == 4)
-    return collect_tops(w[0], w[1], w[2], w[3]);
-  else
-    return collect_tops(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7]);
+#if defined(__AVX512F__)
+// One masked lane-broadcast per source vector: lane j <- w[j] lane 7.
+inline VecD8 collect_tops_arr(const VecD8* w) {
+  const __m512i top = _mm512_set1_epi64(7);
+  __m512d r = _mm512_permutexvar_pd(top, w[0].r);
+  r = _mm512_mask_permutexvar_pd(r, 0x02, top, w[1].r);
+  r = _mm512_mask_permutexvar_pd(r, 0x04, top, w[2].r);
+  r = _mm512_mask_permutexvar_pd(r, 0x08, top, w[3].r);
+  r = _mm512_mask_permutexvar_pd(r, 0x10, top, w[4].r);
+  r = _mm512_mask_permutexvar_pd(r, 0x20, top, w[5].r);
+  r = _mm512_mask_permutexvar_pd(r, 0x40, top, w[6].r);
+  r = _mm512_mask_permutexvar_pd(r, 0x80, top, w[7].r);
+  return VecD8{r};
 }
+inline VecD8 collect_tops(VecD8 a, VecD8 b, VecD8 c, VecD8 d, VecD8 e,
+                          VecD8 f, VecD8 g, VecD8 h) {
+  const VecD8 w[] = {a, b, c, d, e, f, g, h};
+  return collect_tops_arr(w);
+}
+
+inline VecI16 collect_tops_arr(const VecI16* w) {
+  const __m512i top = _mm512_set1_epi32(15);
+  __m512i r = _mm512_permutexvar_epi32(top, w[0].r);
+  for (int j = 1; j < 16; ++j)
+    r = _mm512_mask_permutexvar_epi32(r, static_cast<__mmask16>(1u << j), top,
+                                      w[j].r);
+  return VecI16{r};
+}
+#endif
 
 // Shift `a` one lane up, inserting the lane-0 value of `fresh` at the
 // bottom: the vector-blend form of Algorithm 3's lines 13-14 used with

@@ -7,7 +7,17 @@
 //     arithmetic T and any N.  Used as the reference backend in tests and as
 //     the fallback on machines without AVX2.
 //   * `VecD4` / `VecI8` (in `vec_avx2.hpp`) — AVX2 `double x 4` and
-//     `int32 x 8` implementations, the vector shapes the paper evaluates.
+//     `int32 x 8` implementations, the vector shapes the paper evaluates —
+//     plus `VecD8` / `VecI16` (in `vec_avx512.hpp`), their AVX-512 doubles.
+//
+// Lane-genericity contract: a type V modelling this interface exposes
+// `value_type`, a constexpr `lanes`, the static load/loadu/set1/zero
+// constructors, store/storeu, operator[], extract<I>()/insert<I>(), the
+// arithmetic operators, and the free functions fma/min/max/cmpeq/blendv/
+// rotate_up/rotate_down/shift_in_low (+ the reorg.hpp helpers).  Every
+// temporal engine derives its tile depth, ring layout and edge-scratch
+// sizing from `V::lanes` alone, so any conforming V — any ScalarVec<T, N>
+// or intrinsic type — instantiates every engine.
 //
 // `NativeVec<T, N>` selects the intrinsic type when one exists for (T, N)
 // and the scalar type otherwise.  Because both families expose the identical
@@ -208,6 +218,10 @@ struct native_vec<std::int32_t, 8> {
 template <>
 struct native_vec<double, 8> {
   using type = VecD8;
+};
+template <>
+struct native_vec<std::int32_t, 16> {
+  using type = VecI16;
 };
 #endif
 }  // namespace detail

@@ -1,11 +1,16 @@
-// AVX-512 `double x 8` implementation of the Vec interface (`VecD8`).
+// AVX-512 implementations of the Vec interface: `VecD8` (double x 8) and
+// `VecI16` (int32 x 16, used by the Game-of-Life and LCS kernels).
 //
 // The paper evaluates vl = 4 (AVX); wider vectors are its stated future
 // direction: with vl = 8 a temporal tile advances *eight* time steps per
 // sweep, halving the memory traffic again at the cost of deeper edge
-// triangles (the scalar-region area grows with vl^2 * s / 2).  The 2D/3D
-// engines are lane-count generic, so this backend drops straight in; see
-// bench/ablation_vl.cpp for the resulting trade-off.
+// triangles (the scalar-region area grows with vl^2 * s / 2).  Every
+// temporal engine is lane-count generic, so these types drop straight in;
+// see bench/ablation_vl.cpp for the resulting trade-off.
+//
+// Only AVX-512F is assumed (the backend compiles with -mavx512f alone), so
+// mask-register results are widened back to the all-ones/all-zeros vector
+// convention the AVX2 types use.
 //
 // Included by `vec.hpp` when __AVX512F__ is defined; do not include
 // directly.
@@ -16,6 +21,8 @@
 #endif
 
 #include <immintrin.h>
+
+#include <cstdint>
 
 namespace tvs::simd {
 
@@ -69,6 +76,16 @@ inline VecD8 fma(VecD8 a, VecD8 b, VecD8 acc) {
 }
 inline VecD8 min(VecD8 a, VecD8 b) { return VecD8{_mm512_min_pd(a.r, b.r)}; }
 inline VecD8 max(VecD8 a, VecD8 b) { return VecD8{_mm512_max_pd(a.r, b.r)}; }
+inline VecD8 cmpeq(VecD8 a, VecD8 b) {
+  const __mmask8 m = _mm512_cmp_pd_mask(a.r, b.r, _CMP_EQ_OQ);
+  return VecD8{_mm512_castsi512_pd(
+      _mm512_maskz_set1_epi64(m, static_cast<long long>(~0ULL)))};
+}
+inline VecD8 blendv(VecD8 a, VecD8 b, VecD8 mask) {
+  const __mmask8 m = _mm512_cmplt_epi64_mask(_mm512_castpd_si512(mask.r),
+                                             _mm512_setzero_si512());
+  return VecD8{_mm512_mask_blend_pd(m, a.r, b.r)};
+}
 
 namespace detail {
 inline __m512i idx512_up() { return _mm512_setr_epi64(7, 0, 1, 2, 3, 4, 5, 6); }
@@ -88,6 +105,109 @@ inline VecD8 shift_in_low(VecD8 a, double x) {
 inline VecD8 shift_in_low_v(VecD8 a, VecD8 fresh) {
   const __m512d rot = _mm512_permutexvar_pd(detail::idx512_up(), a.r);
   return VecD8{_mm512_mask_mov_pd(rot, 0x1, fresh.r)};
+}
+
+// ---------------------------------------------------------------------------
+// int32 x 16
+// ---------------------------------------------------------------------------
+struct VecI16 {
+  using value_type = std::int32_t;
+  static constexpr int lanes = 16;
+
+  __m512i r;
+
+  VecI16() : r(_mm512_setzero_si512()) {}
+  explicit VecI16(__m512i x) : r(x) {}
+
+  static VecI16 load(const std::int32_t* p) {
+    return VecI16{_mm512_load_si512(reinterpret_cast<const void*>(p))};
+  }
+  static VecI16 loadu(const std::int32_t* p) {
+    return VecI16{_mm512_loadu_si512(reinterpret_cast<const void*>(p))};
+  }
+  void store(std::int32_t* p) const {
+    _mm512_store_si512(reinterpret_cast<void*>(p), r);
+  }
+  void storeu(std::int32_t* p) const {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), r);
+  }
+
+  static VecI16 set1(std::int32_t x) { return VecI16{_mm512_set1_epi32(x)}; }
+  static VecI16 zero() { return VecI16{_mm512_setzero_si512()}; }
+
+  std::int32_t operator[](int i) const {
+    alignas(64) std::int32_t tmp[16];
+    _mm512_store_si512(reinterpret_cast<void*>(tmp), r);
+    return tmp[i];
+  }
+
+  template <int I>
+  [[nodiscard]] std::int32_t extract() const {
+    static_assert(I >= 0 && I < 16);
+    if constexpr (I == 0) {
+      return _mm512_cvtsi512_si32(r);
+    } else {
+      const __m512i sh = _mm512_permutexvar_epi32(_mm512_set1_epi32(I), r);
+      return _mm512_cvtsi512_si32(sh);
+    }
+  }
+  template <int I>
+  [[nodiscard]] VecI16 insert(std::int32_t x) const {
+    static_assert(I >= 0 && I < 16);
+    return VecI16{_mm512_mask_set1_epi32(r, static_cast<__mmask16>(1u << I), x)};
+  }
+
+  friend VecI16 operator+(VecI16 a, VecI16 b) {
+    return VecI16{_mm512_add_epi32(a.r, b.r)};
+  }
+  friend VecI16 operator-(VecI16 a, VecI16 b) {
+    return VecI16{_mm512_sub_epi32(a.r, b.r)};
+  }
+  friend VecI16 operator*(VecI16 a, VecI16 b) {
+    return VecI16{_mm512_mullo_epi32(a.r, b.r)};
+  }
+};
+
+inline VecI16 fma(VecI16 a, VecI16 b, VecI16 acc) { return a * b + acc; }
+inline VecI16 min(VecI16 a, VecI16 b) {
+  return VecI16{_mm512_min_epi32(a.r, b.r)};
+}
+inline VecI16 max(VecI16 a, VecI16 b) {
+  return VecI16{_mm512_max_epi32(a.r, b.r)};
+}
+inline VecI16 cmpeq(VecI16 a, VecI16 b) {
+  const __mmask16 m = _mm512_cmpeq_epi32_mask(a.r, b.r);
+  return VecI16{_mm512_maskz_set1_epi32(m, -1)};
+}
+inline VecI16 blendv(VecI16 a, VecI16 b, VecI16 mask) {
+  const __mmask16 m = _mm512_cmplt_epi32_mask(mask.r, _mm512_setzero_si512());
+  return VecI16{_mm512_mask_blend_epi32(m, a.r, b.r)};
+}
+
+namespace detail {
+inline __m512i idx512i_up() {
+  return _mm512_setr_epi32(15, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                           14);
+}
+inline __m512i idx512i_down() {
+  return _mm512_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                           0);
+}
+}  // namespace detail
+
+inline VecI16 rotate_up(VecI16 a) {
+  return VecI16{_mm512_permutexvar_epi32(detail::idx512i_up(), a.r)};
+}
+inline VecI16 rotate_down(VecI16 a) {
+  return VecI16{_mm512_permutexvar_epi32(detail::idx512i_down(), a.r)};
+}
+inline VecI16 shift_in_low(VecI16 a, std::int32_t x) {
+  const __m512i rot = _mm512_permutexvar_epi32(detail::idx512i_up(), a.r);
+  return VecI16{_mm512_mask_set1_epi32(rot, 0x1, x)};
+}
+inline VecI16 shift_in_low_v(VecI16 a, VecI16 fresh) {
+  const __m512i rot = _mm512_permutexvar_epi32(detail::idx512i_up(), a.r);
+  return VecI16{_mm512_mask_mov_epi32(rot, 0x1, fresh.r)};
 }
 
 }  // namespace tvs::simd

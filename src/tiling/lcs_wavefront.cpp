@@ -13,7 +13,7 @@ namespace {
 std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
                            std::span<const std::int32_t> b,
                            const LcsWavefrontOptions& opt) {
-  using V = simd::NativeVec<std::int32_t, 8>;
+  using V = dispatch::BackendVec<std::int32_t>;
   const int na = static_cast<int>(a.size());
   const int nb = static_cast<int>(b.size());
   if (na == 0 || nb == 0) return 0;
@@ -23,9 +23,10 @@ std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
   const int nbj = (nb + Wb - 1) / Wb;
   const int nbi = (na + Hb - 1) / Hb;
 
-  // Global DP row (+8 slots of load padding) and one boundary column per
-  // block seam; col[0] is the zero left edge, col[j] holds lcs[x][j*Wb].
-  std::vector<std::int32_t> row(static_cast<std::size_t>(nb) + 1 + 8, 0);
+  // Global DP row (+ load padding) and one boundary column per block seam;
+  // col[0] is the zero left edge, col[j] holds lcs[x][j*Wb].
+  std::vector<std::int32_t> row(
+      static_cast<std::size_t>(nb) + 1 + tv::kLcsRowPad, 0);
   std::vector<std::vector<std::int32_t>> col(
       static_cast<std::size_t>(nbj) + 1,
       std::vector<std::int32_t>(static_cast<std::size_t>(na) + 1, 0));

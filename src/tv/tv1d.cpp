@@ -1,5 +1,8 @@
 // 1D Jacobi kernel variants — compiled once per SIMD backend (see
-// dispatch/backend_variant.hpp for the per-backend TU rules).  The public
+// dispatch/backend_variant.hpp for the per-backend TU rules) at the
+// backend's native vector width.  The scalar backend additionally registers
+// width-pinned vl = 8 instantiations (ScalarVec<double, 8>) so the
+// registry's width axis resolves vl = 8 on every host.  Public
 // tv_jacobi1d*_run entry points live in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors1d.hpp"
@@ -8,7 +11,7 @@
 namespace tvs::tv {
 namespace {
 
-using V = simd::NativeVec<double, 4>;
+using V = dispatch::BackendVec<double>;
 
 void jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u, long steps,
                int stride) {
@@ -20,11 +23,29 @@ void jacobi1d5(const stencil::C1D5& c, grid::Grid1D<double>& u, long steps,
   tv1d_run<V>(J1D5F<V>(c), u, steps, stride);
 }
 
+#if TVS_BACKEND_LEVEL == 0
+using V8 = simd::ScalarVec<double, 8>;
+
+void jacobi1d3_vl8(const stencil::C1D3& c, grid::Grid1D<double>& u, long steps,
+                   int stride) {
+  tv1d_run<V8>(J1D3F<V8>(c), u, steps, stride);
+}
+
+void jacobi1d5_vl8(const stencil::C1D5& c, grid::Grid1D<double>& u, long steps,
+                   int stride) {
+  tv1d_run<V8>(J1D5F<V8>(c), u, steps, stride);
+}
+#endif
+
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv1d) {
-  TVS_REGISTER(kTvJacobi1D3, TvJacobi1D3Fn, jacobi1d3);
-  TVS_REGISTER(kTvJacobi1D5, TvJacobi1D5Fn, jacobi1d5);
+  TVS_REGISTER_VL(kTvJacobi1D3, TvJacobi1D3Fn, jacobi1d3, V::lanes);
+  TVS_REGISTER_VL(kTvJacobi1D5, TvJacobi1D5Fn, jacobi1d5, V::lanes);
+#if TVS_BACKEND_LEVEL == 0
+  TVS_REGISTER_VL(kTvJacobi1D3, TvJacobi1D3Fn, jacobi1d3_vl8, 8);
+  TVS_REGISTER_VL(kTvJacobi1D5, TvJacobi1D5Fn, jacobi1d5_vl8, 8);
+#endif
 }
 
 }  // namespace tvs::tv

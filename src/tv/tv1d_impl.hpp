@@ -1,33 +1,35 @@
 // Temporal vectorization, 1D Jacobi kernels — the paper's Algorithm 3
-// generalized to any stencil radius R and any legal space stride s.
+// generalized to any stencil radius R, any legal space stride s, and any
+// vector length vl = V::lanes.
 //
-// Vector layout (vl = 4 lanes; lane 0 is the lowest):
+// Vector layout (lane 0 is the lowest):
 //
-//   input  u(p) = [ lvl0 @ p+3s , lvl1 @ p+2s , lvl2 @ p+s , lvl3 @ p ]
-//   output w(p) = [ lvl1 @ p+3s , lvl2 @ p+2s , lvl3 @ p+s , lvl4 @ p ]
+//   input  u(p) = [ lvl0 @ p+(vl-1)s , lvl1 @ p+(vl-2)s , ... , lvl(vl-1) @ p ]
+//   output w(p) = [ lvl1 @ p+(vl-1)s , lvl2 @ p+(vl-2)s , ... , lvl(vl)  @ p ]
 //
-// where `lvl k` is the value after k of the tile's 4 time steps and p is the
-// vector's *top position*.  One vector stencil application advances all four
-// lanes one time step.  The top lane of w (lvl4 @ p) is finished and is
-// written back; the rest shift up one lane, a fresh lvl0 element enters at
-// lane 0, and the result is the input vector for position p+s, consumed s
-// iterations later (the ILP-distance knob of §3.3).
+// where `lvl k` is the value after k of the tile's vl time steps and p is
+// the vector's *top position*.  One vector stencil application advances all
+// vl lanes one time step.  The top lane of w (lvl vl @ p) is finished and
+// is written back; the rest shift up one lane, a fresh lvl0 element enters
+// at lane 0, and the result is the input vector for position p+s, consumed
+// s iterations later (the ILP-distance knob of §3.3).
 //
-// One 4-step tile over the full line (interior x = 1..nx, Dirichlet cells
+// One vl-step tile over the full line (interior x = 1..nx, Dirichlet cells
 // at x <= 0 and x >= nx+1) does:
 //
-//   prologue  (scalar)  lvl l over [1, (4-l)*s],  l = 1..3
+//   prologue  (scalar)  lvl l over [1, (vl-l)*s],  l = 1..vl-1
 //   gather              ring vectors for top positions p = 1-R .. s
-//   steady    (vector)  x = 1 .. nx+1-4s, grouped top stores / bottom loads
+//   steady    (vector)  x = 1 .. nx+1-vl*s, grouped top stores / bottom loads
 //   flush               dump surviving ring lanes into right-edge scratch
-//   epilogue  (scalar)  lvl l over [nx+2-(4-l)*s, nx], l = 1..3; lvl4 over
-//                       [nx+2-4s, nx] written to the array last
+//   epilogue  (scalar)  lvl l over [nx+2-l*s, nx], l = 1..vl-1; lvl vl over
+//                       [nx+2-vl*s, nx] written to the array last
 //
-// The array is updated *in place*: the lvl4 write at x trails every lvl0
-// read (all at >= x+4s), which is how the paper halves the memory traffic
+// The array is updated *in place*: the lvl vl write at x trails every lvl0
+// read (all at >= x+vl*s), which is how the paper halves the memory traffic
 // of Jacobi stencils (§3.5).  Intermediate levels live only in registers
-// except for the O(s) scratch at the two edges — the "84 scalar points per
-// tile for s=7" of the evaluation section.
+// except for the O(vl*s) scratch at the two edges — the "84 scalar points
+// per tile for s=7" of the evaluation section at vl = 4; the scalar area
+// grows with vl^2*s/2 at wider lengths.
 //
 // The stencil functor F supplies:
 //   static constexpr int radius;
@@ -35,7 +37,8 @@
 //   double apply_scalar(const double* win)
 //
 // Everything here is templated on the vector type V so the identical
-// algorithm runs on the scalar backend in tests.
+// algorithm runs on the scalar backend in tests and at any width
+// (ScalarVec<double, N>) the width-property suite asks for.
 #pragma once
 
 #include <array>
@@ -50,25 +53,33 @@ namespace tvs::tv {
 
 inline constexpr int kMaxStride = 32;
 
-// Reusable scratch for one run (avoids per-tile allocation).
+// Reusable scratch for one run (avoids per-tile allocation).  Sizes depend
+// on the engine's vector length: vl-1 intermediate levels per edge.
 struct Workspace1D {
-  std::vector<double> left;    // 3 levels, prologue values
-  std::vector<double> right;   // 3 levels, flush + epilogue values
+  std::vector<double> left;    // vl-1 levels, prologue values
+  std::vector<double> right;   // vl-1 levels, flush + epilogue values
   std::vector<double> sbuf;    // scalar-fallback ping-pong line
-  int s = 0, nx = 0;
+  int s = 0, nx = 0, vl = 0;
+  int llen = 0, rlen = 0;      // per-level extents of left/right
 
-  void prepare(int stride, int n, int radius) {
+  void prepare(int stride, int n, int radius, int lanes) {
     s = stride;
     nx = n;
-    left.assign(static_cast<std::size_t>(3) * (3 * s + 2), 0.0);
-    right.assign(static_cast<std::size_t>(3) * (4 * s + radius + 4), 0.0);
+    vl = lanes;
+    llen = (vl - 1) * s + 2;
+    rlen = vl * s + radius + 4;
+    left.assign(static_cast<std::size_t>(vl - 1) * llen, 0.0);
+    right.assign(static_cast<std::size_t>(vl - 1) * rlen, 0.0);
   }
+  // Level l (1 .. vl-1) scratch lines.
+  double* lptr(int lev) { return left.data() + static_cast<std::size_t>(lev - 1) * llen; }
+  double* rptr(int lev) { return right.data() + static_cast<std::size_t>(lev - 1) * rlen; }
 };
 
 namespace detail {
 
 // Plain scalar time steps (used for nx too small for the vector pipeline
-// and for the T % 4 residual).  Ping-pongs through ws.sbuf.
+// and for the T % vl residual).  Ping-pongs through ws.sbuf.
 template <class F>
 void scalar_steps(const F& f, double* a, int nx, int nsteps,
                   Workspace1D& ws) {
@@ -92,14 +103,15 @@ void scalar_steps(const F& f, double* a, int nx, int nsteps,
 
 namespace detail {
 
-// Compile-time-unrolled steady loop for the paper's 1D3P default (s = 7,
-// R = 1, ring of 8 input vectors): the ring lives in eight named registers
-// and every slot index is a constant, reproducing the paper's
+// Compile-time-unrolled steady loop for the paper's 1D3P default (vl = 4,
+// s = 7, R = 1, ring of 8 input vectors): the ring lives in eight named
+// registers and every slot index is a constant, reproducing the paper's
 // 13-vector-register implementation (§3.4).  x must start at 1 (slot
 // arithmetic assumes x == 1 mod 8); returns the first unprocessed x.
 template <class V, class F>
 int steady_s7(const F& f, double* a, int x_end,
               std::array<V, kMaxStride + 2>& ring) {
+  static_assert(V::lanes == 4);
   V r0 = ring[0], r1 = ring[1], r2 = ring[2], r3 = ring[3], r4 = ring[4],
     r5 = ring[5], r6 = ring[6], r7 = ring[7];
   int x = 1;
@@ -146,161 +158,131 @@ int steady_s7(const F& f, double* a, int x_end,
 
 }  // namespace detail
 
-// One 4-step temporally vectorized tile; see the file comment.
-// Requires nx >= 4*s and s >= radius+1 (checked by the caller).
+// One vl-step temporally vectorized tile; see the file comment.
+// Requires nx >= vl*s and s >= radius+1 (checked by the caller).
 template <class V, class F>
 void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
   constexpr int R = F::radius;
+  constexpr int VL = V::lanes;
   const int M = s + R;  // live input vectors (paper: "s + r")
-  assert(s >= R + 1 && s <= kMaxStride && nx >= 4 * s);
+  assert(s >= R + 1 && s <= kMaxStride && nx >= VL * s);
+  assert(ws.vl == VL);
+  const int rbase = nx - VL * s - R;  // right scratch anchored at rbase
 
-  double* l1 = ws.left.data();          // lvl1 @ [1, 3s]
-  double* l2 = l1 + (3 * s + 2);        // lvl2 @ [1, 2s]
-  double* l3 = l2 + (3 * s + 2);        // lvl3 @ [1, s]
-  const int rbase = nx - 4 * s - R;     // right scratch anchored at rbase
-  const int rlen = 4 * s + R + 4;
-  double* r1 = ws.right.data();         // lvl l @ [rbase+1, nx]
-  double* r2 = r1 + rlen;
-  double* r3 = r2 + rlen;
-
-  // Value of level l (1..3) at position x during the prologue: boundary
+  // Value of level l (1..vl-1) at position x during the prologue: boundary
   // cells keep their fixed value at every level.
-  const auto lv = [&](const double* lev, int x) -> double {
-    return x <= 0 ? a[x] : lev[x];
+  const auto lv = [&](int lev, int x) -> double {
+    return x <= 0 ? a[x] : ws.lptr(lev)[x];
   };
 
   double win[2 * R + 1];
 
   // ---- prologue: left trapezoid, scalar ---------------------------------
-  for (int x = 1; x <= 3 * s; ++x) {
-    for (int k = 0; k <= 2 * R; ++k) win[k] = a[x - R + k];
-    l1[x] = f.apply_scalar(win);
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    double* out = ws.lptr(lev);
+    for (int x = 1; x <= (VL - lev) * s; ++x) {
+      if (lev == 1) {
+        for (int k = 0; k <= 2 * R; ++k) win[k] = a[x - R + k];
+      } else {
+        for (int k = 0; k <= 2 * R; ++k) win[k] = lv(lev - 1, x - R + k);
+      }
+      out[x] = f.apply_scalar(win);
+    }
   }
-  for (int x = 1; x <= 2 * s; ++x) {
-    for (int k = 0; k <= 2 * R; ++k) win[k] = lv(l1, x - R + k);
-    l2[x] = f.apply_scalar(win);
-  }
-  for (int x = 1; x <= s; ++x) {
-    for (int k = 0; k <= 2 * R; ++k) win[k] = lv(l2, x - R + k);
-    l3[x] = f.apply_scalar(win);
-  }
+
+  // Level k (0..vl-1) at position x for the gather (level 0 = the array).
+  const auto lv_any = [&](int lev, int x) -> double {
+    return lev == 0 ? a[x] : lv(lev, x);
+  };
 
   // ---- gather the initial ring ------------------------------------------
   std::array<V, kMaxStride + 2> ring;
   const auto slot = [M](int p) { return ((p % M) + M) % M; };
   for (int p = 1 - R; p <= s; ++p) {
-    alignas(64) double lanes[4];
-    lanes[0] = a[p + 3 * s];
-    lanes[1] = lv(l1, p + 2 * s);
-    lanes[2] = lv(l2, p + s);
-    lanes[3] = lv(l3, p);
+    alignas(64) double lanes[VL];
+    for (int k = 0; k < VL; ++k) lanes[k] = lv_any(k, p + (VL - 1 - k) * s);
     ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
   }
 
   // ---- steady vector loop -------------------------------------------------
-  const int x_end = nx + 1 - 4 * s;
+  const int x_end = nx + 1 - VL * s;
   int x = 1;
-  if constexpr (R == 1) {
+  if constexpr (R == 1 && VL == 4) {
     if (s == 7) x = detail::steady_s7(f, a, x_end, ring);
   }
   int ib = slot(x - R);  // slot of the west-most window vector (pos x-R)
   const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
   V winv[2 * R + 1];
-  for (; x + 3 <= x_end; x += 4) {
-    V bot = V::loadu(a + x + 4 * s);
-    V w0, w1, w2, w3;
-    {
+  V wbuf[VL];
+  for (; x + VL - 1 <= x_end; x += VL) {
+    V bot = V::loadu(a + x + VL * s);
+    for (int j = 0; j < VL; ++j) {
       int iw = ib;
       for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
-      w0 = f.apply(winv);
-      ring[ib] = simd::shift_in_low_v(w0, bot);
-      bot = simd::rotate_down(bot);
+      wbuf[j] = f.apply(winv);
+      ring[ib] = simd::shift_in_low_v(wbuf[j], bot);
+      if (j != VL - 1) bot = simd::rotate_down(bot);
       ib = inc(ib);
     }
-    {
-      int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
-      w1 = f.apply(winv);
-      ring[ib] = simd::shift_in_low_v(w1, bot);
-      bot = simd::rotate_down(bot);
-      ib = inc(ib);
-    }
-    {
-      int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
-      w2 = f.apply(winv);
-      ring[ib] = simd::shift_in_low_v(w2, bot);
-      bot = simd::rotate_down(bot);
-      ib = inc(ib);
-    }
-    {
-      int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
-      w3 = f.apply(winv);
-      ring[ib] = simd::shift_in_low_v(w3, bot);
-      ib = inc(ib);
-    }
-    simd::collect_tops(w0, w1, w2, w3).storeu(a + x);
+    simd::collect_tops_arr(wbuf).storeu(a + x);
   }
   for (; x <= x_end; ++x) {  // ungrouped tail
     int iw = ib;
     for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
     const V w = f.apply(winv);
-    ring[ib] = simd::shift_in_low(w, a[x + 4 * s]);
+    ring[ib] = simd::shift_in_low(w, a[x + VL * s]);
     ib = inc(ib);
     a[x] = simd::top_lane(w);
   }
 
   // ---- flush: dump surviving ring lanes into the right scratch -----------
-  const auto rput = [&](double* lev, int q, double v) {
-    if (q >= rbase + 1 && q <= nx) lev[q - rbase] = v;
+  const auto rput = [&](int lev, int q, double v) {
+    if (q >= rbase + 1 && q <= nx) ws.rptr(lev)[q - rbase] = v;
   };
   for (int p = x_end + 1 - R; p <= x_end + s; ++p) {
     const V& u = ring[static_cast<std::size_t>(slot(p))];
-    rput(r1, p + 2 * s, u[1]);
-    rput(r2, p + s, u[2]);
-    rput(r3, p, u[3]);
+    for (int k = 1; k <= VL - 1; ++k) rput(k, p + (VL - 1 - k) * s, u[k]);
   }
 
-  // Level l (1..3) at position x during the epilogue.
-  const auto rv = [&](const double* lev, int x) -> double {
-    return x > nx ? a[x] : lev[x - rbase];
+  // Level l (1..vl-1) at position x during the epilogue.
+  const auto rv = [&](int lev, int q) -> double {
+    return q > nx ? a[q] : ws.rptr(lev)[q - rbase];
   };
 
-  // ---- epilogue: right trapezoid, scalar (level order matters: lvl4
+  // ---- epilogue: right trapezoid, scalar (level order matters: lvl vl
   // writes to `a` would destroy the lvl0 values lvl1 still reads) ----------
-  for (int xx = nx + 2 - s; xx <= nx; ++xx) {
-    for (int k = 0; k <= 2 * R; ++k) win[k] = a[xx - R + k];
-    r1[xx - rbase] = f.apply_scalar(win);
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    double* out = ws.rptr(lev);
+    for (int xx = nx + 2 - lev * s; xx <= nx; ++xx) {
+      if (lev == 1) {
+        for (int k = 0; k <= 2 * R; ++k) win[k] = a[xx - R + k];
+      } else {
+        for (int k = 0; k <= 2 * R; ++k) win[k] = rv(lev - 1, xx - R + k);
+      }
+      out[xx - rbase] = f.apply_scalar(win);
+    }
   }
-  for (int xx = nx + 2 - 2 * s; xx <= nx; ++xx) {
-    for (int k = 0; k <= 2 * R; ++k) win[k] = rv(r1, xx - R + k);
-    r2[xx - rbase] = f.apply_scalar(win);
-  }
-  for (int xx = nx + 2 - 3 * s; xx <= nx; ++xx) {
-    for (int k = 0; k <= 2 * R; ++k) win[k] = rv(r2, xx - R + k);
-    r3[xx - rbase] = f.apply_scalar(win);
-  }
-  for (int xx = nx + 2 - 4 * s; xx <= nx; ++xx) {
-    for (int k = 0; k <= 2 * R; ++k) win[k] = rv(r3, xx - R + k);
+  for (int xx = nx + 2 - VL * s; xx <= nx; ++xx) {
+    for (int k = 0; k <= 2 * R; ++k) win[k] = rv(VL - 1, xx - R + k);
     a[xx] = f.apply_scalar(win);
   }
 }
 
-// Advance `u` by `steps` time steps: floor(steps/4) vector tiles plus a
+// Advance `u` by `steps` time steps: floor(steps/vl) vector tiles plus a
 // scalar residual.  Falls back to scalar whenever the line is too short for
-// the pipeline (nx < 4s).
+// the pipeline (nx < vl*s).
 template <class V, class F>
 void tv1d_run(const F& f, grid::Grid1D<double>& u, long steps, int s) {
   constexpr int R = F::radius;
+  constexpr int VL = V::lanes;
   assert(s >= R + 1);
   Workspace1D ws;
-  ws.prepare(s, u.nx(), R);
+  ws.prepare(s, u.nx(), R, VL);
   double* a = u.p();
   const int nx = u.nx();
   long t = 0;
-  if (nx >= 4 * s) {
-    for (; t + 4 <= steps; t += 4) tv1d_tile<V>(f, a, nx, s, ws);
+  if (nx >= VL * s) {
+    for (; t + VL <= steps; t += VL) tv1d_tile<V>(f, a, nx, s, ws);
   }
   if (t < steps)
     detail::scalar_steps(f, a, nx, static_cast<int>(steps - t), ws);

@@ -1,5 +1,8 @@
-// 2D Jacobi kernel variants — compiled once per SIMD backend.  Public entry
-// points live in tv_dispatch.cpp.
+// 2D Jacobi kernel variants — compiled once per SIMD backend at the
+// backend's native vector width (vl = 4 under scalar/avx2, vl = 8 under
+// avx512).  The scalar backend additionally registers width-pinned vl = 8
+// instantiations so the width axis (and the deprecated `_vl8` alias ids)
+// resolves on every host.  Public entry points live in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors2d.hpp"
 #include "tv/tv2d_impl.hpp"
@@ -7,7 +10,7 @@
 namespace tvs::tv {
 namespace {
 
-using V = simd::NativeVec<double, 4>;
+using V = dispatch::BackendVec<double>;
 
 void jacobi2d5(const stencil::C2D5& c, grid::Grid2D<double>& u, long steps,
                int stride) {
@@ -21,11 +24,37 @@ void jacobi2d9(const stencil::C2D9& c, grid::Grid2D<double>& u, long steps,
   tv2d_run(J2D9F<V>(c), u, steps, stride, ws);
 }
 
+#if TVS_BACKEND_LEVEL == 0
+using V8 = simd::ScalarVec<double, 8>;
+
+void jacobi2d5_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u, long steps,
+                   int stride) {
+  Workspace2D<V8, double> ws;
+  tv2d_run(J2D5F<V8>(c), u, steps, stride, ws);
+}
+
+void jacobi2d9_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u, long steps,
+                   int stride) {
+  Workspace2D<V8, double> ws;
+  tv2d_run(J2D9F<V8>(c), u, steps, stride, ws);
+}
+#endif
+
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv2d) {
-  TVS_REGISTER(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5);
-  TVS_REGISTER(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9);
+  TVS_REGISTER_VL(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5, V::lanes);
+  TVS_REGISTER_VL(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9, V::lanes);
+#if TVS_BACKEND_LEVEL == 0
+  TVS_REGISTER_VL(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5_vl8, 8);
+  TVS_REGISTER_VL(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9_vl8, 8);
+  // Deprecated `_vl8` alias ids (one release): same engines, old names.
+  TVS_REGISTER_VL(kTvJacobi2D5Vl8, TvJacobi2D5Fn, jacobi2d5_vl8, 8);
+  TVS_REGISTER_VL(kTvJacobi2D9Vl8, TvJacobi2D9Fn, jacobi2d9_vl8, 8);
+#elif TVS_BACKEND_LEVEL == 2
+  TVS_REGISTER_VL(kTvJacobi2D5Vl8, TvJacobi2D5Fn, jacobi2d5, 8);
+  TVS_REGISTER_VL(kTvJacobi2D9Vl8, TvJacobi2D9Fn, jacobi2d9, 8);
+#endif
 }
 
 }  // namespace tvs::tv

@@ -4,7 +4,8 @@
 // inner y loop runs over whole rows.  Unlike the 1D kernel, the reorganized
 // input vectors cannot stay in registers — each x iteration produces a full
 // row of them, consumed s iterations later — so they are stored in a ring
-// of s+2 rows of vectors (vl = V::lanes, 4 for doubles, 8 for int32):
+// of s+2 rows of vectors (vl = V::lanes: 4/8 for doubles, 8/16 for int32,
+// or any ScalarVec width the tests instantiate):
 //
 //   ring(p)[y] = [ lvl0 @ (p+(vl-1)s, y) , ... , lvl(vl-1) @ (p, y) ]
 //

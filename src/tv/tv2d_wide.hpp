@@ -1,6 +1,10 @@
-// Eight-lane (AVX-512 / scalar-fallback) 2D and 3D Jacobi entry points:
-// one temporal tile advances eight time steps, halving memory traffic
-// again relative to vl = 4 at the cost of deeper scalar edge triangles.
+// Width-pinned (vl = 8) 2D and 3D Jacobi entry points: one temporal tile
+// advances eight time steps, halving memory traffic again relative to
+// vl = 4 at the cost of deeper scalar edge triangles.  These are thin
+// dispatchers over the registry's width axis (AVX-512 VecD8 engines on an
+// AVX-512 host, ScalarVec<double, 8> elsewhere); there is no dedicated
+// wide kernel TU any more — the lane-generic engines of tv2d.cpp/tv3d.cpp
+// serve every width.
 #pragma once
 
 #include "grid/grid2d.hpp"

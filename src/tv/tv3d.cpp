@@ -1,5 +1,7 @@
-// 3D Jacobi kernel variant — compiled once per SIMD backend.  Public entry
-// point lives in tv_dispatch.cpp.
+// 3D Jacobi kernel variant — compiled once per SIMD backend at the
+// backend's native vector width; the scalar backend also registers the
+// width-pinned vl = 8 instantiation (+ the deprecated `_vl8` alias).
+// Public entry point lives in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors3d.hpp"
 #include "tv/tv3d_impl.hpp"
@@ -7,7 +9,7 @@
 namespace tvs::tv {
 namespace {
 
-using V = simd::NativeVec<double, 4>;
+using V = dispatch::BackendVec<double>;
 
 void jacobi3d7(const stencil::C3D7& c, grid::Grid3D<double>& u, long steps,
                int stride) {
@@ -15,10 +17,26 @@ void jacobi3d7(const stencil::C3D7& c, grid::Grid3D<double>& u, long steps,
   tv3d_run(J3D7F<V>(c), u, steps, stride, ws);
 }
 
+#if TVS_BACKEND_LEVEL == 0
+using V8 = simd::ScalarVec<double, 8>;
+
+void jacobi3d7_vl8(const stencil::C3D7& c, grid::Grid3D<double>& u, long steps,
+                   int stride) {
+  Workspace3D<V8, double> ws;
+  tv3d_run(J3D7F<V8>(c), u, steps, stride, ws);
+}
+#endif
+
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv3d) {
-  TVS_REGISTER(kTvJacobi3D7, TvJacobi3D7Fn, jacobi3d7);
+  TVS_REGISTER_VL(kTvJacobi3D7, TvJacobi3D7Fn, jacobi3d7, V::lanes);
+#if TVS_BACKEND_LEVEL == 0
+  TVS_REGISTER_VL(kTvJacobi3D7, TvJacobi3D7Fn, jacobi3d7_vl8, 8);
+  TVS_REGISTER_VL(kTvJacobi3D7Vl8, TvJacobi3D7Fn, jacobi3d7_vl8, 8);
+#elif TVS_BACKEND_LEVEL == 2
+  TVS_REGISTER_VL(kTvJacobi3D7Vl8, TvJacobi3D7Fn, jacobi3d7, 8);
+#endif
 }
 
 }  // namespace tvs::tv

@@ -19,7 +19,7 @@
 #include "tv/tv_gs1d.hpp"
 #include "tv/tv_gs2d.hpp"
 #include "tv/tv_gs3d.hpp"
-#include "tv/tv_lcs.hpp"
+#include "tv/tv_lcs.hpp"  // also kLcsRowPad (row padding of the lcs engines)
 #include "tv/tv_life.hpp"
 
 namespace tvs::tv {
@@ -29,6 +29,15 @@ namespace {
 template <class Fn>
 Fn* lookup(std::string_view id) {
   return dispatch::KernelRegistry::instance().get<Fn>(id);
+}
+
+// Width-pinned lookup at the selected backend: the engine at exactly `vl`
+// lanes, falling back downward (e.g. vl = 8 resolves to the AVX-512 engine
+// on an AVX-512 host and to ScalarVec<double, 8> elsewhere).
+template <class Fn>
+Fn* lookup_vl(std::string_view id, int vl) {
+  return dispatch::KernelRegistry::instance().get_at<Fn>(
+      id, dispatch::selected_backend(), vl);
 }
 
 }  // namespace
@@ -78,7 +87,7 @@ void tv_jacobi2d5_run_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u,
   stencil::require_legal_stride("tv_jacobi2d5_run_vl8",
                                 stencil::jacobi2d_deps(1), stride);
   static const auto fn =
-      lookup<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5Vl8);
+      lookup_vl<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5, 8);
   fn(c, u, steps, stride);
 }
 
@@ -87,7 +96,7 @@ void tv_jacobi2d9_run_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u,
   stencil::require_legal_stride("tv_jacobi2d9_run_vl8",
                                 stencil::jacobi2d_deps(1), stride);
   static const auto fn =
-      lookup<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9Vl8);
+      lookup_vl<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9, 8);
   fn(c, u, steps, stride);
 }
 
@@ -96,7 +105,7 @@ void tv_jacobi3d7_run_vl8(const stencil::C3D7& c, grid::Grid3D<double>& u,
   stencil::require_legal_stride("tv_jacobi3d7_run_vl8",
                                 stencil::jacobi3d_deps(1), stride);
   static const auto fn =
-      lookup<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7Vl8);
+      lookup_vl<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7, 8);
   fn(c, u, steps, stride);
 }
 
@@ -135,7 +144,7 @@ void tv_life_run(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
 std::vector<std::int32_t> tv_lcs_row(std::span<const std::int32_t> a,
                                      std::span<const std::int32_t> b) {
   const std::size_t nb = b.size();
-  std::vector<std::int32_t> row(nb + 1 + 8, 0);
+  std::vector<std::int32_t> row(nb + 1 + kLcsRowPad, 0);
   if (nb > 0) {
     static const auto fn = lookup<dispatch::TvLcsRowsFn>(dispatch::kTvLcsRows);
     fn(a, b, row.data());

@@ -1,20 +1,33 @@
-// 1D Gauss-Seidel kernel variant — compiled once per SIMD backend.  Public
-// entry point lives in tv_dispatch.cpp.
+// 1D Gauss-Seidel kernel variant — compiled once per SIMD backend at the
+// backend's native vector width (the scalar backend also pins vl = 8).
+// Public entry point lives in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/tv_gs1d_impl.hpp"
 
 namespace tvs::tv {
 namespace {
 
+using V = dispatch::BackendVec<double>;
+
 void gs1d3(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
            int stride) {
-  tv_gs1d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+  tv_gs1d_run_impl<V>(c, u, sweeps, stride);
 }
+
+#if TVS_BACKEND_LEVEL == 0
+void gs1d3_vl8(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
+               int stride) {
+  tv_gs1d_run_impl<simd::ScalarVec<double, 8>>(c, u, sweeps, stride);
+}
+#endif
 
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv_gs1d) {
-  TVS_REGISTER(kTvGs1D3, TvGs1D3Fn, gs1d3);
+  TVS_REGISTER_VL(kTvGs1D3, TvGs1D3Fn, gs1d3, V::lanes);
+#if TVS_BACKEND_LEVEL == 0
+  TVS_REGISTER_VL(kTvGs1D3, TvGs1D3Fn, gs1d3_vl8, 8);
+#endif
 }
 
 }  // namespace tvs::tv

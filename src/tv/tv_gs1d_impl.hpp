@@ -1,4 +1,5 @@
-// Temporal vectorization of the 1D3P *Gauss-Seidel* stencil (§3.4).
+// Temporal vectorization of the 1D3P *Gauss-Seidel* stencil (§3.4),
+// generalized to any vector length vl = V::lanes.
 //
 // Gauss-Seidel updates in place, sweeping x ascending:
 //
@@ -9,15 +10,16 @@
 // first SIMD execution of Gauss-Seidel stencils.  The temporal layout is
 // the same as the Jacobi kernel's (lane k = level k, top position p):
 //
-//   input  u(p) = [ lvl0 @ p+3s , lvl1 @ p+2s , lvl2 @ p+s , lvl3 @ p ]
-//   output w(x) = [ lvl1 @ x+3s , lvl2 @ x+2s , lvl3 @ x+s , lvl4 @ x ]
+//   input  u(p) = [ lvl0 @ p+(vl-1)s , ... , lvl(vl-1) @ p ]
+//   output w(x) = [ lvl1 @ x+(vl-1)s , ... , lvl(vl)  @ x ]
 //
 // The only difference from Jacobi: the *newest west* operand of lane k,
-// lvl(k+1) @ (x-1 + (3-k)s), is exactly lane k of the previous iteration's
-// output vector — so the (dt=0, dx=-1) dependence is satisfied by keeping
-// w as a loop-carried register (the paper: "the temporal vectorization uses
-// their corresponding output vectors").  Legality needs s >= 2 (old east
-// dependence (1,1)); the serial w chain is inherent to Gauss-Seidel.
+// lvl(k+1) @ (x-1 + (vl-1-k)s), is exactly lane k of the previous
+// iteration's output vector — so the (dt=0, dx=-1) dependence is satisfied
+// by keeping w as a loop-carried register (the paper: "the temporal
+// vectorization uses their corresponding output vectors").  Legality needs
+// s >= 2 (old east dependence (1,1)); the serial w chain is inherent to
+// Gauss-Seidel.
 //
 // Structure (prologue / gather / steady / flush / epilogue) mirrors
 // tv1d_impl.hpp; the scalar wedges chain the newest-west value exactly like
@@ -56,155 +58,117 @@ inline void gs_scalar_range(const stencil::C1D3& c, double west0, int x0,
 
 }  // namespace detail
 
-// One 4-sweep temporally vectorized Gauss-Seidel tile, in place on `a`.
-// Requires s >= 2 and nx >= 4s.
+// One vl-sweep temporally vectorized Gauss-Seidel tile, in place on `a`.
+// Requires s >= 2 and nx >= vl*s.
 template <class V>
 void tv_gs1d_tile(const stencil::C1D3& c, double* a, int nx, int s,
                   Workspace1D& ws) {
+  constexpr int VL = V::lanes;
   const int M = s;  // ring slots: live positions [x, x+s-1]
-  assert(s >= 2 && s <= kMaxStride && nx >= 4 * s);
+  assert(s >= 2 && s <= kMaxStride && nx >= VL * s);
+  assert(ws.vl == VL);
+  const int rbase = nx - VL * s - 1;
 
-  double* l1 = ws.left.data();
-  double* l2 = l1 + (3 * s + 2);
-  double* l3 = l2 + (3 * s + 2);
-  const int rbase = nx - 4 * s - 1;
-  const int rlen = 4 * s + 1 + 4;
-  double* r1 = ws.right.data();
-  double* r2 = r1 + rlen;
-  double* r3 = r2 + rlen;
-
-  const auto lv = [&](const double* lev, int x) -> double {
-    return x <= 0 ? a[x] : lev[x];
+  const auto lv = [&](int lev, int x) -> double {
+    return x <= 0 ? a[x] : ws.lptr(lev)[x];
+  };
+  const auto lv_any = [&](int lev, int x) -> double {
+    return lev == 0 ? a[x] : lv(lev, x);
   };
 
-  // ---- prologue: levels 1..3 on the left trapezoid ------------------------
-  detail::gs_scalar_range(
-      c, /*west0=*/a[0], 1, 3 * s, [&](int x) { return a[x]; },
-      [&](int x, double v) { l1[x] = v; });
-  detail::gs_scalar_range(
-      c, a[0], 1, 2 * s, [&](int x) { return lv(l1, x); },
-      [&](int x, double v) { l2[x] = v; });
-  detail::gs_scalar_range(
-      c, a[0], 1, s, [&](int x) { return lv(l2, x); },
-      [&](int x, double v) { l3[x] = v; });
+  // ---- prologue: levels 1..vl-1 on the left trapezoid ----------------------
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    double* out = ws.lptr(lev);
+    detail::gs_scalar_range(
+        c, /*west0=*/a[0], 1, (VL - lev) * s,
+        [&](int x) { return lv_any(lev - 1, x); },
+        [&](int x, double v) { out[x] = v; });
+  }
 
   // ---- gather: ring positions [1, s] and the initial w ---------------------
   std::array<V, kMaxStride + 2> ring;
   const auto slot = [M](int p) { return ((p % M) + M) % M; };
   for (int p = 1; p <= s; ++p) {
-    alignas(64) double lanes[4];
-    lanes[0] = a[p + 3 * s];
-    lanes[1] = lv(l1, p + 2 * s);
-    lanes[2] = lv(l2, p + s);
-    lanes[3] = lv(l3, p);
+    alignas(64) double lanes[VL];
+    for (int k = 0; k < VL; ++k) lanes[k] = lv_any(k, p + (VL - 1 - k) * s);
     ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
   }
-  V w;  // lane k = lvl(k+1) @ (x-1 + (3-k)s); at x=1 these are the prologue tips
+  V w;  // lane k = lvl(k+1) @ (x-1 + (vl-1-k)s); at x=1: the prologue tips
   {
-    alignas(64) double lanes[4];
-    lanes[0] = lv(l1, 3 * s);
-    lanes[1] = lv(l2, 2 * s);
-    lanes[2] = lv(l3, s);
-    lanes[3] = a[0];
+    alignas(64) double lanes[VL];
+    for (int k = 0; k < VL - 1; ++k) lanes[k] = lv(k + 1, (VL - 1 - k) * s);
+    lanes[VL - 1] = a[0];  // lvl vl @ 0 = boundary
     w = V::load(lanes);
   }
 
   const V cw = V::set1(c.w), cc = V::set1(c.c), ce = V::set1(c.e);
 
   // ---- steady loop ---------------------------------------------------------
-  const int x_end = nx + 1 - 4 * s;
+  const int x_end = nx + 1 - VL * s;
   int ic = slot(1);  // slot of the center vector (position x)
   const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
   int x = 1;
-  for (; x + 3 <= x_end; x += 4) {
-    V bot = V::loadu(a + x + 4 * s);
-    V w0, w1, w2, w3;
-    {
+  V wbuf[VL];
+  for (; x + VL - 1 <= x_end; x += VL) {
+    V bot = V::loadu(a + x + VL * s);
+    for (int j = 0; j < VL; ++j) {
       const int ie = inc(ic);
-      w0 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
-      ring[ic] = simd::shift_in_low_v(w0, bot);
-      bot = simd::rotate_down(bot);
-      w = w0;
+      wbuf[j] = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
+      ring[ic] = simd::shift_in_low_v(wbuf[j], bot);
+      if (j != VL - 1) bot = simd::rotate_down(bot);
+      w = wbuf[j];
       ic = ie;
     }
-    {
-      const int ie = inc(ic);
-      w1 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
-      ring[ic] = simd::shift_in_low_v(w1, bot);
-      bot = simd::rotate_down(bot);
-      w = w1;
-      ic = ie;
-    }
-    {
-      const int ie = inc(ic);
-      w2 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
-      ring[ic] = simd::shift_in_low_v(w2, bot);
-      bot = simd::rotate_down(bot);
-      w = w2;
-      ic = ie;
-    }
-    {
-      const int ie = inc(ic);
-      w3 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
-      ring[ic] = simd::shift_in_low_v(w3, bot);
-      w = w3;
-      ic = ie;
-    }
-    simd::collect_tops(w0, w1, w2, w3).storeu(a + x);
+    simd::collect_tops_arr(wbuf).storeu(a + x);
   }
   for (; x <= x_end; ++x) {
     const int ie = inc(ic);
     const V wv = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
-    ring[ic] = simd::shift_in_low(wv, a[x + 4 * s]);
+    ring[ic] = simd::shift_in_low(wv, a[x + VL * s]);
     a[x] = simd::top_lane(wv);
     w = wv;
     ic = ie;
   }
 
   // ---- flush ring lanes into the right scratch -----------------------------
-  const auto rput = [&](double* lev, int q, double v) {
-    if (q >= rbase + 1 && q <= nx) lev[q - rbase] = v;
+  const auto rput = [&](int lev, int q, double v) {
+    if (q >= rbase + 1 && q <= nx) ws.rptr(lev)[q - rbase] = v;
   };
   for (int p = x_end + 1; p <= x_end + s; ++p) {
     const V& u = ring[static_cast<std::size_t>(slot(p))];
-    rput(r1, p + 2 * s, u[1]);
-    rput(r2, p + s, u[2]);
-    rput(r3, p, u[3]);
+    for (int k = 1; k <= VL - 1; ++k) rput(k, p + (VL - 1 - k) * s, u[k]);
   }
 
-  const auto rv = [&](const double* lev, int q) -> double {
-    return q > nx ? a[q] : lev[q - rbase];
+  const auto rv = [&](int lev, int q) -> double {
+    return q > nx ? a[q] : ws.rptr(lev)[q - rbase];
   };
 
-  // ---- epilogue (levels in order; lvl4 writes to `a` last) -----------------
+  // ---- epilogue (levels in order; lvl vl writes to `a` last) ---------------
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    double* out = ws.rptr(lev);
+    detail::gs_scalar_range(
+        c, rv(lev, nx + 1 - lev * s), nx + 2 - lev * s, nx,
+        [&](int q) { return lev == 1 ? a[q] : rv(lev - 1, q); },
+        [&](int q, double v) { out[q - rbase] = v; });
+  }
   detail::gs_scalar_range(
-      c, rv(r1, nx + 1 - s), nx + 2 - s, nx, [&](int q) { return a[q]; },
-      [&](int q, double v) { r1[q - rbase] = v; });
-  detail::gs_scalar_range(
-      c, rv(r2, nx + 1 - 2 * s), nx + 2 - 2 * s, nx,
-      [&](int q) { return rv(r1, q); },
-      [&](int q, double v) { r2[q - rbase] = v; });
-  detail::gs_scalar_range(
-      c, rv(r3, nx + 1 - 3 * s), nx + 2 - 3 * s, nx,
-      [&](int q) { return rv(r2, q); },
-      [&](int q, double v) { r3[q - rbase] = v; });
-  detail::gs_scalar_range(
-      c, a[nx + 1 - 4 * s], nx + 2 - 4 * s, nx,
-      [&](int q) { return rv(r3, q); }, [&](int q, double v) { a[q] = v; });
+      c, a[nx + 1 - VL * s], nx + 2 - VL * s, nx,
+      [&](int q) { return rv(VL - 1, q); }, [&](int q, double v) { a[q] = v; });
 }
 
-// Advance `u` by `sweeps` Gauss-Seidel sweeps (4 per vector tile).
+// Advance `u` by `sweeps` Gauss-Seidel sweeps (vl per vector tile).
 template <class V>
 void tv_gs1d_run_impl(const stencil::C1D3& c, grid::Grid1D<double>& u,
                       long sweeps, int s) {
+  constexpr int VL = V::lanes;
   assert(s >= 2);
   Workspace1D ws;
-  ws.prepare(s, u.nx(), 1);
+  ws.prepare(s, u.nx(), 1, VL);
   double* a = u.p();
   const int nx = u.nx();
   long t = 0;
-  if (nx >= 4 * s) {
-    for (; t + 4 <= sweeps; t += 4) tv_gs1d_tile<V>(c, a, nx, s, ws);
+  if (nx >= VL * s) {
+    for (; t + VL <= sweeps; t += VL) tv_gs1d_tile<V>(c, a, nx, s, ws);
   }
   for (; t < sweeps; ++t) {
     double west = a[0];

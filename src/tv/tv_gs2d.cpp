@@ -1,20 +1,33 @@
-// 2D Gauss-Seidel kernel variant — compiled once per SIMD backend.  Public
-// entry point lives in tv_dispatch.cpp.
+// 2D Gauss-Seidel kernel variant — compiled once per SIMD backend at the
+// backend's native vector width (the scalar backend also pins vl = 8).
+// Public entry point lives in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/tv_gs2d_impl.hpp"
 
 namespace tvs::tv {
 namespace {
 
+using V = dispatch::BackendVec<double>;
+
 void gs2d5(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
            int stride) {
-  tv_gs2d_run_impl<simd::NativeVec<double, 4>>(c, u, sweeps, stride);
+  tv_gs2d_run_impl<V>(c, u, sweeps, stride);
 }
+
+#if TVS_BACKEND_LEVEL == 0
+void gs2d5_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
+               int stride) {
+  tv_gs2d_run_impl<simd::ScalarVec<double, 8>>(c, u, sweeps, stride);
+}
+#endif
 
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv_gs2d) {
-  TVS_REGISTER(kTvGs2D5, TvGs2D5Fn, gs2d5);
+  TVS_REGISTER_VL(kTvGs2D5, TvGs2D5Fn, gs2d5, V::lanes);
+#if TVS_BACKEND_LEVEL == 0
+  TVS_REGISTER_VL(kTvGs2D5, TvGs2D5Fn, gs2d5_vl8, 8);
+#endif
 }
 
 }  // namespace tvs::tv

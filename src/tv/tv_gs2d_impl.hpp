@@ -1,4 +1,5 @@
-// Temporal vectorization of the 2D5P Gauss-Seidel stencil (§3.4).
+// Temporal vectorization of the 2D5P Gauss-Seidel stencil (§3.4),
+// generalized to any vector length vl = V::lanes.
 //
 // Update (ascending x, then y):
 //   a[x][y] <- cc*a[x][y] + cw*a[x][y-1](new) + ce*a[x][y+1]
@@ -29,9 +30,11 @@ namespace tvs::tv {
 
 template <class V>
 struct WorkspaceGs2D {
+  static constexpr int VL = V::lanes;
+
   grid::AlignedBuffer<V> ring;  // (s+1) rows x rstride vectors
   grid::AlignedBuffer<V> wrow;  // 1 row: previous x outputs per column
-  grid::AlignedBuffer<double> lscr, rscr;
+  grid::AlignedBuffer<double> lscr, rscr;  // (VL-1) levels of edge planes
   int s = 0, nx = 0, ny = 0;
   std::ptrdiff_t rstride = 0;
   int lrows = 0, rrows = 0, rbase = 0;
@@ -41,15 +44,17 @@ struct WorkspaceGs2D {
     nx = nx_;
     ny = ny_;
     rstride = ((ny + 4 + 15) / 16) * 16;
-    lrows = 3 * s + 1;
-    rrows = 4 * s + 4;
-    rbase = nx - 4 * s - 1;
+    lrows = (VL - 1) * s + 1;
+    rrows = VL * s + 4;
+    rbase = nx - VL * s - 1;
     ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
                                   static_cast<std::size_t>(rstride));
     wrow = grid::AlignedBuffer<V>(static_cast<std::size_t>(rstride));
-    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * lrows *
+    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
+                                       lrows *
                                        static_cast<std::size_t>(rstride));
-    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * rrows *
+    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
+                                       rrows *
                                        static_cast<std::size_t>(rstride));
   }
   V* ring_row(int p) {
@@ -91,12 +96,13 @@ inline void gs_row(const stencil::C2D5& c, double west0, int r, int ny,
 
 }  // namespace detailgs2d
 
-// One 4-sweep tile over the whole grid, in place.  nx >= 4s, s >= 2.
+// One vl-sweep tile over the whole grid, in place.  nx >= vl*s, s >= 2.
 template <class V>
 void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
                   WorkspaceGs2D<V>& ws) {
+  constexpr int VL = V::lanes;
   const int nx = g.nx(), ny = g.ny();
-  assert(nx >= 4 * s && s >= 2);
+  assert(nx >= VL * s && s >= 2);
   const int rbase = ws.rbase;
 
   const auto lv_any = [&](int lev, int r, int y) -> double {
@@ -104,9 +110,9 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
     return ws.lv(lev, r, y);
   };
 
-  // ---- prologue: levels 1..3 over rows [1, (4-lev)s] -----------------------
-  for (int lev = 1; lev <= 3; ++lev) {
-    for (int r = 1; r <= (4 - lev) * s; ++r) {
+  // ---- prologue: levels 1..vl-1 over rows [1, (vl-lev)s] -------------------
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    for (int r = 1; r <= (VL - lev) * s; ++r) {
       detailgs2d::gs_row(
           c, lv_any(lev, r, 0), r, ny,
           [&](int rr, int yy) { return lv_any(lev - 1, rr, yy); },
@@ -118,23 +124,20 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
   // ---- gather: ring rows p = 1 .. s and the initial wrow --------------------
   for (int p = 1; p <= s; ++p) {
     V* row = ws.ring_row(p);
-    alignas(64) double lanes[4];
+    alignas(64) double lanes[VL];
     for (int y = 0; y <= ny + 1; ++y) {
-      lanes[0] = lv_any(0, p + 3 * s, y);
-      lanes[1] = lv_any(1, p + 2 * s, y);
-      lanes[2] = lv_any(2, p + s, y);
-      lanes[3] = lv_any(3, p, y);
+      for (int k = 0; k < VL; ++k)
+        lanes[k] = lv_any(k, p + (VL - 1 - k) * s, y);
       row[y] = V::load(lanes);
     }
   }
   {
     V* wr = ws.wrow.data() + 1;
-    alignas(64) double lanes[4];
+    alignas(64) double lanes[VL];
     for (int y = 0; y <= ny + 1; ++y) {
-      lanes[0] = lv_any(1, 3 * s, y);
-      lanes[1] = lv_any(2, 2 * s, y);
-      lanes[2] = lv_any(3, s, y);
-      lanes[3] = g.at(0, y);  // lvl4 @ row 0 = boundary
+      for (int k = 0; k < VL - 1; ++k)
+        lanes[k] = lv_any(k + 1, (VL - 1 - k) * s, y);
+      lanes[VL - 1] = g.at(0, y);  // lvl vl @ row 0 = boundary
       wr[y] = V::load(lanes);
     }
   }
@@ -143,50 +146,45 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
           cs = V::set1(c.s), cn = V::set1(c.n);
 
   // ---- steady loop -----------------------------------------------------------
-  const int x_end = nx + 1 - 4 * s;
+  const int x_end = nx + 1 - VL * s;
   V* wr = ws.wrow.data() + 1;
   for (int x = 1; x <= x_end; ++x) {
     const V* r0 = ws.ring_row(x);
     const V* rp1 = ws.ring_row(x + 1);
     V* rout = ws.ring_row(x + s);
     double* trow = g.row(x);
-    const double* brow = g.row(x + 4 * s);
+    const double* brow = g.row(x + VL * s);
 
     // Boundary columns of the produced input-vector row.
     {
-      alignas(64) double lanes[4];
+      alignas(64) double lanes[VL];
       const int p = x + s;
       for (const int y : {0, ny + 1}) {
-        lanes[0] = g.at(std::min(p + 3 * s, nx + 1), y);
-        lanes[1] = g.at(p + 2 * s, y);
-        lanes[2] = g.at(p + s, y);
-        lanes[3] = g.at(p, y);
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = g.at(std::min(p + (VL - 1 - k) * s, nx + 1), y);
         rout[y] = V::load(lanes);
       }
     }
     // Newest-west at y = 0: the boundary column at each lane's row.
     V wprev;
     {
-      alignas(64) double lanes[4];
-      lanes[0] = g.at(x + 3 * s, 0);
-      lanes[1] = g.at(x + 2 * s, 0);
-      lanes[2] = g.at(x + s, 0);
-      lanes[3] = g.at(x, 0);
+      alignas(64) double lanes[VL];
+      for (int k = 0; k < VL; ++k) lanes[k] = g.at(x + (VL - 1 - k) * s, 0);
       wprev = V::load(lanes);
     }
 
     int y = 1;
-    V wbuf[4];
-    for (; y + 3 <= ny; y += 4) {
+    V wbuf[VL];
+    for (; y + VL - 1 <= ny; y += VL) {
       V bot = V::loadu(brow + y);
-      for (int j = 0; j < 4; ++j) {
+      for (int j = 0; j < VL; ++j) {
         const int yy = y + j;
         const V w = stencil::gs2d5(cc, cw, ce, cs, cn, r0[yy], wprev,
                                    r0[yy + 1], wr[yy], rp1[yy]);
         wbuf[j] = w;
         wr[yy] = w;  // becomes the newest-south for iteration x+1
         rout[yy] = simd::shift_in_low_v(w, bot);
-        if (j != 3) bot = simd::rotate_down(bot);
+        if (j != VL - 1) bot = simd::rotate_down(bot);
         wprev = w;
       }
       simd::collect_tops_arr(wbuf).storeu(trow + y);
@@ -209,9 +207,7 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
     const V* row = ws.ring_row(p);
     for (int y = 1; y <= ny; ++y) {
       const V u = row[y];
-      rput(1, p + 2 * s, y, u[1]);
-      rput(2, p + s, y, u[2]);
-      rput(3, p, y, u[3]);
+      for (int k = 1; k <= VL - 1; ++k) rput(k, p + (VL - 1 - k) * s, y, u[k]);
     }
   }
 
@@ -220,8 +216,8 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
     return ws.rv(lev, r, y);
   };
 
-  // ---- epilogue: levels ascending, lvl4 into the array last ------------------
-  for (int lev = 1; lev <= 3; ++lev) {
+  // ---- epilogue: levels ascending, lvl vl into the array last ----------------
+  for (int lev = 1; lev <= VL - 1; ++lev) {
     for (int r = nx + 2 - lev * s; r <= nx; ++r) {
       detailgs2d::gs_row(
           c, rv_any(lev, r, 0), r, ny,
@@ -230,10 +226,10 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
           [&](int yy, double v) { ws.rv(lev, r, yy) = v; });
     }
   }
-  for (int r = nx + 2 - 4 * s; r <= nx; ++r) {
+  for (int r = nx + 2 - VL * s; r <= nx; ++r) {
     detailgs2d::gs_row(
         c, g.at(r, 0), r, ny,
-        [&](int rr, int yy) { return rv_any(3, rr, yy); },
+        [&](int rr, int yy) { return rv_any(VL - 1, rr, yy); },
         [&](int yy) { return g.at(r - 1, yy); },
         [&](int yy, double v) { g.at(r, yy) = v; });
   }
@@ -243,11 +239,12 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
 template <class V>
 void tv_gs2d_run_impl(const stencil::C2D5& c, grid::Grid2D<double>& g,
                       long sweeps, int s) {
+  constexpr int VL = V::lanes;
   WorkspaceGs2D<V> ws;
   ws.prepare(s, g.nx(), g.ny());
   long t = 0;
-  if (g.nx() >= 4 * s) {
-    for (; t + 4 <= sweeps; t += 4) tv_gs2d_tile(c, g, s, ws);
+  if (g.nx() >= VL * s) {
+    for (; t + VL <= sweeps; t += VL) tv_gs2d_tile(c, g, s, ws);
   }
   for (; t < sweeps; ++t) {
     for (int r = 1; r <= g.nx(); ++r) {

@@ -1,4 +1,5 @@
-// Temporal vectorization of the 3D7P Gauss-Seidel stencil (§3.4).
+// Temporal vectorization of the 3D7P Gauss-Seidel stencil (§3.4),
+// generalized to any vector length vl = V::lanes.
 //
 // Update (ascending x, y, z):
 //   a[x][y][z] <- cc*a[x][y][z]      + cw*a[x][y][z-1](new)
@@ -28,9 +29,11 @@ namespace tvs::tv {
 
 template <class V>
 struct WorkspaceGs3D {
+  static constexpr int VL = V::lanes;
+
   grid::AlignedBuffer<V> ring;   // (s+1) slabs
   grid::AlignedBuffer<V> wslab;  // previous-x outputs
-  grid::AlignedBuffer<double> lscr, rscr;
+  grid::AlignedBuffer<double> lscr, rscr;  // (VL-1) levels of edge slabs
   int s = 0, nx = 0, ny = 0, nz = 0;
   std::ptrdiff_t zstride = 0, ystride = 0;
   int lrows = 0, rrows = 0, rbase = 0;
@@ -42,15 +45,17 @@ struct WorkspaceGs3D {
     nz = nz_;
     zstride = ((nz + 4 + 15) / 16) * 16;
     ystride = static_cast<std::ptrdiff_t>(ny + 2) * zstride;
-    lrows = 3 * s + 1;
-    rrows = 4 * s + 4;
-    rbase = nx - 4 * s - 1;
+    lrows = (VL - 1) * s + 1;
+    rrows = VL * s + 4;
+    rbase = nx - VL * s - 1;
     ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
                                   static_cast<std::size_t>(ystride));
     wslab = grid::AlignedBuffer<V>(static_cast<std::size_t>(ystride));
-    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * lrows *
+    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
+                                       lrows *
                                        static_cast<std::size_t>(ystride));
-    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(3) * rrows *
+    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
+                                       rrows *
                                        static_cast<std::size_t>(ystride));
   }
   V* ring_line(int p, int y) {
@@ -101,12 +106,13 @@ inline void gs_plane(const stencil::C3D7& c, int r, int ny, int nz,
 
 }  // namespace detailgs3d
 
-// One 4-sweep tile over the whole grid, in place.  nx >= 4s, s >= 2.
+// One vl-sweep tile over the whole grid, in place.  nx >= vl*s, s >= 2.
 template <class V>
 void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
                   WorkspaceGs3D<V>& ws) {
+  constexpr int VL = V::lanes;
   const int nx = g.nx(), ny = g.ny(), nz = g.nz();
-  assert(nx >= 4 * s && s >= 2);
+  assert(nx >= VL * s && s >= 2);
   const int rbase = ws.rbase;
 
   const auto lv_any = [&](int lev, int r, int y, int z) -> double {
@@ -116,8 +122,8 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
   };
 
   // ---- prologue ---------------------------------------------------------------
-  for (int lev = 1; lev <= 3; ++lev) {
-    for (int r = 1; r <= (4 - lev) * s; ++r)
+  for (int lev = 1; lev <= VL - 1; ++lev) {
+    for (int r = 1; r <= (VL - lev) * s; ++r)
       detailgs3d::gs_plane(
           c, r, ny, nz,
           [&](int rr, int yy, int zz) { return lv_any(lev - 1, rr, yy, zz); },
@@ -126,25 +132,22 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
   }
 
   // ---- gather ring slabs p = 1 .. s and the initial wslab ----------------------
-  alignas(64) double lanes[4];
+  alignas(64) double lanes[VL];
   for (int p = 1; p <= s; ++p)
     for (int y = 0; y <= ny + 1; ++y) {
       V* line = ws.ring_line(p, y);
       for (int z = 0; z <= nz + 1; ++z) {
-        lanes[0] = lv_any(0, p + 3 * s, y, z);
-        lanes[1] = lv_any(1, p + 2 * s, y, z);
-        lanes[2] = lv_any(2, p + s, y, z);
-        lanes[3] = lv_any(3, p, y, z);
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = lv_any(k, p + (VL - 1 - k) * s, y, z);
         line[z] = V::load(lanes);
       }
     }
   for (int y = 0; y <= ny + 1; ++y) {
     V* line = ws.wslab_line(y);
     for (int z = 0; z <= nz + 1; ++z) {
-      lanes[0] = lv_any(1, 3 * s, y, z);
-      lanes[1] = lv_any(2, 2 * s, y, z);
-      lanes[2] = lv_any(3, s, y, z);
-      lanes[3] = g.at(0, y, z);
+      for (int k = 0; k < VL - 1; ++k)
+        lanes[k] = lv_any(k + 1, (VL - 1 - k) * s, y, z);
+      lanes[VL - 1] = g.at(0, y, z);
       line[z] = V::load(lanes);
     }
   }
@@ -154,16 +157,14 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
           cf = V::set1(c.f);
 
   // ---- steady loop ----------------------------------------------------------------
-  const int x_end = nx + 1 - 4 * s;
+  const int x_end = nx + 1 - VL * s;
   for (int x = 1; x <= x_end; ++x) {
     // Boundary rows/columns of the produced slab.
     {
       const int p = x + s;
       const auto fill = [&](int y, int z) {
-        lanes[0] = g.at(std::min(p + 3 * s, nx + 1), y, z);
-        lanes[1] = g.at(p + 2 * s, y, z);
-        lanes[2] = g.at(p + s, y, z);
-        lanes[3] = g.at(p, y, z);
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = g.at(std::min(p + (VL - 1 - k) * s, nx + 1), y, z);
         ws.ring_line(p, y)[z] = V::load(lanes);
       };
       for (int z = 0; z <= nz + 1; ++z) {
@@ -180,10 +181,8 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
     {
       V* line = ws.wslab_line(0);
       for (int z = 0; z <= nz + 1; ++z) {
-        lanes[0] = g.at(x + 3 * s, 0, z);
-        lanes[1] = g.at(x + 2 * s, 0, z);
-        lanes[2] = g.at(x + s, 0, z);
-        lanes[3] = g.at(x, 0, z);
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = g.at(x + (VL - 1 - k) * s, 0, z);
         line[z] = V::load(lanes);
       }
     }
@@ -195,22 +194,20 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
       V* wsl = ws.wslab_line(y);         // (y,z): x-1 output until overwritten
       const V* wsm = ws.wslab_line(y - 1);  // (y-1,z): current-x output
       double* tline = g.line(x, y);
-      const double* bline = g.line(x + 4 * s, y);
+      const double* bline = g.line(x + VL * s, y);
 
       V wprev;
       {
-        lanes[0] = g.at(x + 3 * s, y, 0);
-        lanes[1] = g.at(x + 2 * s, y, 0);
-        lanes[2] = g.at(x + s, y, 0);
-        lanes[3] = g.at(x, y, 0);
+        for (int k = 0; k < VL; ++k)
+          lanes[k] = g.at(x + (VL - 1 - k) * s, y, 0);
         wprev = V::load(lanes);
       }
 
       int z = 1;
-      V wbuf[4];
-      for (; z + 3 <= nz; z += 4) {
+      V wbuf[VL];
+      for (; z + VL - 1 <= nz; z += VL) {
         V bot = V::loadu(bline + z);
-        for (int j = 0; j < 4; ++j) {
+        for (int j = 0; j < VL; ++j) {
           const int zz = z + j;
           const V w = stencil::gs3d7(cc, cw, ce, cs, cn, cb, cf, b0c[zz],
                                      wprev, b0c[zz + 1], wsm[zz], b0p[zz],
@@ -218,7 +215,7 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
           wbuf[j] = w;
           wsl[zz] = w;
           lout[zz] = simd::shift_in_low_v(w, bot);
-          if (j != 3) bot = simd::rotate_down(bot);
+          if (j != VL - 1) bot = simd::rotate_down(bot);
           wprev = w;
         }
         simd::collect_tops_arr(wbuf).storeu(tline + z);
@@ -243,9 +240,8 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
       const V* line = ws.ring_line(p, y);
       for (int z = 1; z <= nz; ++z) {
         const V u = line[z];
-        rput(1, p + 2 * s, y, z, u[1]);
-        rput(2, p + s, y, z, u[2]);
-        rput(3, p, y, z, u[3]);
+        for (int k = 1; k <= VL - 1; ++k)
+          rput(k, p + (VL - 1 - k) * s, y, z, u[k]);
       }
     }
 
@@ -256,7 +252,7 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
   };
 
   // ---- epilogue --------------------------------------------------------------------
-  for (int lev = 1; lev <= 3; ++lev) {
+  for (int lev = 1; lev <= VL - 1; ++lev) {
     for (int r = nx + 2 - lev * s; r <= nx; ++r)
       detailgs3d::gs_plane(
           c, r, ny, nz,
@@ -264,10 +260,10 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
           [&](int rr, int yy, int zz) { return rv_any(lev, rr, yy, zz); },
           [&](int yy, int zz, double v) { ws.rv(lev, r, yy, zz) = v; });
   }
-  for (int r = nx + 2 - 4 * s; r <= nx; ++r)
+  for (int r = nx + 2 - VL * s; r <= nx; ++r)
     detailgs3d::gs_plane(
         c, r, ny, nz,
-        [&](int rr, int yy, int zz) { return rv_any(3, rr, yy, zz); },
+        [&](int rr, int yy, int zz) { return rv_any(VL - 1, rr, yy, zz); },
         [&](int rr, int yy, int zz) { return g.at(rr, yy, zz); },
         [&](int yy, int zz, double v) { g.at(r, yy, zz) = v; });
 }
@@ -276,11 +272,12 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
 template <class V>
 void tv_gs3d_run_impl(const stencil::C3D7& c, grid::Grid3D<double>& g,
                       long sweeps, int s) {
+  constexpr int VL = V::lanes;
   WorkspaceGs3D<V> ws;
   ws.prepare(s, g.nx(), g.ny(), g.nz());
   long t = 0;
-  if (g.nx() >= 4 * s) {
-    for (; t + 4 <= sweeps; t += 4) tv_gs3d_tile(c, g, s, ws);
+  if (g.nx() >= VL * s) {
+    for (; t + VL <= sweeps; t += VL) tv_gs3d_tile(c, g, s, ws);
   }
   for (; t < sweeps; ++t) {
     for (int r = 1; r <= g.nx(); ++r)

@@ -1,21 +1,35 @@
-// LCS strip kernel variant (int32 x 8) — compiled once per vl4-family
-// backend.  The public tv_lcs / tv_lcs_row wrappers (allocation, resize)
-// live in tv_dispatch.cpp; only the raw row engine is backend code.
+// LCS strip kernel variant — compiled once per SIMD backend at the
+// backend's native int32 width (8 DP rows per tile under scalar/avx2, 16
+// under avx512); the scalar backend also pins the 16-lane instantiation.
+// The public tv_lcs / tv_lcs_row wrappers (allocation, resize) live in
+// tv_dispatch.cpp; only the raw row engine is backend code.
 #include "dispatch/backend_variant.hpp"
 #include "tv/tv_lcs_impl.hpp"
 
 namespace tvs::tv {
 namespace {
 
+using V = dispatch::BackendVec<std::int32_t>;
+
 void lcs_rows(std::span<const std::int32_t> a, std::span<const std::int32_t> b,
               std::int32_t* row) {
-  tv_lcs_rows_impl<simd::NativeVec<std::int32_t, 8>>(a, b, row);
+  tv_lcs_rows_impl<V>(a, b, row);
 }
+
+#if TVS_BACKEND_LEVEL == 0
+void lcs_rows_vl16(std::span<const std::int32_t> a,
+                   std::span<const std::int32_t> b, std::int32_t* row) {
+  tv_lcs_rows_impl<simd::ScalarVec<std::int32_t, 16>>(a, b, row);
+}
+#endif
 
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv_lcs) {
-  TVS_REGISTER(kTvLcsRows, TvLcsRowsFn, lcs_rows);
+  TVS_REGISTER_VL(kTvLcsRows, TvLcsRowsFn, lcs_rows, V::lanes);
+#if TVS_BACKEND_LEVEL == 0
+  TVS_REGISTER_VL(kTvLcsRows, TvLcsRowsFn, lcs_rows_vl16, 16);
+#endif
 }
 
 }  // namespace tvs::tv

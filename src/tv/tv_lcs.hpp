@@ -1,5 +1,6 @@
 // Public entry points for the temporally vectorized LCS dynamic program
-// (int32 x 8 lanes, stride s = 1; see tv_lcs_impl.hpp).
+// (int32 lanes — 8 under scalar/avx2, 16 under avx512 — stride s = 1; see
+// tv_lcs_impl.hpp).
 #pragma once
 
 #include <cstdint>
@@ -7,6 +8,12 @@
 #include <vector>
 
 namespace tvs::tv {
+
+// Number of padding slots the row engines need past row[nb] for their
+// grouped loads, independent of the instantiated width: callers of the
+// raw TvLcsRowsFn kernels allocate |b|+1+kLcsRowPad slots (the widest
+// engine's lane count bounds it).
+inline constexpr int kLcsRowPad = 16;
 
 // Length of the longest common subsequence of a and b.
 std::int32_t tv_lcs(std::span<const std::int32_t> a,

@@ -1,4 +1,5 @@
-// Temporal vectorization of the LCS dynamic program (§3.4).
+// Temporal vectorization of the LCS dynamic program (§3.4), generalized to
+// any vector length vl = V::lanes.
 //
 // lcs[x][y] = A[x]==B[y] ? lcs[x-1][y-1]+1 : max(lcs[x-1][y], lcs[x][y-1])
 //
@@ -8,17 +9,17 @@
 // component, so any stride s >= 1 is legal; we use s = 1, where the B
 // "coefficient vector" can be maintained with the same shift_in_low
 // reorganization as the value vectors.  With int32 lanes the vector length
-// is 8, so one tile advances 8 DP rows and the theoretical speedup bound is
-// 8 (the paper's LCS discussion).
+// is 8 under AVX2 and 16 under AVX-512, so one tile advances vl DP rows and
+// the theoretical speedup bound is vl (the paper's LCS discussion).
 //
-// Layout (vl = 8, s = 1, lane k = level k = row t+k):
+// Layout (s = 1, lane k = level k = row t+k):
 //
-//   input  u(p) = [ lvl0 @ p+7 , lvl1 @ p+6 , ... , lvl7 @ p ]
-//   output w(x) = [ lvl1 @ x+7 , lvl2 @ x+6 , ... , lvl8 @ x ]
+//   input  u(p) = [ lvl0 @ p+vl-1 , lvl1 @ p+vl-2 , ... , lvl(vl-1) @ p ]
+//   output w(x) = [ lvl1 @ x+vl-1 , lvl2 @ x+vl-2 , ... , lvl(vl)  @ x ]
 //
-// Lane k of the output needs: up   = lvl k @ (x + 7-k)      -> u(x)  lane k
-//                             diag = lvl k @ (x-1 + 7-k)    -> u(x-1) lane k
-//                             left = lvl k+1 @ (x-1 + 7-k)  -> previous w
+// Lane k of the output needs: up   = lvl k @ (x + vl-1-k)     -> u(x)  lane k
+//                             diag = lvl k @ (x-1 + vl-1-k)   -> u(x-1) lane k
+//                             left = lvl k+1 @ (x-1 + vl-1-k) -> previous w
 // i.e. a two-slot ring plus the Gauss-Seidel-style forwarded output vector.
 // The comparison is evaluated with cmpeq + blendv, which is why the paper
 // expects (and observes) speedups below the lane count: both sides of the
@@ -34,6 +35,7 @@
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
 #include "stencil/kernels.hpp"
+#include "tv/tv_lcs.hpp"  // kLcsRowPad, the engines' row-padding contract
 
 namespace tvs::tv {
 
@@ -57,8 +59,8 @@ inline void lcs_scalar_row(std::int32_t achar, const std::int32_t* bb,
 
 }  // namespace detail
 
-// Runs the LCS DP with 8-row temporally vectorized tiles; `row` must have
-// nb+1+8 slots (padding for grouped loads).  Returns with
+// Runs the LCS DP with vl-row temporally vectorized tiles; `row` must have
+// nb+1+kLcsRowPad slots (padding for grouped loads).  Returns with
 // row[y] = lcs(|A|, y).
 //
 // For the column-blocked parallel driver (tiling/lcs_wavefront.hpp):
@@ -70,18 +72,18 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
                       std::span<const std::int32_t> b, std::int32_t* row,
                       const std::int32_t* leftcol = nullptr,
                       std::int32_t* rightcol = nullptr) {
-  static_assert(V::lanes == 8);
-  constexpr int vl = 8;
+  constexpr int vl = V::lanes;
+  static_assert(vl >= 2 && vl <= kLcsRowPad);
   const int na = static_cast<int>(a.size());
   const int nb = static_cast<int>(b.size());
   const std::int32_t* bb = b.data() - 1;  // bb[y] = B[y], 1-based
 
-  // Scratch: 7 intermediate levels on each edge.
-  const int llen = vl;            // prologue level l covers [1, 8-l]
+  // Scratch: vl-1 intermediate levels on each edge.
+  const int llen = vl;            // prologue level l covers [1, vl-l]
   const int rbase = nb - vl - 1;  // right scratch covers [rbase+1, nb]
   const int rlen = vl + 4;
-  std::vector<std::int32_t> lbuf(static_cast<std::size_t>(7) * llen);
-  std::vector<std::int32_t> rbuf(static_cast<std::size_t>(7) * rlen);
+  std::vector<std::int32_t> lbuf(static_cast<std::size_t>(vl - 1) * llen);
+  std::vector<std::int32_t> rbuf(static_cast<std::size_t>(vl - 1) * rlen);
   const auto lptr = [&](int lev) { return lbuf.data() + (lev - 1) * llen; };
   const auto rptr = [&](int lev) { return rbuf.data() + (lev - 1) * rlen; };
 
@@ -92,13 +94,13 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
   };
   if (nb >= vl + 1) {
     for (; t + vl <= na; t += vl) {
-      // ---- prologue: levels 1..7 on the left triangle --------------------
+      // ---- prologue: levels 1..vl-1 on the left triangle -------------------
       // lv(l, y): level-l value at column y (level 0 = row).
       const auto lv = [&](int lev, int y) -> std::int32_t {
         if (y <= 0) return lb(lev);
         return lev == 0 ? row[y] : lptr(lev)[y];
       };
-      for (int lev = 1; lev <= 7; ++lev) {
+      for (int lev = 1; lev <= vl - 1; ++lev) {
         const std::int32_t ach = a[static_cast<std::size_t>(t + lev - 1)];
         std::int32_t left = lb(lev);
         for (int y = 1; y <= vl - lev; ++y) {
@@ -113,25 +115,25 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
       alignas(64) std::int32_t lanes[vl];
       V ring[2];
       for (int p = 0; p <= 1; ++p) {
-        for (int k = 0; k < vl; ++k) lanes[k] = lv(k, p + 7 - k);
+        for (int k = 0; k < vl; ++k) lanes[k] = lv(k, p + (vl - 1) - k);
         ring[p] = V::load(lanes);
       }
-      for (int k = 0; k < vl; ++k) lanes[k] = lv(k + 1, 7 - k);
+      for (int k = 0; k < vl; ++k) lanes[k] = lv(k + 1, (vl - 1) - k);
       V w = V::load(lanes);
       for (int k = 0; k < vl; ++k)
         lanes[k] = a[static_cast<std::size_t>(t + k)];
       const V va = V::load(lanes);
-      for (int k = 0; k < vl; ++k) lanes[k] = bb[1 + 7 - k];
+      for (int k = 0; k < vl; ++k) lanes[k] = bb[1 + (vl - 1) - k];
       V vb = V::load(lanes);
 
       // ---- steady loop -----------------------------------------------------
       const int x_end = nb - vl;
       int ip = 0;  // slot of position x-1
       int x = 1;
+      V tops[vl];
       for (; x + vl - 1 <= x_end; x += vl) {
         V brow = V::loadu(row + x + vl);  // fresh lvl0 values
         V bchr = V::loadu(bb + x + vl);   // fresh B chars
-        V tops[vl];
         for (int j = 0; j < vl; ++j) {
           const int ic = ip ^ 1;
           const V wv = stencil::lcs_rule_v(va, vb, ring[ip], ring[ic], w);
@@ -143,9 +145,7 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
           tops[j] = wv;
           ip = ic;
         }
-        simd::collect_tops(tops[0], tops[1], tops[2], tops[3], tops[4],
-                           tops[5], tops[6], tops[7])
-            .storeu(row + x);
+        simd::collect_tops_arr(tops).storeu(row + x);
       }
       for (; x <= x_end; ++x) {
         const int ic = ip ^ 1;
@@ -163,21 +163,21 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
       };
       for (int p = x_end; p <= x_end + 1; ++p) {
         const V& u = ring[static_cast<std::size_t>(p & 1)];
-        for (int k = 1; k <= 7; ++k) rput(k, p + 7 - k, u[k]);
+        for (int k = 1; k <= vl - 1; ++k) rput(k, p + (vl - 1) - k, u[k]);
       }
       const auto rv = [&](int lev, int q) -> std::int32_t {
         return lev == 0 ? row[q] : rptr(lev)[q - rbase];
       };
 
-      // ---- epilogue: levels 1..8 on the right triangle ----------------------
-      for (int lev = 1; lev <= 8; ++lev) {
+      // ---- epilogue: levels 1..vl on the right triangle --------------------
+      for (int lev = 1; lev <= vl; ++lev) {
         const std::int32_t ach = a[static_cast<std::size_t>(t + lev - 1)];
-        // lvl8 @ x_end was stored by the steady loop's top lane.
-        std::int32_t left = lev == 8 ? row[nb - 8] : rv(lev, nb - lev);
+        // lvl vl @ x_end was stored by the steady loop's top lane.
+        std::int32_t left = lev == vl ? row[nb - vl] : rv(lev, nb - lev);
         for (int y = nb - lev + 1; y <= nb; ++y) {
           const std::int32_t v = stencil::lcs_rule(
               ach, bb[y], rv(lev - 1, y - 1), rv(lev - 1, y), left);
-          if (lev == 8)
+          if (lev == vl)
             row[y] = v;
           else
             rptr(lev)[y - rbase] = v;
@@ -185,12 +185,12 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
         }
       }
       if (rightcol != nullptr) {
-        for (int k = 1; k <= 7; ++k) rightcol[t + k] = rv(k, nb);
-        rightcol[t + 8] = row[nb];
+        for (int k = 1; k <= vl - 1; ++k) rightcol[t + k] = rv(k, nb);
+        rightcol[t + vl] = row[nb];
       }
     }
   }
-  // Residual rows (na % 8, or everything when nb is too small).
+  // Residual rows (na % vl, or everything when nb is too small).
   for (; t < na; ++t) {
     detail::lcs_scalar_row(a[static_cast<std::size_t>(t)], bb, row, nb,
                            leftcol == nullptr ? 0 : leftcol[t],

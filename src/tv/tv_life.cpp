@@ -1,6 +1,8 @@
-// Game-of-Life kernel variant (int32 x 8 lanes, eight generations per
-// tile) — compiled once per vl4-family backend.  Public entry point lives
-// in tv_dispatch.cpp.
+// Game-of-Life kernel variant — compiled once per SIMD backend at the
+// backend's native int32 width (8 lanes under scalar/avx2, 16 under
+// avx512: 16 generations per tile).  The scalar backend also pins the
+// 16-lane instantiation for the width axis.  Public entry point lives in
+// tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors2d.hpp"
 #include "tv/tv2d_impl.hpp"
@@ -8,17 +10,31 @@
 namespace tvs::tv {
 namespace {
 
+using V = dispatch::BackendVec<std::int32_t>;
+
 void life(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
           long steps, int stride) {
-  using V = simd::NativeVec<std::int32_t, 8>;
   Workspace2D<V, std::int32_t> ws;
   tv2d_run(LifeF<V>(r), u, steps, stride, ws);
 }
 
+#if TVS_BACKEND_LEVEL == 0
+using V16 = simd::ScalarVec<std::int32_t, 16>;
+
+void life_vl16(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
+               long steps, int stride) {
+  Workspace2D<V16, std::int32_t> ws;
+  tv2d_run(LifeF<V16>(r), u, steps, stride, ws);
+}
+#endif
+
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv_life) {
-  TVS_REGISTER(kTvLife, TvLifeFn, life);
+  TVS_REGISTER_VL(kTvLife, TvLifeFn, life, V::lanes);
+#if TVS_BACKEND_LEVEL == 0
+  TVS_REGISTER_VL(kTvLife, TvLifeFn, life_vl16, 16);
+#endif
 }
 
 }  // namespace tvs::tv

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <random>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dispatch/backend.hpp"
@@ -19,6 +20,7 @@
 #include "stencil/reference1d.hpp"
 #include "stencil/reference2d.hpp"
 #include "stencil/reference3d.hpp"
+#include "tv/tv_lcs.hpp"  // kLcsRowPad
 
 namespace {
 
@@ -141,26 +143,93 @@ TEST(Registry, DownwardFallbackSemantics) {
   if (reg.has_backend(Backend::kAvx2)) {
     EXPECT_EQ(reg.resolved_backend_at(dispatch::kTvJacobi1D3, Backend::kAvx2),
               Backend::kAvx2);
-    // The vl8 engines have no AVX2 variant: they resolve down to scalar.
+    // The deprecated vl8 alias ids have no AVX2 variant (AVX2 has no 8-wide
+    // double type): they resolve down to scalar.
     EXPECT_EQ(
         reg.resolved_backend_at(dispatch::kTvJacobi2D5Vl8, Backend::kAvx2),
         Backend::kScalar);
   }
-  if (reg.has_backend(Backend::kAvx512)) {
-    // The avx512 backend serves the 2D/3D Jacobi ids itself (vl = 8) and
-    // everything else through fallback.
-    EXPECT_EQ(
-        reg.resolved_backend_at(dispatch::kTvJacobi2D5, Backend::kAvx512),
-        Backend::kAvx512);
-    EXPECT_NE(reg.resolved_backend_at(dispatch::kTvGs1D3, Backend::kAvx512),
-              Backend::kAvx512);
+}
+
+// Since the lane-generic refactor the avx512 backend compiles every kernel
+// TU at its native width: every id must resolve at avx512 WITHOUT downward
+// fallback whenever that backend is in the binary (registration does not
+// execute backend code, so this holds on any host).
+TEST(Registry, Avx512CoversEveryKernelNatively) {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  if (!reg.has_backend(Backend::kAvx512))
+    GTEST_SKIP() << "avx512 backend not compiled in";
+  for (std::string_view id : reg.kernel_ids()) {
+    EXPECT_NE(reg.find(id, Backend::kAvx512), nullptr)
+        << id << " has no avx512 variant";
+    EXPECT_EQ(reg.resolved_backend_at(id, Backend::kAvx512), Backend::kAvx512)
+        << id << " falls back below avx512";
   }
 }
 
-TEST(Registry, UnknownIdThrows) {
-  EXPECT_THROW(
-      KernelRegistry::instance().resolve_at("no_such_kernel", Backend::kScalar),
-      std::runtime_error);
+TEST(Registry, WidthAxis) {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  // Every double-typed temporal kernel resolves width-pinned at 4 and 8
+  // lanes on any host (vl = 8 via the scalar backend when avx512 is
+  // absent); the int32 kernels at 8 and 16.
+  for (std::string_view id :
+       {dispatch::kTvJacobi1D3, dispatch::kTvJacobi1D5, dispatch::kTvJacobi2D5,
+        dispatch::kTvJacobi2D9, dispatch::kTvJacobi3D7, dispatch::kTvGs1D3,
+        dispatch::kTvGs2D5, dispatch::kTvGs3D7}) {
+    EXPECT_EQ(reg.registered_widths(id, Backend::kAvx512),
+              (std::vector<int>{4, 8}))
+        << id;
+    EXPECT_NE(reg.resolve_at(id, Backend::kScalar, 4), nullptr) << id;
+    EXPECT_NE(reg.resolve_at(id, Backend::kScalar, 8), nullptr) << id;
+  }
+  for (std::string_view id : {dispatch::kTvLife, dispatch::kTvLcsRows}) {
+    EXPECT_EQ(reg.registered_widths(id, Backend::kAvx512),
+              (std::vector<int>{8, 16}))
+        << id;
+    EXPECT_NE(reg.resolve_at(id, Backend::kScalar, 16), nullptr) << id;
+  }
+  // A pinned width that no engine was instantiated at is an error.
+  EXPECT_THROW(reg.resolve_at(dispatch::kTvJacobi1D3, Backend::kAvx512, 16),
+               std::runtime_error);
+  // Native-ordering invariant: the unpinned per-backend entry (what public
+  // dispatch uses) must be the backend's NATIVE engine, not a width-pinned
+  // extra — i.e. registrars register the native width first.  All widths
+  // are bit-identical, so only this check catches an ordering regression.
+  EXPECT_EQ(reg.find(dispatch::kTvJacobi2D5, Backend::kScalar),
+            reg.find(dispatch::kTvJacobi2D5, Backend::kScalar, 4));
+  EXPECT_EQ(reg.find(dispatch::kTvLife, Backend::kScalar),
+            reg.find(dispatch::kTvLife, Backend::kScalar, 8));
+  if (reg.has_backend(Backend::kAvx512)) {
+    EXPECT_EQ(reg.find(dispatch::kTvJacobi2D5, Backend::kAvx512),
+              reg.find(dispatch::kTvJacobi2D5, Backend::kAvx512, 8));
+    EXPECT_EQ(reg.find(dispatch::kTvLife, Backend::kAvx512),
+              reg.find(dispatch::kTvLife, Backend::kAvx512, 16));
+  }
+  // A vl = 8 pin never resolves to the avx2 backend (no 8-wide double).
+  if (reg.has_backend(Backend::kAvx2)) {
+    EXPECT_EQ(reg.resolved_backend_at(dispatch::kTvJacobi2D5, Backend::kAvx2, 8),
+              Backend::kScalar);
+    EXPECT_EQ(reg.resolved_backend_at(dispatch::kTvJacobi2D5, Backend::kAvx2, 4),
+              Backend::kAvx2);
+  }
+  if (reg.has_backend(Backend::kAvx512)) {
+    EXPECT_EQ(
+        reg.resolved_backend_at(dispatch::kTvJacobi2D5, Backend::kAvx512, 8),
+        Backend::kAvx512);
+  }
+}
+
+TEST(Registry, UnknownIdThrowsListingRegisteredIds) {
+  try {
+    KernelRegistry::instance().resolve_at("no_such_kernel", Backend::kScalar);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_kernel"), std::string::npos) << msg;
+    // The error names the registered ids so a missed registrar is obvious.
+    EXPECT_NE(msg.find("tv_jacobi1d3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("lcs_wavefront"), std::string::npos) << msg;
+  }
 }
 
 // ---- lane-for-lane equality vs the scalar oracles, per backend -------------
@@ -314,7 +383,7 @@ TEST_P(LaneForLane, TvLifeAndLcs) {
   for (auto& v : a) v = d(rng);
   for (auto& v : bb) v = d(rng);
   const auto expect = stencil::lcs_ref_row(a, bb);
-  std::vector<std::int32_t> row(bb.size() + 1 + 8, 0);
+  std::vector<std::int32_t> row(bb.size() + 1 + tvs::tv::kLcsRowPad, 0);
   at<dispatch::TvLcsRowsFn>(dispatch::kTvLcsRows, b)(a, bb, row.data());
   for (std::size_t i = 0; i < expect.size(); ++i)
     ASSERT_EQ(row[i], expect[i]) << "i=" << i;

@@ -42,7 +42,7 @@ TEST_P(TvLcsSweep, ScalarBackendMatchesOracle) {
   const auto a = random_seq(na, alpha, 3000u + static_cast<unsigned>(na));
   const auto b = random_seq(nb, alpha, 4000u + static_cast<unsigned>(nb));
   const auto ref = stencil::lcs_ref_row(a, b);
-  std::vector<std::int32_t> row(b.size() + 1 + 8, 0);
+  std::vector<std::int32_t> row(b.size() + 1 + tv::kLcsRowPad, 0);
   if (!b.empty())
     tv::tv_lcs_rows_impl<simd::ScalarVec<std::int32_t, 8>>(a, b, row.data());
   for (std::size_t i = 0; i <= b.size(); ++i)

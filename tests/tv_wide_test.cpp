@@ -49,10 +49,61 @@ TEST(VecD8, OpsMatchScalarModel) {
     chk(rotate_down(ia), rotate_down(sa));
     chk(shift_in_low(ia, c[0]), shift_in_low(sa, c[0]));
     chk(simd::shift_in_low_v(ia, ic), simd::shift_in_low_v(sa, sc));
+    chk(blendv(ia, ib, cmpeq(ia, ia)), blendv(sa, sb, cmpeq(sa, sa)));
+    chk(blendv(ia, ib, cmpeq(ia, ib)), blendv(sa, sb, cmpeq(sa, sb)));
     ASSERT_EQ(ia.extract<5>(), a[5]);
     chk(ia.insert<6>(42.0), sa.insert<6>(42.0));
     ASSERT_EQ(simd::top_lane(ia), a[7]);
   }
+}
+
+TEST(VecI16, OpsMatchScalarModel) {
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::int32_t> d(-100, 100);
+  using I = simd::VecI16;
+  using S = simd::ScalarVec<std::int32_t, 16>;
+  for (int it = 0; it < 300; ++it) {
+    alignas(64) std::int32_t a[16], b[16], c[16];
+    for (int i = 0; i < 16; ++i) {
+      a[i] = d(rng);
+      b[i] = d(rng);
+      c[i] = d(rng);
+    }
+    // Force some lane equalities so cmpeq hits both arms.
+    a[it % 16] = b[it % 16];
+    const auto ia = I::load(a), ib = I::load(b), ic = I::load(c);
+    const auto sa = S::load(a), sb = S::load(b), sc = S::load(c);
+    const auto chk = [](auto vi, auto vs) {
+      for (int i = 0; i < 16; ++i) ASSERT_EQ(vi[i], vs[i]);
+    };
+    chk(ia + ib, sa + sb);
+    chk(ia - ib, sa - sb);
+    chk(ia * ib, sa * sb);
+    chk(fma(ia, ib, ic), fma(sa, sb, sc));
+    chk(min(ia, ib), min(sa, sb));
+    chk(max(ia, ib), max(sa, sb));
+    chk(cmpeq(ia, ib), cmpeq(sa, sb));
+    chk(blendv(ia, ib, cmpeq(ia, ib)), blendv(sa, sb, cmpeq(sa, sb)));
+    chk(rotate_up(ia), rotate_up(sa));
+    chk(rotate_down(ia), rotate_down(sa));
+    chk(shift_in_low(ia, c[0]), shift_in_low(sa, c[0]));
+    chk(simd::shift_in_low_v(ia, ic), simd::shift_in_low_v(sa, sc));
+    ASSERT_EQ(ia.extract<11>(), a[11]);
+    chk(ia.insert<13>(42), sa.insert<13>(42));
+    ASSERT_EQ(simd::top_lane(ia), a[15]);
+  }
+}
+
+TEST(VecI16, CollectTops16) {
+  using I = simd::VecI16;
+  I ws[16];
+  for (int j = 0; j < 16; ++j) {
+    alignas(64) std::int32_t tmp[16] = {};
+    tmp[15] = 100 + j;
+    ws[j] = I::load(tmp);
+  }
+  const I t = simd::collect_tops_arr(ws);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(t[i], 100 + i);
 }
 
 TEST(VecD8, CollectTops8) {
