@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate a bench run against a committed baseline (tvs-bench-v1 JSON).
+
+Compares the temporal-vectorization rate column ("our" by default) of
+every table both documents share, row by row (matched on the first cell,
+the size label), and computes the geometric mean of the current/baseline
+ratios.  A geomean below 1 - threshold (default 0.20, i.e. a >20%
+regression) fails with exit code 1 and a per-bench breakdown, so CI can
+block perf regressions the way ctest blocks correctness ones.
+
+Only rate columns are compared: tables without the requested column
+(e.g. the ablation tables, whose "speedup" cells are ratios, not rates)
+and benches with an "error" entry on either side are skipped with a
+notice.  Rows present on only one side are skipped too — a baseline
+recorded in full mode stays comparable with a quick-mode PR run over the
+shared sizes.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--threshold 0.20]
+                   [--column our]
+"""
+import argparse
+import json
+import math
+import sys
+
+
+def rate_rows(doc, column):
+    """-> {(bench, table title, row label): rate} for the given column."""
+    rates = {}
+    for bench in doc.get("benches", []):
+        if "error" in bench:
+            print("note: skipping %s (%s)" % (bench["name"], bench["error"]))
+            continue
+        for table in bench.get("tables", []):
+            if column not in table.get("columns", []):
+                continue
+            col = table["columns"].index(column)
+            for row in table.get("rows", []):
+                if col >= len(row):
+                    continue
+                value = row[col]
+                if isinstance(value, (int, float)) and value > 0:
+                    key = (bench["name"], table["title"], str(row[0]))
+                    rates[key] = float(value)
+    return rates
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fail on a geomean bench regression beyond the "
+                    "threshold.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated geomean regression "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--column", default="our",
+                        help="rate column to compare (default: our)")
+    args = parser.parse_args(argv[1:])
+
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    with open(args.current) as f:
+        cur_doc = json.load(f)
+    for name, doc in (("baseline", base_doc), ("current", cur_doc)):
+        if doc.get("schema") != "tvs-bench-v1":
+            sys.stderr.write("compare_bench: %s is not a tvs-bench-v1 "
+                             "document\n" % name)
+            return 2
+
+    base = rate_rows(base_doc, args.column)
+    cur = rate_rows(cur_doc, args.column)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        sys.stderr.write("compare_bench: no comparable '%s' rows shared by "
+                         "the two documents\n" % args.column)
+        return 2
+
+    log_sum = 0.0
+    per_bench = {}
+    for key in shared:
+        ratio = cur[key] / base[key]
+        log_sum += math.log(ratio)
+        per_bench.setdefault(key[0], []).append(ratio)
+    geomean = math.exp(log_sum / len(shared))
+
+    print("compared %d '%s' rows across %d benches "
+          "(baseline host %r, current host %r)"
+          % (len(shared), args.column, len(per_bench),
+             base_doc.get("host"), cur_doc.get("host")))
+    for bench in sorted(per_bench):
+        ratios = per_bench[bench]
+        bench_geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        print("  %-24s %6.3fx  (%d rows, worst %.3fx)"
+              % (bench, bench_geo, len(ratios), min(ratios)))
+    print("geomean current/baseline: %.3fx (gate: >= %.3fx)"
+          % (geomean, 1.0 - args.threshold))
+
+    if geomean < 1.0 - args.threshold:
+        sys.stderr.write("compare_bench: FAIL - geomean regression beyond "
+                         "%.0f%%\n" % (args.threshold * 100))
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,8 +10,8 @@
 #include "baseline/autovec.hpp"
 #include "baseline/spatial.hpp"
 #include "bench_util/bench.hpp"
+#include "solver/solver.hpp"
 #include "stencil/reference1d.hpp"
-#include "tv/tv1d.hpp"
 
 int main() {
   using namespace tvs;
@@ -36,8 +36,10 @@ int main() {
     for (int x = 0; x <= nx + 1; ++x)
       u.at(x) = 1.0 + 0.001 * (x % 97);
 
-    const double r_our = b::measure_gstencils(
-        pts, [&] { tv::tv_jacobi1d3_run(c, u, steps, 7); });
+    const solver::Solver solve(
+        solver::problem_1d(solver::Family::kJacobi1D3, nx, steps));
+    const double r_our =
+        b::measure_gstencils(pts, [&] { solve.run(c, u); });
     const double r_auto = b::measure_gstencils(
         pts, [&] { baseline::autovec_jacobi1d3_run(c, u, steps); });
     const double r_scalar = b::measure_gstencils(

@@ -8,6 +8,7 @@
 #include "baseline/autovec.hpp"
 #include "bench_util/bench.hpp"
 #include "common.hpp"
+#include "solver/solver.hpp"
 #include "tiling/diamond.hpp"
 
 int main() {
@@ -23,10 +24,18 @@ int main() {
   for (int x = 0; x <= nx + 1; ++x) pp.even().at(x) = 1.0 + 0.001 * (x % 97);
   tiling::fix_boundaries(pp);
 
-  tiling::Diamond1DOptions our;  // paper blocking
-  our.width = 16384;
-  our.height = 128;
-  tiling::Diamond1DOptions sc = our;
+  // "our" goes through the Solver facade, pinned to the paper blocking.
+  const solver::StencilProblem prob =
+      solver::problem_1d(solver::Family::kJacobi1D3, nx, steps);
+  solver::ExecutionPlan plan = solver::heuristic_plan(prob);
+  plan.path = solver::Path::kTiledParallel;
+  plan.tile_w = 16384;
+  plan.tile_h = 128;
+  const solver::Solver solve(prob, plan);
+
+  tiling::Diamond1DOptions sc;  // identical tiling, scalar tiles
+  sc.width = plan.tile_w;
+  sc.height = plan.tile_h;
   sc.use_vector = false;
 
   grid::Grid1D<double> ua(nx);
@@ -36,8 +45,7 @@ int main() {
       "Fig 4b  Heat-1D parallel, diamond 16384x128 (Gstencils/s)",
       {{"our",
         [&](int) {
-          return b::measure_gstencils(
-              pts, [&] { tiling::diamond_jacobi1d3_run(c, pp, steps, our); });
+          return b::measure_gstencils(pts, [&] { solve.run(c, pp); });
         }},
        {"auto",
         [&](int) {

@@ -2,8 +2,8 @@
 #include "baseline/autovec.hpp"
 #include "baseline/spatial.hpp"
 #include "bench_util/bench.hpp"
+#include "solver/solver.hpp"
 #include "stencil/reference2d.hpp"
-#include "tv/tv2d.hpp"
 
 int main() {
   using namespace tvs;
@@ -19,8 +19,10 @@ int main() {
     grid::Grid2D<double> u(n, n);
     for (int x = 0; x <= n + 1; ++x)
       for (int y = 0; y <= n + 1; ++y) u.at(x, y) = 0.001 * ((x * 31 + y) % 89);
-    const double r_our = b::measure_gstencils(
-        pts, [&] { tv::tv_jacobi2d5_run(c, u, steps, 2); });
+    const solver::Solver solve(
+        solver::problem_2d(solver::Family::kJacobi2D5, n, n, steps));
+    const double r_our =
+        b::measure_gstencils(pts, [&] { solve.run(c, u); });
     const double r_auto = b::measure_gstencils(
         pts, [&] { baseline::autovec_jacobi2d5_run(c, u, steps); });
     const double r_sc = b::measure_gstencils(

@@ -3,6 +3,7 @@
 #include "baseline/autovec.hpp"
 #include "bench_util/bench.hpp"
 #include "common.hpp"
+#include "solver/solver.hpp"
 #include "tiling/diamond2d.hpp"
 
 int main() {
@@ -22,18 +23,25 @@ int main() {
   for (int x = 0; x <= n + 1; ++x)
     for (int y = 0; y <= n + 1; ++y) ua.at(x, y) = pp.even().at(x, y);
 
-  tiling::Diamond2DOptions our;  // Table 1: 256^2 x 64
-  our.width = 256;
-  our.height = 64;
-  tiling::Diamond2DOptions sc = our;
+  // "our" through the Solver facade, pinned to Table 1's 256^2 x 64.
+  const solver::StencilProblem prob =
+      solver::problem_2d(solver::Family::kJacobi2D5, n, n, steps);
+  solver::ExecutionPlan plan = solver::heuristic_plan(prob);
+  plan.path = solver::Path::kTiledParallel;
+  plan.tile_w = 256;
+  plan.tile_h = 64;
+  const solver::Solver solve(prob, plan);
+
+  tiling::Diamond2DOptions sc;  // identical tiling, scalar tiles
+  sc.width = plan.tile_w;
+  sc.height = plan.tile_h;
   sc.use_vector = false;
 
   benchx::par_figure(
       "Fig 4d  Heat-2D parallel, diamond 256x64 on x (Gstencils/s)",
       {{"our",
         [&](int) {
-          return b::measure_gstencils(
-              pts, [&] { tiling::diamond_jacobi2d5_run(c, pp, steps, our); });
+          return b::measure_gstencils(pts, [&] { solve.run(c, pp); });
         }},
        {"auto",
         [&](int) {

@@ -3,8 +3,8 @@
 #include "baseline/autovec.hpp"
 #include "baseline/spatial.hpp"
 #include "bench_util/bench.hpp"
+#include "solver/solver.hpp"
 #include "stencil/reference3d.hpp"
-#include "tv/tv3d.hpp"
 
 int main() {
   using namespace tvs;
@@ -25,8 +25,10 @@ int main() {
       for (int y = 0; y <= nn + 1; ++y)
         for (int z = 0; z <= nn + 1; ++z)
           u.at(x, y, z) = 0.001 * ((x * 7 + y * 3 + z) % 89);
-    const double r_our = b::measure_gstencils(
-        pts, [&] { tv::tv_jacobi3d7_run(c, u, steps, 2); });
+    const solver::Solver solve(
+        solver::problem_3d(solver::Family::kJacobi3D7, nn, nn, nn, steps));
+    const double r_our =
+        b::measure_gstencils(pts, [&] { solve.run(c, u); });
     const double r_auto = b::measure_gstencils(
         pts, [&] { baseline::autovec_jacobi3d7_run(c, u, steps); });
     const double r_sc = b::measure_gstencils(

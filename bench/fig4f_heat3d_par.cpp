@@ -2,6 +2,7 @@
 #include "baseline/autovec.hpp"
 #include "bench_util/bench.hpp"
 #include "common.hpp"
+#include "solver/solver.hpp"
 #include "tiling/diamond3d.hpp"
 
 int main() {
@@ -24,18 +25,25 @@ int main() {
     for (int y = 0; y <= n + 1; ++y)
       for (int z = 0; z <= n + 1; ++z) ua.at(x, y, z) = pp.even().at(x, y, z);
 
-  tiling::Diamond3DOptions our;  // Table 1: 32^3 x 8
-  our.width = 32;
-  our.height = 8;
-  tiling::Diamond3DOptions sc = our;
+  // "our" through the Solver facade, pinned to Table 1's 32^3 x 8.
+  const solver::StencilProblem prob =
+      solver::problem_3d(solver::Family::kJacobi3D7, n, n, n, steps);
+  solver::ExecutionPlan plan = solver::heuristic_plan(prob);
+  plan.path = solver::Path::kTiledParallel;
+  plan.tile_w = 32;
+  plan.tile_h = 8;
+  const solver::Solver solve(prob, plan);
+
+  tiling::Diamond3DOptions sc;  // identical tiling, scalar tiles
+  sc.width = plan.tile_w;
+  sc.height = plan.tile_h;
   sc.use_vector = false;
 
   benchx::par_figure(
       "Fig 4f  Heat-3D parallel, diamond 32x8 on x (Gstencils/s)",
       {{"our",
         [&](int) {
-          return b::measure_gstencils(
-              pts, [&] { tiling::diamond_jacobi3d7_run(c, pp, steps, our); });
+          return b::measure_gstencils(pts, [&] { solve.run(c, pp); });
         }},
        {"auto",
         [&](int) {

@@ -2,8 +2,8 @@
 #include "baseline/autovec.hpp"
 #include "baseline/spatial.hpp"
 #include "bench_util/bench.hpp"
+#include "solver/solver.hpp"
 #include "stencil/life_ref.hpp"
-#include "tv/tv_life.hpp"
 
 int main() {
   using namespace tvs;
@@ -19,8 +19,10 @@ int main() {
     grid::Grid2D<std::int32_t> u(n, n);
     for (int x = 0; x <= n + 1; ++x)
       for (int y = 0; y <= n + 1; ++y) u.at(x, y) = (x * 31 + y * 17) % 3 == 0;
+    const solver::Solver solve(
+        solver::problem_2d(solver::Family::kLife, n, n, steps));
     const double r_our =
-        b::measure_gstencils(pts, [&] { tv::tv_life_run(rule, u, steps, 2); });
+        b::measure_gstencils(pts, [&] { solve.run(rule, u); });
     const double r_auto = b::measure_gstencils(
         pts, [&] { baseline::autovec_life_run(rule, u, steps); });
     const double r_sc =

@@ -2,6 +2,7 @@
 // 2048 x 64 blocking.  `our` and `scalar` share the identical tiling.
 #include "bench_util/bench.hpp"
 #include "common.hpp"
+#include "solver/solver.hpp"
 #include "tiling/parallelogram.hpp"
 
 int main() {
@@ -15,19 +16,25 @@ int main() {
   grid::Grid1D<double> u(nx);
   for (int x = 0; x <= nx + 1; ++x) u.at(x) = 1.0 + 0.001 * (x % 97);
 
-  tiling::Parallelogram1DOptions our;  // Table 1
-  our.width = 2048;
-  our.height = b::full_mode() ? 64 : 16;
-  tiling::Parallelogram1DOptions sc = our;
+  // "our" through the Solver facade, pinned to Table 1's blocking.
+  const solver::StencilProblem prob =
+      solver::problem_1d(solver::Family::kGs1D3, nx, sweeps);
+  solver::ExecutionPlan plan = solver::heuristic_plan(prob);
+  plan.path = solver::Path::kTiledParallel;
+  plan.tile_w = 2048;
+  plan.tile_h = b::full_mode() ? 64 : 16;
+  const solver::Solver solve(prob, plan);
+
+  tiling::Parallelogram1DOptions sc;  // identical tiling, scalar tiles
+  sc.width = plan.tile_w;
+  sc.height = plan.tile_h;
   sc.use_vector = false;
 
   benchx::par_figure(
       "Fig 5b  GS-1D parallel, parallelogram 2048x64 (Gstencils/s)",
       {{"our",
         [&](int) {
-          return b::measure_gstencils(pts, [&] {
-            tiling::parallelogram_gs1d3_run(c, u, sweeps, our);
-          });
+          return b::measure_gstencils(pts, [&] { solve.run(c, u); });
         }},
        {"scalar", [&](int) {
           return b::measure_gstencils(pts, [&] {

@@ -1,7 +1,7 @@
 // Figure 5c: GS-2D sequential, size sweep.
 #include "bench_util/bench.hpp"
+#include "solver/solver.hpp"
 #include "stencil/reference2d.hpp"
-#include "tv/tv_gs2d.hpp"
 
 int main() {
   using namespace tvs;
@@ -17,8 +17,10 @@ int main() {
     grid::Grid2D<double> u(n, n);
     for (int x = 0; x <= n + 1; ++x)
       for (int y = 0; y <= n + 1; ++y) u.at(x, y) = 0.001 * ((x * 29 + y) % 97);
+    const solver::Solver solve(
+        solver::problem_2d(solver::Family::kGs2D5, n, n, sweeps));
     const double r_our =
-        b::measure_gstencils(pts, [&] { tv::tv_gs2d5_run(c, u, sweeps, 2); });
+        b::measure_gstencils(pts, [&] { solve.run(c, u); });
     const double r_sc =
         b::measure_gstencils(pts, [&] { stencil::gs2d5_run(c, u, sweeps); });
     b::print_row({std::to_string(n), b::fmt(r_our), b::fmt(r_sc)});

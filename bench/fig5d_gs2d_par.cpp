@@ -2,6 +2,7 @@
 // Table 1: 128^2 x 32.
 #include "bench_util/bench.hpp"
 #include "common.hpp"
+#include "solver/solver.hpp"
 #include "tiling/parallelogram2d.hpp"
 
 int main() {
@@ -16,19 +17,25 @@ int main() {
   for (int x = 0; x <= n + 1; ++x)
     for (int y = 0; y <= n + 1; ++y) u.at(x, y) = 0.001 * ((x * 29 + y) % 97);
 
-  tiling::ParallelogramNDOptions our;  // Table 1
-  our.width = 128;
-  our.height = b::full_mode() ? 32 : 8;
-  tiling::ParallelogramNDOptions sc = our;
+  // "our" through the Solver facade, pinned to Table 1's blocking.
+  const solver::StencilProblem prob =
+      solver::problem_2d(solver::Family::kGs2D5, n, n, sweeps);
+  solver::ExecutionPlan plan = solver::heuristic_plan(prob);
+  plan.path = solver::Path::kTiledParallel;
+  plan.tile_w = 128;
+  plan.tile_h = b::full_mode() ? 32 : 8;
+  const solver::Solver solve(prob, plan);
+
+  tiling::ParallelogramNDOptions sc;  // identical tiling, scalar tiles
+  sc.width = plan.tile_w;
+  sc.height = plan.tile_h;
   sc.use_vector = false;
 
   benchx::par_figure(
       "Fig 5d  GS-2D parallel, parallelogram 128x32 on x (Gstencils/s)",
       {{"our",
         [&](int) {
-          return b::measure_gstencils(pts, [&] {
-            tiling::parallelogram_gs2d5_run(c, u, sweeps, our);
-          });
+          return b::measure_gstencils(pts, [&] { solve.run(c, u); });
         }},
        {"scalar", [&](int) {
           return b::measure_gstencils(pts, [&] {

@@ -2,6 +2,7 @@
 // Table 1: 32^3 x 32.
 #include "bench_util/bench.hpp"
 #include "common.hpp"
+#include "solver/solver.hpp"
 #include "tiling/parallelogram2d.hpp"
 
 int main() {
@@ -19,19 +20,25 @@ int main() {
       for (int z = 0; z <= n + 1; ++z)
         u.at(x, y, z) = 0.001 * ((x * 5 + y * 3 + z) % 97);
 
-  tiling::ParallelogramNDOptions our;  // Table 1
-  our.width = 32;
-  our.height = b::full_mode() ? 32 : 4;
-  tiling::ParallelogramNDOptions sc = our;
+  // "our" through the Solver facade, pinned to Table 1's blocking.
+  const solver::StencilProblem prob =
+      solver::problem_3d(solver::Family::kGs3D7, n, n, n, sweeps);
+  solver::ExecutionPlan plan = solver::heuristic_plan(prob);
+  plan.path = solver::Path::kTiledParallel;
+  plan.tile_w = 32;
+  plan.tile_h = b::full_mode() ? 32 : 4;
+  const solver::Solver solve(prob, plan);
+
+  tiling::ParallelogramNDOptions sc;  // identical tiling, scalar tiles
+  sc.width = plan.tile_w;
+  sc.height = plan.tile_h;
   sc.use_vector = false;
 
   benchx::par_figure(
       "Fig 5f  GS-3D parallel, parallelogram 32x32 on x (Gstencils/s)",
       {{"our",
         [&](int) {
-          return b::measure_gstencils(pts, [&] {
-            tiling::parallelogram_gs3d7_run(c, u, sweeps, our);
-          });
+          return b::measure_gstencils(pts, [&] { solve.run(c, u); });
         }},
        {"scalar", [&](int) {
           return b::measure_gstencils(pts, [&] {

@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "bench_util/bench.hpp"
+#include "solver/solver.hpp"
 #include "stencil/lcs_ref.hpp"
-#include "tv/tv_lcs.hpp"
 
 int main() {
   using namespace tvs;
@@ -23,8 +23,10 @@ int main() {
     for (auto& v : bseq) v = d(rng);
     const double pts = static_cast<double>(n) * static_cast<double>(n);
     volatile std::int32_t sink = 0;
+    const solver::Solver solve(
+        solver::problem_2d(solver::Family::kLcs, n, n, 0));
     const double r_our =
-        b::measure_gstencils(pts, [&] { sink = tv::tv_lcs(a, bseq); });
+        b::measure_gstencils(pts, [&] { sink = solve.lcs(a, bseq); });
     const double r_sc =
         b::measure_gstencils(pts, [&] { sink = stencil::lcs_ref(a, bseq); });
     (void)sink;

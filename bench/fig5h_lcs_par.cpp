@@ -5,6 +5,7 @@
 
 #include "bench_util/bench.hpp"
 #include "common.hpp"
+#include "solver/solver.hpp"
 #include "tiling/lcs_wavefront.hpp"
 
 int main() {
@@ -19,10 +20,18 @@ int main() {
   for (auto& v : bseq) v = d(rng);
   const double pts = static_cast<double>(n) * static_cast<double>(n);
 
-  tiling::LcsWavefrontOptions our;  // Table 1: 4096 x 4096
-  our.block = 4096;
-  our.band = 4096;
-  tiling::LcsWavefrontOptions sc = our;
+  // "our" through the Solver facade, pinned to Table 1's 4096 x 4096.
+  const solver::StencilProblem prob =
+      solver::problem_2d(solver::Family::kLcs, n, n, 0);
+  solver::ExecutionPlan plan = solver::heuristic_plan(prob);
+  plan.path = solver::Path::kTiledParallel;
+  plan.tile_w = 4096;
+  plan.tile_h = 4096;
+  const solver::Solver solve(prob, plan);
+
+  tiling::LcsWavefrontOptions sc;  // identical tiling, scalar DP rows
+  sc.block = plan.tile_w;
+  sc.band = plan.tile_h;
   sc.use_vector = false;
 
   volatile std::int32_t sink = 0;
@@ -31,7 +40,7 @@ int main() {
       {{"our",
         [&](int) {
           return b::measure_gstencils(
-              pts, [&] { sink = tiling::lcs_wavefront(a, bseq, our); });
+              pts, [&] { sink = solve.lcs(a, bseq); });
         }},
        {"scalar", [&](int) {
           return b::measure_gstencils(

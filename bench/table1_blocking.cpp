@@ -2,6 +2,7 @@
 // TVS_BENCH_FULL=1 — a mini power-of-two block-size search for the 1D
 // kernels ("we simply tested all blocking sizes that are the power of two
 // ... and show the one producing the best performance").
+#include <cstdio>
 #include <string>
 
 #include "bench_util/bench.hpp"
@@ -24,7 +25,10 @@ int main() {
   b::print_row({"LCS", "200000x200000", "4096x4096"});
 
   if (!b::full_mode()) {
-    std::printf("\n(set TVS_BENCH_FULL=1 for the Heat-1D block-size search)\n");
+    // To stderr: free-form notes inside the stdout stream would be parsed
+    // as (malformed) table rows by bench/parse_tables.py.
+    std::fprintf(stderr,
+                 "(set TVS_BENCH_FULL=1 for the Heat-1D block-size search)\n");
     return 0;
   }
 

@@ -1,12 +1,12 @@
-// Conway's Game of Life (B3S23) with the temporally vectorized int32 x 8
-// kernel: one vector sweep advances eight generations.  Prints an ASCII
-// animation of a glider gun area.
+// Conway's Game of Life (B3S23) through the Solver facade: the planned
+// temporally vectorized int32 kernel advances eight generations per
+// vector sweep.  Prints an ASCII animation of a glider gun area.
 //
 //   $ ./game_of_life [generations]
 #include <cstdio>
 #include <cstdlib>
 
-#include "tv/tv_life.hpp"
+#include "solver/solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace tvs;
@@ -25,9 +25,12 @@ int main(int argc, char** argv) {
   for (const auto& g : gun) u.at(g[0] + 1, g[1] + 1) = 1;
 
   const stencil::LifeRule conway{3, 2, 3};
+  // One Solver, eight generations per run() call (one vector tile depth).
+  const solver::Solver solve(
+      solver::problem_2d(solver::Family::kLife, nx, ny, 8));
   long alive_total = 0;
   for (long g = 0; g < gens; g += 8) {
-    tv::tv_life_run(conway, u, 8, 2);  // eight generations per vector tile
+    solve.run(conway, u);
     alive_total = 0;
     for (int x = 1; x <= nx; ++x)
       for (int y = 1; y <= ny; ++y) alive_total += u.at(x, y);

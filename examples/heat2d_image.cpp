@@ -1,12 +1,13 @@
-// Heat diffusion on a 2D plate, solved with the temporally vectorized 2D5P
-// kernel, rendered as a PPM heat map (heat2d.ppm).
+// Heat diffusion on a 2D plate, solved through the Solver facade (which
+// plans the temporally vectorized 2D5P kernel), rendered as a PPM heat
+// map (heat2d.ppm).
 //
 //   $ ./heat2d_image [N] [steps]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "tv/tv2d.hpp"
+#include "solver/solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace tvs;
@@ -22,7 +23,9 @@ int main(int argc, char** argv) {
       if ((x - cx) * (x - cx) + (y - cy) * (y - cy) < r * r) u.at(x, y) = 1.0;
   for (int x = 0; x <= n + 1; ++x) u.at(x, 0) = 0.6;
 
-  tv::tv_jacobi2d5_run(stencil::heat2d(0.2), u, steps);
+  const solver::Solver solve(
+      solver::problem_2d(solver::Family::kJacobi2D5, n, n, steps));
+  solve.run(stencil::heat2d(0.2), u);
 
   std::FILE* f = std::fopen("heat2d.ppm", "wb");
   if (f == nullptr) return 1;

@@ -1,6 +1,7 @@
 // Longest common subsequence of two random DNA fragments, computed three
-// ways: scalar DP, temporally vectorized (8 rows per sweep), and the
-// block-wavefront parallel version.  All three must agree.
+// ways: scalar DP, the Solver's serial temporal-vector plan (8+ rows per
+// sweep), and the Solver's block-wavefront parallel plan.  All three must
+// agree.
 //
 //   $ ./lcs_dna [length]
 #include <chrono>
@@ -9,9 +10,8 @@
 #include <random>
 #include <vector>
 
+#include "solver/solver.hpp"
 #include "stencil/lcs_ref.hpp"
-#include "tiling/lcs_wavefront.hpp"
-#include "tv/tv_lcs.hpp"
 
 int main(int argc, char** argv) {
   using namespace tvs;
@@ -31,13 +31,20 @@ int main(int argc, char** argv) {
     return std::pair<std::int32_t, double>(r, dt.count());
   };
 
+  const solver::StencilProblem p =
+      solver::problem_2d(solver::Family::kLcs, n, n, 0);
+  const solver::Solver serial(p);  // planned: serial temporal vectorization
+
+  // The wavefront-parallel plan, pinned to 2048x2048 blocks.
+  solver::ExecutionPlan wf_plan = solver::plan_for(p);
+  wf_plan.path = solver::Path::kTiledParallel;
+  wf_plan.tile_w = 2048;
+  wf_plan.tile_h = 2048;
+  const solver::Solver wavefront(p, wf_plan);
+
   const auto [r_ref, t_ref] = time([&] { return stencil::lcs_ref(a, b); });
-  const auto [r_tv, t_tv] = time([&] { return tv::tv_lcs(a, b); });
-  tiling::LcsWavefrontOptions opt;
-  opt.block = 2048;
-  opt.band = 2048;
-  const auto [r_wf, t_wf] =
-      time([&] { return tiling::lcs_wavefront(a, b, opt); });
+  const auto [r_tv, t_tv] = time([&] { return serial.lcs(a, b); });
+  const auto [r_wf, t_wf] = time([&] { return wavefront.lcs(a, b); });
 
   std::printf("LCS of two %d-base DNA fragments: %d (%.1f%% of length)\n", n,
               r_ref, 100.0 * r_ref / n);

@@ -1,7 +1,7 @@
 // Gauss-Seidel relaxation of a steady-state heat problem (Laplace equation
-// with fixed boundary temperatures) using the temporally vectorized
-// Gauss-Seidel kernel — the paper's headline "first vectorized
-// Gauss-Seidel".  Compares time-to-tolerance with the scalar sweeps.
+// with fixed boundary temperatures) through the Solver facade — the
+// paper's headline "first vectorized Gauss-Seidel".  Compares
+// time-to-tolerance with the scalar sweeps.
 //
 //   $ ./poisson_gs [N]
 #include <chrono>
@@ -9,8 +9,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "solver/solver.hpp"
 #include "stencil/reference2d.hpp"
-#include "tv/tv_gs2d.hpp"
 
 int main(int argc, char** argv) {
   using namespace tvs;
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const auto t0 = std::chrono::steady_clock::now();
     long sweeps = 0;
     while (sweeps < 200000) {
-      sweeps_fn(kChunk);
+      sweeps_fn();
       sweeps += kChunk;
       if (residual(u) < kTol) break;
     }
@@ -52,12 +52,15 @@ int main(int argc, char** argv) {
     return dt.count();
   };
 
+  // One Solver per residual-check chunk of kChunk sweeps.
+  const solver::Solver gs(
+      solver::problem_2d(solver::Family::kGs2D5, n, n, kChunk));
+
   std::printf("Laplace equation on a %dx%d plate (tolerance %.0e):\n", n, n,
               kTol);
   const double t_sc =
-      solve([&](long k) { stencil::gs2d5_run(c, u, k); }, "scalar GS");
-  const double t_tv =
-      solve([&](long k) { tv::tv_gs2d5_run(c, u, k, 2); }, "temporal-vector GS");
+      solve([&] { stencil::gs2d5_run(c, u, kChunk); }, "scalar GS");
+  const double t_tv = solve([&] { gs.run(c, u); }, "temporal-vector GS");
   std::printf("speedup: %.2fx\n", t_sc / t_tv);
   return 0;
 }

@@ -1,14 +1,17 @@
-// Quickstart: solve the 1D heat equation with the temporally vectorized
-// kernel and compare against the scalar reference.
+// Quickstart: solve the 1D heat equation through the Solver facade and
+// compare against the scalar reference.
 //
 //   $ ./quickstart
 //
 // Demonstrates the three-line usage pattern:
-//   1. build a grid, 2. pick coefficients, 3. call tv_jacobi1d3_run.
+//   1. describe the problem, 2. build a Solver (plans automatically),
+//   3. run it.  The plan — backend, vector length, stride, tiling — is
+// chosen per problem and machine; TVS_PLAN / TVS_TUNE / TVS_FORCE_BACKEND
+// override it (see README "Solver API").
 #include <cstdio>
 
+#include "solver/solver.hpp"
 #include "stencil/reference1d.hpp"
-#include "tv/tv1d.hpp"
 
 int main() {
   using namespace tvs;
@@ -24,9 +27,12 @@ int main() {
 
   const stencil::C1D3 heat = stencil::heat1d(0.25);
 
-  // Temporal vectorization: advances 4 time steps per sweep, one array,
-  // stride s = 7 between lanes (the paper's default).
-  tv::tv_jacobi1d3_run(heat, u, steps);
+  // The facade: describe, plan, run.  The planner picks the temporal
+  // stride (the paper's s = 7 for this family) and the execution path.
+  const solver::StencilProblem problem =
+      solver::problem_1d(solver::Family::kJacobi1D3, nx, steps);
+  const solver::Solver solve(problem);
+  solve.run(heat, u);
 
   // Scalar oracle for comparison — bit-identical by construction.
   grid::Grid1D<double> ref(nx);
@@ -36,6 +42,8 @@ int main() {
   stencil::jacobi1d3_run(heat, ref, steps);
 
   const double diff = grid::max_abs_diff(u, ref);
+  std::printf("execution plan            : %s\n",
+              solve.plan().to_string().c_str());
   std::printf("temperature near hot end  : %8.4f %8.4f %8.4f ...\n", u.at(1),
               u.at(2), u.at(3));
   std::printf("max |temporal - scalar|   : %g\n", diff);

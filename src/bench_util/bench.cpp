@@ -49,23 +49,30 @@ std::vector<int> thread_sweep() {
 
 namespace {
 constexpr int kColWidth = 12;
+
+// Right-aligned cells, but never glued together: a cell wider than the
+// column still gets one separating space, so whitespace-splitting parsers
+// (bench/parse_tables.py) recover the correct cell count.
+void print_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i == 0 ? kColWidth : kColWidth - 1;
+    std::printf(i == 0 ? "%*s" : " %*s", width, cells[i].c_str());
+  }
+  std::printf("\n");
 }
+}  // namespace
 
 void print_title(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }
 
 void print_header(const std::vector<std::string>& cols) {
-  for (const auto& c : cols) std::printf("%*s", kColWidth, c.c_str());
-  std::printf("\n");
-  for (std::size_t i = 0; i < cols.size(); ++i)
-    std::printf("%*s", kColWidth, "--------");
-  std::printf("\n");
+  print_cells(cols);
+  print_cells(std::vector<std::string>(cols.size(), "--------"));
 }
 
 void print_row(const std::vector<std::string>& cells) {
-  for (const auto& c : cells) std::printf("%*s", kColWidth, c.c_str());
-  std::printf("\n");
+  print_cells(cells);
   std::fflush(stdout);
 }
 

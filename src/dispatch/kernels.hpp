@@ -58,12 +58,6 @@ inline constexpr std::string_view kTvJacobi1D5 = "tv_jacobi1d5";
 inline constexpr std::string_view kTvJacobi2D5 = "tv_jacobi2d5";
 inline constexpr std::string_view kTvJacobi2D9 = "tv_jacobi2d9";
 inline constexpr std::string_view kTvJacobi3D7 = "tv_jacobi3d7";
-// DEPRECATED aliases (kept registered for one release): the vector length
-// is a registry axis now — resolve the base id with get_at(id, backend, 8)
-// instead of a dedicated `_vl8` id.
-inline constexpr std::string_view kTvJacobi2D5Vl8 = "tv_jacobi2d5_vl8";
-inline constexpr std::string_view kTvJacobi2D9Vl8 = "tv_jacobi2d9_vl8";
-inline constexpr std::string_view kTvJacobi3D7Vl8 = "tv_jacobi3d7_vl8";
 inline constexpr std::string_view kTvGs1D3 = "tv_gs1d3";
 inline constexpr std::string_view kTvGs2D5 = "tv_gs2d5";
 inline constexpr std::string_view kTvGs3D7 = "tv_gs3d7";

@@ -1,0 +1,271 @@
+#include "solver/plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
+#include "tv/tv1d_impl.hpp"  // kMaxStride (ring capacity of the 1D engines)
+
+namespace tvs::solver {
+
+namespace {
+
+// Ring capacity of the parallelogram tile kernel (parallelogram_impl.hpp
+// asserts s <= 12).
+constexpr int kMaxParallelogramStride = 12;
+
+int parse_int_value(std::string_view clause, std::string_view value) {
+  int out = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc() || ptr != last) {
+    throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
+                                "\": \"" + std::string(value) +
+                                "\" is not an integer");
+  }
+  return out;
+}
+
+// The serial temporal-engine registry id for a family (used to check that
+// a pinned vector length actually has a registered engine).
+std::string_view serial_kernel_id(Family f) {
+  switch (f) {
+    case Family::kJacobi1D3:
+      return dispatch::kTvJacobi1D3;
+    case Family::kJacobi1D5:
+      return dispatch::kTvJacobi1D5;
+    case Family::kJacobi2D5:
+      return dispatch::kTvJacobi2D5;
+    case Family::kJacobi2D9:
+      return dispatch::kTvJacobi2D9;
+    case Family::kJacobi3D7:
+      return dispatch::kTvJacobi3D7;
+    case Family::kGs1D3:
+      return dispatch::kTvGs1D3;
+    case Family::kGs2D5:
+      return dispatch::kTvGs2D5;
+    case Family::kGs3D7:
+      return dispatch::kTvGs3D7;
+    case Family::kLife:
+      return dispatch::kTvLife;
+    case Family::kLcs:
+      return dispatch::kTvLcsRows;
+  }
+  throw std::invalid_argument("unknown stencil family");
+}
+
+// Band height rounded down to a multiple of `unit`, clamped to the number
+// of steps actually requested (never below one unit).
+int clamp_height(int preferred, long steps, int unit) {
+  long h = std::min<long>(preferred, steps);
+  h -= h % unit;
+  return static_cast<int>(std::max<long>(h, unit));
+}
+
+}  // namespace
+
+std::string_view path_name(Path p) {
+  return p == Path::kSerialTv ? "tv" : "tiled";
+}
+
+std::string ExecutionPlan::to_string() const {
+  std::string s = "backend=";
+  s += dispatch::backend_name(backend);
+  s += ",vl=" + std::to_string(vl);
+  s += ",stride=" + std::to_string(stride);
+  if (path == Path::kTiledParallel) {
+    s += ",tile=" + std::to_string(tile_w) + "x" + std::to_string(tile_h);
+  }
+  s += ",path=";
+  s += path_name(path);
+  return s;
+}
+
+bool family_has_tiled_path(Family f) { return f != Family::kJacobi1D5; }
+
+ExecutionPlan heuristic_plan(const StencilProblem& p) {
+  ExecutionPlan plan;
+  plan.backend = dispatch::selected_backend();
+  plan.vl = 0;
+
+  // Paper defaults: stride from §3.4, blocking from Table 1, clamped to
+  // the problem extents so small problems still get whole tiles.
+  switch (p.family) {
+    case Family::kJacobi1D3:
+    case Family::kJacobi1D5:
+      plan.stride = 7;
+      plan.tile_w = std::min(16384, std::max(p.nx, 1));
+      plan.tile_h = clamp_height(128, std::max(p.steps, 1L), 4);
+      break;
+    case Family::kJacobi2D5:
+    case Family::kJacobi2D9:
+    case Family::kLife:
+      plan.stride = 2;
+      plan.tile_w = std::min(256, std::max(p.nx, 1));
+      plan.tile_h = clamp_height(32, std::max(p.steps, 1L), 16);
+      break;
+    case Family::kJacobi3D7:
+      plan.stride = 2;
+      plan.tile_w = std::min(32, std::max(p.nx, 1));
+      plan.tile_h = clamp_height(8, std::max(p.steps, 1L), 8);
+      break;
+    case Family::kGs1D3:
+      plan.stride = 3;
+      plan.tile_w = std::min(2048, std::max(p.nx, 1));
+      plan.tile_h = clamp_height(64, std::max(p.steps, 1L), 4);
+      break;
+    case Family::kGs2D5:
+    case Family::kGs3D7:
+      plan.stride = 2;
+      plan.tile_w = std::min(128, std::max(p.nx, 1));
+      plan.tile_h = clamp_height(32, std::max(p.steps, 1L), 4);
+      break;
+    case Family::kLcs:
+      plan.stride = 1;  // the LCS engine is a fixed s = 1 scheme
+      plan.tile_w = std::min(4096, std::max(p.ny, 1));  // column block
+      plan.tile_h = std::min(4096, std::max(p.nx, 1));  // row band
+      break;
+  }
+
+  plan.path = (p.threads > 1 && family_has_tiled_path(p.family))
+                  ? Path::kTiledParallel
+                  : Path::kSerialTv;
+  return plan;
+}
+
+ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec) {
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view clause = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(comma + 1);
+    const std::size_t eq = clause.find('=');
+    if (clause.empty() || eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument(
+          "TVS_PLAN clause \"" + std::string(clause) +
+          "\" is not key=value (valid keys: backend, vl, stride, tile, "
+          "path)");
+    }
+    const std::string_view key = clause.substr(0, eq);
+    const std::string_view value = clause.substr(eq + 1);
+    if (key == "backend") {
+      const auto b = dispatch::parse_backend(value);
+      if (!b.has_value()) {
+        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
+                                    "\": unknown backend (valid: scalar, "
+                                    "avx2, avx512)");
+      }
+      base.backend = *b;
+    } else if (key == "vl") {
+      base.vl = parse_int_value(clause, value);
+    } else if (key == "stride") {
+      base.stride = parse_int_value(clause, value);
+    } else if (key == "tile") {
+      const std::size_t x = value.find('x');
+      if (x == std::string_view::npos || x == 0 || x + 1 == value.size()) {
+        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
+                                    "\": tile must be WxH, e.g. tile=256x32");
+      }
+      base.tile_w = parse_int_value(clause, value.substr(0, x));
+      base.tile_h = parse_int_value(clause, value.substr(x + 1));
+    } else if (key == "path") {
+      if (value == "tv") {
+        base.path = Path::kSerialTv;
+      } else if (value == "tiled") {
+        base.path = Path::kTiledParallel;
+      } else {
+        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
+                                    "\": unknown path (valid: tv, tiled)");
+      }
+    } else {
+      throw std::invalid_argument(
+          "TVS_PLAN clause \"" + std::string(clause) +
+          "\": unknown key (valid: backend, vl, stride, tile, path)");
+    }
+  }
+  return base;
+}
+
+void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
+  const std::string where =
+      "solver plan for " + std::string(family_name(p.family));
+
+  // Backend availability mirrors the TVS_FORCE_BACKEND contract.
+  if (!dispatch::KernelRegistry::instance().has_backend(plan.backend)) {
+    throw std::runtime_error(where + ": backend " +
+                             std::string(dispatch::backend_name(plan.backend)) +
+                             " was not compiled into this binary");
+  }
+  if (!dispatch::cpu_supports(plan.backend)) {
+    throw std::runtime_error(where + ": this CPU cannot execute backend " +
+                             std::string(dispatch::backend_name(plan.backend)));
+  }
+
+  // §3.2 stride legality, checked once for the whole solve.  The 1D
+  // temporal engines additionally cap the stride at their ring capacity.
+  const std::vector<stencil::Dep> deps = family_deps(p.family);
+  const bool has_ring_cap = p.family == Family::kJacobi1D3 ||
+                            p.family == Family::kJacobi1D5 ||
+                            p.family == Family::kGs1D3;
+  stencil::require_legal_stride(where, deps, plan.stride,
+                                has_ring_cap ? tv::kMaxStride : 0);
+  if (p.family == Family::kLcs && plan.stride != 1) {
+    throw std::invalid_argument(where +
+                                ": the LCS engine is a fixed stride-1 "
+                                "scheme; stride must be 1");
+  }
+
+  if (plan.vl < 0) {
+    throw std::invalid_argument(where + ": vl must be >= 0 (0 = native)");
+  }
+  if (plan.vl > 0) {
+    if (plan.path == Path::kTiledParallel) {
+      throw std::invalid_argument(where +
+                                  ": vl pinning applies to the serial tv "
+                                  "path only (the tiled drivers choose "
+                                  "their own internal width)");
+    }
+    const std::vector<int> widths =
+        dispatch::KernelRegistry::instance().registered_widths(
+            serial_kernel_id(p.family), plan.backend);
+    if (std::find(widths.begin(), widths.end(), plan.vl) == widths.end()) {
+      std::string have;
+      for (const int w : widths) {
+        if (!have.empty()) have += ", ";
+        have += std::to_string(w);
+      }
+      throw std::invalid_argument(where + ": no engine registered at vl=" +
+                                  std::to_string(plan.vl) +
+                                  " (registered widths: " + have + ")");
+    }
+  }
+
+  if (plan.path == Path::kTiledParallel) {
+    if (!family_has_tiled_path(p.family)) {
+      throw std::invalid_argument(where +
+                                  ": this family has no tiled parallel "
+                                  "driver; use path=tv");
+    }
+    if (plan.tile_w <= 0 || plan.tile_h <= 0) {
+      throw std::invalid_argument(
+          where + ": tiled path needs positive tile extents (got " +
+          std::to_string(plan.tile_w) + "x" + std::to_string(plan.tile_h) +
+          ")");
+    }
+    const bool parallelogram = p.family == Family::kGs1D3 ||
+                               p.family == Family::kGs2D5 ||
+                               p.family == Family::kGs3D7;
+    if (parallelogram && plan.stride > kMaxParallelogramStride) {
+      throw std::invalid_argument(
+          where + ": stride " + std::to_string(plan.stride) +
+          " exceeds the parallelogram tile kernel's ring capacity (max " +
+          std::to_string(kMaxParallelogramStride) + ")");
+    }
+  }
+}
+
+}  // namespace tvs::solver

@@ -1,0 +1,81 @@
+#include "solver/plan_cache.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace tvs::solver {
+
+namespace {
+
+struct Cache {
+  std::mutex mu;
+  std::map<std::string, ExecutionPlan> plans;
+  PlanCacheStats stats;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+}  // namespace
+
+ExecutionPlan plan_for(const StencilProblem& p, PlanMode mode) {
+  // TVS_PLAN pins knobs for this lookup only; it never touches the cache.
+  if (const char* spec = std::getenv("TVS_PLAN");
+      spec != nullptr && spec[0] != '\0') {
+    ExecutionPlan plan = apply_plan_spec(heuristic_plan(p), spec);
+    validate_plan(p, plan);
+    Cache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mu);
+    ++c.stats.pinned;
+    return plan;
+  }
+
+  if (mode == PlanMode::kAuto) {
+    const char* tune = std::getenv("TVS_TUNE");
+    mode = (tune != nullptr && tune == std::string_view("1"))
+               ? PlanMode::kTuned
+               : PlanMode::kHeuristic;
+  }
+
+  const std::string key = p.signature() + (mode == PlanMode::kTuned
+                                               ? "|tuned"
+                                               : "|heuristic");
+  Cache& c = cache();
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    const auto it = c.plans.find(key);
+    if (it != c.plans.end()) {
+      ++c.stats.hits;
+      return it->second;
+    }
+  }
+
+  // Plan outside the lock: tuning runs real kernels and may take a while.
+  ExecutionPlan plan =
+      mode == PlanMode::kTuned ? tune_plan(p) : heuristic_plan(p);
+  validate_plan(p, plan);
+
+  const std::lock_guard<std::mutex> lock(c.mu);
+  ++c.stats.misses;
+  c.plans.emplace(key, plan);
+  return plan;
+}
+
+PlanCacheStats plan_cache_stats() {
+  Cache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  return c.stats;
+}
+
+void plan_cache_clear() {
+  Cache& c = cache();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  c.plans.clear();
+  c.stats = PlanCacheStats{};
+}
+
+}  // namespace tvs::solver

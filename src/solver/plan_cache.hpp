@@ -1,0 +1,44 @@
+// Process-wide ExecutionPlan cache, keyed by StencilProblem::signature().
+//
+// plan_for() is the single planning entry point used by the Solver:
+//
+//   1. If TVS_PLAN is set, the spec is applied on top of the heuristic
+//      plan, validated, and returned — pinned plans bypass the cache in
+//      both directions (a pin must win over any cached choice, and an
+//      experiment must not poison later unpinned runs).  A malformed spec
+//      throws std::invalid_argument naming the offending clause.
+//   2. Otherwise the cache is consulted; a hit returns the stored plan.
+//   3. On a miss, the planner runs (heuristic, or measured auto-tune when
+//      TVS_TUNE=1 / PlanMode::kTuned), the plan is validated and stored.
+//
+// The cache is thread-safe; hit/miss counters are exposed for tests and
+// ops introspection.
+#pragma once
+
+#include "solver/plan.hpp"
+#include "solver/problem.hpp"
+
+namespace tvs::solver {
+
+enum class PlanMode : int {
+  kAuto = 0,       // TVS_TUNE=1 ? kTuned : kHeuristic
+  kHeuristic = 1,  // paper-default knobs, no measurement
+  kTuned = 2,      // micro-benchmark candidate knobs on a small replica
+};
+
+struct PlanCacheStats {
+  long hits = 0;
+  long misses = 0;    // planner runs stored into the cache
+  long pinned = 0;    // TVS_PLAN lookups (never cached)
+};
+
+// The planning front door (see the file comment for the resolution order).
+ExecutionPlan plan_for(const StencilProblem& p,
+                       PlanMode mode = PlanMode::kAuto);
+
+PlanCacheStats plan_cache_stats();
+
+// Drops every cached plan and zeroes the counters (tests).
+void plan_cache_clear();
+
+}  // namespace tvs::solver

@@ -1,0 +1,95 @@
+#include "solver/problem.hpp"
+
+#include <stdexcept>
+
+namespace tvs::solver {
+
+namespace {
+
+struct FamilyRow {
+  Family family;
+  std::string_view name;
+  int dim;
+};
+
+constexpr FamilyRow kFamilies[kFamilyCount] = {
+    {Family::kJacobi1D3, "jacobi1d3", 1}, {Family::kJacobi1D5, "jacobi1d5", 1},
+    {Family::kJacobi2D5, "jacobi2d5", 2}, {Family::kJacobi2D9, "jacobi2d9", 2},
+    {Family::kJacobi3D7, "jacobi3d7", 3}, {Family::kGs1D3, "gs1d3", 1},
+    {Family::kGs2D5, "gs2d5", 2},         {Family::kGs3D7, "gs3d7", 3},
+    {Family::kLife, "life", 2},           {Family::kLcs, "lcs", 2},
+};
+
+const FamilyRow& row(Family f) {
+  for (const FamilyRow& r : kFamilies)
+    if (r.family == f) return r;
+  throw std::invalid_argument("unknown stencil family id " +
+                              std::to_string(static_cast<int>(f)));
+}
+
+}  // namespace
+
+std::string_view family_name(Family f) { return row(f).name; }
+
+Family parse_family(std::string_view name) {
+  for (const FamilyRow& r : kFamilies)
+    if (r.name == name) return r.family;
+  std::string valid;
+  for (const FamilyRow& r : kFamilies) {
+    if (!valid.empty()) valid += ", ";
+    valid += r.name;
+  }
+  throw std::invalid_argument("\"" + std::string(name) +
+                              "\" is not a stencil family (valid: " + valid +
+                              ")");
+}
+
+int family_dim(Family f) { return row(f).dim; }
+
+std::vector<stencil::Dep> family_deps(Family f) {
+  switch (f) {
+    case Family::kJacobi1D3:
+      return stencil::jacobi1d_deps(1);
+    case Family::kJacobi1D5:
+      return stencil::jacobi1d_deps(2);
+    case Family::kJacobi2D5:
+    case Family::kJacobi2D9:
+    case Family::kLife:
+      return stencil::jacobi2d_deps(1);
+    case Family::kJacobi3D7:
+      return stencil::jacobi3d_deps(1);
+    case Family::kGs1D3:
+    case Family::kGs2D5:
+    case Family::kGs3D7:
+      return stencil::gauss_seidel_deps(1);
+    case Family::kLcs:
+      return stencil::lcs_deps();
+  }
+  throw std::invalid_argument("unknown stencil family id " +
+                              std::to_string(static_cast<int>(f)));
+}
+
+std::string StencilProblem::signature() const {
+  std::string s(family_name(family));
+  s += ":nx=" + std::to_string(nx);
+  if (family_dim(family) >= 2) s += ":ny=" + std::to_string(ny);
+  if (family_dim(family) >= 3) s += ":nz=" + std::to_string(nz);
+  s += ":steps=" + std::to_string(steps);
+  s += ":threads=" + std::to_string(threads);
+  return s;
+}
+
+StencilProblem problem_1d(Family f, int nx, long steps, int threads) {
+  return {f, nx, 0, 0, steps, threads};
+}
+
+StencilProblem problem_2d(Family f, int nx, int ny, long steps, int threads) {
+  return {f, nx, ny, 0, steps, threads};
+}
+
+StencilProblem problem_3d(Family f, int nx, int ny, int nz, long steps,
+                          int threads) {
+  return {f, nx, ny, nz, steps, threads};
+}
+
+}  // namespace tvs::solver

@@ -1,0 +1,297 @@
+// Solver::run routing: registry-resolved temporal engines on the serial
+// path, diamond / parallelogram / wavefront drivers on the tiled path.
+// Stride legality was enforced once at plan validation, so the kernels
+// are invoked directly (not through the re-validating tv_*_run wrappers).
+#include "solver/solver.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
+#include "tiling/diamond.hpp"
+#include "tiling/diamond2d.hpp"
+#include "tiling/diamond3d.hpp"
+#include "tiling/lcs_wavefront.hpp"
+#include "tiling/parallelogram.hpp"
+#include "tiling/parallelogram2d.hpp"
+#include "tiling/pingpong_convert.hpp"
+#include "tv/tv_lcs.hpp"  // kLcsRowPad
+#include "util/omp_compat.hpp"
+
+namespace tvs::solver {
+
+namespace {
+
+template <class Fn>
+Fn* resolve(const ExecutionPlan& plan, std::string_view id) {
+  dispatch::KernelRegistry& reg = dispatch::KernelRegistry::instance();
+  return plan.vl > 0 ? reg.get_at<Fn>(id, plan.backend, plan.vl)
+                     : reg.get_at<Fn>(id, plan.backend);
+}
+
+void check_family(const StencilProblem& p, std::initializer_list<Family> ok,
+                  const char* overload) {
+  for (const Family f : ok)
+    if (p.family == f) return;
+  std::string allowed;
+  for (const Family f : ok) {
+    if (!allowed.empty()) allowed += "/";
+    allowed += family_name(f);
+  }
+  throw std::invalid_argument(
+      "Solver::" + std::string(overload) + ": problem family " +
+      std::string(family_name(p.family)) +
+      " does not match this overload (expects " + allowed + ")");
+}
+
+void check_extents(const StencilProblem& p, int nx, int ny, int nz) {
+  const int dim = family_dim(p.family);
+  if (nx != p.nx || (dim >= 2 && ny != p.ny) || (dim >= 3 && nz != p.nz)) {
+    throw std::invalid_argument(
+        "Solver::run: grid extents disagree with the StencilProblem "
+        "descriptor (problem " +
+        p.signature() + ")");
+  }
+}
+
+// Applies the problem's thread request to the tiled drivers for the
+// duration of one run() (no-op when threads == 0 or OpenMP is absent).
+class ThreadScope {
+ public:
+  explicit ThreadScope(int threads)
+      : active_(threads > 0), saved_(omp_get_max_threads()) {
+    if (active_) omp_set_num_threads(threads);
+  }
+  ~ThreadScope() {
+    if (active_) omp_set_num_threads(saved_);
+  }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  bool active_;
+  int saved_;
+};
+
+// Grid <-> parity-pair conversion comes from tiling/pingpong_convert.hpp
+// (shared with tiling_dispatch.cpp); the Solver's only difference is that
+// the run callback resolves the kernel at the *planned* backend.
+using tiling::with_pingpong1d;
+using tiling::with_pingpong2d;
+using tiling::with_pingpong3d;
+
+[[noreturn]] void throw_needs_tiled(const StencilProblem& p) {
+  throw std::invalid_argument(
+      "Solver::run: the parity-pair overload requires a tiled plan "
+      "(problem " +
+      p.signature() + " planned path=tv); pass a Grid instead");
+}
+
+}  // namespace
+
+Solver::Solver(const StencilProblem& p, PlanMode mode)
+    : prob_(p), plan_(plan_for(p, mode)) {}
+
+Solver::Solver(const StencilProblem& p, const ExecutionPlan& plan)
+    : prob_(p), plan_(plan) {
+  validate_plan(prob_, plan_);
+}
+
+// ---- 1D double families ----------------------------------------------------
+
+void Solver::run(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
+  check_family(prob_, {Family::kJacobi1D3, Family::kGs1D3}, "run(C1D3)");
+  check_extents(prob_, u.nx(), 0, 0);
+  if (prob_.family == Family::kGs1D3) {
+    if (plan_.path == Path::kTiledParallel) {
+      const ThreadScope scope(prob_.threads);
+      tiling::Parallelogram1DOptions opt{plan_.tile_w, plan_.tile_h,
+                                         plan_.stride, true};
+      resolve<dispatch::ParallelogramGs1D3Fn>(
+          plan_, dispatch::kParallelogramGs1D3)(c, u, prob_.steps, opt);
+    } else {
+      resolve<dispatch::TvGs1D3Fn>(plan_, dispatch::kTvGs1D3)(
+          c, u, prob_.steps, plan_.stride);
+    }
+    return;
+  }
+  if (plan_.path == Path::kTiledParallel) {
+    with_pingpong1d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
+  } else {
+    resolve<dispatch::TvJacobi1D3Fn>(plan_, dispatch::kTvJacobi1D3)(
+        c, u, prob_.steps, plan_.stride);
+  }
+}
+
+void Solver::run(const stencil::C1D5& c, grid::Grid1D<double>& u) const {
+  check_family(prob_, {Family::kJacobi1D5}, "run(C1D5)");
+  check_extents(prob_, u.nx(), 0, 0);
+  resolve<dispatch::TvJacobi1D5Fn>(plan_, dispatch::kTvJacobi1D5)(
+      c, u, prob_.steps, plan_.stride);
+}
+
+void Solver::run(const stencil::C1D3& c,
+                 grid::PingPong<grid::Grid1D<double>>& pp) const {
+  check_family(prob_, {Family::kJacobi1D3}, "run(C1D3, PingPong)");
+  check_extents(prob_, pp.even().nx(), 0, 0);
+  if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
+  const ThreadScope scope(prob_.threads);
+  tiling::Diamond1DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  resolve<dispatch::DiamondJacobi1D3Fn>(plan_, dispatch::kDiamondJacobi1D3)(
+      c, pp, prob_.steps, opt);
+}
+
+// ---- 2D double families ----------------------------------------------------
+
+void Solver::run(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
+  check_family(prob_, {Family::kJacobi2D5, Family::kGs2D5}, "run(C2D5)");
+  check_extents(prob_, u.nx(), u.ny(), 0);
+  if (prob_.family == Family::kGs2D5) {
+    if (plan_.path == Path::kTiledParallel) {
+      const ThreadScope scope(prob_.threads);
+      tiling::ParallelogramNDOptions opt{plan_.tile_w, plan_.tile_h,
+                                         plan_.stride, true};
+      resolve<dispatch::ParallelogramGs2D5Fn>(
+          plan_, dispatch::kParallelogramGs2D5)(c, u, prob_.steps, opt);
+    } else {
+      resolve<dispatch::TvGs2D5Fn>(plan_, dispatch::kTvGs2D5)(
+          c, u, prob_.steps, plan_.stride);
+    }
+    return;
+  }
+  if (plan_.path == Path::kTiledParallel) {
+    with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
+  } else {
+    resolve<dispatch::TvJacobi2D5Fn>(plan_, dispatch::kTvJacobi2D5)(
+        c, u, prob_.steps, plan_.stride);
+  }
+}
+
+void Solver::run(const stencil::C2D9& c, grid::Grid2D<double>& u) const {
+  check_family(prob_, {Family::kJacobi2D9}, "run(C2D9)");
+  check_extents(prob_, u.nx(), u.ny(), 0);
+  if (plan_.path == Path::kTiledParallel) {
+    with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
+  } else {
+    resolve<dispatch::TvJacobi2D9Fn>(plan_, dispatch::kTvJacobi2D9)(
+        c, u, prob_.steps, plan_.stride);
+  }
+}
+
+void Solver::run(const stencil::C2D5& c,
+                 grid::PingPong<grid::Grid2D<double>>& pp) const {
+  check_family(prob_, {Family::kJacobi2D5}, "run(C2D5, PingPong)");
+  check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
+  if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
+  const ThreadScope scope(prob_.threads);
+  tiling::Diamond2DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  resolve<dispatch::DiamondJacobi2D5Fn>(plan_, dispatch::kDiamondJacobi2D5)(
+      c, pp, prob_.steps, opt);
+}
+
+void Solver::run(const stencil::C2D9& c,
+                 grid::PingPong<grid::Grid2D<double>>& pp) const {
+  check_family(prob_, {Family::kJacobi2D9}, "run(C2D9, PingPong)");
+  check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
+  if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
+  const ThreadScope scope(prob_.threads);
+  tiling::Diamond2DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  resolve<dispatch::DiamondJacobi2D9Fn>(plan_, dispatch::kDiamondJacobi2D9)(
+      c, pp, prob_.steps, opt);
+}
+
+// ---- 3D double families ----------------------------------------------------
+
+void Solver::run(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
+  check_family(prob_, {Family::kJacobi3D7, Family::kGs3D7}, "run(C3D7)");
+  check_extents(prob_, u.nx(), u.ny(), u.nz());
+  if (prob_.family == Family::kGs3D7) {
+    if (plan_.path == Path::kTiledParallel) {
+      const ThreadScope scope(prob_.threads);
+      tiling::ParallelogramNDOptions opt{plan_.tile_w, plan_.tile_h,
+                                         plan_.stride, true};
+      resolve<dispatch::ParallelogramGs3D7Fn>(
+          plan_, dispatch::kParallelogramGs3D7)(c, u, prob_.steps, opt);
+    } else {
+      resolve<dispatch::TvGs3D7Fn>(plan_, dispatch::kTvGs3D7)(
+          c, u, prob_.steps, plan_.stride);
+    }
+    return;
+  }
+  if (plan_.path == Path::kTiledParallel) {
+    with_pingpong3d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
+  } else {
+    resolve<dispatch::TvJacobi3D7Fn>(plan_, dispatch::kTvJacobi3D7)(
+        c, u, prob_.steps, plan_.stride);
+  }
+}
+
+void Solver::run(const stencil::C3D7& c,
+                 grid::PingPong<grid::Grid3D<double>>& pp) const {
+  check_family(prob_, {Family::kJacobi3D7}, "run(C3D7, PingPong)");
+  check_extents(prob_, pp.even().nx(), pp.even().ny(), pp.even().nz());
+  if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
+  const ThreadScope scope(prob_.threads);
+  tiling::Diamond3DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  resolve<dispatch::DiamondJacobi3D7Fn>(plan_, dispatch::kDiamondJacobi3D7)(
+      c, pp, prob_.steps, opt);
+}
+
+// ---- Life ------------------------------------------------------------------
+
+void Solver::run(const stencil::LifeRule& r,
+                 grid::Grid2D<std::int32_t>& u) const {
+  check_family(prob_, {Family::kLife}, "run(LifeRule)");
+  check_extents(prob_, u.nx(), u.ny(), 0);
+  if (plan_.path == Path::kTiledParallel) {
+    with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(r, pp); });
+  } else {
+    resolve<dispatch::TvLifeFn>(plan_, dispatch::kTvLife)(r, u, prob_.steps,
+                                                          plan_.stride);
+  }
+}
+
+void Solver::run(const stencil::LifeRule& r,
+                 grid::PingPong<grid::Grid2D<std::int32_t>>& pp) const {
+  check_family(prob_, {Family::kLife}, "run(LifeRule, PingPong)");
+  check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
+  if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
+  const ThreadScope scope(prob_.threads);
+  tiling::Diamond2DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  resolve<dispatch::DiamondLifeFn>(plan_, dispatch::kDiamondLife)(
+      r, pp, prob_.steps, opt);
+}
+
+// ---- LCS -------------------------------------------------------------------
+
+std::vector<std::int32_t> Solver::lcs_row(
+    std::span<const std::int32_t> a, std::span<const std::int32_t> b) const {
+  check_family(prob_, {Family::kLcs}, "lcs_row");
+  check_extents(prob_, static_cast<int>(a.size()), static_cast<int>(b.size()),
+                0);
+  const std::size_t nb = b.size();
+  std::vector<std::int32_t> row(nb + 1 + tv::kLcsRowPad, 0);
+  if (nb > 0) {
+    resolve<dispatch::TvLcsRowsFn>(plan_, dispatch::kTvLcsRows)(a, b,
+                                                                row.data());
+  }
+  row.resize(nb + 1);
+  return row;
+}
+
+std::int32_t Solver::lcs(std::span<const std::int32_t> a,
+                         std::span<const std::int32_t> b) const {
+  check_family(prob_, {Family::kLcs}, "lcs");
+  check_extents(prob_, static_cast<int>(a.size()), static_cast<int>(b.size()),
+                0);
+  if (plan_.path == Path::kTiledParallel) {
+    const ThreadScope scope(prob_.threads);
+    tiling::LcsWavefrontOptions opt{plan_.tile_w, plan_.tile_h, true};
+    return resolve<dispatch::LcsWavefrontFn>(plan_, dispatch::kLcsWavefront)(
+        a, b, opt);
+  }
+  return lcs_row(a, b).back();
+}
+
+}  // namespace tvs::solver

@@ -1,0 +1,88 @@
+// Solver: the single front door over the ~20 per-kernel entry points.
+//
+//   StencilProblem p = solver::problem_2d(solver::Family::kJacobi2D5,
+//                                         n, n, steps);
+//   solver::Solver s(p);          // plans once (cached process-wide)
+//   s.run(stencil::heat2d(0.2), u);
+//
+// Construction picks an ExecutionPlan for the problem — heuristic paper
+// defaults, measured auto-tune (TVS_TUNE=1 / PlanMode::kTuned), or a
+// TVS_PLAN pin — validates it (§3.2 stride legality, backend
+// availability, tile sanity) exactly once, and run() then routes through
+// the KernelRegistry: the serial path resolves the temporal engine at the
+// planned (backend, vl) and calls it directly; the tiled path drives the
+// diamond / parallelogram / wavefront kernels with the planned blocking.
+// Every path is bit-identical to the direct tv_* / diamond_* entry points
+// (and therefore to the scalar oracles).
+//
+// The typed run() overloads are family-checked: calling the C2D5 overload
+// on anything but a Jacobi2D5/Gs2D5 problem throws std::invalid_argument,
+// as does a grid whose extents disagree with the problem descriptor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+#include "grid/pingpong.hpp"
+#include "solver/plan.hpp"
+#include "solver/plan_cache.hpp"
+#include "solver/problem.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::solver {
+
+class Solver {
+ public:
+  // Plans via plan_for() (cache + TVS_PLAN / TVS_TUNE aware).
+  explicit Solver(const StencilProblem& p, PlanMode mode = PlanMode::kAuto);
+  // Pins an explicit plan (validated here); used by benchmarks that must
+  // measure one fixed configuration, and by the auto-tuner's candidates.
+  Solver(const StencilProblem& p, const ExecutionPlan& plan);
+
+  const StencilProblem& problem() const { return prob_; }
+  const ExecutionPlan& plan() const { return plan_; }
+
+  // Jacobi1D3 / Gs1D3 (by the problem's family).
+  void run(const stencil::C1D3& c, grid::Grid1D<double>& u) const;
+  // Jacobi1D5.
+  void run(const stencil::C1D5& c, grid::Grid1D<double>& u) const;
+  // Jacobi2D5 / Gs2D5.
+  void run(const stencil::C2D5& c, grid::Grid2D<double>& u) const;
+  // Jacobi2D9.
+  void run(const stencil::C2D9& c, grid::Grid2D<double>& u) const;
+  // Jacobi3D7 / Gs3D7.
+  void run(const stencil::C3D7& c, grid::Grid3D<double>& u) const;
+  // Life.
+  void run(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u) const;
+
+  // Tiled-path parity-pair overloads (no copy-in/copy-out: the result of
+  // step `steps` is left in pp.by_parity(steps), as with the raw diamond
+  // drivers).  Only valid on a kTiledParallel plan of a diamond family.
+  void run(const stencil::C1D3& c,
+           grid::PingPong<grid::Grid1D<double>>& pp) const;
+  void run(const stencil::C2D5& c,
+           grid::PingPong<grid::Grid2D<double>>& pp) const;
+  void run(const stencil::C2D9& c,
+           grid::PingPong<grid::Grid2D<double>>& pp) const;
+  void run(const stencil::C3D7& c,
+           grid::PingPong<grid::Grid3D<double>>& pp) const;
+  void run(const stencil::LifeRule& r,
+           grid::PingPong<grid::Grid2D<std::int32_t>>& pp) const;
+
+  // Lcs: length of the longest common subsequence (and the final DP row).
+  std::int32_t lcs(std::span<const std::int32_t> a,
+                   std::span<const std::int32_t> b) const;
+  std::vector<std::int32_t> lcs_row(std::span<const std::int32_t> a,
+                                    std::span<const std::int32_t> b) const;
+
+ private:
+  StencilProblem prob_;
+  ExecutionPlan plan_;
+};
+
+}  // namespace tvs::solver

@@ -1,0 +1,243 @@
+// Measured auto-tuning (ExecutionPlan::tune of the design: plan_for with
+// PlanMode::kTuned / TVS_TUNE=1).
+//
+// The knobs the heuristic guesses — stride on the serial path, tile shape
+// on the tiled path — are exactly the ones §3.3/§5 show to be machine- and
+// problem-dependent, so the tuner measures instead: it builds a small
+// replica of the problem (same family and path, extents/steps clamped so
+// one candidate run is milliseconds), times 2-3 candidate knob values
+// through the same Solver facade, and returns the heuristic plan with the
+// fastest candidate substituted.  All candidates produce bit-identical
+// results (the §3.2 contract), so tuning can never change the answer,
+// only the speed.
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <vector>
+
+#include "solver/plan.hpp"
+#include "solver/solver.hpp"
+#include "stencil/coefficients.hpp"
+
+namespace tvs::solver {
+
+namespace {
+
+double time_once(const StencilProblem& rep, const ExecutionPlan& plan) {
+  const Solver s(rep, plan);
+
+  // Deterministic inputs; the fill cost is outside the timed region.
+  const auto timed = [](auto&& fn) {
+    fn();  // warm the caches and the registry resolution
+    double best = 1e300;
+    for (int i = 0; i < 2; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      best = std::min(best, dt.count());
+    }
+    return best;
+  };
+
+  switch (rep.family) {
+    case Family::kJacobi1D3:
+    case Family::kGs1D3: {
+      grid::Grid1D<double> u(rep.nx);
+      for (int x = 0; x <= rep.nx + 1; ++x) u.at(x) = 1.0 + 0.001 * (x % 97);
+      const stencil::C1D3 c = stencil::heat1d(0.25);
+      return timed([&] { s.run(c, u); });
+    }
+    case Family::kJacobi1D5: {
+      grid::Grid1D<double> u(rep.nx);
+      for (int x = 0; x <= rep.nx + 1; ++x) u.at(x) = 1.0 + 0.001 * (x % 97);
+      const stencil::C1D5 c = stencil::heat1d5(0.1);
+      return timed([&] { s.run(c, u); });
+    }
+    case Family::kJacobi2D5:
+    case Family::kGs2D5: {
+      grid::Grid2D<double> u(rep.nx, rep.ny);
+      for (int x = 0; x <= rep.nx + 1; ++x)
+        for (int y = 0; y <= rep.ny + 1; ++y)
+          u.at(x, y) = 1.0 + 0.001 * ((x + y) % 97);
+      const stencil::C2D5 c = stencil::heat2d(0.2);
+      return timed([&] { s.run(c, u); });
+    }
+    case Family::kJacobi2D9: {
+      grid::Grid2D<double> u(rep.nx, rep.ny);
+      for (int x = 0; x <= rep.nx + 1; ++x)
+        for (int y = 0; y <= rep.ny + 1; ++y)
+          u.at(x, y) = 1.0 + 0.001 * ((x + y) % 97);
+      const stencil::C2D9 c = stencil::box2d9(0.1);
+      return timed([&] { s.run(c, u); });
+    }
+    case Family::kJacobi3D7:
+    case Family::kGs3D7: {
+      grid::Grid3D<double> u(rep.nx, rep.ny, rep.nz);
+      for (int x = 0; x <= rep.nx + 1; ++x)
+        for (int y = 0; y <= rep.ny + 1; ++y)
+          for (int z = 0; z <= rep.nz + 1; ++z)
+            u.at(x, y, z) = 1.0 + 0.001 * ((x + y + z) % 97);
+      const stencil::C3D7 c = stencil::heat3d(0.1);
+      return timed([&] { s.run(c, u); });
+    }
+    case Family::kLife: {
+      grid::Grid2D<std::int32_t> u(rep.nx, rep.ny);
+      std::mt19937 rng(7);
+      u.fill(0);
+      for (int x = 1; x <= rep.nx; ++x)
+        for (int y = 1; y <= rep.ny; ++y)
+          u.at(x, y) = static_cast<std::int32_t>(rng() & 1u);
+      const stencil::LifeRule r{};
+      return timed([&] { s.run(r, u); });
+    }
+    case Family::kLcs: {
+      std::mt19937 rng(7);
+      std::vector<std::int32_t> a(static_cast<std::size_t>(rep.nx)),
+          b(static_cast<std::size_t>(rep.ny));
+      for (auto& v : a) v = static_cast<std::int32_t>(rng() % 4);
+      for (auto& v : b) v = static_cast<std::int32_t>(rng() % 4);
+      return timed([&] { s.lcs(a, b); });
+    }
+  }
+  return 0.0;
+}
+
+// Extents/steps clamped so one candidate run costs milliseconds while the
+// working set still exercises the cache hierarchy the way the real
+// problem's inner tiles do.
+StencilProblem replica_of(const StencilProblem& p) {
+  StencilProblem rep = p;
+  switch (family_dim(p.family)) {
+    case 1:
+      rep.nx = std::min(p.nx, 1 << 15);
+      rep.steps = std::min<long>(p.steps, 128);
+      break;
+    case 2:
+      rep.nx = std::min(p.nx, 384);
+      rep.ny = std::min(p.ny, 384);
+      rep.steps = std::min<long>(p.steps, 32);
+      break;
+    default:
+      rep.nx = std::min(p.nx, 48);
+      rep.ny = std::min(p.ny, 48);
+      rep.nz = std::min(p.nz, 48);
+      rep.steps = std::min<long>(p.steps, 16);
+      break;
+  }
+  if (p.family == Family::kLcs) {
+    rep.nx = std::min(p.nx, 4096);
+    rep.ny = std::min(p.ny, 4096);
+  }
+  return rep;
+}
+
+// 2-3 candidate values for the knob the path is most sensitive to.
+std::vector<ExecutionPlan> candidates(const StencilProblem& p,
+                                      const ExecutionPlan& base) {
+  std::vector<ExecutionPlan> cands;
+  const auto with_stride = [&](int s) {
+    ExecutionPlan c = base;
+    c.stride = s;
+    cands.push_back(c);
+  };
+  const auto with_tile = [&](int w, int h) {
+    ExecutionPlan c = base;
+    c.tile_w = std::min(w, std::max(p.nx, 1));
+    c.tile_h = h;
+    cands.push_back(c);
+  };
+
+  if (base.path == Path::kSerialTv) {
+    switch (p.family) {
+      case Family::kJacobi1D3:
+      case Family::kJacobi1D5:
+        for (const int s : {5, 7, 11}) with_stride(s);
+        break;
+      case Family::kGs1D3:
+        for (const int s : {2, 3, 5}) with_stride(s);
+        break;
+      case Family::kLcs:
+        cands.push_back(base);  // fixed stride-1 scheme: nothing to vary
+        break;
+      default:  // the 2D/3D families
+        for (const int s : {2, 3, 4}) with_stride(s);
+        break;
+    }
+    return cands;
+  }
+
+  switch (p.family) {
+    case Family::kJacobi1D3:
+      for (const int w : {8192, 16384, 32768}) with_tile(w, base.tile_h);
+      break;
+    case Family::kGs1D3:
+      for (const int w : {1024, 2048, 4096}) with_tile(w, base.tile_h);
+      break;
+    case Family::kJacobi2D5:
+    case Family::kJacobi2D9:
+    case Family::kLife:
+      for (const int w : {128, 256, 512}) with_tile(w, base.tile_h);
+      break;
+    case Family::kJacobi3D7:
+      for (const int w : {16, 32, 64}) with_tile(w, base.tile_h);
+      break;
+    case Family::kGs2D5:
+    case Family::kGs3D7:
+      for (const int w : {64, 128, 256}) with_tile(w, base.tile_h);
+      break;
+    case Family::kLcs: {
+      for (const int w : {2048, 4096, 8192}) {
+        ExecutionPlan c = base;
+        c.tile_w = std::min(w, std::max(p.ny, 1));
+        c.tile_h = std::min(w, std::max(p.nx, 1));
+        cands.push_back(c);
+      }
+      break;
+    }
+    default:
+      cands.push_back(base);
+      break;
+  }
+  return cands;
+}
+
+}  // namespace
+
+ExecutionPlan tune_plan(const StencilProblem& p) {
+  const ExecutionPlan base = heuristic_plan(p);
+  const StencilProblem rep = replica_of(p);
+  const ExecutionPlan rep_base = heuristic_plan(rep);
+
+  ExecutionPlan best = base;
+  double best_time = 1e300;
+  for (const ExecutionPlan& cand : candidates(p, base)) {
+    // Project the candidate's knobs onto the replica's (clamped) shape.
+    ExecutionPlan rep_cand = rep_base;
+    rep_cand.stride = cand.stride;
+    rep_cand.path = cand.path;
+    if (cand.path == Path::kTiledParallel) {
+      rep_cand.tile_w = std::min(cand.tile_w, std::max(rep.nx, 1));
+      rep_cand.tile_h = rep_base.tile_h;
+      if (p.family == Family::kLcs) {
+        rep_cand.tile_w = std::min(cand.tile_w, std::max(rep.ny, 1));
+        rep_cand.tile_h = std::min(cand.tile_h, std::max(rep.nx, 1));
+      }
+    }
+    // The 1D engines need nx >= lanes * stride to form one whole group.
+    if (family_dim(p.family) == 1 && rep.nx < 16 * rep_cand.stride) continue;
+    try {
+      validate_plan(rep, rep_cand);
+    } catch (const std::exception&) {
+      continue;  // a candidate the replica cannot run is just skipped
+    }
+    const double t = time_once(rep, rep_cand);
+    if (t < best_time) {
+      best_time = t;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace tvs::solver

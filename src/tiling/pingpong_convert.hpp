@@ -1,0 +1,59 @@
+// Grid <-> parity-pair conversion for the diamond drivers' convenience
+// overloads: copy the grid (boundary cells and vector-overrun padding
+// included) into the even array, mirror the boundaries into the odd one,
+// run the tiled kernel, and copy the result parity back.  Shared by the
+// public tiling dispatchers (tiling_dispatch.cpp) and the Solver facade
+// (solver/solver.cpp), so the pad-sensitive copy ranges live in exactly
+// one place.
+#pragma once
+
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+#include "grid/pingpong.hpp"
+#include "tiling/diamond.hpp"
+#include "tiling/diamond2d.hpp"
+#include "tiling/diamond3d.hpp"
+
+namespace tvs::tiling {
+
+template <class T, class Run>
+void with_pingpong1d(grid::Grid1D<T>& u, long steps, Run run) {
+  grid::PingPong<grid::Grid1D<T>> pp(u.nx());
+  for (int x = -grid::kPad; x <= u.nx() + 1 + grid::kPad; ++x)
+    pp.even().at(x) = u.at(x);
+  fix_boundaries(pp);
+  run(pp);
+  grid::Grid1D<T>& res = pp.by_parity(steps);
+  for (int x = 0; x <= u.nx() + 1; ++x) u.at(x) = res.at(x);
+}
+
+template <class T, class Run>
+void with_pingpong2d(grid::Grid2D<T>& u, long steps, Run run) {
+  grid::PingPong<grid::Grid2D<T>> pp(u.nx(), u.ny());
+  for (int x = 0; x <= u.nx() + 1; ++x)
+    for (int y = -grid::kPad; y <= u.ny() + 1 + grid::kPad; ++y)
+      pp.even().at(x, y) = u.at(x, y);
+  fix_boundaries2d(pp);
+  run(pp);
+  const grid::Grid2D<T>& res = pp.by_parity(steps);
+  for (int x = 0; x <= u.nx() + 1; ++x)
+    for (int y = 0; y <= u.ny() + 1; ++y) u.at(x, y) = res.at(x, y);
+}
+
+template <class T, class Run>
+void with_pingpong3d(grid::Grid3D<T>& u, long steps, Run run) {
+  grid::PingPong<grid::Grid3D<T>> pp(u.nx(), u.ny(), u.nz());
+  for (int x = 0; x <= u.nx() + 1; ++x)
+    for (int y = 0; y <= u.ny() + 1; ++y)
+      for (int z = -grid::kPad; z <= u.nz() + 1 + grid::kPad; ++z)
+        pp.even().at(x, y, z) = u.at(x, y, z);
+  fix_boundaries3d(pp);
+  run(pp);
+  const grid::Grid3D<T>& res = pp.by_parity(steps);
+  for (int x = 0; x <= u.nx() + 1; ++x)
+    for (int y = 0; y <= u.ny() + 1; ++y)
+      for (int z = 0; z <= u.nz() + 1; ++z) u.at(x, y, z) = res.at(x, y, z);
+}
+
+}  // namespace tvs::tiling

@@ -9,6 +9,7 @@
 #include "tiling/lcs_wavefront.hpp"
 #include "tiling/parallelogram.hpp"
 #include "tiling/parallelogram2d.hpp"
+#include "tiling/pingpong_convert.hpp"
 
 namespace tvs::tiling {
 
@@ -17,19 +18,6 @@ namespace {
 template <class Fn>
 Fn* lookup(std::string_view id) {
   return dispatch::KernelRegistry::instance().get<Fn>(id);
-}
-
-template <class T, class Run>
-void with_pingpong2d(grid::Grid2D<T>& u, long steps, Run run) {
-  grid::PingPong<grid::Grid2D<T>> pp(u.nx(), u.ny());
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = -grid::kPad; y <= u.ny() + 1 + grid::kPad; ++y)
-      pp.even().at(x, y) = u.at(x, y);
-  fix_boundaries2d(pp);
-  run(pp);
-  const grid::Grid2D<T>& res = pp.by_parity(steps);
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = 0; y <= u.ny() + 1; ++y) u.at(x, y) = res.at(x, y);
 }
 
 }  // namespace
@@ -53,13 +41,8 @@ void diamond_jacobi1d3_run(const stencil::C1D3& c,
 
 void diamond_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
                            long steps, const Diamond1DOptions& opt) {
-  grid::PingPong<grid::Grid1D<double>> pp(u.nx());
-  for (int x = -grid::kPad; x <= u.nx() + 1 + grid::kPad; ++x)
-    pp.even().at(x) = u.at(x);
-  fix_boundaries(pp);
-  diamond_jacobi1d3_run(c, pp, steps, opt);
-  grid::Grid1D<double>& res = pp.by_parity(steps);
-  for (int x = 0; x <= u.nx() + 1; ++x) u.at(x) = res.at(x);
+  with_pingpong1d(u, steps,
+                  [&](auto& pp) { diamond_jacobi1d3_run(c, pp, steps, opt); });
 }
 
 // ---- 2D diamond ------------------------------------------------------------
@@ -118,17 +101,8 @@ void diamond_jacobi3d7_run(const stencil::C3D7& c,
 
 void diamond_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
                            long steps, const Diamond3DOptions& opt) {
-  grid::PingPong<grid::Grid3D<double>> pp(u.nx(), u.ny(), u.nz());
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = 0; y <= u.ny() + 1; ++y)
-      for (int z = -grid::kPad; z <= u.nz() + 1 + grid::kPad; ++z)
-        pp.even().at(x, y, z) = u.at(x, y, z);
-  fix_boundaries3d(pp);
-  diamond_jacobi3d7_run(c, pp, steps, opt);
-  const grid::Grid3D<double>& res = pp.by_parity(steps);
-  for (int x = 0; x <= u.nx() + 1; ++x)
-    for (int y = 0; y <= u.ny() + 1; ++y)
-      for (int z = 0; z <= u.nz() + 1; ++z) u.at(x, y, z) = res.at(x, y, z);
+  with_pingpong3d(u, steps,
+                  [&](auto& pp) { diamond_jacobi3d7_run(c, pp, steps, opt); });
 }
 
 // ---- Gauss-Seidel parallelograms -------------------------------------------

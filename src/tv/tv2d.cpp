@@ -1,8 +1,8 @@
 // 2D Jacobi kernel variants — compiled once per SIMD backend at the
 // backend's native vector width (vl = 4 under scalar/avx2, vl = 8 under
 // avx512).  The scalar backend additionally registers width-pinned vl = 8
-// instantiations so the width axis (and the deprecated `_vl8` alias ids)
-// resolves on every host.  Public entry points live in tv_dispatch.cpp.
+// instantiations so the width axis resolves on every host.  Public entry
+// points live in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors2d.hpp"
 #include "tv/tv2d_impl.hpp"
@@ -48,12 +48,6 @@ TVS_BACKEND_REGISTRAR(tv2d) {
 #if TVS_BACKEND_LEVEL == 0
   TVS_REGISTER_VL(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5_vl8, 8);
   TVS_REGISTER_VL(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9_vl8, 8);
-  // Deprecated `_vl8` alias ids (one release): same engines, old names.
-  TVS_REGISTER_VL(kTvJacobi2D5Vl8, TvJacobi2D5Fn, jacobi2d5_vl8, 8);
-  TVS_REGISTER_VL(kTvJacobi2D9Vl8, TvJacobi2D9Fn, jacobi2d9_vl8, 8);
-#elif TVS_BACKEND_LEVEL == 2
-  TVS_REGISTER_VL(kTvJacobi2D5Vl8, TvJacobi2D5Fn, jacobi2d5, 8);
-  TVS_REGISTER_VL(kTvJacobi2D9Vl8, TvJacobi2D9Fn, jacobi2d9, 8);
 #endif
 }
 

@@ -1,7 +1,7 @@
 // 3D Jacobi kernel variant — compiled once per SIMD backend at the
 // backend's native vector width; the scalar backend also registers the
-// width-pinned vl = 8 instantiation (+ the deprecated `_vl8` alias).
-// Public entry point lives in tv_dispatch.cpp.
+// width-pinned vl = 8 instantiation.  Public entry point lives in
+// tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors3d.hpp"
 #include "tv/tv3d_impl.hpp"
@@ -33,9 +33,6 @@ TVS_BACKEND_REGISTRAR(tv3d) {
   TVS_REGISTER_VL(kTvJacobi3D7, TvJacobi3D7Fn, jacobi3d7, V::lanes);
 #if TVS_BACKEND_LEVEL == 0
   TVS_REGISTER_VL(kTvJacobi3D7, TvJacobi3D7Fn, jacobi3d7_vl8, 8);
-  TVS_REGISTER_VL(kTvJacobi3D7Vl8, TvJacobi3D7Fn, jacobi3d7_vl8, 8);
-#elif TVS_BACKEND_LEVEL == 2
-  TVS_REGISTER_VL(kTvJacobi3D7Vl8, TvJacobi3D7Fn, jacobi3d7, 8);
 #endif
 }
 

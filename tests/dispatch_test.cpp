@@ -114,8 +114,7 @@ TEST(Registry, ExpectedIdsPresent) {
   for (std::string_view id :
        {dispatch::kTvJacobi1D3, dispatch::kTvJacobi1D5, dispatch::kTvJacobi2D5,
         dispatch::kTvJacobi2D9, dispatch::kTvJacobi3D7,
-        dispatch::kTvJacobi2D5Vl8, dispatch::kTvJacobi2D9Vl8,
-        dispatch::kTvJacobi3D7Vl8, dispatch::kTvGs1D3, dispatch::kTvGs2D5,
+        dispatch::kTvGs1D3, dispatch::kTvGs2D5,
         dispatch::kTvGs3D7, dispatch::kTvLife, dispatch::kTvLcsRows,
         dispatch::kAutovecJacobi1D3, dispatch::kAutovecJacobi1D5,
         dispatch::kAutovecJacobi2D5, dispatch::kAutovecJacobi2D9,
@@ -143,11 +142,12 @@ TEST(Registry, DownwardFallbackSemantics) {
   if (reg.has_backend(Backend::kAvx2)) {
     EXPECT_EQ(reg.resolved_backend_at(dispatch::kTvJacobi1D3, Backend::kAvx2),
               Backend::kAvx2);
-    // The deprecated vl8 alias ids have no AVX2 variant (AVX2 has no 8-wide
-    // double type): they resolve down to scalar.
-    EXPECT_EQ(
-        reg.resolved_backend_at(dispatch::kTvJacobi2D5Vl8, Backend::kAvx2),
-        Backend::kScalar);
+    // A width-pinned lookup falls back too: vl=8 doubles have no AVX2
+    // engine (AVX2 has no 8-wide double type), so the pin resolves down to
+    // the scalar backend's ScalarVec<double, 8> registration.
+    EXPECT_EQ(reg.resolved_backend_at(dispatch::kTvJacobi2D5, Backend::kAvx2,
+                                      8),
+              Backend::kScalar);
   }
 }
 
@@ -239,6 +239,12 @@ Fn* at(std::string_view id, Backend b) {
   return KernelRegistry::instance().get_at<Fn>(id, b);
 }
 
+// Width-pinned lookup on the registry's vector-length axis.
+template <class Fn>
+Fn* at_vl(std::string_view id, Backend b, int vl) {
+  return KernelRegistry::instance().get_at<Fn>(id, b, vl);
+}
+
 grid::Grid1D<double> random1d(int nx, unsigned seed) {
   std::mt19937_64 rng(seed);
   grid::Grid1D<double> g(nx);
@@ -316,21 +322,22 @@ TEST_P(LaneForLane, TvJacobi2D3DVl8) {
   auto ref = random2d(40, 12, 31);
   auto got = random2d(40, 12, 31);
   stencil::jacobi2d5_run(c5, ref, 9);
-  at<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5Vl8, b)(c5, got, 9, 2);
+  at_vl<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5, b, 8)(c5, got, 9, 2);
   EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0);
 
   const stencil::C2D9 c9{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
   auto ref9 = random2d(40, 12, 32);
   auto got9 = random2d(40, 12, 32);
   stencil::jacobi2d9_run(c9, ref9, 17);
-  at<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9Vl8, b)(c9, got9, 17, 2);
+  at_vl<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9, b, 8)(c9, got9, 17,
+                                                               2);
   EXPECT_EQ(grid::max_abs_diff(ref9, got9), 0.0);
 
   const stencil::C3D7 c7{0.28, 0.13, 0.12, 0.12, 0.11, 0.13, 0.11};
   auto ref3 = random3d(40, 8, 8, 33);
   auto got3 = random3d(40, 8, 8, 33);
   stencil::jacobi3d7_run(c7, ref3, 9);
-  at<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7Vl8, b)(c7, got3, 9, 2);
+  at_vl<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7, b, 8)(c7, got3, 9, 2);
   EXPECT_EQ(grid::max_abs_diff(ref3, got3), 0.0);
 }
 

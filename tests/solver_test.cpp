@@ -1,0 +1,463 @@
+// Solver facade: plan cache hit/miss accounting, TVS_PLAN override
+// parsing (including malformed specs -> clear errors), and bit-for-bit
+// equality of Solver::run against the direct tv_* / diamond_* /
+// parallelogram_* entry points for every kernel family.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "solver/solver.hpp"
+#include "stencil/lcs_ref.hpp"
+#include "tiling/diamond.hpp"
+#include "tiling/diamond2d.hpp"
+#include "tiling/lcs_wavefront.hpp"
+#include "tiling/parallelogram.hpp"
+#include "tv/tv1d.hpp"
+#include "tv/tv2d.hpp"
+#include "tv/tv3d.hpp"
+#include "tv/tv_gs1d.hpp"
+#include "tv/tv_gs2d.hpp"
+#include "tv/tv_gs3d.hpp"
+#include "tv/tv_lcs.hpp"
+#include "tv/tv_life.hpp"
+
+namespace tvs {
+namespace {
+
+using solver::ExecutionPlan;
+using solver::Family;
+using solver::Path;
+using solver::PlanMode;
+using solver::Solver;
+using solver::StencilProblem;
+
+// Sets an environment variable for one scope and restores the previous
+// state on exit (plan_for re-reads TVS_PLAN on every call).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+template <class GridT>
+void fill_pattern(GridT& u) {
+  if constexpr (requires(GridT g) { g.at(0, 0, 0); }) {
+    for (int x = 0; x <= u.nx() + 1; ++x)
+      for (int y = 0; y <= u.ny() + 1; ++y)
+        for (int z = 0; z <= u.nz() + 1; ++z)
+          u.at(x, y, z) = 1.0 + 0.001 * ((x + 2 * y + 3 * z) % 97);
+  } else if constexpr (requires(GridT g) { g.at(0, 0); }) {
+    for (int x = 0; x <= u.nx() + 1; ++x)
+      for (int y = 0; y <= u.ny() + 1; ++y)
+        u.at(x, y) = 1.0 + 0.001 * ((x + 2 * y) % 97);
+  } else {
+    for (int x = 0; x <= u.nx() + 1; ++x) u.at(x) = 1.0 + 0.001 * (x % 97);
+  }
+}
+
+// ---- plan cache ------------------------------------------------------------
+
+TEST(PlanCache, SignatureHitAndMiss) {
+  solver::plan_cache_clear();
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+
+  const Solver a(p);
+  auto stats = solver::plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 0);
+
+  const Solver b(p);  // identical signature -> hit
+  stats = solver::plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(a.plan().to_string(), b.plan().to_string());
+
+  StencilProblem q = p;
+  q.nx = 8192;  // different signature -> miss
+  const Solver c(q);
+  stats = solver::plan_cache_stats();
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(PlanCache, PinnedLookupsBypassTheCache) {
+  solver::plan_cache_clear();
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+  {
+    const ScopedEnv pin("TVS_PLAN", "stride=9");
+    const Solver s(p);
+    EXPECT_EQ(s.plan().stride, 9);
+  }
+  auto stats = solver::plan_cache_stats();
+  EXPECT_EQ(stats.pinned, 1);
+  EXPECT_EQ(stats.misses, 0);  // the pin was not stored
+
+  const Solver s(p);  // unpinned: plans fresh, not the pinned knobs
+  EXPECT_EQ(s.plan().stride, 7);
+  stats = solver::plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(PlanCache, ThreadsAndStepsArePartOfTheSignature) {
+  solver::plan_cache_clear();
+  StencilProblem p = solver::problem_2d(Family::kJacobi2D5, 96, 96, 12);
+  const Solver a(p);
+  p.threads = 4;
+  const Solver b(p);
+  p.steps = 24;
+  const Solver c(p);
+  const auto stats = solver::plan_cache_stats();
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+// ---- TVS_PLAN parsing ------------------------------------------------------
+
+TEST(TvsPlan, OverridesSelectedKnobs) {
+  const StencilProblem p = solver::problem_2d(Family::kJacobi2D5, 96, 96, 12);
+  const ScopedEnv pin("TVS_PLAN", "stride=3,tile=512x32,path=tiled");
+  const Solver s(p);
+  EXPECT_EQ(s.plan().stride, 3);
+  EXPECT_EQ(s.plan().tile_w, 512);
+  EXPECT_EQ(s.plan().tile_h, 32);
+  EXPECT_EQ(s.plan().path, Path::kTiledParallel);
+}
+
+TEST(TvsPlan, RoundTripsThroughToString) {
+  const StencilProblem p = solver::problem_1d(Family::kGs1D3, 4096, 24);
+  const ExecutionPlan plan = solver::plan_for(p);
+  const ExecutionPlan again =
+      solver::apply_plan_spec(solver::heuristic_plan(p), plan.to_string());
+  EXPECT_EQ(plan.to_string(), again.to_string());
+}
+
+TEST(TvsPlan, MalformedSpecsThrowClearErrors) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+  const auto expect_throws = [&](const char* spec, const char* needle) {
+    const ScopedEnv pin("TVS_PLAN", spec);
+    try {
+      const Solver s(p);
+      FAIL() << "TVS_PLAN=\"" << spec << "\" was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "spec \"" << spec << "\" produced: " << e.what();
+    }
+  };
+  expect_throws("stride=abc", "not an integer");
+  expect_throws("stride", "key=value");
+  expect_throws("warp=9", "unknown key");
+  expect_throws("tile=12", "WxH");
+  expect_throws("tile=x32", "WxH");
+  expect_throws("path=warp", "unknown path");
+  expect_throws("backend=mmx", "unknown backend");
+  expect_throws("vl=five", "not an integer");
+}
+
+TEST(TvsPlan, IllegalKnobValuesAreRejectedByValidation) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+  {
+    // Stride 1 violates s * dt > dx for the 1D3P dependence set.
+    const ScopedEnv pin("TVS_PLAN", "stride=1");
+    EXPECT_THROW(Solver s(p), std::invalid_argument);
+  }
+  {
+    // Beyond the 1D engines' ring capacity.
+    const ScopedEnv pin("TVS_PLAN", "stride=64");
+    EXPECT_THROW(Solver s(p), std::invalid_argument);
+  }
+  {
+    // No engine registered at vl=5 anywhere.
+    const ScopedEnv pin("TVS_PLAN", "vl=5");
+    EXPECT_THROW(Solver s(p), std::invalid_argument);
+  }
+  {
+    // Jacobi 1D5P has no tiled driver.
+    const ScopedEnv pin("TVS_PLAN", "path=tiled");
+    const StencilProblem q = solver::problem_1d(Family::kJacobi1D5, 4096, 40);
+    EXPECT_THROW(Solver s(q), std::invalid_argument);
+  }
+  {
+    // vl pinning is a serial-path knob.
+    const ScopedEnv pin("TVS_PLAN", "path=tiled,vl=4");
+    EXPECT_THROW(Solver s(p), std::invalid_argument);
+  }
+}
+
+TEST(TvsPlan, WidthPinningKeepsResultsBitIdentical) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  grid::Grid1D<double> direct(p.nx);
+  fill_pattern(direct);
+  tv::tv_jacobi1d3_run(c, direct, p.steps, 7);
+
+  const ScopedEnv pin("TVS_PLAN", "vl=8,stride=7");
+  grid::Grid1D<double> got(p.nx);
+  fill_pattern(got);
+  const Solver s(p);
+  EXPECT_EQ(s.plan().vl, 8);
+  s.run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+// ---- heuristic path choice -------------------------------------------------
+
+TEST(Planner, ThreadsSelectTheTiledPath) {
+  EXPECT_EQ(solver::heuristic_plan(
+                solver::problem_2d(Family::kJacobi2D5, 96, 96, 12))
+                .path,
+            Path::kSerialTv);
+  EXPECT_EQ(solver::heuristic_plan(
+                solver::problem_2d(Family::kJacobi2D5, 96, 96, 12, 4))
+                .path,
+            Path::kTiledParallel);
+  // Jacobi 1D5P has no tiled driver: serial even with a thread budget.
+  EXPECT_EQ(solver::heuristic_plan(
+                solver::problem_1d(Family::kJacobi1D5, 4096, 40, 4))
+                .path,
+            Path::kSerialTv);
+}
+
+TEST(Planner, TileHeightsAreClampedToTheStepCount) {
+  const ExecutionPlan plan = solver::heuristic_plan(
+      solver::problem_1d(Family::kJacobi1D3, 1 << 16, 24, 4));
+  EXPECT_LE(plan.tile_h, 24);
+  EXPECT_EQ(plan.tile_h % 4, 0);
+}
+
+TEST(Planner, TunedModeProducesAValidatedPlan) {
+  solver::plan_cache_clear();
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 24);
+  const ExecutionPlan plan = solver::plan_for(p, PlanMode::kTuned);
+  EXPECT_NO_THROW(solver::validate_plan(p, plan));
+
+  // Tuning never changes results, only speed.
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  grid::Grid1D<double> direct(p.nx), got(p.nx);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_jacobi1d3_run(c, direct, p.steps, plan.stride);
+  Solver(p, plan).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+// ---- family / extent checking ----------------------------------------------
+
+TEST(SolverChecks, FamilyAndExtentMismatchesThrow) {
+  const StencilProblem p = solver::problem_2d(Family::kJacobi2D5, 96, 96, 12);
+  const Solver s(p);
+  grid::Grid1D<double> u1(96);
+  EXPECT_THROW(s.run(stencil::heat1d(0.25), u1), std::invalid_argument);
+
+  grid::Grid2D<double> wrong(64, 96);
+  EXPECT_THROW(s.run(stencil::heat2d(0.2), wrong), std::invalid_argument);
+
+  // The parity-pair overload needs a tiled plan.
+  grid::PingPong<grid::Grid2D<double>> pp(96, 96);
+  EXPECT_THROW(s.run(stencil::heat2d(0.2), pp), std::invalid_argument);
+}
+
+// ---- plan-vs-direct equality, all nine families ----------------------------
+
+TEST(SolverEquality, Jacobi1D3) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  grid::Grid1D<double> direct(p.nx), got(p.nx);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_jacobi1d3_run(c, direct, p.steps, 7);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Jacobi1D5) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D5, 4096, 40);
+  const stencil::C1D5 c = stencil::heat1d5(0.1);
+  grid::Grid1D<double> direct(p.nx), got(p.nx);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_jacobi1d5_run(c, direct, p.steps, 7);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Jacobi2D5) {
+  const StencilProblem p = solver::problem_2d(Family::kJacobi2D5, 96, 80, 12);
+  const stencil::C2D5 c = stencil::heat2d(0.2);
+  grid::Grid2D<double> direct(p.nx, p.ny), got(p.nx, p.ny);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_jacobi2d5_run(c, direct, p.steps, 2);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Jacobi2D9) {
+  const StencilProblem p = solver::problem_2d(Family::kJacobi2D9, 96, 80, 12);
+  const stencil::C2D9 c = stencil::box2d9(0.1);
+  grid::Grid2D<double> direct(p.nx, p.ny), got(p.nx, p.ny);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_jacobi2d9_run(c, direct, p.steps, 2);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Jacobi3D7) {
+  const StencilProblem p =
+      solver::problem_3d(Family::kJacobi3D7, 24, 20, 28, 8);
+  const stencil::C3D7 c = stencil::heat3d(0.1);
+  grid::Grid3D<double> direct(p.nx, p.ny, p.nz), got(p.nx, p.ny, p.nz);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_jacobi3d7_run(c, direct, p.steps, 2);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Gs1D3) {
+  const StencilProblem p = solver::problem_1d(Family::kGs1D3, 4096, 24);
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  grid::Grid1D<double> direct(p.nx), got(p.nx);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_gs1d3_run(c, direct, p.steps, 3);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Gs2D5) {
+  const StencilProblem p = solver::problem_2d(Family::kGs2D5, 96, 80, 12);
+  const stencil::C2D5 c{0.0, 0.25, 0.25, 0.25, 0.25};
+  grid::Grid2D<double> direct(p.nx, p.ny), got(p.nx, p.ny);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_gs2d5_run(c, direct, p.steps, 2);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Gs3D7) {
+  const StencilProblem p = solver::problem_3d(Family::kGs3D7, 24, 20, 28, 8);
+  const stencil::C3D7 c = stencil::heat3d(0.1);
+  grid::Grid3D<double> direct(p.nx, p.ny, p.nz), got(p.nx, p.ny, p.nz);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_gs3d7_run(c, direct, p.steps, 2);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Life) {
+  const StencilProblem p = solver::problem_2d(Family::kLife, 64, 72, 16);
+  const stencil::LifeRule r{};
+  grid::Grid2D<std::int32_t> direct(p.nx, p.ny), got(p.nx, p.ny);
+  std::mt19937 rng(11);
+  direct.fill(0);
+  for (int x = 1; x <= p.nx; ++x)
+    for (int y = 1; y <= p.ny; ++y)
+      direct.at(x, y) = static_cast<std::int32_t>(rng() & 1u);
+  for (int x = 0; x <= p.nx + 1; ++x)
+    for (int y = 0; y <= p.ny + 1; ++y) got.at(x, y) = direct.at(x, y);
+  tv::tv_life_run(r, direct, p.steps, 2);
+  Solver(p).run(r, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEquality, Lcs) {
+  std::mt19937 rng(13);
+  std::vector<std::int32_t> a(600), b(500);
+  for (auto& v : a) v = static_cast<std::int32_t>(rng() % 4);
+  for (auto& v : b) v = static_cast<std::int32_t>(rng() % 4);
+  const StencilProblem p = solver::problem_2d(
+      Family::kLcs, static_cast<int>(a.size()), static_cast<int>(b.size()), 0);
+  const Solver s(p);
+  EXPECT_EQ(s.lcs(a, b), tv::tv_lcs(a, b));
+  EXPECT_EQ(s.lcs_row(a, b), tv::tv_lcs_row(a, b));
+  EXPECT_EQ(s.lcs(a, b), stencil::lcs_ref(a, b));
+}
+
+// ---- tiled-path equality ---------------------------------------------------
+
+TEST(SolverEqualityTiled, Jacobi1D3Diamond) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 64, 2);
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  grid::Grid1D<double> direct(p.nx), got(p.nx);
+  fill_pattern(direct);
+  fill_pattern(got);
+
+  const ExecutionPlan plan = solver::plan_for(p);
+  ASSERT_EQ(plan.path, Path::kTiledParallel);
+  tiling::Diamond1DOptions opt{plan.tile_w, plan.tile_h, plan.stride, true};
+  tiling::diamond_jacobi1d3_run(c, direct, p.steps, opt);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEqualityTiled, Jacobi2D5Diamond) {
+  const StencilProblem p =
+      solver::problem_2d(Family::kJacobi2D5, 96, 80, 32, 2);
+  const stencil::C2D5 c = stencil::heat2d(0.2);
+  grid::Grid2D<double> direct(p.nx, p.ny), got(p.nx, p.ny);
+  fill_pattern(direct);
+  fill_pattern(got);
+
+  const ExecutionPlan plan = solver::plan_for(p);
+  ASSERT_EQ(plan.path, Path::kTiledParallel);
+  tiling::Diamond2DOptions opt{plan.tile_w, plan.tile_h, plan.stride, true};
+  tiling::diamond_jacobi2d5_run(c, direct, p.steps, opt);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEqualityTiled, Gs1D3Parallelogram) {
+  const StencilProblem p = solver::problem_1d(Family::kGs1D3, 4096, 64, 2);
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  grid::Grid1D<double> direct(p.nx), got(p.nx);
+  fill_pattern(direct);
+  fill_pattern(got);
+
+  const ExecutionPlan plan = solver::plan_for(p);
+  ASSERT_EQ(plan.path, Path::kTiledParallel);
+  tiling::Parallelogram1DOptions opt{plan.tile_w, plan.tile_h, plan.stride,
+                                     true};
+  tiling::parallelogram_gs1d3_run(c, direct, p.steps, opt);
+  Solver(p).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(SolverEqualityTiled, LcsWavefront) {
+  std::mt19937 rng(17);
+  std::vector<std::int32_t> a(3000), b(2500);
+  for (auto& v : a) v = static_cast<std::int32_t>(rng() % 4);
+  for (auto& v : b) v = static_cast<std::int32_t>(rng() % 4);
+  const StencilProblem p =
+      solver::problem_2d(Family::kLcs, static_cast<int>(a.size()),
+                         static_cast<int>(b.size()), 0, 2);
+  const Solver s(p);
+  ASSERT_EQ(s.plan().path, Path::kTiledParallel);
+  tiling::LcsWavefrontOptions opt{s.plan().tile_w, s.plan().tile_h, true};
+  EXPECT_EQ(s.lcs(a, b), tiling::lcs_wavefront(a, b, opt));
+}
+
+}  // namespace
+}  // namespace tvs
