@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py (geomean math, missing-row handling,
+the >threshold regression gate, schema/shared-row error paths).
+
+Run directly (python3 bench/test_compare_bench.py) or via unittest
+discovery; CI runs it in the bench-regression job before the real gate.
+"""
+import json
+import math
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_bench  # noqa: E402
+
+
+def doc(benches):
+    return {"schema": "tvs-bench-v1", "host": "test", "benches": benches}
+
+
+def bench(name, rows, columns=("size", "our", "scalar"), title="T"):
+    return {
+        "name": name,
+        "tables": [{"title": title, "columns": list(columns),
+                    "rows": [list(r) for r in rows]}],
+    }
+
+
+class RateRowsTest(unittest.TestCase):
+    def test_extracts_requested_column(self):
+        d = doc([bench("b1", [["2^10", 3.5, 1.0], ["2^11", 4.0, 1.1]])])
+        rates = compare_bench.rate_rows(d, "our")
+        self.assertEqual(rates[("b1", "T", "2^10")], 3.5)
+        self.assertEqual(rates[("b1", "T", "2^11")], 4.0)
+
+    def test_skips_tables_without_column(self):
+        d = doc([bench("b1", [["r", 1.2]], columns=("size", "speedup"))])
+        self.assertEqual(compare_bench.rate_rows(d, "our"), {})
+
+    def test_skips_error_benches_and_nonpositive_rates(self):
+        d = doc([
+            {"name": "broken", "error": "exit-1"},
+            bench("ok", [["a", 0.0, 1.0], ["b", -1.0, 1.0], ["c", 2.0, 1.0]]),
+        ])
+        rates = compare_bench.rate_rows(d, "our")
+        self.assertEqual(list(rates), [("ok", "T", "c")])
+
+    def test_non_numeric_cells_are_ignored(self):
+        d = doc([bench("b", [["a", "1.5x", 1.0], ["b", 2.0, 1.0]])])
+        rates = compare_bench.rate_rows(d, "our")
+        self.assertEqual(list(rates), [("b", "T", "b")])
+
+
+class CompareMainTest(unittest.TestCase):
+    def run_main(self, base, cur, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            bp = os.path.join(tmp, "base.json")
+            cp = os.path.join(tmp, "cur.json")
+            with open(bp, "w") as f:
+                json.dump(base, f)
+            with open(cp, "w") as f:
+                json.dump(cur, f)
+            return compare_bench.main(["compare_bench.py", bp, cp] +
+                                      list(extra))
+
+    def test_identical_docs_pass(self):
+        d = doc([bench("b", [["a", 3.0, 1.0]])])
+        self.assertEqual(self.run_main(d, d), 0)
+
+    def test_geomean_gate_fails_beyond_threshold(self):
+        base = doc([bench("b", [["a", 1.0, 1.0], ["b", 1.0, 1.0]])])
+        # geomean(0.5, 1.0) = sqrt(0.5) ~ 0.707 < 0.8 -> fail
+        cur = doc([bench("b", [["a", 0.5, 1.0], ["b", 1.0, 1.0]])])
+        self.assertEqual(self.run_main(base, cur), 1)
+
+    def test_geomean_gate_passes_within_threshold(self):
+        base = doc([bench("b", [["a", 1.0, 1.0], ["b", 1.0, 1.0]])])
+        # geomean(0.9, 1.0) ~ 0.949 >= 0.8 -> pass
+        cur = doc([bench("b", [["a", 0.9, 1.0], ["b", 1.0, 1.0]])])
+        self.assertEqual(self.run_main(base, cur), 0)
+
+    def test_custom_threshold(self):
+        base = doc([bench("b", [["a", 1.0, 1.0]])])
+        cur = doc([bench("b", [["a", 0.93, 1.0]])])
+        self.assertEqual(self.run_main(base, cur, "--threshold", "0.05"), 1)
+        self.assertEqual(self.run_main(base, cur, "--threshold", "0.10"), 0)
+
+    def test_missing_rows_are_skipped_not_fatal(self):
+        # Baseline recorded in full mode (more sizes) stays comparable over
+        # the shared rows; the extra baseline row must not poison the gate.
+        base = doc([bench("b", [["a", 1.0, 1.0], ["full-only", 9.0, 1.0]])])
+        cur = doc([bench("b", [["a", 1.0, 1.0], ["quick-only", 0.1, 1.0]])])
+        self.assertEqual(self.run_main(base, cur), 0)
+
+    def test_new_bench_without_baseline_rows_is_skipped(self):
+        base = doc([bench("old", [["a", 1.0, 1.0]])])
+        cur = doc([bench("old", [["a", 1.0, 1.0]]),
+                   bench("brand-new", [["a", 0.01, 1.0]])])
+        self.assertEqual(self.run_main(base, cur), 0)
+
+    def test_no_shared_rows_is_an_error(self):
+        base = doc([bench("b1", [["a", 1.0, 1.0]])])
+        cur = doc([bench("b2", [["a", 1.0, 1.0]])])
+        self.assertEqual(self.run_main(base, cur), 2)
+
+    def test_bad_schema_is_an_error(self):
+        good = doc([bench("b", [["a", 1.0, 1.0]])])
+        bad = {"schema": "something-else", "benches": []}
+        self.assertEqual(self.run_main(bad, good), 2)
+        self.assertEqual(self.run_main(good, bad), 2)
+
+    def test_geomean_is_geometric_not_arithmetic(self):
+        base = doc([bench("b", [["a", 1.0, 1.0], ["b", 1.0, 1.0]])])
+        # ratios 0.5 and 1.31: arithmetic mean 0.905 would pass a 0.2 gate,
+        # geomean sqrt(0.655) ~ 0.809 also passes, but at 0.19 threshold
+        # (gate 0.81) the geomean fails while the arithmetic mean would not.
+        cur = doc([bench("b", [["a", 0.5, 1.0], ["b", 1.31, 1.0]])])
+        geo = math.sqrt(0.5 * 1.31)
+        self.assertLess(geo, 0.81)
+        self.assertEqual(self.run_main(base, cur, "--threshold", "0.19"), 1)
+        self.assertEqual(self.run_main(base, cur, "--threshold", "0.20"), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

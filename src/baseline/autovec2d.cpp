@@ -189,10 +189,12 @@ void par_autovec_life(const stencil::LifeRule& r,
 TVS_BACKEND_REGISTRAR(autovec2d) {
   TVS_REGISTER(kAutovecJacobi2D5, BlJacobi2D5Fn, autovec_jacobi2d5);
   TVS_REGISTER(kAutovecJacobi2D9, BlJacobi2D9Fn, autovec_jacobi2d9);
-  TVS_REGISTER(kAutovecLife, BlLifeFn, autovec_life);
+  TVS_REGISTER_DT(kAutovecLife, BlLifeFn, autovec_life,
+                  dispatch::DType::kI32);
   TVS_REGISTER(kParAutovecJacobi2D5, BlJacobi2D5Fn, par_autovec_jacobi2d5);
   TVS_REGISTER(kParAutovecJacobi2D9, BlJacobi2D9Fn, par_autovec_jacobi2d9);
-  TVS_REGISTER(kParAutovecLife, BlLifeFn, par_autovec_life);
+  TVS_REGISTER_DT(kParAutovecLife, BlLifeFn, par_autovec_life,
+                  dispatch::DType::kI32);
 }
 
 }  // namespace tvs::baseline

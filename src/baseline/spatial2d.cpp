@@ -135,7 +135,8 @@ void multiload_life(const stencil::LifeRule& r,
 TVS_BACKEND_REGISTRAR(spatial2d) {
   TVS_REGISTER(kMultiloadJacobi2D5, BlJacobi2D5Fn, multiload_jacobi2d5);
   TVS_REGISTER(kMultiloadJacobi2D9, BlJacobi2D9Fn, multiload_jacobi2d9);
-  TVS_REGISTER(kMultiloadLife, BlLifeFn, multiload_life);
+  TVS_REGISTER_DT(kMultiloadLife, BlLifeFn, multiload_life,
+                  dispatch::DType::kI32);
 }
 
 }  // namespace tvs::baseline

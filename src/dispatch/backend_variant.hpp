@@ -67,17 +67,24 @@ using BackendVec =
       mod)(tvs::dispatch::KernelRegistry * tvs_reg_)
 
 // Registers `fn` for `id` under this TU's backend at vector length `vl`
-// (the registry's width axis; a TU's first registration of an id is its
-// native engine, so register the native width before any pinned extras).
-// The static_cast against the signature alias makes a producer/consumer
-// signature mismatch a compile error here rather than undefined behaviour
-// at the call site.
-#define TVS_REGISTER_VL(id, FnAlias, fn, vl)                        \
-  tvs_reg_->add(tvs::dispatch::id, tvs::dispatch::kThisBackend, vl, \
-                reinterpret_cast<tvs::dispatch::AnyFn>(             \
+// and element type `dt` (the registry's width and dtype axes; a TU's first
+// registration of (id, dtype) is its native engine for that dtype, so
+// register the native width before any pinned extras, and the default
+// dtype before any reduced-precision variants).  The static_cast against
+// the signature alias makes a producer/consumer signature mismatch a
+// compile error here rather than undefined behaviour at the call site.
+#define TVS_REGISTER_VL_DT(id, FnAlias, fn, vl, dt)                     \
+  tvs_reg_->add(tvs::dispatch::id, tvs::dispatch::kThisBackend, vl, dt, \
+                reinterpret_cast<tvs::dispatch::AnyFn>(                 \
                     static_cast<tvs::dispatch::FnAlias*>(&(fn))))
 
-// Width-agnostic form for kernels with no meaningful lane count
+// Double-precision shorthand (the classic engines).
+#define TVS_REGISTER_VL(id, FnAlias, fn, vl) \
+  TVS_REGISTER_VL_DT(id, FnAlias, fn, vl, tvs::dispatch::DType::kF64)
+
+// Width-agnostic forms for kernels with no meaningful lane count
 // (autovectorized baselines, tiling drivers).
+#define TVS_REGISTER_DT(id, FnAlias, fn, dt) \
+  TVS_REGISTER_VL_DT(id, FnAlias, fn, tvs::dispatch::kAnyVl, dt)
 #define TVS_REGISTER(id, FnAlias, fn) \
-  TVS_REGISTER_VL(id, FnAlias, fn, tvs::dispatch::kAnyVl)
+  TVS_REGISTER_DT(id, FnAlias, fn, tvs::dispatch::DType::kF64)

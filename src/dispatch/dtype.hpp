@@ -1,0 +1,64 @@
+// Element-type (dtype) axis of the kernel registry and the solver.
+//
+// Temporal engines are registered per (id, backend, vector length, dtype):
+// the double engines are the paper's configuration, the float engines
+// double the lanes per register (8 per AVX2 register, 16 per AVX-512 —
+// exactly the vl scaling of §3/Table 1), and the int32 engines serve the
+// Game-of-Life and LCS kernels.  `dtype_name` strings appear in problem
+// signatures ("jacobi2d5:...:dtype=f32") and TVS-facing error messages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tvs::dispatch {
+
+enum class DType : int { kF64 = 0, kF32 = 1, kI32 = 2 };
+
+inline constexpr int kDTypeCount = 3;
+
+// "f64" / "f32" / "i32".
+constexpr std::string_view dtype_name(DType d) {
+  switch (d) {
+    case DType::kF64:
+      return "f64";
+    case DType::kF32:
+      return "f32";
+    case DType::kI32:
+      return "i32";
+  }
+  return "?";
+}
+
+// Inverse of dtype_name; nullopt for unknown strings.
+constexpr std::optional<DType> parse_dtype(std::string_view name) {
+  if (name == "f64") return DType::kF64;
+  if (name == "f32") return DType::kF32;
+  if (name == "i32") return DType::kI32;
+  return std::nullopt;
+}
+
+// Bytes per element.
+constexpr std::size_t dtype_size(DType d) {
+  return d == DType::kF64 ? 8 : 4;
+}
+
+// Maps an element type to its DType tag (used by the registration macros).
+template <class T>
+struct dtype_of;
+template <>
+struct dtype_of<double> {
+  static constexpr DType value = DType::kF64;
+};
+template <>
+struct dtype_of<float> {
+  static constexpr DType value = DType::kF32;
+};
+template <>
+struct dtype_of<std::int32_t> {
+  static constexpr DType value = DType::kI32;
+};
+
+}  // namespace tvs::dispatch

@@ -45,6 +45,25 @@ using TvJacobi3D7Fn = void(const stencil::C3D7&, grid::Grid3D<double>&, long,
 using TvGs1D3Fn = void(const stencil::C1D3&, grid::Grid1D<double>&, long, int);
 using TvGs2D5Fn = void(const stencil::C2D5&, grid::Grid2D<double>&, long, int);
 using TvGs3D7Fn = void(const stencil::C3D7&, grid::Grid3D<double>&, long, int);
+// Single-precision variants of the temporal engines: same ids, registered
+// under DType::kF32 (the registry's dtype axis keeps the signatures
+// straight).
+using TvJacobi1D3F32Fn = void(const stencil::C1D3f&, grid::Grid1D<float>&,
+                              long, int);
+using TvJacobi1D5F32Fn = void(const stencil::C1D5f&, grid::Grid1D<float>&,
+                              long, int);
+using TvJacobi2D5F32Fn = void(const stencil::C2D5f&, grid::Grid2D<float>&,
+                              long, int);
+using TvJacobi2D9F32Fn = void(const stencil::C2D9f&, grid::Grid2D<float>&,
+                              long, int);
+using TvJacobi3D7F32Fn = void(const stencil::C3D7f&, grid::Grid3D<float>&,
+                              long, int);
+using TvGs1D3F32Fn = void(const stencil::C1D3f&, grid::Grid1D<float>&, long,
+                          int);
+using TvGs2D5F32Fn = void(const stencil::C2D5f&, grid::Grid2D<float>&, long,
+                          int);
+using TvGs3D7F32Fn = void(const stencil::C3D7f&, grid::Grid3D<float>&, long,
+                          int);
 using TvLifeFn = void(const stencil::LifeRule&, grid::Grid2D<std::int32_t>&,
                       long, int);
 // Fills row[0..|b|] with the final DP row; row must have

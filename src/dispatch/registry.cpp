@@ -36,14 +36,36 @@ KernelRegistry& KernelRegistry::instance() {
   return reg;
 }
 
-void KernelRegistry::add(std::string_view id, Backend b, int vl, AnyFn fn) {
-  entries_.push_back(Entry{id, b, vl, fn});
+void KernelRegistry::add(std::string_view id, Backend b, int vl, DType dt,
+                         AnyFn fn) {
+  entries_.push_back(Entry{id, b, vl, dt, fn});
   backend_seen_[static_cast<int>(b)] = true;
 }
 
+DType KernelRegistry::default_dtype(std::string_view id) const {
+  // The id's first registration overall fixes its default dtype (the
+  // scalar registrar runs first and registers the classic engine before
+  // any dtype extras).
+  for (const Entry& e : entries_) {
+    if (e.id == id) return e.dtype;
+  }
+  throw_unknown(id, Backend::kScalar, kAnyVl, DType::kF64);
+}
+
+DType KernelRegistry::default_dtype_or_f64(std::string_view id) const {
+  // Non-throwing variant for error-message construction: a dtype-less
+  // lookup that fails should report the dtype it actually searched (the
+  // id's default), falling back to f64 only for wholly unknown ids.
+  for (const Entry& e : entries_) {
+    if (e.id == id) return e.dtype;
+  }
+  return DType::kF64;
+}
+
 AnyFn KernelRegistry::find(std::string_view id, Backend b) const {
-  // First match = the backend's native registration (registrars register
-  // the native engine before any width-pinned extras).
+  // First match = the backend's native registration of the id's default
+  // dtype (registrars register the native engine before any pinned or
+  // reduced-precision extras).
   for (const Entry& e : entries_) {
     if (e.backend == b && e.id == id) return e.fn;
   }
@@ -51,30 +73,63 @@ AnyFn KernelRegistry::find(std::string_view id, Backend b) const {
 }
 
 AnyFn KernelRegistry::find(std::string_view id, Backend b, int vl) const {
+  // Width-pinned pre-dtype lookup: restricted to the id's default dtype so
+  // a float engine can never satisfy (and be cast to) a double-signature
+  // request.
+  const Entry* def = nullptr;
   for (const Entry& e : entries_) {
-    if (e.backend == b && e.vl == vl && e.id == id) return e.fn;
+    if (e.id != id) continue;
+    if (def == nullptr) def = &e;  // first registration = default dtype
+    if (e.backend == b && e.vl == vl && e.dtype == def->dtype) return e.fn;
   }
   return nullptr;
 }
 
-void KernelRegistry::throw_unknown(std::string_view id, Backend b,
-                                   int vl) const {
+AnyFn KernelRegistry::find(std::string_view id, Backend b, int vl,
+                           DType dt) const {
+  for (const Entry& e : entries_) {
+    if (e.backend == b && e.id == id && e.dtype == dt &&
+        (vl == kAnyVl || e.vl == vl))
+      return e.fn;
+  }
+  return nullptr;
+}
+
+void KernelRegistry::throw_unknown(std::string_view id, Backend b, int vl,
+                                   DType dt) const {
   // A failed lookup during a refactor usually means a registrar was not
   // updated; list what IS registered so the missing piece is obvious — the
-  // id's available widths when only the pinned width is missing, the full
+  // id's available widths/dtypes when only the pin is missing, the full
   // id list when the id itself is unknown.
   std::string msg = "tvs: no kernel registered under id \"" + std::string(id) +
                     "\" at or below backend " + std::string(backend_name(b));
   if (vl != kAnyVl) msg += " with vl=" + std::to_string(vl);
-  const std::vector<int> widths = registered_widths(id, b);
-  if (!widths.empty()) {
-    msg += ". Registered widths for this id:";
-    for (int w : widths) msg += ' ' + std::to_string(w);
+  msg += " dtype=" + std::string(dtype_name(dt));
+  bool known = false;
+  for (const Entry& e : entries_) {
+    if (e.id == id) {
+      known = true;
+      break;
+    }
+  }
+  if (known) {
+    msg += ". Registered (dtype: widths) for this id:";
+    for (const DType d : registered_dtypes(id, b)) {
+      msg += ' ';
+      msg += dtype_name(d);
+      msg += ':';
+      bool first = true;
+      for (int w : registered_widths(id, b, d)) {
+        if (!first) msg += ',';
+        msg += std::to_string(w);
+        first = false;
+      }
+    }
   } else {
     msg += ". Registered ids:";
-    for (std::string_view known : kernel_ids()) {
+    for (std::string_view other : kernel_ids()) {
       msg += ' ';
-      msg += known;
+      msg += other;
     }
   }
   throw std::runtime_error(msg);
@@ -86,7 +141,7 @@ Backend KernelRegistry::resolved_backend_at(std::string_view id,
     if (find(id, static_cast<Backend>(l)) != nullptr)
       return static_cast<Backend>(l);
   }
-  throw_unknown(id, b, kAnyVl);
+  throw_unknown(id, b, kAnyVl, default_dtype_or_f64(id));
 }
 
 Backend KernelRegistry::resolved_backend_at(std::string_view id, Backend b,
@@ -95,7 +150,16 @@ Backend KernelRegistry::resolved_backend_at(std::string_view id, Backend b,
     if (find(id, static_cast<Backend>(l), vl) != nullptr)
       return static_cast<Backend>(l);
   }
-  throw_unknown(id, b, vl);
+  throw_unknown(id, b, vl, default_dtype_or_f64(id));
+}
+
+Backend KernelRegistry::resolved_backend_at(std::string_view id, Backend b,
+                                            int vl, DType dt) const {
+  for (int l = static_cast<int>(b); l >= 0; --l) {
+    if (find(id, static_cast<Backend>(l), vl, dt) != nullptr)
+      return static_cast<Backend>(l);
+  }
+  throw_unknown(id, b, vl, dt);
 }
 
 AnyFn KernelRegistry::resolve_at(std::string_view id, Backend b) const {
@@ -105,6 +169,11 @@ AnyFn KernelRegistry::resolve_at(std::string_view id, Backend b) const {
 AnyFn KernelRegistry::resolve_at(std::string_view id, Backend b,
                                  int vl) const {
   return find(id, resolved_backend_at(id, b, vl), vl);
+}
+
+AnyFn KernelRegistry::resolve_at(std::string_view id, Backend b, int vl,
+                                 DType dt) const {
+  return find(id, resolved_backend_at(id, b, vl, dt), vl, dt);
 }
 
 AnyFn KernelRegistry::resolve(std::string_view id) const {
@@ -130,15 +199,32 @@ std::vector<std::string_view> KernelRegistry::kernel_ids() const {
 
 std::vector<int> KernelRegistry::registered_widths(std::string_view id,
                                                    Backend b) const {
+  return registered_widths(id, b, default_dtype(id));
+}
+
+std::vector<int> KernelRegistry::registered_widths(std::string_view id,
+                                                   Backend b, DType dt) const {
   std::vector<int> widths;
   for (const Entry& e : entries_) {
-    if (e.id == id && e.vl != kAnyVl &&
+    if (e.id == id && e.vl != kAnyVl && e.dtype == dt &&
         static_cast<int>(e.backend) <= static_cast<int>(b))
       widths.push_back(e.vl);
   }
   std::sort(widths.begin(), widths.end());
   widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
   return widths;
+}
+
+std::vector<DType> KernelRegistry::registered_dtypes(std::string_view id,
+                                                     Backend b) const {
+  std::vector<DType> dts;
+  for (const Entry& e : entries_) {
+    if (e.id == id && static_cast<int>(e.backend) <= static_cast<int>(b))
+      dts.push_back(e.dtype);
+  }
+  std::sort(dts.begin(), dts.end());
+  dts.erase(std::unique(dts.begin(), dts.end()), dts.end());
+  return dts;
 }
 
 }  // namespace tvs::dispatch

@@ -1,5 +1,5 @@
-// KernelRegistry: the (kernel id, backend, vector length) -> function
-// pointer table behind every public `*_run` entry point.
+// KernelRegistry: the (kernel id, backend, vector length, dtype) ->
+// function pointer table behind every public `*_run` entry point.
 //
 // Layout of the dispatch subsystem:
 //
@@ -16,13 +16,20 @@
 //
 // The vector length is a first-class registry axis: every temporal kernel
 // registers with the lane count it was instantiated at (its backend's
-// native width — 4/8 doubles, 8/16 int32s), and the scalar backend
-// additionally registers width-pinned wide instantiations
-// (ScalarVec<double, 8>, ScalarVec<int32, 16>) so a width-pinned lookup
-// resolves on every host.  `resolve_at(id, b)` ignores the width (each
-// backend's *first* registration of an id is its native engine);
-// `resolve_at(id, b, vl)` pins it.  Kernels with no meaningful lane count
-// (autovectorized baselines, tiling drivers) register with vl = 0.
+// native width — 4/8 doubles, 8/16 floats or int32s), and the scalar
+// backend additionally registers width-pinned wide instantiations
+// (ScalarVec<double, 8>, ScalarVec<float, 16>, ScalarVec<int32, 16>) so a
+// width-pinned lookup resolves on every host.
+//
+// The element type (dtype) is the second value axis: one id can carry a
+// double, a float and (for Life/LCS) an int32 engine family.  Each entry
+// is tagged with its dtype; lookups WITHOUT a dtype resolve against the
+// id's *default* dtype — the dtype of the id's very first registration
+// (f64 for the FP kernels, i32 for Life/LCS) — so every pre-dtype call
+// site keeps its exact semantics and can never cast a float engine to a
+// double signature.  Dtype-qualified lookups (`resolve_at(id, b, vl, dt)`)
+// pin the axis; vl = kAnyVl there means "the backend's native width for
+// that dtype" (its first registration of (id, dtype)).
 //
 // Lookup falls back *downward* only: a kernel asked for at avx512 that has
 // no avx512 variant resolves to its avx2 variant, then scalar.  Every
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "dispatch/backend.hpp"
+#include "dispatch/dtype.hpp"
 
 namespace tvs::dispatch {
 
@@ -55,23 +63,34 @@ class KernelRegistry {
 
   // Registration-phase only (called by the backend registrars).  `vl` is
   // the lane count of the registered engine (kAnyVl for kernels with no
-  // meaningful vector length).  The first registration of an id per
-  // backend is that backend's native engine.
-  void add(std::string_view id, Backend b, int vl, AnyFn fn);
+  // meaningful vector length), `dt` its element type.  The first
+  // registration of (id, dtype) per backend is that backend's native
+  // engine for the dtype; the id's overall first registration fixes its
+  // default dtype.
+  void add(std::string_view id, Backend b, int vl, DType dt, AnyFn fn);
 
-  // Exact lookup at the backend's native engine: nullptr when (id, b) has
-  // no entry.  The 3-argument form requires the exact vector length.
+  // Exact lookup at the backend's native engine of the id's default
+  // dtype: nullptr when (id, b) has no entry.  The 3-argument form
+  // additionally requires the exact vector length.
   AnyFn find(std::string_view id, Backend b) const;
   AnyFn find(std::string_view id, Backend b, int vl) const;
+  // Dtype-pinned exact lookup; vl = kAnyVl matches the backend's native
+  // width for the dtype.
+  AnyFn find(std::string_view id, Backend b, int vl, DType dt) const;
 
   // Lookup at backend `b` with downward fallback; throws std::runtime_error
   // listing the registered ids for an id with no entry at or below `b`.
-  // The `vl` forms restrict the search to engines at that lane count.
+  // The `vl` forms restrict the search to engines at that lane count, the
+  // `dt` forms to engines of that element type (no-dt forms use the id's
+  // default dtype).
   AnyFn resolve_at(std::string_view id, Backend b) const;
   AnyFn resolve_at(std::string_view id, Backend b, int vl) const;
+  AnyFn resolve_at(std::string_view id, Backend b, int vl, DType dt) const;
   // The backend resolve_at() would use (for tests / introspection).
   Backend resolved_backend_at(std::string_view id, Backend b) const;
   Backend resolved_backend_at(std::string_view id, Backend b, int vl) const;
+  Backend resolved_backend_at(std::string_view id, Backend b, int vl,
+                              DType dt) const;
 
   // resolve_at / resolved_backend_at at selected_backend().
   AnyFn resolve(std::string_view id) const;
@@ -84,9 +103,19 @@ class KernelRegistry {
   // Sorted unique kernel ids.
   std::vector<std::string_view> kernel_ids() const;
 
-  // Sorted unique lane counts registered for `id` at or below `b`
-  // (kAnyVl entries excluded) — which widths a pinned lookup can resolve.
+  // The dtype of the id's first registration (its pre-dtype-axis
+  // behaviour); throws for unknown ids.
+  DType default_dtype(std::string_view id) const;
+
+  // Sorted unique lane counts registered for `id` at or below `b` at the
+  // given dtype — which widths a pinned lookup can resolve.  The two-
+  // argument form uses the id's default dtype.
   std::vector<int> registered_widths(std::string_view id, Backend b) const;
+  std::vector<int> registered_widths(std::string_view id, Backend b,
+                                     DType dt) const;
+
+  // Sorted unique dtypes registered for `id` at or below `b`.
+  std::vector<DType> registered_dtypes(std::string_view id, Backend b) const;
 
   template <class Fn>
   Fn* get(std::string_view id) const {
@@ -103,15 +132,28 @@ class KernelRegistry {
   Fn* get_at(std::string_view id, Backend b, int vl) const {
     return reinterpret_cast<Fn*>(resolve_at(id, b, vl));
   }
+  // Dtype-pinned lookup (vl = kAnyVl -> the backend's native width for the
+  // dtype).  Fn must be the dtype's signature alias (e.g. the float alias
+  // for kF32) — the dtype axis is what keeps this cast sound.
+  template <class Fn>
+  Fn* get_at(std::string_view id, Backend b, int vl, DType dt) const {
+    return reinterpret_cast<Fn*>(resolve_at(id, b, vl, dt));
+  }
 
  private:
+  // default_dtype that cannot throw (falls back to kF64 for unknown ids);
+  // used when building lookup-failure messages.
+  DType default_dtype_or_f64(std::string_view id) const;
+
   struct Entry {
     std::string_view id;  // points at a string literal from kernels.hpp
     Backend backend;
-    int vl;  // lane count of the registered engine (kAnyVl = unspecified)
+    int vl;    // lane count of the registered engine (kAnyVl = unspecified)
+    DType dtype;
     AnyFn fn;
   };
-  [[noreturn]] void throw_unknown(std::string_view id, Backend b, int vl) const;
+  [[noreturn]] void throw_unknown(std::string_view id, Backend b, int vl,
+                                  DType dt) const;
   std::vector<Entry> entries_;
   bool backend_seen_[kBackendCount] = {};
 };

@@ -51,6 +51,26 @@ inline VecD4 collect_tops_arr(const VecD4* w) {
   return collect_tops(w[0], w[1], w[2], w[3]);
 }
 
+// {a7,b7,...,h7} floats via the same unpack tree as VecI8 (6 in-lane
+// unpacks + 1 lane-crossing permute).
+inline VecF8 collect_tops(VecF8 a, VecF8 b, VecF8 c, VecF8 d, VecF8 e,
+                          VecF8 f, VecF8 g, VecF8 h) {
+  // unpackhi_ps(x, y) = {x2,y2,x3,y3, x6,y6,x7,y7}; the lane-7 values land
+  // in positions 6,7 of each 128-bit half after the first level.
+  const __m256 ab = _mm256_unpackhi_ps(a.r, b.r);
+  const __m256 cd = _mm256_unpackhi_ps(c.r, d.r);
+  const __m256 ef = _mm256_unpackhi_ps(e.r, f.r);
+  const __m256 gh = _mm256_unpackhi_ps(g.r, h.r);
+  const __m256 abcd = _mm256_castpd_ps(
+      _mm256_unpackhi_pd(_mm256_castps_pd(ab), _mm256_castps_pd(cd)));
+  const __m256 efgh = _mm256_castpd_ps(
+      _mm256_unpackhi_pd(_mm256_castps_pd(ef), _mm256_castps_pd(gh)));
+  return VecF8{_mm256_permute2f128_ps(abcd, efgh, 0x31)};
+}
+inline VecF8 collect_tops_arr(const VecF8* w) {
+  return collect_tops(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7]);
+}
+
 // {a7,b7,...,h7} via an unpack tree (6 in-lane unpacks + 1 lane-crossing).
 inline VecI8 collect_tops(VecI8 a, VecI8 b, VecI8 c, VecI8 d, VecI8 e,
                           VecI8 f, VecI8 g, VecI8 h) {
@@ -97,6 +117,16 @@ inline VecI16 collect_tops_arr(const VecI16* w) {
                                       w[j].r);
   return VecI16{r};
 }
+
+// One masked lane-broadcast per source vector: lane j <- w[j] lane 15.
+inline VecF16 collect_tops_arr(const VecF16* w) {
+  const __m512i top = _mm512_set1_epi32(15);
+  __m512 r = _mm512_permutexvar_ps(top, w[0].r);
+  for (int j = 1; j < 16; ++j)
+    r = _mm512_mask_permutexvar_ps(r, static_cast<__mmask16>(1u << j), top,
+                                   w[j].r);
+  return VecF16{r};
+}
 #endif
 
 // Shift `a` one lane up, inserting the lane-0 value of `fresh` at the
@@ -111,6 +141,10 @@ inline V shift_in_low_v(V a, V fresh) {
 #if defined(__AVX2__)
 inline VecD4 shift_in_low_v(VecD4 a, VecD4 fresh) {
   return VecD4{_mm256_blend_pd(_mm256_permute4x64_pd(a.r, 0x93), fresh.r, 0x1)};
+}
+inline VecF8 shift_in_low_v(VecF8 a, VecF8 fresh) {
+  return VecF8{_mm256_blend_ps(
+      _mm256_permutevar8x32_ps(a.r, detail::rotidxf_up()), fresh.r, 0x1)};
 }
 inline VecI8 shift_in_low_v(VecI8 a, VecI8 fresh) {
   return VecI8{_mm256_blend_epi32(

@@ -6,9 +6,9 @@
 //   * `ScalarVec<T, N>` — plain-array implementation, valid for any
 //     arithmetic T and any N.  Used as the reference backend in tests and as
 //     the fallback on machines without AVX2.
-//   * `VecD4` / `VecI8` (in `vec_avx2.hpp`) — AVX2 `double x 4` and
-//     `int32 x 8` implementations, the vector shapes the paper evaluates —
-//     plus `VecD8` / `VecI16` (in `vec_avx512.hpp`), their AVX-512 doubles.
+//   * `VecD4` / `VecF8` / `VecI8` (in `vec_avx2.hpp`) — AVX2 `double x 4`,
+//     `float x 8` and `int32 x 8` implementations — plus `VecD8` / `VecF16`
+//     / `VecI16` (in `vec_avx512.hpp`), their AVX-512 widenings.
 //
 // Lane-genericity contract: a type V modelling this interface exposes
 // `value_type`, a constexpr `lanes`, the static load/loadu/set1/zero
@@ -210,6 +210,10 @@ struct native_vec<double, 4> {
   using type = VecD4;
 };
 template <>
+struct native_vec<float, 8> {
+  using type = VecF8;
+};
+template <>
 struct native_vec<std::int32_t, 8> {
   using type = VecI8;
 };
@@ -218,6 +222,10 @@ struct native_vec<std::int32_t, 8> {
 template <>
 struct native_vec<double, 8> {
   using type = VecD8;
+};
+template <>
+struct native_vec<float, 16> {
+  using type = VecF16;
 };
 template <>
 struct native_vec<std::int32_t, 16> {

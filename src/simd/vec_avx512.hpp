@@ -1,5 +1,8 @@
-// AVX-512 implementations of the Vec interface: `VecD8` (double x 8) and
-// `VecI16` (int32 x 16, used by the Game-of-Life and LCS kernels).
+// AVX-512 implementations of the Vec interface: `VecD8` (double x 8),
+// `VecF16` (float x 16 — the widest lane count in the library, the
+// single-precision regime where temporal vectorization's vl scaling pays
+// the most) and `VecI16` (int32 x 16, used by the Game-of-Life and LCS
+// kernels).
 //
 // The paper evaluates vl = 4 (AVX); wider vectors are its stated future
 // direction: with vl = 8 a temporal tile advances *eight* time steps per
@@ -105,6 +108,105 @@ inline VecD8 shift_in_low(VecD8 a, double x) {
 inline VecD8 shift_in_low_v(VecD8 a, VecD8 fresh) {
   const __m512d rot = _mm512_permutexvar_pd(detail::idx512_up(), a.r);
   return VecD8{_mm512_mask_mov_pd(rot, 0x1, fresh.r)};
+}
+
+// ---------------------------------------------------------------------------
+// float x 16
+// ---------------------------------------------------------------------------
+struct VecF16 {
+  using value_type = float;
+  static constexpr int lanes = 16;
+
+  __m512 r;
+
+  VecF16() : r(_mm512_setzero_ps()) {}
+  explicit VecF16(__m512 x) : r(x) {}
+
+  static VecF16 load(const float* p) { return VecF16{_mm512_load_ps(p)}; }
+  static VecF16 loadu(const float* p) { return VecF16{_mm512_loadu_ps(p)}; }
+  void store(float* p) const { _mm512_store_ps(p, r); }
+  void storeu(float* p) const { _mm512_storeu_ps(p, r); }
+
+  static VecF16 set1(float x) { return VecF16{_mm512_set1_ps(x)}; }
+  static VecF16 zero() { return VecF16{_mm512_setzero_ps()}; }
+
+  float operator[](int i) const {
+    alignas(64) float tmp[16];
+    _mm512_store_ps(tmp, r);
+    return tmp[i];
+  }
+
+  template <int I>
+  [[nodiscard]] float extract() const {
+    static_assert(I >= 0 && I < 16);
+    if constexpr (I == 0) {
+      return _mm512_cvtss_f32(r);
+    } else {
+      const __m512 sh = _mm512_permutexvar_ps(_mm512_set1_epi32(I), r);
+      return _mm512_cvtss_f32(sh);
+    }
+  }
+  template <int I>
+  [[nodiscard]] VecF16 insert(float x) const {
+    static_assert(I >= 0 && I < 16);
+    return VecF16{_mm512_mask_broadcastss_ps(
+        r, static_cast<__mmask16>(1u << I), _mm_set_ss(x))};
+  }
+
+  friend VecF16 operator+(VecF16 a, VecF16 b) {
+    return VecF16{_mm512_add_ps(a.r, b.r)};
+  }
+  friend VecF16 operator-(VecF16 a, VecF16 b) {
+    return VecF16{_mm512_sub_ps(a.r, b.r)};
+  }
+  friend VecF16 operator*(VecF16 a, VecF16 b) {
+    return VecF16{_mm512_mul_ps(a.r, b.r)};
+  }
+};
+
+inline VecF16 fma(VecF16 a, VecF16 b, VecF16 acc) {
+  return VecF16{_mm512_fmadd_ps(a.r, b.r, acc.r)};
+}
+inline VecF16 min(VecF16 a, VecF16 b) {
+  return VecF16{_mm512_min_ps(a.r, b.r)};
+}
+inline VecF16 max(VecF16 a, VecF16 b) {
+  return VecF16{_mm512_max_ps(a.r, b.r)};
+}
+inline VecF16 cmpeq(VecF16 a, VecF16 b) {
+  const __mmask16 m = _mm512_cmp_ps_mask(a.r, b.r, _CMP_EQ_OQ);
+  return VecF16{_mm512_castsi512_ps(_mm512_maskz_set1_epi32(m, -1))};
+}
+inline VecF16 blendv(VecF16 a, VecF16 b, VecF16 mask) {
+  const __mmask16 m = _mm512_cmplt_epi32_mask(_mm512_castps_si512(mask.r),
+                                              _mm512_setzero_si512());
+  return VecF16{_mm512_mask_blend_ps(m, a.r, b.r)};
+}
+
+namespace detail {
+inline __m512i idx512f_up() {
+  return _mm512_setr_epi32(15, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                           14);
+}
+inline __m512i idx512f_down() {
+  return _mm512_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                           0);
+}
+}  // namespace detail
+
+inline VecF16 rotate_up(VecF16 a) {
+  return VecF16{_mm512_permutexvar_ps(detail::idx512f_up(), a.r)};
+}
+inline VecF16 rotate_down(VecF16 a) {
+  return VecF16{_mm512_permutexvar_ps(detail::idx512f_down(), a.r)};
+}
+inline VecF16 shift_in_low(VecF16 a, float x) {
+  const __m512 rot = _mm512_permutexvar_ps(detail::idx512f_up(), a.r);
+  return VecF16{_mm512_mask_broadcastss_ps(rot, 0x1, _mm_set_ss(x))};
+}
+inline VecF16 shift_in_low_v(VecF16 a, VecF16 fresh) {
+  const __m512 rot = _mm512_permutexvar_ps(detail::idx512f_up(), a.r);
+  return VecF16{_mm512_mask_mov_ps(rot, 0x1, fresh.r)};
 }
 
 // ---------------------------------------------------------------------------

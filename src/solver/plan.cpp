@@ -130,7 +130,17 @@ ExecutionPlan heuristic_plan(const StencilProblem& p) {
       break;
   }
 
-  plan.path = (p.threads > 1 && family_has_tiled_path(p.family))
+  // Single precision doubles the lanes per register (Table 1's vl scaling:
+  // 8 under scalar/avx2, 16 under avx512), so the float default pins the
+  // doubled width explicitly; doubles keep vl = 0 (backend native).
+  if (p.effective_dtype() == dispatch::DType::kF32) {
+    plan.vl = plan.backend == dispatch::Backend::kAvx512 ? 16 : 8;
+  }
+
+  // The tiled drivers are double/int32 only, so float problems stay on the
+  // serial temporal path regardless of the thread request.
+  plan.path = (p.threads > 1 && family_has_tiled_path(p.family) &&
+               p.effective_dtype() != dispatch::DType::kF32)
                   ? Path::kTiledParallel
                   : Path::kSerialTv;
   return plan;
@@ -194,6 +204,17 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
   const std::string where =
       "solver plan for " + std::string(family_name(p.family));
 
+  // Element-type sanity: the FP families run in f64/f32, Life/LCS are
+  // fixed int32 (StencilProblem::effective_dtype normalizes the latter, so
+  // only an explicit impossible request trips this).
+  if (!family_supports_dtype(p.family, p.effective_dtype())) {
+    throw std::invalid_argument(
+        where + ": element type " +
+        std::string(dispatch::dtype_name(p.dtype)) +
+        " is not supported by this family");
+  }
+  const dispatch::DType dt = p.effective_dtype();
+
   // Backend availability mirrors the TVS_FORCE_BACKEND contract.
   if (!dispatch::KernelRegistry::instance().has_backend(plan.backend)) {
     throw std::runtime_error(where + ": backend " +
@@ -231,16 +252,17 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
     }
     const std::vector<int> widths =
         dispatch::KernelRegistry::instance().registered_widths(
-            serial_kernel_id(p.family), plan.backend);
+            serial_kernel_id(p.family), plan.backend, dt);
     if (std::find(widths.begin(), widths.end(), plan.vl) == widths.end()) {
       std::string have;
       for (const int w : widths) {
         if (!have.empty()) have += ", ";
         have += std::to_string(w);
       }
-      throw std::invalid_argument(where + ": no engine registered at vl=" +
-                                  std::to_string(plan.vl) +
-                                  " (registered widths: " + have + ")");
+      throw std::invalid_argument(
+          where + ": no engine registered at vl=" + std::to_string(plan.vl) +
+          " dtype=" + std::string(dispatch::dtype_name(dt)) +
+          " (registered widths: " + have + ")");
     }
   }
 
@@ -249,6 +271,11 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
       throw std::invalid_argument(where +
                                   ": this family has no tiled parallel "
                                   "driver; use path=tv");
+    }
+    if (dt == dispatch::DType::kF32) {
+      throw std::invalid_argument(where +
+                                  ": the tiled drivers are double/int32 "
+                                  "only; float problems run path=tv");
     }
     if (plan.tile_w <= 0 || plan.tile_h <= 0) {
       throw std::invalid_argument(

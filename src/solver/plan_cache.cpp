@@ -59,10 +59,19 @@ ExecutionPlan plan_for(const StencilProblem& p, PlanMode mode) {
       mode == PlanMode::kTuned ? tune_plan(p) : heuristic_plan(p);
   validate_plan(p, plan);
 
+  // Re-check under the lock: when several threads race the first lookup of
+  // a signature, exactly one planner result is stored and counted as the
+  // miss; the losers adopt the cached plan and count as hits, so every
+  // concurrent caller runs the SAME plan (deterministic even in tuned
+  // mode, where candidates are timing-dependent).
   const std::lock_guard<std::mutex> lock(c.mu);
-  ++c.stats.misses;
-  c.plans.emplace(key, plan);
-  return plan;
+  const auto [it, inserted] = c.plans.emplace(key, plan);
+  if (inserted) {
+    ++c.stats.misses;
+  } else {
+    ++c.stats.hits;
+  }
+  return it->second;
 }
 
 PlanCacheStats plan_cache_stats() {

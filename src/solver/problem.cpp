@@ -46,6 +46,12 @@ Family parse_family(std::string_view name) {
 
 int family_dim(Family f) { return row(f).dim; }
 
+bool family_supports_dtype(Family f, dispatch::DType dt) {
+  if (f == Family::kLife || f == Family::kLcs)
+    return dt == dispatch::DType::kI32;
+  return dt == dispatch::DType::kF64 || dt == dispatch::DType::kF32;
+}
+
 std::vector<stencil::Dep> family_deps(Family f) {
   switch (f) {
     case Family::kJacobi1D3:
@@ -69,6 +75,12 @@ std::vector<stencil::Dep> family_deps(Family f) {
                               std::to_string(static_cast<int>(f)));
 }
 
+dispatch::DType StencilProblem::effective_dtype() const {
+  if (family == Family::kLife || family == Family::kLcs)
+    return dispatch::DType::kI32;
+  return dtype;
+}
+
 std::string StencilProblem::signature() const {
   std::string s(family_name(family));
   s += ":nx=" + std::to_string(nx);
@@ -76,6 +88,7 @@ std::string StencilProblem::signature() const {
   if (family_dim(family) >= 3) s += ":nz=" + std::to_string(nz);
   s += ":steps=" + std::to_string(steps);
   s += ":threads=" + std::to_string(threads);
+  if (effective_dtype() == dispatch::DType::kF32) s += ":dtype=f32";
   return s;
 }
 
@@ -90,6 +103,21 @@ StencilProblem problem_2d(Family f, int nx, int ny, long steps, int threads) {
 StencilProblem problem_3d(Family f, int nx, int ny, int nz, long steps,
                           int threads) {
   return {f, nx, ny, nz, steps, threads};
+}
+
+StencilProblem problem_1d(Family f, dispatch::DType dt, int nx, long steps,
+                          int threads) {
+  return {f, nx, 0, 0, steps, threads, dt};
+}
+
+StencilProblem problem_2d(Family f, dispatch::DType dt, int nx, int ny,
+                          long steps, int threads) {
+  return {f, nx, ny, 0, steps, threads, dt};
+}
+
+StencilProblem problem_3d(Family f, dispatch::DType dt, int nx, int ny, int nz,
+                          long steps, int threads) {
+  return {f, nx, ny, nz, steps, threads, dt};
 }
 
 }  // namespace tvs::solver

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dispatch/dtype.hpp"
 #include "stencil/dependence.hpp"
 
 namespace tvs::solver {
@@ -47,6 +48,11 @@ int family_dim(Family f);
 // what the §3.2 stride-legality rule is checked against.
 std::vector<stencil::Dep> family_deps(Family f);
 
+// True when the family's element type can be `dt`: the floating-point
+// families (Jacobi + Gauss-Seidel) run in f64 or f32; Life and LCS are
+// fixed int32.
+bool family_supports_dtype(Family f, dispatch::DType dt);
+
 struct StencilProblem {
   Family family = Family::kJacobi1D3;
   // Grid extents (interior points).  1D families use nx; 2D families
@@ -60,9 +66,20 @@ struct StencilProblem {
   // (serial temporal vectorization), > 1 opts into the parallel tiling
   // drivers when the family has one.
   int threads = 0;
+  // Element type of the grid.  kF64 (the default) is the paper's
+  // configuration for the FP families; kF32 doubles the lanes per vector
+  // register.  Ignored by Life/LCS, whose storage is fixed int32 — see
+  // effective_dtype().
+  dispatch::DType dtype = dispatch::DType::kF64;
+
+  // The dtype the kernels actually run at: `dtype` for the FP families,
+  // kI32 for Life/LCS.
+  dispatch::DType effective_dtype() const;
 
   // Stable cache key: family, extents, steps and threads, e.g.
-  // "jacobi2d5:nx=512:ny=512:steps=100:threads=4".
+  // "jacobi2d5:nx=512:ny=512:steps=100:threads=4"; single-precision
+  // problems append ":dtype=f32" (the f64 default stays unsuffixed so
+  // pre-dtype signatures are unchanged).
   std::string signature() const;
 };
 
@@ -72,5 +89,14 @@ StencilProblem problem_2d(Family f, int nx, int ny, long steps,
                           int threads = 0);
 StencilProblem problem_3d(Family f, int nx, int ny, int nz, long steps,
                           int threads = 0);
+
+// The same shapes with an explicit element type (dt = kF32 for the float
+// engines).
+StencilProblem problem_1d(Family f, dispatch::DType dt, int nx, long steps,
+                          int threads = 0);
+StencilProblem problem_2d(Family f, dispatch::DType dt, int nx, int ny,
+                          long steps, int threads = 0);
+StencilProblem problem_3d(Family f, dispatch::DType dt, int nx, int ny,
+                          int nz, long steps, int threads = 0);
 
 }  // namespace tvs::solver

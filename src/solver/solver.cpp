@@ -30,6 +30,16 @@ Fn* resolve(const ExecutionPlan& plan, std::string_view id) {
                      : reg.get_at<Fn>(id, plan.backend);
 }
 
+// Dtype-pinned resolution for the serial temporal path (vl = 0 means the
+// backend's native width for the dtype).
+template <class Fn>
+Fn* resolve_dt(const ExecutionPlan& plan, std::string_view id,
+               dispatch::DType dt) {
+  dispatch::KernelRegistry& reg = dispatch::KernelRegistry::instance();
+  return reg.get_at<Fn>(id, plan.backend,
+                        plan.vl > 0 ? plan.vl : dispatch::kAnyVl, dt);
+}
+
 void check_family(const StencilProblem& p, std::initializer_list<Family> ok,
                   const char* overload) {
   for (const Family f : ok)
@@ -43,6 +53,20 @@ void check_family(const StencilProblem& p, std::initializer_list<Family> ok,
       "Solver::" + std::string(overload) + ": problem family " +
       std::string(family_name(p.family)) +
       " does not match this overload (expects " + allowed + ")");
+}
+
+// The typed run() overloads are dtype-checked exactly like they are
+// family-checked: handing a double grid to an f32 problem (or vice versa)
+// is an error, not a silent precision switch.
+void check_dtype(const StencilProblem& p, dispatch::DType expected,
+                 const char* overload) {
+  if (p.effective_dtype() == expected) return;
+  throw std::invalid_argument(
+      "Solver::" + std::string(overload) + ": problem " + p.signature() +
+      " has element type " +
+      std::string(dispatch::dtype_name(p.effective_dtype())) +
+      " but this overload runs " +
+      std::string(dispatch::dtype_name(expected)) + " grids");
 }
 
 void check_extents(const StencilProblem& p, int nx, int ny, int nz) {
@@ -102,6 +126,7 @@ Solver::Solver(const StencilProblem& p, const ExecutionPlan& plan)
 
 void Solver::run(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
   check_family(prob_, {Family::kJacobi1D3, Family::kGs1D3}, "run(C1D3)");
+  check_dtype(prob_, dispatch::DType::kF64, "run(C1D3)");
   check_extents(prob_, u.nx(), 0, 0);
   if (prob_.family == Family::kGs1D3) {
     if (plan_.path == Path::kTiledParallel) {
@@ -126,6 +151,7 @@ void Solver::run(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
 
 void Solver::run(const stencil::C1D5& c, grid::Grid1D<double>& u) const {
   check_family(prob_, {Family::kJacobi1D5}, "run(C1D5)");
+  check_dtype(prob_, dispatch::DType::kF64, "run(C1D5)");
   check_extents(prob_, u.nx(), 0, 0);
   resolve<dispatch::TvJacobi1D5Fn>(plan_, dispatch::kTvJacobi1D5)(
       c, u, prob_.steps, plan_.stride);
@@ -146,6 +172,7 @@ void Solver::run(const stencil::C1D3& c,
 
 void Solver::run(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
   check_family(prob_, {Family::kJacobi2D5, Family::kGs2D5}, "run(C2D5)");
+  check_dtype(prob_, dispatch::DType::kF64, "run(C2D5)");
   check_extents(prob_, u.nx(), u.ny(), 0);
   if (prob_.family == Family::kGs2D5) {
     if (plan_.path == Path::kTiledParallel) {
@@ -170,6 +197,7 @@ void Solver::run(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
 
 void Solver::run(const stencil::C2D9& c, grid::Grid2D<double>& u) const {
   check_family(prob_, {Family::kJacobi2D9}, "run(C2D9)");
+  check_dtype(prob_, dispatch::DType::kF64, "run(C2D9)");
   check_extents(prob_, u.nx(), u.ny(), 0);
   if (plan_.path == Path::kTiledParallel) {
     with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
@@ -205,6 +233,7 @@ void Solver::run(const stencil::C2D9& c,
 
 void Solver::run(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
   check_family(prob_, {Family::kJacobi3D7, Family::kGs3D7}, "run(C3D7)");
+  check_dtype(prob_, dispatch::DType::kF64, "run(C3D7)");
   check_extents(prob_, u.nx(), u.ny(), u.nz());
   if (prob_.family == Family::kGs3D7) {
     if (plan_.path == Path::kTiledParallel) {
@@ -236,6 +265,71 @@ void Solver::run(const stencil::C3D7& c,
   tiling::Diamond3DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
   resolve<dispatch::DiamondJacobi3D7Fn>(plan_, dispatch::kDiamondJacobi3D7)(
       c, pp, prob_.steps, opt);
+}
+
+// ---- Single-precision FP families (serial temporal path only) --------------
+
+void Solver::run(const stencil::C1D3f& c, grid::Grid1D<float>& u) const {
+  check_family(prob_, {Family::kJacobi1D3, Family::kGs1D3}, "run(C1D3f)");
+  check_dtype(prob_, dispatch::DType::kF32, "run(C1D3f)");
+  check_extents(prob_, u.nx(), 0, 0);
+  if (prob_.family == Family::kGs1D3) {
+    resolve_dt<dispatch::TvGs1D3F32Fn>(plan_, dispatch::kTvGs1D3,
+                                       dispatch::DType::kF32)(
+        c, u, prob_.steps, plan_.stride);
+    return;
+  }
+  resolve_dt<dispatch::TvJacobi1D3F32Fn>(plan_, dispatch::kTvJacobi1D3,
+                                         dispatch::DType::kF32)(
+      c, u, prob_.steps, plan_.stride);
+}
+
+void Solver::run(const stencil::C1D5f& c, grid::Grid1D<float>& u) const {
+  check_family(prob_, {Family::kJacobi1D5}, "run(C1D5f)");
+  check_dtype(prob_, dispatch::DType::kF32, "run(C1D5f)");
+  check_extents(prob_, u.nx(), 0, 0);
+  resolve_dt<dispatch::TvJacobi1D5F32Fn>(plan_, dispatch::kTvJacobi1D5,
+                                         dispatch::DType::kF32)(
+      c, u, prob_.steps, plan_.stride);
+}
+
+void Solver::run(const stencil::C2D5f& c, grid::Grid2D<float>& u) const {
+  check_family(prob_, {Family::kJacobi2D5, Family::kGs2D5}, "run(C2D5f)");
+  check_dtype(prob_, dispatch::DType::kF32, "run(C2D5f)");
+  check_extents(prob_, u.nx(), u.ny(), 0);
+  if (prob_.family == Family::kGs2D5) {
+    resolve_dt<dispatch::TvGs2D5F32Fn>(plan_, dispatch::kTvGs2D5,
+                                       dispatch::DType::kF32)(
+        c, u, prob_.steps, plan_.stride);
+    return;
+  }
+  resolve_dt<dispatch::TvJacobi2D5F32Fn>(plan_, dispatch::kTvJacobi2D5,
+                                         dispatch::DType::kF32)(
+      c, u, prob_.steps, plan_.stride);
+}
+
+void Solver::run(const stencil::C2D9f& c, grid::Grid2D<float>& u) const {
+  check_family(prob_, {Family::kJacobi2D9}, "run(C2D9f)");
+  check_dtype(prob_, dispatch::DType::kF32, "run(C2D9f)");
+  check_extents(prob_, u.nx(), u.ny(), 0);
+  resolve_dt<dispatch::TvJacobi2D9F32Fn>(plan_, dispatch::kTvJacobi2D9,
+                                         dispatch::DType::kF32)(
+      c, u, prob_.steps, plan_.stride);
+}
+
+void Solver::run(const stencil::C3D7f& c, grid::Grid3D<float>& u) const {
+  check_family(prob_, {Family::kJacobi3D7, Family::kGs3D7}, "run(C3D7f)");
+  check_dtype(prob_, dispatch::DType::kF32, "run(C3D7f)");
+  check_extents(prob_, u.nx(), u.ny(), u.nz());
+  if (prob_.family == Family::kGs3D7) {
+    resolve_dt<dispatch::TvGs3D7F32Fn>(plan_, dispatch::kTvGs3D7,
+                                       dispatch::DType::kF32)(
+        c, u, prob_.steps, plan_.stride);
+    return;
+  }
+  resolve_dt<dispatch::TvJacobi3D7F32Fn>(plan_, dispatch::kTvJacobi3D7,
+                                         dispatch::DType::kF32)(
+      c, u, prob_.steps, plan_.stride);
 }
 
 // ---- Life ------------------------------------------------------------------

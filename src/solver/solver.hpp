@@ -60,6 +60,14 @@ class Solver {
   // Life.
   void run(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u) const;
 
+  // Single-precision overloads of the FP families (StencilProblem::dtype
+  // must be kF32; float problems always run the serial temporal path).
+  void run(const stencil::C1D3f& c, grid::Grid1D<float>& u) const;
+  void run(const stencil::C1D5f& c, grid::Grid1D<float>& u) const;
+  void run(const stencil::C2D5f& c, grid::Grid2D<float>& u) const;
+  void run(const stencil::C2D9f& c, grid::Grid2D<float>& u) const;
+  void run(const stencil::C3D7f& c, grid::Grid3D<float>& u) const;
+
   // Tiled-path parity-pair overloads (no copy-in/copy-out: the result of
   // step `steps` is left in pp.by_parity(steps), as with the raw diamond
   // drivers).  Only valid on a kTiledParallel plan of a diamond family.

@@ -40,46 +40,72 @@ double time_once(const StencilProblem& rep, const ExecutionPlan& plan) {
     return best;
   };
 
+  // The FP families run the replica at the problem's own element type so a
+  // float problem tunes against the float engines.
+  const bool f32 = rep.effective_dtype() == dispatch::DType::kF32;
   switch (rep.family) {
     case Family::kJacobi1D3:
     case Family::kGs1D3: {
-      grid::Grid1D<double> u(rep.nx);
-      for (int x = 0; x <= rep.nx + 1; ++x) u.at(x) = 1.0 + 0.001 * (x % 97);
-      const stencil::C1D3 c = stencil::heat1d(0.25);
-      return timed([&] { s.run(c, u); });
+      const auto go = [&]<class T>() {
+        grid::Grid1D<T> u(rep.nx);
+        for (int x = 0; x <= rep.nx + 1; ++x)
+          u.at(x) = T{1} + T(0.001) * static_cast<T>(x % 97);
+        const stencil::C1D3T<T> c = stencil::heat1d<T>(0.25);
+        return timed([&] { s.run(c, u); });
+      };
+      return f32 ? go.template operator()<float>()
+                 : go.template operator()<double>();
     }
     case Family::kJacobi1D5: {
-      grid::Grid1D<double> u(rep.nx);
-      for (int x = 0; x <= rep.nx + 1; ++x) u.at(x) = 1.0 + 0.001 * (x % 97);
-      const stencil::C1D5 c = stencil::heat1d5(0.1);
-      return timed([&] { s.run(c, u); });
+      const auto go = [&]<class T>() {
+        grid::Grid1D<T> u(rep.nx);
+        for (int x = 0; x <= rep.nx + 1; ++x)
+          u.at(x) = T{1} + T(0.001) * static_cast<T>(x % 97);
+        const stencil::C1D5T<T> c = stencil::heat1d5<T>(0.1);
+        return timed([&] { s.run(c, u); });
+      };
+      return f32 ? go.template operator()<float>()
+                 : go.template operator()<double>();
     }
     case Family::kJacobi2D5:
     case Family::kGs2D5: {
-      grid::Grid2D<double> u(rep.nx, rep.ny);
-      for (int x = 0; x <= rep.nx + 1; ++x)
-        for (int y = 0; y <= rep.ny + 1; ++y)
-          u.at(x, y) = 1.0 + 0.001 * ((x + y) % 97);
-      const stencil::C2D5 c = stencil::heat2d(0.2);
-      return timed([&] { s.run(c, u); });
+      const auto go = [&]<class T>() {
+        grid::Grid2D<T> u(rep.nx, rep.ny);
+        for (int x = 0; x <= rep.nx + 1; ++x)
+          for (int y = 0; y <= rep.ny + 1; ++y)
+            u.at(x, y) = T{1} + T(0.001) * static_cast<T>((x + y) % 97);
+        const stencil::C2D5T<T> c = stencil::heat2d<T>(0.2);
+        return timed([&] { s.run(c, u); });
+      };
+      return f32 ? go.template operator()<float>()
+                 : go.template operator()<double>();
     }
     case Family::kJacobi2D9: {
-      grid::Grid2D<double> u(rep.nx, rep.ny);
-      for (int x = 0; x <= rep.nx + 1; ++x)
-        for (int y = 0; y <= rep.ny + 1; ++y)
-          u.at(x, y) = 1.0 + 0.001 * ((x + y) % 97);
-      const stencil::C2D9 c = stencil::box2d9(0.1);
-      return timed([&] { s.run(c, u); });
+      const auto go = [&]<class T>() {
+        grid::Grid2D<T> u(rep.nx, rep.ny);
+        for (int x = 0; x <= rep.nx + 1; ++x)
+          for (int y = 0; y <= rep.ny + 1; ++y)
+            u.at(x, y) = T{1} + T(0.001) * static_cast<T>((x + y) % 97);
+        const stencil::C2D9T<T> c = stencil::box2d9<T>(0.1);
+        return timed([&] { s.run(c, u); });
+      };
+      return f32 ? go.template operator()<float>()
+                 : go.template operator()<double>();
     }
     case Family::kJacobi3D7:
     case Family::kGs3D7: {
-      grid::Grid3D<double> u(rep.nx, rep.ny, rep.nz);
-      for (int x = 0; x <= rep.nx + 1; ++x)
-        for (int y = 0; y <= rep.ny + 1; ++y)
-          for (int z = 0; z <= rep.nz + 1; ++z)
-            u.at(x, y, z) = 1.0 + 0.001 * ((x + y + z) % 97);
-      const stencil::C3D7 c = stencil::heat3d(0.1);
-      return timed([&] { s.run(c, u); });
+      const auto go = [&]<class T>() {
+        grid::Grid3D<T> u(rep.nx, rep.ny, rep.nz);
+        for (int x = 0; x <= rep.nx + 1; ++x)
+          for (int y = 0; y <= rep.ny + 1; ++y)
+            for (int z = 0; z <= rep.nz + 1; ++z)
+              u.at(x, y, z) =
+                  T{1} + T(0.001) * static_cast<T>((x + y + z) % 97);
+        const stencil::C3D7T<T> c = stencil::heat3d<T>(0.1);
+        return timed([&] { s.run(c, u); });
+      };
+      return f32 ? go.template operator()<float>()
+                 : go.template operator()<double>();
     }
     case Family::kLife: {
       grid::Grid2D<std::int32_t> u(rep.nx, rep.ny);

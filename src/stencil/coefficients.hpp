@@ -1,6 +1,13 @@
 // Coefficient descriptors for the stencils evaluated in the paper
 // (§3.4: Heat-1D/2D/3D, 2D9P box, Life, Gauss-Seidel 1D/2D/3D, LCS).
 //
+// Every descriptor is templated on the element type T: the double aliases
+// (`C1D3`, ...) are the paper's configuration, the float aliases (`C1D3f`,
+// ...) feed the single-precision engines.  The factories compute in T so a
+// float kernel and the float scalar reference share bit-identical
+// coefficients (computing in double and narrowing afterwards would round
+// differently).
+//
 // Naming of neighbours: within the unit-stride dimension `w`/`e` (west/east
 // = index-1/index+1); the next dimension uses `s`/`n` (south/north) and the
 // outermost 3D dimension `b`/`f` (back/front).  For 1D, `w`/`e` are x-1/x+1;
@@ -11,50 +18,76 @@
 namespace tvs::stencil {
 
 // a'[x] = w*a[x-1] + c*a[x] + e*a[x+1]
-struct C1D3 {
-  double w, c, e;
+template <class T>
+struct C1D3T {
+  T w, c, e;
 };
+using C1D3 = C1D3T<double>;
+using C1D3f = C1D3T<float>;
 
 // a'[x] = w2*a[x-2] + w1*a[x-1] + c*a[x] + e1*a[x+1] + e2*a[x+2]
-struct C1D5 {
-  double w2, w1, c, e1, e2;
+template <class T>
+struct C1D5T {
+  T w2, w1, c, e1, e2;
 };
+using C1D5 = C1D5T<double>;
+using C1D5f = C1D5T<float>;
 
 // a'[x][y] = c*a[x][y] + w*a[x][y-1] + e*a[x][y+1] + s*a[x-1][y] + n*a[x+1][y]
-struct C2D5 {
-  double c, w, e, s, n;
+template <class T>
+struct C2D5T {
+  T c, w, e, s, n;
 };
+using C2D5 = C2D5T<double>;
+using C2D5f = C2D5T<float>;
 
 // 2D box: adds the four diagonals.
-struct C2D9 {
-  double c, w, e, s, n, sw, se, nw, ne;
+template <class T>
+struct C2D9T {
+  T c, w, e, s, n, sw, se, nw, ne;
 };
+using C2D9 = C2D9T<double>;
+using C2D9f = C2D9T<float>;
 
 // a'[x][y][z] = c*a + w*a[z-1] + e*a[z+1] + s*a[y-1] + n*a[y+1]
 //             + b*a[x-1] + f*a[x+1]
-struct C3D7 {
-  double c, w, e, s, n, b, f;
+template <class T>
+struct C3D7T {
+  T c, w, e, s, n, b, f;
 };
+using C3D7 = C3D7T<double>;
+using C3D7f = C3D7T<float>;
 
 // ---- Factories for the heat-equation kernels used in the evaluation -----
+// Call without a template argument for the paper's double configuration
+// (`heat1d(0.25)`), with one for reduced precision (`heat1d<float>(0.25)`).
 
-inline constexpr C1D3 heat1d(double alpha) {
-  return {alpha, 1.0 - 2.0 * alpha, alpha};
+template <class T = double>
+inline constexpr C1D3T<T> heat1d(double alpha) {
+  const T a = static_cast<T>(alpha);
+  return {a, T{1} - T{2} * a, a};
 }
-inline constexpr C1D5 heat1d5(double alpha) {
+template <class T = double>
+inline constexpr C1D5T<T> heat1d5(double alpha) {
   // 4th-order central difference for u_xx.
-  return {-alpha / 12, 4 * alpha / 3, 1.0 - 2.5 * alpha, 4 * alpha / 3,
-          -alpha / 12};
+  const T a = static_cast<T>(alpha);
+  return {-a / T{12}, T{4} * a / T{3}, T{1} - T{2.5} * a, T{4} * a / T{3},
+          -a / T{12}};
 }
-inline constexpr C2D5 heat2d(double alpha) {
-  return {1.0 - 4.0 * alpha, alpha, alpha, alpha, alpha};
+template <class T = double>
+inline constexpr C2D5T<T> heat2d(double alpha) {
+  const T a = static_cast<T>(alpha);
+  return {T{1} - T{4} * a, a, a, a, a};
 }
-inline constexpr C2D9 box2d9(double alpha) {
-  return {1.0 - 8.0 * alpha, alpha, alpha, alpha, alpha,
-          alpha,             alpha, alpha, alpha};
+template <class T = double>
+inline constexpr C2D9T<T> box2d9(double alpha) {
+  const T a = static_cast<T>(alpha);
+  return {T{1} - T{8} * a, a, a, a, a, a, a, a, a};
 }
-inline constexpr C3D7 heat3d(double alpha) {
-  return {1.0 - 6.0 * alpha, alpha, alpha, alpha, alpha, alpha, alpha};
+template <class T = double>
+inline constexpr C3D7T<T> heat3d(double alpha) {
+  const T a = static_cast<T>(alpha);
+  return {T{1} - T{6} * a, a, a, a, a, a, a};
 }
 
 }  // namespace tvs::stencil

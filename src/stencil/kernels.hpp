@@ -17,6 +17,11 @@
 namespace tvs::stencil {
 
 inline double vfma(double a, double b, double c) { return std::fma(a, b, c); }
+// Single-precision scalar: std::fma's float overload is correctly rounded,
+// so it matches the vfmadd-ps lanes bit for bit, exactly like the double
+// case.  (The non-template overloads win resolution over the vector
+// template for arithmetic scalars.)
+inline float vfma(float a, float b, float c) { return std::fma(a, b, c); }
 template <class V>
 inline V vfma(V a, V b, V c) {
   return fma(a, b, c);  // ADL: tvs::simd overloads

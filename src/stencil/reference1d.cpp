@@ -7,8 +7,9 @@
 
 namespace tvs::stencil {
 
-void jacobi1d3_step(const C1D3& c, const grid::Grid1D<double>& in,
-                    grid::Grid1D<double>& out) {
+template <class T>
+void jacobi1d3_step(const C1D3T<T>& c, const grid::Grid1D<T>& in,
+                    grid::Grid1D<T>& out) {
   const int nx = in.nx();
   out.at(0) = in.at(0);
   out.at(nx + 1) = in.at(nx + 1);
@@ -16,8 +17,9 @@ void jacobi1d3_step(const C1D3& c, const grid::Grid1D<double>& in,
     out.at(x) = j1d3(c.w, c.c, c.e, in.at(x - 1), in.at(x), in.at(x + 1));
 }
 
-void jacobi1d5_step(const C1D5& c, const grid::Grid1D<double>& in,
-                    grid::Grid1D<double>& out) {
+template <class T>
+void jacobi1d5_step(const C1D5T<T>& c, const grid::Grid1D<T>& in,
+                    grid::Grid1D<T>& out) {
   const int nx = in.nx();
   // Radius-2 stencil: interior stays 1..nx; x in {-1, 0, nx+1, nx+2} are
   // fixed boundary cells (they live in the grid's padding).
@@ -29,11 +31,11 @@ void jacobi1d5_step(const C1D5& c, const grid::Grid1D<double>& in,
 }
 
 namespace {
-template <class StepFn>
-void run_pingpong(grid::Grid1D<double>& u, long steps, StepFn step) {
-  grid::Grid1D<double> tmp(u.nx());
-  grid::Grid1D<double>* cur = &u;
-  grid::Grid1D<double>* nxt = &tmp;
+template <class T, class StepFn>
+void run_pingpong(grid::Grid1D<T>& u, long steps, StepFn step) {
+  grid::Grid1D<T> tmp(u.nx());
+  grid::Grid1D<T>* cur = &u;
+  grid::Grid1D<T>* nxt = &tmp;
   for (long t = 0; t < steps; ++t) {
     step(*cur, *nxt);
     std::swap(cur, nxt);
@@ -44,28 +46,51 @@ void run_pingpong(grid::Grid1D<double>& u, long steps, StepFn step) {
 }
 }  // namespace
 
-void jacobi1d3_run(const C1D3& c, grid::Grid1D<double>& u, long steps) {
-  run_pingpong(u, steps, [&](const grid::Grid1D<double>& in,
-                             grid::Grid1D<double>& out) {
-    jacobi1d3_step(c, in, out);
-  });
+template <class T>
+void jacobi1d3_run(const C1D3T<T>& c, grid::Grid1D<T>& u, long steps) {
+  run_pingpong(u, steps,
+               [&](const grid::Grid1D<T>& in, grid::Grid1D<T>& out) {
+                 jacobi1d3_step(c, in, out);
+               });
 }
 
-void jacobi1d5_run(const C1D5& c, grid::Grid1D<double>& u, long steps) {
-  run_pingpong(u, steps, [&](const grid::Grid1D<double>& in,
-                             grid::Grid1D<double>& out) {
-    jacobi1d5_step(c, in, out);
-  });
+template <class T>
+void jacobi1d5_run(const C1D5T<T>& c, grid::Grid1D<T>& u, long steps) {
+  run_pingpong(u, steps,
+               [&](const grid::Grid1D<T>& in, grid::Grid1D<T>& out) {
+                 jacobi1d5_step(c, in, out);
+               });
 }
 
-void gs1d3_sweep(const C1D3& c, grid::Grid1D<double>& u) {
+template <class T>
+void gs1d3_sweep(const C1D3T<T>& c, grid::Grid1D<T>& u) {
   const int nx = u.nx();
   for (int x = 1; x <= nx; ++x)
     u.at(x) = gs1d3(c.w, c.c, c.e, u.at(x - 1), u.at(x), u.at(x + 1));
 }
 
-void gs1d3_run(const C1D3& c, grid::Grid1D<double>& u, long sweeps) {
+template <class T>
+void gs1d3_run(const C1D3T<T>& c, grid::Grid1D<T>& u, long sweeps) {
   for (long t = 0; t < sweeps; ++t) gs1d3_sweep(c, u);
 }
+
+// ---- Explicit instantiations: the double oracles + their float twins ----
+template void jacobi1d3_step<double>(const C1D3&, const grid::Grid1D<double>&,
+                                     grid::Grid1D<double>&);
+template void jacobi1d5_step<double>(const C1D5&, const grid::Grid1D<double>&,
+                                     grid::Grid1D<double>&);
+template void jacobi1d3_run<double>(const C1D3&, grid::Grid1D<double>&, long);
+template void jacobi1d5_run<double>(const C1D5&, grid::Grid1D<double>&, long);
+template void gs1d3_sweep<double>(const C1D3&, grid::Grid1D<double>&);
+template void gs1d3_run<double>(const C1D3&, grid::Grid1D<double>&, long);
+
+template void jacobi1d3_step<float>(const C1D3f&, const grid::Grid1D<float>&,
+                                    grid::Grid1D<float>&);
+template void jacobi1d5_step<float>(const C1D5f&, const grid::Grid1D<float>&,
+                                    grid::Grid1D<float>&);
+template void jacobi1d3_run<float>(const C1D3f&, grid::Grid1D<float>&, long);
+template void jacobi1d5_run<float>(const C1D5f&, grid::Grid1D<float>&, long);
+template void gs1d3_sweep<float>(const C1D3f&, grid::Grid1D<float>&);
+template void gs1d3_run<float>(const C1D3f&, grid::Grid1D<float>&, long);
 
 }  // namespace tvs::stencil

@@ -1,10 +1,14 @@
 // Scalar reference engines, 1D.
 //
 // These are (a) the correctness oracle for every vector kernel and (b) the
-// paper's `scalar` benchmark curves.  Their translation units are compiled
-// with -fno-tree-vectorize -fno-tree-slp-vectorize so they stay scalar under
-// -O3, and they evaluate the canonical formulas of stencil/kernels.hpp, so
-// vector kernels match them bit for bit.
+// paper's `scalar` benchmark curves.  They evaluate the canonical formulas
+// of stencil/kernels.hpp in one fixed order, so vector kernels of the same
+// element type match them bit for bit.
+//
+// Every engine is templated on the element type T and explicitly
+// instantiated for double and float in reference1d.cpp — the double
+// instantiations are the paper's oracles, the float ones anchor the
+// single-precision engines.
 #pragma once
 
 #include "grid/grid1d.hpp"
@@ -13,17 +17,23 @@
 namespace tvs::stencil {
 
 // One Jacobi step over the interior x = 1..NX; boundary cells copied.
-void jacobi1d3_step(const C1D3& c, const grid::Grid1D<double>& in,
-                    grid::Grid1D<double>& out);
-void jacobi1d5_step(const C1D5& c, const grid::Grid1D<double>& in,
-                    grid::Grid1D<double>& out);
+template <class T>
+void jacobi1d3_step(const C1D3T<T>& c, const grid::Grid1D<T>& in,
+                    grid::Grid1D<T>& out);
+template <class T>
+void jacobi1d5_step(const C1D5T<T>& c, const grid::Grid1D<T>& in,
+                    grid::Grid1D<T>& out);
 
 // T steps; result lands back in `u` (internal ping-pong).
-void jacobi1d3_run(const C1D3& c, grid::Grid1D<double>& u, long steps);
-void jacobi1d5_run(const C1D5& c, grid::Grid1D<double>& u, long steps);
+template <class T>
+void jacobi1d3_run(const C1D3T<T>& c, grid::Grid1D<T>& u, long steps);
+template <class T>
+void jacobi1d5_run(const C1D5T<T>& c, grid::Grid1D<T>& u, long steps);
 
 // One in-place ascending Gauss-Seidel sweep / `sweeps` of them.
-void gs1d3_sweep(const C1D3& c, grid::Grid1D<double>& u);
-void gs1d3_run(const C1D3& c, grid::Grid1D<double>& u, long sweeps);
+template <class T>
+void gs1d3_sweep(const C1D3T<T>& c, grid::Grid1D<T>& u);
+template <class T>
+void gs1d3_run(const C1D3T<T>& c, grid::Grid1D<T>& u, long sweeps);
 
 }  // namespace tvs::stencil

@@ -6,8 +6,9 @@
 
 namespace tvs::stencil {
 
-void jacobi2d5_step(const C2D5& c, const grid::Grid2D<double>& in,
-                    grid::Grid2D<double>& out) {
+template <class T>
+void jacobi2d5_step(const C2D5T<T>& c, const grid::Grid2D<T>& in,
+                    grid::Grid2D<T>& out) {
   const int nx = in.nx(), ny = in.ny();
   for (int y = 0; y <= ny + 1; ++y) {
     out.at(0, y) = in.at(0, y);
@@ -22,8 +23,9 @@ void jacobi2d5_step(const C2D5& c, const grid::Grid2D<double>& in,
   }
 }
 
-void jacobi2d9_step(const C2D9& c, const grid::Grid2D<double>& in,
-                    grid::Grid2D<double>& out) {
+template <class T>
+void jacobi2d9_step(const C2D9T<T>& c, const grid::Grid2D<T>& in,
+                    grid::Grid2D<T>& out) {
   const int nx = in.nx(), ny = in.ny();
   for (int y = 0; y <= ny + 1; ++y) {
     out.at(0, y) = in.at(0, y);
@@ -42,11 +44,11 @@ void jacobi2d9_step(const C2D9& c, const grid::Grid2D<double>& in,
 }
 
 namespace {
-template <class StepFn>
-void run_pingpong(grid::Grid2D<double>& u, long steps, StepFn step) {
-  grid::Grid2D<double> tmp(u.nx(), u.ny());
-  grid::Grid2D<double>* cur = &u;
-  grid::Grid2D<double>* nxt = &tmp;
+template <class T, class StepFn>
+void run_pingpong(grid::Grid2D<T>& u, long steps, StepFn step) {
+  grid::Grid2D<T> tmp(u.nx(), u.ny());
+  grid::Grid2D<T>* cur = &u;
+  grid::Grid2D<T>* nxt = &tmp;
   for (long t = 0; t < steps; ++t) {
     step(*cur, *nxt);
     std::swap(cur, nxt);
@@ -58,21 +60,24 @@ void run_pingpong(grid::Grid2D<double>& u, long steps, StepFn step) {
 }
 }  // namespace
 
-void jacobi2d5_run(const C2D5& c, grid::Grid2D<double>& u, long steps) {
-  run_pingpong(u, steps, [&](const grid::Grid2D<double>& in,
-                             grid::Grid2D<double>& out) {
-    jacobi2d5_step(c, in, out);
-  });
+template <class T>
+void jacobi2d5_run(const C2D5T<T>& c, grid::Grid2D<T>& u, long steps) {
+  run_pingpong(u, steps,
+               [&](const grid::Grid2D<T>& in, grid::Grid2D<T>& out) {
+                 jacobi2d5_step(c, in, out);
+               });
 }
 
-void jacobi2d9_run(const C2D9& c, grid::Grid2D<double>& u, long steps) {
-  run_pingpong(u, steps, [&](const grid::Grid2D<double>& in,
-                             grid::Grid2D<double>& out) {
-    jacobi2d9_step(c, in, out);
-  });
+template <class T>
+void jacobi2d9_run(const C2D9T<T>& c, grid::Grid2D<T>& u, long steps) {
+  run_pingpong(u, steps,
+               [&](const grid::Grid2D<T>& in, grid::Grid2D<T>& out) {
+                 jacobi2d9_step(c, in, out);
+               });
 }
 
-void gs2d5_sweep(const C2D5& c, grid::Grid2D<double>& u) {
+template <class T>
+void gs2d5_sweep(const C2D5T<T>& c, grid::Grid2D<T>& u) {
   const int nx = u.nx(), ny = u.ny();
   for (int x = 1; x <= nx; ++x)
     for (int y = 1; y <= ny; ++y)
@@ -80,8 +85,28 @@ void gs2d5_sweep(const C2D5& c, grid::Grid2D<double>& u) {
                          u.at(x, y + 1), u.at(x - 1, y), u.at(x + 1, y));
 }
 
-void gs2d5_run(const C2D5& c, grid::Grid2D<double>& u, long sweeps) {
+template <class T>
+void gs2d5_run(const C2D5T<T>& c, grid::Grid2D<T>& u, long sweeps) {
   for (long t = 0; t < sweeps; ++t) gs2d5_sweep(c, u);
 }
+
+// ---- Explicit instantiations --------------------------------------------
+template void jacobi2d5_step<double>(const C2D5&, const grid::Grid2D<double>&,
+                                     grid::Grid2D<double>&);
+template void jacobi2d9_step<double>(const C2D9&, const grid::Grid2D<double>&,
+                                     grid::Grid2D<double>&);
+template void jacobi2d5_run<double>(const C2D5&, grid::Grid2D<double>&, long);
+template void jacobi2d9_run<double>(const C2D9&, grid::Grid2D<double>&, long);
+template void gs2d5_sweep<double>(const C2D5&, grid::Grid2D<double>&);
+template void gs2d5_run<double>(const C2D5&, grid::Grid2D<double>&, long);
+
+template void jacobi2d5_step<float>(const C2D5f&, const grid::Grid2D<float>&,
+                                    grid::Grid2D<float>&);
+template void jacobi2d9_step<float>(const C2D9f&, const grid::Grid2D<float>&,
+                                    grid::Grid2D<float>&);
+template void jacobi2d5_run<float>(const C2D5f&, grid::Grid2D<float>&, long);
+template void jacobi2d9_run<float>(const C2D9f&, grid::Grid2D<float>&, long);
+template void gs2d5_sweep<float>(const C2D5f&, grid::Grid2D<float>&);
+template void gs2d5_run<float>(const C2D5f&, grid::Grid2D<float>&, long);
 
 }  // namespace tvs::stencil

@@ -1,4 +1,6 @@
 // Scalar reference engines, 2D (oracle + `scalar` benchmark curves).
+// Templated on the element type; instantiated for double and float in
+// reference2d.cpp (see reference1d.hpp for the contract).
 #pragma once
 
 #include "grid/grid2d.hpp"
@@ -6,16 +8,22 @@
 
 namespace tvs::stencil {
 
-void jacobi2d5_step(const C2D5& c, const grid::Grid2D<double>& in,
-                    grid::Grid2D<double>& out);
-void jacobi2d9_step(const C2D9& c, const grid::Grid2D<double>& in,
-                    grid::Grid2D<double>& out);
+template <class T>
+void jacobi2d5_step(const C2D5T<T>& c, const grid::Grid2D<T>& in,
+                    grid::Grid2D<T>& out);
+template <class T>
+void jacobi2d9_step(const C2D9T<T>& c, const grid::Grid2D<T>& in,
+                    grid::Grid2D<T>& out);
 
-void jacobi2d5_run(const C2D5& c, grid::Grid2D<double>& u, long steps);
-void jacobi2d9_run(const C2D9& c, grid::Grid2D<double>& u, long steps);
+template <class T>
+void jacobi2d5_run(const C2D5T<T>& c, grid::Grid2D<T>& u, long steps);
+template <class T>
+void jacobi2d9_run(const C2D9T<T>& c, grid::Grid2D<T>& u, long steps);
 
 // In-place ascending (x, then y) Gauss-Seidel sweeps.
-void gs2d5_sweep(const C2D5& c, grid::Grid2D<double>& u);
-void gs2d5_run(const C2D5& c, grid::Grid2D<double>& u, long sweeps);
+template <class T>
+void gs2d5_sweep(const C2D5T<T>& c, grid::Grid2D<T>& u);
+template <class T>
+void gs2d5_run(const C2D5T<T>& c, grid::Grid2D<T>& u, long sweeps);
 
 }  // namespace tvs::stencil

@@ -6,8 +6,9 @@
 
 namespace tvs::stencil {
 
-void jacobi3d7_step(const C3D7& c, const grid::Grid3D<double>& in,
-                    grid::Grid3D<double>& out) {
+template <class T>
+void jacobi3d7_step(const C3D7T<T>& c, const grid::Grid3D<T>& in,
+                    grid::Grid3D<T>& out) {
   const int nx = in.nx(), ny = in.ny(), nz = in.nz();
   // Copy all boundary faces.
   for (int y = 0; y <= ny + 1; ++y)
@@ -32,10 +33,11 @@ void jacobi3d7_step(const C3D7& c, const grid::Grid3D<double>& in,
   }
 }
 
-void jacobi3d7_run(const C3D7& c, grid::Grid3D<double>& u, long steps) {
-  grid::Grid3D<double> tmp(u.nx(), u.ny(), u.nz());
-  grid::Grid3D<double>* cur = &u;
-  grid::Grid3D<double>* nxt = &tmp;
+template <class T>
+void jacobi3d7_run(const C3D7T<T>& c, grid::Grid3D<T>& u, long steps) {
+  grid::Grid3D<T> tmp(u.nx(), u.ny(), u.nz());
+  grid::Grid3D<T>* cur = &u;
+  grid::Grid3D<T>* nxt = &tmp;
   for (long t = 0; t < steps; ++t) {
     jacobi3d7_step(c, *cur, *nxt);
     std::swap(cur, nxt);
@@ -47,7 +49,8 @@ void jacobi3d7_run(const C3D7& c, grid::Grid3D<double>& u, long steps) {
   }
 }
 
-void gs3d7_sweep(const C3D7& c, grid::Grid3D<double>& u) {
+template <class T>
+void gs3d7_sweep(const C3D7T<T>& c, grid::Grid3D<T>& u) {
   const int nx = u.nx(), ny = u.ny(), nz = u.nz();
   for (int x = 1; x <= nx; ++x)
     for (int y = 1; y <= ny; ++y)
@@ -58,8 +61,22 @@ void gs3d7_sweep(const C3D7& c, grid::Grid3D<double>& u) {
                   u.at(x, y + 1, z), u.at(x - 1, y, z), u.at(x + 1, y, z));
 }
 
-void gs3d7_run(const C3D7& c, grid::Grid3D<double>& u, long sweeps) {
+template <class T>
+void gs3d7_run(const C3D7T<T>& c, grid::Grid3D<T>& u, long sweeps) {
   for (long t = 0; t < sweeps; ++t) gs3d7_sweep(c, u);
 }
+
+// ---- Explicit instantiations --------------------------------------------
+template void jacobi3d7_step<double>(const C3D7&, const grid::Grid3D<double>&,
+                                     grid::Grid3D<double>&);
+template void jacobi3d7_run<double>(const C3D7&, grid::Grid3D<double>&, long);
+template void gs3d7_sweep<double>(const C3D7&, grid::Grid3D<double>&);
+template void gs3d7_run<double>(const C3D7&, grid::Grid3D<double>&, long);
+
+template void jacobi3d7_step<float>(const C3D7f&, const grid::Grid3D<float>&,
+                                    grid::Grid3D<float>&);
+template void jacobi3d7_run<float>(const C3D7f&, grid::Grid3D<float>&, long);
+template void gs3d7_sweep<float>(const C3D7f&, grid::Grid3D<float>&);
+template void gs3d7_run<float>(const C3D7f&, grid::Grid3D<float>&, long);
 
 }  // namespace tvs::stencil

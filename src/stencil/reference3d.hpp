@@ -1,4 +1,6 @@
 // Scalar reference engines, 3D (oracle + `scalar` benchmark curves).
+// Templated on the element type; instantiated for double and float in
+// reference3d.cpp (see reference1d.hpp for the contract).
 #pragma once
 
 #include "grid/grid3d.hpp"
@@ -6,12 +8,16 @@
 
 namespace tvs::stencil {
 
-void jacobi3d7_step(const C3D7& c, const grid::Grid3D<double>& in,
-                    grid::Grid3D<double>& out);
-void jacobi3d7_run(const C3D7& c, grid::Grid3D<double>& u, long steps);
+template <class T>
+void jacobi3d7_step(const C3D7T<T>& c, const grid::Grid3D<T>& in,
+                    grid::Grid3D<T>& out);
+template <class T>
+void jacobi3d7_run(const C3D7T<T>& c, grid::Grid3D<T>& u, long steps);
 
 // In-place ascending (x, y, z) Gauss-Seidel sweeps.
-void gs3d7_sweep(const C3D7& c, grid::Grid3D<double>& u);
-void gs3d7_run(const C3D7& c, grid::Grid3D<double>& u, long sweeps);
+template <class T>
+void gs3d7_sweep(const C3D7T<T>& c, grid::Grid3D<T>& u);
+template <class T>
+void gs3d7_run(const C3D7T<T>& c, grid::Grid3D<T>& u, long sweeps);
 
 }  // namespace tvs::stencil

@@ -238,7 +238,7 @@ void life(const stencil::LifeRule& r,
 TVS_BACKEND_REGISTRAR(diamond2d) {
   TVS_REGISTER(kDiamondJacobi2D5, DiamondJacobi2D5Fn, jacobi2d5);
   TVS_REGISTER(kDiamondJacobi2D9, DiamondJacobi2D9Fn, jacobi2d9);
-  TVS_REGISTER(kDiamondLife, DiamondLifeFn, life);
+  TVS_REGISTER_DT(kDiamondLife, DiamondLifeFn, life, dispatch::DType::kI32);
 }
 
 }  // namespace tvs::tiling

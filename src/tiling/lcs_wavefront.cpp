@@ -67,7 +67,8 @@ std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(lcs_wavefront) {
-  TVS_REGISTER(kLcsWavefront, LcsWavefrontFn, lcs_wavefront_tiled);
+  TVS_REGISTER_DT(kLcsWavefront, LcsWavefrontFn, lcs_wavefront_tiled,
+                  dispatch::DType::kI32);
 }
 
 }  // namespace tvs::tiling

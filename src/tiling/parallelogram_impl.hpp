@@ -46,6 +46,10 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
   // array slot west of x0 (the left tile's final interface value).
   const auto scalar_range = [&](int l, int x0, int x1) {
     (void)l;
+    // Right-edge tiles can clamp a level to an empty range with x0 far
+    // beyond nx (XL is only clamped from below); bail before touching
+    // a[x0 - 1], which may lie past the padded allocation.
+    if (x0 > x1) return;
     double west = a[x0 - 1];
     for (int x = x0; x <= x1; ++x) {
       const double v = stencil::gs1d3(c.w, c.c, c.e, west, a[x], a[x + 1]);

@@ -1,7 +1,8 @@
 // Stencil functors plugged into the 1D temporal-vectorization engines.
 // Coefficients are pre-broadcast at construction; `apply` and
 // `apply_scalar` evaluate the canonical formulas of stencil/kernels.hpp so
-// vector and scalar paths agree bit for bit.
+// vector and scalar paths agree bit for bit.  Every functor is generic in
+// the element type: T = V::value_type (double or float).
 #pragma once
 
 #include "simd/vec.hpp"
@@ -12,29 +13,33 @@ namespace tvs::tv {
 
 template <class V>
 struct J1D3F {
+  using T = typename V::value_type;
+  using value_type = T;
   static constexpr int radius = 1;
   V cw, cc, ce;
-  stencil::C1D3 c;
+  stencil::C1D3T<T> c;
 
-  explicit J1D3F(const stencil::C1D3& k)
+  explicit J1D3F(const stencil::C1D3T<T>& k)
       : cw(V::set1(k.w)), cc(V::set1(k.c)), ce(V::set1(k.e)), c(k) {}
 
   V apply(const V* win) const {
     return stencil::j1d3(cw, cc, ce, win[0], win[1], win[2]);
   }
   V apply3(V w, V ctr, V e) const { return stencil::j1d3(cw, cc, ce, w, ctr, e); }
-  double apply_scalar(const double* win) const {
+  T apply_scalar(const T* win) const {
     return stencil::j1d3(c.w, c.c, c.e, win[0], win[1], win[2]);
   }
 };
 
 template <class V>
 struct J1D5F {
+  using T = typename V::value_type;
+  using value_type = T;
   static constexpr int radius = 2;
   V cw2, cw1, cc, ce1, ce2;
-  stencil::C1D5 c;
+  stencil::C1D5T<T> c;
 
-  explicit J1D5F(const stencil::C1D5& k)
+  explicit J1D5F(const stencil::C1D5T<T>& k)
       : cw2(V::set1(k.w2)),
         cw1(V::set1(k.w1)),
         cc(V::set1(k.c)),
@@ -46,7 +51,7 @@ struct J1D5F {
     return stencil::j1d5(cw2, cw1, cc, ce1, ce2, win[0], win[1], win[2],
                          win[3], win[4]);
   }
-  double apply_scalar(const double* win) const {
+  T apply_scalar(const T* win) const {
     return stencil::j1d5(c.w2, c.w1, c.c, c.e1, c.e2, win[0], win[1], win[2],
                          win[3], win[4]);
   }

@@ -11,12 +11,13 @@ namespace tvs::tv {
 
 template <class V>
 struct J2D5F {
+  using T = typename V::value_type;
+  using value_type = T;
   static constexpr int radius = 1;
-  using value_type = double;
   V cc, cw, ce, cs, cn;
-  stencil::C2D5 c;
+  stencil::C2D5T<T> c;
 
-  explicit J2D5F(const stencil::C2D5& k)
+  explicit J2D5F(const stencil::C2D5T<T>& k)
       : cc(V::set1(k.c)),
         cw(V::set1(k.w)),
         ce(V::set1(k.e)),
@@ -29,7 +30,7 @@ struct J2D5F {
                          rm1[y], rp1[y]);
   }
   template <class At>
-  double apply_scalar(At&& at, int r, int y) const {
+  T apply_scalar(At&& at, int r, int y) const {
     return stencil::j2d5(c.c, c.w, c.e, c.s, c.n, at(r, y), at(r, y - 1),
                          at(r, y + 1), at(r - 1, y), at(r + 1, y));
   }
@@ -37,12 +38,13 @@ struct J2D5F {
 
 template <class V>
 struct J2D9F {
+  using T = typename V::value_type;
+  using value_type = T;
   static constexpr int radius = 1;
-  using value_type = double;
   V cc, cw, ce, cs, cn, csw, cse, cnw, cne;
-  stencil::C2D9 c;
+  stencil::C2D9T<T> c;
 
-  explicit J2D9F(const stencil::C2D9& k)
+  explicit J2D9F(const stencil::C2D9T<T>& k)
       : cc(V::set1(k.c)),
         cw(V::set1(k.w)),
         ce(V::set1(k.e)),
@@ -60,7 +62,7 @@ struct J2D9F {
                          rm1[y + 1], rp1[y - 1], rp1[y + 1]);
   }
   template <class At>
-  double apply_scalar(At&& at, int r, int y) const {
+  T apply_scalar(At&& at, int r, int y) const {
     return stencil::j2d9(c.c, c.w, c.e, c.s, c.n, c.sw, c.se, c.nw, c.ne,
                          at(r, y), at(r, y - 1), at(r, y + 1), at(r - 1, y),
                          at(r + 1, y), at(r - 1, y - 1), at(r - 1, y + 1),

@@ -9,12 +9,13 @@ namespace tvs::tv {
 
 template <class V>
 struct J3D7F {
+  using T = typename V::value_type;
+  using value_type = T;
   static constexpr int radius = 1;
-  using value_type = double;
   V cc, cw, ce, cs, cn, cb, cf;
-  stencil::C3D7 c;
+  stencil::C3D7T<T> c;
 
-  explicit J3D7F(const stencil::C3D7& k)
+  explicit J3D7F(const stencil::C3D7T<T>& k)
       : cc(V::set1(k.c)),
         cw(V::set1(k.w)),
         ce(V::set1(k.e)),
@@ -30,7 +31,7 @@ struct J3D7F {
                          b0c[z + 1], b0m[z], b0p[z], bm1[z], bp1[z]);
   }
   template <class At>
-  double apply_scalar(At&& at, int r, int y, int z) const {
+  T apply_scalar(At&& at, int r, int y, int z) const {
     return stencil::j3d7(c.c, c.w, c.e, c.s, c.n, c.b, c.f, at(r, y, z),
                          at(r, y, z - 1), at(r, y, z + 1), at(r, y - 1, z),
                          at(r, y + 1, z), at(r - 1, y, z), at(r + 1, y, z));

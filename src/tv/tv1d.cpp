@@ -1,9 +1,11 @@
 // 1D Jacobi kernel variants — compiled once per SIMD backend (see
 // dispatch/backend_variant.hpp for the per-backend TU rules) at the
-// backend's native vector width.  The scalar backend additionally registers
-// width-pinned vl = 8 instantiations (ScalarVec<double, 8>) so the
-// registry's width axis resolves vl = 8 on every host.  Public
-// tv_jacobi1d*_run entry points live in tv_dispatch.cpp.
+// backend's native vector width, for double AND float element types (the
+// float engines run twice the lanes per register).  The scalar backend
+// additionally registers width-pinned wide instantiations
+// (ScalarVec<double, 8>, ScalarVec<float, 16>) so the registry's width
+// axis resolves every width on every host.  Public tv_jacobi1d*_run entry
+// points live in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors1d.hpp"
 #include "tv/tv1d_impl.hpp"
@@ -12,6 +14,7 @@ namespace tvs::tv {
 namespace {
 
 using V = dispatch::BackendVec<double>;
+using VF = dispatch::BackendVec<float>;
 
 void jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u, long steps,
                int stride) {
@@ -23,8 +26,19 @@ void jacobi1d5(const stencil::C1D5& c, grid::Grid1D<double>& u, long steps,
   tv1d_run<V>(J1D5F<V>(c), u, steps, stride);
 }
 
+void jacobi1d3_f32(const stencil::C1D3f& c, grid::Grid1D<float>& u, long steps,
+                   int stride) {
+  tv1d_run<VF>(J1D3F<VF>(c), u, steps, stride);
+}
+
+void jacobi1d5_f32(const stencil::C1D5f& c, grid::Grid1D<float>& u, long steps,
+                   int stride) {
+  tv1d_run<VF>(J1D5F<VF>(c), u, steps, stride);
+}
+
 #if TVS_BACKEND_LEVEL == 0
 using V8 = simd::ScalarVec<double, 8>;
+using VF16 = simd::ScalarVec<float, 16>;
 
 void jacobi1d3_vl8(const stencil::C1D3& c, grid::Grid1D<double>& u, long steps,
                    int stride) {
@@ -35,16 +49,35 @@ void jacobi1d5_vl8(const stencil::C1D5& c, grid::Grid1D<double>& u, long steps,
                    int stride) {
   tv1d_run<V8>(J1D5F<V8>(c), u, steps, stride);
 }
+
+void jacobi1d3_f32_vl16(const stencil::C1D3f& c, grid::Grid1D<float>& u,
+                        long steps, int stride) {
+  tv1d_run<VF16>(J1D3F<VF16>(c), u, steps, stride);
+}
+
+void jacobi1d5_f32_vl16(const stencil::C1D5f& c, grid::Grid1D<float>& u,
+                        long steps, int stride) {
+  tv1d_run<VF16>(J1D5F<VF16>(c), u, steps, stride);
+}
 #endif
 
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv1d) {
+  using dispatch::DType;
   TVS_REGISTER_VL(kTvJacobi1D3, TvJacobi1D3Fn, jacobi1d3, V::lanes);
   TVS_REGISTER_VL(kTvJacobi1D5, TvJacobi1D5Fn, jacobi1d5, V::lanes);
+  TVS_REGISTER_VL_DT(kTvJacobi1D3, TvJacobi1D3F32Fn, jacobi1d3_f32, VF::lanes,
+                     DType::kF32);
+  TVS_REGISTER_VL_DT(kTvJacobi1D5, TvJacobi1D5F32Fn, jacobi1d5_f32, VF::lanes,
+                     DType::kF32);
 #if TVS_BACKEND_LEVEL == 0
   TVS_REGISTER_VL(kTvJacobi1D3, TvJacobi1D3Fn, jacobi1d3_vl8, 8);
   TVS_REGISTER_VL(kTvJacobi1D5, TvJacobi1D5Fn, jacobi1d5_vl8, 8);
+  TVS_REGISTER_VL_DT(kTvJacobi1D3, TvJacobi1D3F32Fn, jacobi1d3_f32_vl16, 16,
+                     DType::kF32);
+  TVS_REGISTER_VL_DT(kTvJacobi1D5, TvJacobi1D5F32Fn, jacobi1d5_f32_vl16, 16,
+                     DType::kF32);
 #endif
 }
 

@@ -20,4 +20,10 @@ void tv_jacobi1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u,
 void tv_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
                       long steps, int stride = kDefaultStride1D5);
 
+// Single-precision overloads: same engines at twice the lanes per register.
+void tv_jacobi1d3_run(const stencil::C1D3f& c, grid::Grid1D<float>& u,
+                      long steps, int stride = kDefaultStride1D3);
+void tv_jacobi1d5_run(const stencil::C1D5f& c, grid::Grid1D<float>& u,
+                      long steps, int stride = kDefaultStride1D5);
+
 }  // namespace tvs::tv

@@ -34,7 +34,7 @@
 // The stencil functor F supplies:
 //   static constexpr int radius;
 //   V      apply(const V* win)      — win[0..2R], west-most first
-//   double apply_scalar(const double* win)
+//   T      apply_scalar(const T* win)   — T = V::value_type
 //
 // Everything here is templated on the vector type V so the identical
 // algorithm runs on the scalar backend in tests and at any width
@@ -55,10 +55,12 @@ inline constexpr int kMaxStride = 32;
 
 // Reusable scratch for one run (avoids per-tile allocation).  Sizes depend
 // on the engine's vector length: vl-1 intermediate levels per edge.
+// Templated on the element type T (double or float).
+template <class T = double>
 struct Workspace1D {
-  std::vector<double> left;    // vl-1 levels, prologue values
-  std::vector<double> right;   // vl-1 levels, flush + epilogue values
-  std::vector<double> sbuf;    // scalar-fallback ping-pong line
+  std::vector<T> left;   // vl-1 levels, prologue values
+  std::vector<T> right;  // vl-1 levels, flush + epilogue values
+  std::vector<T> sbuf;   // scalar-fallback ping-pong line
   int s = 0, nx = 0, vl = 0;
   int llen = 0, rlen = 0;      // per-level extents of left/right
 
@@ -68,26 +70,26 @@ struct Workspace1D {
     vl = lanes;
     llen = (vl - 1) * s + 2;
     rlen = vl * s + radius + 4;
-    left.assign(static_cast<std::size_t>(vl - 1) * llen, 0.0);
-    right.assign(static_cast<std::size_t>(vl - 1) * rlen, 0.0);
+    left.assign(static_cast<std::size_t>(vl - 1) * llen, T{0});
+    right.assign(static_cast<std::size_t>(vl - 1) * rlen, T{0});
   }
   // Level l (1 .. vl-1) scratch lines.
-  double* lptr(int lev) { return left.data() + static_cast<std::size_t>(lev - 1) * llen; }
-  double* rptr(int lev) { return right.data() + static_cast<std::size_t>(lev - 1) * rlen; }
+  T* lptr(int lev) { return left.data() + static_cast<std::size_t>(lev - 1) * llen; }
+  T* rptr(int lev) { return right.data() + static_cast<std::size_t>(lev - 1) * rlen; }
 };
 
 namespace detail {
 
 // Plain scalar time steps (used for nx too small for the vector pipeline
 // and for the T % vl residual).  Ping-pongs through ws.sbuf.
-template <class F>
-void scalar_steps(const F& f, double* a, int nx, int nsteps,
-                  Workspace1D& ws) {
+template <class F, class T>
+void scalar_steps(const F& f, T* a, int nx, int nsteps,
+                  Workspace1D<T>& ws) {
   constexpr int R = F::radius;
   const std::size_t len = static_cast<std::size_t>(nx + 2 * R + 2);
   if (ws.sbuf.size() < len) ws.sbuf.resize(len);
-  double* b = ws.sbuf.data() + R;  // b[-R..nx+1+R] valid
-  double win[2 * R + 1];
+  T* b = ws.sbuf.data() + R;  // b[-R..nx+1+R] valid
+  T win[2 * R + 1];
   for (int t = 0; t < nsteps; ++t) {
     for (int x = 1 - R; x <= 0; ++x) b[x] = a[x];
     for (int x = nx + 1; x <= nx + R; ++x) b[x] = a[x];
@@ -109,7 +111,7 @@ namespace detail {
 // 13-vector-register implementation (§3.4).  x must start at 1 (slot
 // arithmetic assumes x == 1 mod 8); returns the first unprocessed x.
 template <class V, class F>
-int steady_s7(const F& f, double* a, int x_end,
+int steady_s7(const F& f, typename V::value_type* a, int x_end,
               std::array<V, kMaxStride + 2>& ring) {
   static_assert(V::lanes == 4);
   V r0 = ring[0], r1 = ring[1], r2 = ring[2], r3 = ring[3], r4 = ring[4],
@@ -161,7 +163,9 @@ int steady_s7(const F& f, double* a, int x_end,
 // One vl-step temporally vectorized tile; see the file comment.
 // Requires nx >= vl*s and s >= radius+1 (checked by the caller).
 template <class V, class F>
-void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
+void tv1d_tile(const F& f, typename V::value_type* a, int nx, int s,
+               Workspace1D<typename V::value_type>& ws) {
+  using T = typename V::value_type;
   constexpr int R = F::radius;
   constexpr int VL = V::lanes;
   const int M = s + R;  // live input vectors (paper: "s + r")
@@ -171,15 +175,15 @@ void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
 
   // Value of level l (1..vl-1) at position x during the prologue: boundary
   // cells keep their fixed value at every level.
-  const auto lv = [&](int lev, int x) -> double {
+  const auto lv = [&](int lev, int x) -> T {
     return x <= 0 ? a[x] : ws.lptr(lev)[x];
   };
 
-  double win[2 * R + 1];
+  T win[2 * R + 1];
 
   // ---- prologue: left trapezoid, scalar ---------------------------------
   for (int lev = 1; lev <= VL - 1; ++lev) {
-    double* out = ws.lptr(lev);
+    T* out = ws.lptr(lev);
     for (int x = 1; x <= (VL - lev) * s; ++x) {
       if (lev == 1) {
         for (int k = 0; k <= 2 * R; ++k) win[k] = a[x - R + k];
@@ -191,7 +195,7 @@ void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
   }
 
   // Level k (0..vl-1) at position x for the gather (level 0 = the array).
-  const auto lv_any = [&](int lev, int x) -> double {
+  const auto lv_any = [&](int lev, int x) -> T {
     return lev == 0 ? a[x] : lv(lev, x);
   };
 
@@ -199,7 +203,7 @@ void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
   std::array<V, kMaxStride + 2> ring;
   const auto slot = [M](int p) { return ((p % M) + M) % M; };
   for (int p = 1 - R; p <= s; ++p) {
-    alignas(64) double lanes[VL];
+    alignas(64) T lanes[VL];
     for (int k = 0; k < VL; ++k) lanes[k] = lv_any(k, p + (VL - 1 - k) * s);
     ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
   }
@@ -236,7 +240,7 @@ void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
   }
 
   // ---- flush: dump surviving ring lanes into the right scratch -----------
-  const auto rput = [&](int lev, int q, double v) {
+  const auto rput = [&](int lev, int q, T v) {
     if (q >= rbase + 1 && q <= nx) ws.rptr(lev)[q - rbase] = v;
   };
   for (int p = x_end + 1 - R; p <= x_end + s; ++p) {
@@ -245,14 +249,14 @@ void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
   }
 
   // Level l (1..vl-1) at position x during the epilogue.
-  const auto rv = [&](int lev, int q) -> double {
+  const auto rv = [&](int lev, int q) -> T {
     return q > nx ? a[q] : ws.rptr(lev)[q - rbase];
   };
 
   // ---- epilogue: right trapezoid, scalar (level order matters: lvl vl
   // writes to `a` would destroy the lvl0 values lvl1 still reads) ----------
   for (int lev = 1; lev <= VL - 1; ++lev) {
-    double* out = ws.rptr(lev);
+    T* out = ws.rptr(lev);
     for (int xx = nx + 2 - lev * s; xx <= nx; ++xx) {
       if (lev == 1) {
         for (int k = 0; k <= 2 * R; ++k) win[k] = a[xx - R + k];
@@ -272,13 +276,15 @@ void tv1d_tile(const F& f, double* a, int nx, int s, Workspace1D& ws) {
 // scalar residual.  Falls back to scalar whenever the line is too short for
 // the pipeline (nx < vl*s).
 template <class V, class F>
-void tv1d_run(const F& f, grid::Grid1D<double>& u, long steps, int s) {
+void tv1d_run(const F& f, grid::Grid1D<typename V::value_type>& u, long steps,
+              int s) {
+  using T = typename V::value_type;
   constexpr int R = F::radius;
   constexpr int VL = V::lanes;
   assert(s >= R + 1);
-  Workspace1D ws;
+  Workspace1D<T> ws;
   ws.prepare(s, u.nx(), R, VL);
-  double* a = u.p();
+  T* a = u.p();
   const int nx = u.nx();
   long t = 0;
   if (nx >= VL * s) {

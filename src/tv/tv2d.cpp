@@ -1,8 +1,8 @@
 // 2D Jacobi kernel variants — compiled once per SIMD backend at the
-// backend's native vector width (vl = 4 under scalar/avx2, vl = 8 under
-// avx512).  The scalar backend additionally registers width-pinned vl = 8
-// instantiations so the width axis resolves on every host.  Public entry
-// points live in tv_dispatch.cpp.
+// backend's native vector width for double AND float element types
+// (vl = 4/8 doubles, 8/16 floats).  The scalar backend additionally
+// registers width-pinned wide instantiations so the width axis resolves on
+// every host.  Public entry points live in tv_dispatch.cpp.
 #include "dispatch/backend_variant.hpp"
 #include "tv/functors2d.hpp"
 #include "tv/tv2d_impl.hpp"
@@ -11,6 +11,7 @@ namespace tvs::tv {
 namespace {
 
 using V = dispatch::BackendVec<double>;
+using VF = dispatch::BackendVec<float>;
 
 void jacobi2d5(const stencil::C2D5& c, grid::Grid2D<double>& u, long steps,
                int stride) {
@@ -24,8 +25,21 @@ void jacobi2d9(const stencil::C2D9& c, grid::Grid2D<double>& u, long steps,
   tv2d_run(J2D9F<V>(c), u, steps, stride, ws);
 }
 
+void jacobi2d5_f32(const stencil::C2D5f& c, grid::Grid2D<float>& u, long steps,
+                   int stride) {
+  Workspace2D<VF, float> ws;
+  tv2d_run(J2D5F<VF>(c), u, steps, stride, ws);
+}
+
+void jacobi2d9_f32(const stencil::C2D9f& c, grid::Grid2D<float>& u, long steps,
+                   int stride) {
+  Workspace2D<VF, float> ws;
+  tv2d_run(J2D9F<VF>(c), u, steps, stride, ws);
+}
+
 #if TVS_BACKEND_LEVEL == 0
 using V8 = simd::ScalarVec<double, 8>;
+using VF16 = simd::ScalarVec<float, 16>;
 
 void jacobi2d5_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u, long steps,
                    int stride) {
@@ -38,16 +52,37 @@ void jacobi2d9_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u, long steps,
   Workspace2D<V8, double> ws;
   tv2d_run(J2D9F<V8>(c), u, steps, stride, ws);
 }
+
+void jacobi2d5_f32_vl16(const stencil::C2D5f& c, grid::Grid2D<float>& u,
+                        long steps, int stride) {
+  Workspace2D<VF16, float> ws;
+  tv2d_run(J2D5F<VF16>(c), u, steps, stride, ws);
+}
+
+void jacobi2d9_f32_vl16(const stencil::C2D9f& c, grid::Grid2D<float>& u,
+                        long steps, int stride) {
+  Workspace2D<VF16, float> ws;
+  tv2d_run(J2D9F<VF16>(c), u, steps, stride, ws);
+}
 #endif
 
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv2d) {
+  using dispatch::DType;
   TVS_REGISTER_VL(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5, V::lanes);
   TVS_REGISTER_VL(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9, V::lanes);
+  TVS_REGISTER_VL_DT(kTvJacobi2D5, TvJacobi2D5F32Fn, jacobi2d5_f32, VF::lanes,
+                     DType::kF32);
+  TVS_REGISTER_VL_DT(kTvJacobi2D9, TvJacobi2D9F32Fn, jacobi2d9_f32, VF::lanes,
+                     DType::kF32);
 #if TVS_BACKEND_LEVEL == 0
   TVS_REGISTER_VL(kTvJacobi2D5, TvJacobi2D5Fn, jacobi2d5_vl8, 8);
   TVS_REGISTER_VL(kTvJacobi2D9, TvJacobi2D9Fn, jacobi2d9_vl8, 8);
+  TVS_REGISTER_VL_DT(kTvJacobi2D5, TvJacobi2D5F32Fn, jacobi2d5_f32_vl16, 16,
+                     DType::kF32);
+  TVS_REGISTER_VL_DT(kTvJacobi2D9, TvJacobi2D9F32Fn, jacobi2d9_f32_vl16, 16,
+                     DType::kF32);
 #endif
 }
 

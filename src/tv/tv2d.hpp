@@ -14,4 +14,10 @@ void tv_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
 void tv_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
                       long steps, int stride = kDefaultStride2D);
 
+// Single-precision overloads.
+void tv_jacobi2d5_run(const stencil::C2D5f& c, grid::Grid2D<float>& u,
+                      long steps, int stride = kDefaultStride2D);
+void tv_jacobi2d9_run(const stencil::C2D9f& c, grid::Grid2D<float>& u,
+                      long steps, int stride = kDefaultStride2D);
+
 }  // namespace tvs::tv

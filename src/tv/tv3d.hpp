@@ -10,4 +10,8 @@ namespace tvs::tv {
 void tv_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
                       long steps, int stride = 2);
 
+// Single-precision overload.
+void tv_jacobi3d7_run(const stencil::C3D7f& c, grid::Grid3D<float>& u,
+                      long steps, int stride = 2);
+
 }  // namespace tvs::tv

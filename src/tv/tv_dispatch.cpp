@@ -5,6 +5,9 @@
 // set — an illegal stride now raises std::invalid_argument instead of
 // silently corrupting results — then resolves its kernel id once (first
 // call) against the selected backend and caches the function pointer.
+// The float overloads resolve the same ids pinned to DType::kF32 on the
+// registry's dtype axis (native float width: 8 lanes under scalar/avx2,
+// 16 under avx512).
 #include <span>
 #include <vector>
 
@@ -14,7 +17,6 @@
 #include "tv/tv1d.hpp"
 #include "tv/tv1d_impl.hpp"  // kMaxStride (ring capacity of the 1D engines)
 #include "tv/tv2d.hpp"
-#include "tv/tv2d_wide.hpp"
 #include "tv/tv3d.hpp"
 #include "tv/tv_gs1d.hpp"
 #include "tv/tv_gs2d.hpp"
@@ -31,13 +33,14 @@ Fn* lookup(std::string_view id) {
   return dispatch::KernelRegistry::instance().get<Fn>(id);
 }
 
-// Width-pinned lookup at the selected backend: the engine at exactly `vl`
-// lanes, falling back downward (e.g. vl = 8 resolves to the AVX-512 engine
-// on an AVX-512 host and to ScalarVec<double, 8> elsewhere).
+// Dtype-pinned lookup at the selected backend's native width for the
+// dtype (float engines resolve at 8 lanes under scalar/avx2 and 16 under
+// avx512, falling back downward like every lookup).
 template <class Fn>
-Fn* lookup_vl(std::string_view id, int vl) {
+Fn* lookup_f32(std::string_view id) {
   return dispatch::KernelRegistry::instance().get_at<Fn>(
-      id, dispatch::selected_backend(), vl);
+      id, dispatch::selected_backend(), dispatch::kAnyVl,
+      dispatch::DType::kF32);
 }
 
 }  // namespace
@@ -58,6 +61,24 @@ void tv_jacobi1d5_run(const stencil::C1D5& c, grid::Grid1D<double>& u,
   fn(c, u, steps, stride);
 }
 
+void tv_jacobi1d3_run(const stencil::C1D3f& c, grid::Grid1D<float>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi1d3_run", stencil::jacobi1d_deps(1),
+                                stride, kMaxStride);
+  static const auto fn =
+      lookup_f32<dispatch::TvJacobi1D3F32Fn>(dispatch::kTvJacobi1D3);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi1d5_run(const stencil::C1D5f& c, grid::Grid1D<float>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi1d5_run", stencil::jacobi1d_deps(2),
+                                stride, kMaxStride);
+  static const auto fn =
+      lookup_f32<dispatch::TvJacobi1D5F32Fn>(dispatch::kTvJacobi1D5);
+  fn(c, u, steps, stride);
+}
+
 void tv_jacobi2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,
                       long steps, int stride) {
   stencil::require_legal_stride("tv_jacobi2d5_run", stencil::jacobi2d_deps(1),
@@ -74,6 +95,24 @@ void tv_jacobi2d9_run(const stencil::C2D9& c, grid::Grid2D<double>& u,
   fn(c, u, steps, stride);
 }
 
+void tv_jacobi2d5_run(const stencil::C2D5f& c, grid::Grid2D<float>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi2d5_run", stencil::jacobi2d_deps(1),
+                                stride);
+  static const auto fn =
+      lookup_f32<dispatch::TvJacobi2D5F32Fn>(dispatch::kTvJacobi2D5);
+  fn(c, u, steps, stride);
+}
+
+void tv_jacobi2d9_run(const stencil::C2D9f& c, grid::Grid2D<float>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi2d9_run", stencil::jacobi2d_deps(1),
+                                stride);
+  static const auto fn =
+      lookup_f32<dispatch::TvJacobi2D9F32Fn>(dispatch::kTvJacobi2D9);
+  fn(c, u, steps, stride);
+}
+
 void tv_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
                       long steps, int stride) {
   stencil::require_legal_stride("tv_jacobi3d7_run", stencil::jacobi3d_deps(1),
@@ -82,30 +121,12 @@ void tv_jacobi3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u,
   fn(c, u, steps, stride);
 }
 
-void tv_jacobi2d5_run_vl8(const stencil::C2D5& c, grid::Grid2D<double>& u,
-                          long steps, int stride) {
-  stencil::require_legal_stride("tv_jacobi2d5_run_vl8",
-                                stencil::jacobi2d_deps(1), stride);
+void tv_jacobi3d7_run(const stencil::C3D7f& c, grid::Grid3D<float>& u,
+                      long steps, int stride) {
+  stencil::require_legal_stride("tv_jacobi3d7_run", stencil::jacobi3d_deps(1),
+                                stride);
   static const auto fn =
-      lookup_vl<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5, 8);
-  fn(c, u, steps, stride);
-}
-
-void tv_jacobi2d9_run_vl8(const stencil::C2D9& c, grid::Grid2D<double>& u,
-                          long steps, int stride) {
-  stencil::require_legal_stride("tv_jacobi2d9_run_vl8",
-                                stencil::jacobi2d_deps(1), stride);
-  static const auto fn =
-      lookup_vl<dispatch::TvJacobi2D9Fn>(dispatch::kTvJacobi2D9, 8);
-  fn(c, u, steps, stride);
-}
-
-void tv_jacobi3d7_run_vl8(const stencil::C3D7& c, grid::Grid3D<double>& u,
-                          long steps, int stride) {
-  stencil::require_legal_stride("tv_jacobi3d7_run_vl8",
-                                stencil::jacobi3d_deps(1), stride);
-  static const auto fn =
-      lookup_vl<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7, 8);
+      lookup_f32<dispatch::TvJacobi3D7F32Fn>(dispatch::kTvJacobi3D7);
   fn(c, u, steps, stride);
 }
 
@@ -117,6 +138,14 @@ void tv_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
   fn(c, u, sweeps, stride);
 }
 
+void tv_gs1d3_run(const stencil::C1D3f& c, grid::Grid1D<float>& u, long sweeps,
+                  int stride) {
+  stencil::require_legal_stride("tv_gs1d3_run", stencil::gauss_seidel_deps(1),
+                                stride, kMaxStride);
+  static const auto fn = lookup_f32<dispatch::TvGs1D3F32Fn>(dispatch::kTvGs1D3);
+  fn(c, u, sweeps, stride);
+}
+
 void tv_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
                   int stride) {
   stencil::require_legal_stride("tv_gs2d5_run", stencil::gauss_seidel_deps(1),
@@ -125,11 +154,27 @@ void tv_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u, long sweeps,
   fn(c, u, sweeps, stride);
 }
 
+void tv_gs2d5_run(const stencil::C2D5f& c, grid::Grid2D<float>& u, long sweeps,
+                  int stride) {
+  stencil::require_legal_stride("tv_gs2d5_run", stencil::gauss_seidel_deps(1),
+                                stride);
+  static const auto fn = lookup_f32<dispatch::TvGs2D5F32Fn>(dispatch::kTvGs2D5);
+  fn(c, u, sweeps, stride);
+}
+
 void tv_gs3d7_run(const stencil::C3D7& c, grid::Grid3D<double>& u, long sweeps,
                   int stride) {
   stencil::require_legal_stride("tv_gs3d7_run", stencil::gauss_seidel_deps(1),
                                 stride);
   static const auto fn = lookup<dispatch::TvGs3D7Fn>(dispatch::kTvGs3D7);
+  fn(c, u, sweeps, stride);
+}
+
+void tv_gs3d7_run(const stencil::C3D7f& c, grid::Grid3D<float>& u, long sweeps,
+                  int stride) {
+  stencil::require_legal_stride("tv_gs3d7_run", stencil::gauss_seidel_deps(1),
+                                stride);
+  static const auto fn = lookup_f32<dispatch::TvGs3D7F32Fn>(dispatch::kTvGs3D7);
   fn(c, u, sweeps, stride);
 }
 

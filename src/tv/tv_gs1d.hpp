@@ -13,4 +13,8 @@ inline constexpr int kDefaultStrideGS1D = 3;
 void tv_gs1d3_run(const stencil::C1D3& c, grid::Grid1D<double>& u, long sweeps,
                   int stride = kDefaultStrideGS1D);
 
+// Single-precision overload.
+void tv_gs1d3_run(const stencil::C1D3f& c, grid::Grid1D<float>& u, long sweeps,
+                  int stride = kDefaultStrideGS1D);
+
 }  // namespace tvs::tv

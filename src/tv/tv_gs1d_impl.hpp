@@ -44,12 +44,12 @@ namespace detail {
 // x0 comes from `west0`, old values are read through `old_at` and results
 // written through `put`.  (Helper for the wedges; the steady state never
 // calls this.)
-template <class OldAt, class Put>
-inline void gs_scalar_range(const stencil::C1D3& c, double west0, int x0,
+template <class T, class OldAt, class Put>
+inline void gs_scalar_range(const stencil::C1D3T<T>& c, T west0, int x0,
                             int x1, OldAt old_at, Put put) {
-  double west = west0;
+  T west = west0;
   for (int x = x0; x <= x1; ++x) {
-    const double v =
+    const T v =
         stencil::gs1d3(c.w, c.c, c.e, west, old_at(x), old_at(x + 1));
     put(x, v);
     west = v;
@@ -61,41 +61,43 @@ inline void gs_scalar_range(const stencil::C1D3& c, double west0, int x0,
 // One vl-sweep temporally vectorized Gauss-Seidel tile, in place on `a`.
 // Requires s >= 2 and nx >= vl*s.
 template <class V>
-void tv_gs1d_tile(const stencil::C1D3& c, double* a, int nx, int s,
-                  Workspace1D& ws) {
+void tv_gs1d_tile(const stencil::C1D3T<typename V::value_type>& c,
+                  typename V::value_type* a, int nx, int s,
+                  Workspace1D<typename V::value_type>& ws) {
+  using T = typename V::value_type;
   constexpr int VL = V::lanes;
   const int M = s;  // ring slots: live positions [x, x+s-1]
   assert(s >= 2 && s <= kMaxStride && nx >= VL * s);
   assert(ws.vl == VL);
   const int rbase = nx - VL * s - 1;
 
-  const auto lv = [&](int lev, int x) -> double {
+  const auto lv = [&](int lev, int x) -> T {
     return x <= 0 ? a[x] : ws.lptr(lev)[x];
   };
-  const auto lv_any = [&](int lev, int x) -> double {
+  const auto lv_any = [&](int lev, int x) -> T {
     return lev == 0 ? a[x] : lv(lev, x);
   };
 
   // ---- prologue: levels 1..vl-1 on the left trapezoid ----------------------
   for (int lev = 1; lev <= VL - 1; ++lev) {
-    double* out = ws.lptr(lev);
+    T* out = ws.lptr(lev);
     detail::gs_scalar_range(
         c, /*west0=*/a[0], 1, (VL - lev) * s,
         [&](int x) { return lv_any(lev - 1, x); },
-        [&](int x, double v) { out[x] = v; });
+        [&](int x, T v) { out[x] = v; });
   }
 
   // ---- gather: ring positions [1, s] and the initial w ---------------------
   std::array<V, kMaxStride + 2> ring;
   const auto slot = [M](int p) { return ((p % M) + M) % M; };
   for (int p = 1; p <= s; ++p) {
-    alignas(64) double lanes[VL];
+    alignas(64) T lanes[VL];
     for (int k = 0; k < VL; ++k) lanes[k] = lv_any(k, p + (VL - 1 - k) * s);
     ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
   }
   V w;  // lane k = lvl(k+1) @ (x-1 + (vl-1-k)s); at x=1: the prologue tips
   {
-    alignas(64) double lanes[VL];
+    alignas(64) T lanes[VL];
     for (int k = 0; k < VL - 1; ++k) lanes[k] = lv(k + 1, (VL - 1 - k) * s);
     lanes[VL - 1] = a[0];  // lvl vl @ 0 = boundary
     w = V::load(lanes);
@@ -131,7 +133,7 @@ void tv_gs1d_tile(const stencil::C1D3& c, double* a, int nx, int s,
   }
 
   // ---- flush ring lanes into the right scratch -----------------------------
-  const auto rput = [&](int lev, int q, double v) {
+  const auto rput = [&](int lev, int q, T v) {
     if (q >= rbase + 1 && q <= nx) ws.rptr(lev)[q - rbase] = v;
   };
   for (int p = x_end + 1; p <= x_end + s; ++p) {
@@ -139,41 +141,43 @@ void tv_gs1d_tile(const stencil::C1D3& c, double* a, int nx, int s,
     for (int k = 1; k <= VL - 1; ++k) rput(k, p + (VL - 1 - k) * s, u[k]);
   }
 
-  const auto rv = [&](int lev, int q) -> double {
+  const auto rv = [&](int lev, int q) -> T {
     return q > nx ? a[q] : ws.rptr(lev)[q - rbase];
   };
 
   // ---- epilogue (levels in order; lvl vl writes to `a` last) ---------------
   for (int lev = 1; lev <= VL - 1; ++lev) {
-    double* out = ws.rptr(lev);
+    T* out = ws.rptr(lev);
     detail::gs_scalar_range(
         c, rv(lev, nx + 1 - lev * s), nx + 2 - lev * s, nx,
         [&](int q) { return lev == 1 ? a[q] : rv(lev - 1, q); },
-        [&](int q, double v) { out[q - rbase] = v; });
+        [&](int q, T v) { out[q - rbase] = v; });
   }
   detail::gs_scalar_range(
       c, a[nx + 1 - VL * s], nx + 2 - VL * s, nx,
-      [&](int q) { return rv(VL - 1, q); }, [&](int q, double v) { a[q] = v; });
+      [&](int q) { return rv(VL - 1, q); }, [&](int q, T v) { a[q] = v; });
 }
 
 // Advance `u` by `sweeps` Gauss-Seidel sweeps (vl per vector tile).
 template <class V>
-void tv_gs1d_run_impl(const stencil::C1D3& c, grid::Grid1D<double>& u,
-                      long sweeps, int s) {
+void tv_gs1d_run_impl(const stencil::C1D3T<typename V::value_type>& c,
+                      grid::Grid1D<typename V::value_type>& u, long sweeps,
+                      int s) {
+  using T = typename V::value_type;
   constexpr int VL = V::lanes;
   assert(s >= 2);
-  Workspace1D ws;
+  Workspace1D<T> ws;
   ws.prepare(s, u.nx(), 1, VL);
-  double* a = u.p();
+  T* a = u.p();
   const int nx = u.nx();
   long t = 0;
   if (nx >= VL * s) {
     for (; t + VL <= sweeps; t += VL) tv_gs1d_tile<V>(c, a, nx, s, ws);
   }
   for (; t < sweeps; ++t) {
-    double west = a[0];
+    T west = a[0];
     for (int x = 1; x <= nx; ++x) {
-      const double v = stencil::gs1d3(c.w, c.c, c.e, west, a[x], a[x + 1]);
+      const T v = stencil::gs1d3(c.w, c.c, c.e, west, a[x], a[x + 1]);
       a[x] = v;
       west = v;
     }

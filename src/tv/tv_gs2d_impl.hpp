@@ -30,11 +30,12 @@ namespace tvs::tv {
 
 template <class V>
 struct WorkspaceGs2D {
+  using T = typename V::value_type;
   static constexpr int VL = V::lanes;
 
   grid::AlignedBuffer<V> ring;  // (s+1) rows x rstride vectors
   grid::AlignedBuffer<V> wrow;  // 1 row: previous x outputs per column
-  grid::AlignedBuffer<double> lscr, rscr;  // (VL-1) levels of edge planes
+  grid::AlignedBuffer<T> lscr, rscr;  // (VL-1) levels of edge planes
   int s = 0, nx = 0, ny = 0;
   std::ptrdiff_t rstride = 0;
   int lrows = 0, rrows = 0, rbase = 0;
@@ -50,12 +51,10 @@ struct WorkspaceGs2D {
     ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
                                   static_cast<std::size_t>(rstride));
     wrow = grid::AlignedBuffer<V>(static_cast<std::size_t>(rstride));
-    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
-                                       lrows *
-                                       static_cast<std::size_t>(rstride));
-    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
-                                       rrows *
-                                       static_cast<std::size_t>(rstride));
+    lscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * lrows *
+                                  static_cast<std::size_t>(rstride));
+    rscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * rrows *
+                                  static_cast<std::size_t>(rstride));
   }
   V* ring_row(int p) {
     const int M = s + 1;
@@ -64,12 +63,12 @@ struct WorkspaceGs2D {
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(rstride) +
            1;
   }
-  double& lv(int level, int r, int y) {
+  T& lv(int level, int r, int y) {
     return lscr[(static_cast<std::size_t>(level - 1) * lrows + r) *
                     static_cast<std::size_t>(rstride) +
                 static_cast<std::size_t>(y + 1)];
   }
-  double& rv(int level, int r, int y) {
+  T& rv(int level, int r, int y) {
     return rscr[(static_cast<std::size_t>(level - 1) * rrows + (r - rbase)) *
                     static_cast<std::size_t>(rstride) +
                 static_cast<std::size_t>(y + 1)];
@@ -81,12 +80,12 @@ namespace detailgs2d {
 // One scalar Gauss-Seidel row at level `lev`: new values chained in y and
 // written through `put`; previous-level (old) values via `old_at`; the
 // newest south row via `new_south`.
-template <class OldAt, class NewSouth, class Put>
-inline void gs_row(const stencil::C2D5& c, double west0, int r, int ny,
+template <class T, class OldAt, class NewSouth, class Put>
+inline void gs_row(const stencil::C2D5T<T>& c, T west0, int r, int ny,
                    OldAt&& old_at, NewSouth&& new_south, Put&& put) {
-  double west = west0;
+  T west = west0;
   for (int y = 1; y <= ny; ++y) {
-    const double v =
+    const T v =
         stencil::gs2d5(c.c, c.w, c.e, c.s, c.n, old_at(r, y), west,
                        old_at(r, y + 1), new_south(y), old_at(r + 1, y));
     put(y, v);
@@ -98,14 +97,16 @@ inline void gs_row(const stencil::C2D5& c, double west0, int r, int ny,
 
 // One vl-sweep tile over the whole grid, in place.  nx >= vl*s, s >= 2.
 template <class V>
-void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
+void tv_gs2d_tile(const stencil::C2D5T<typename V::value_type>& c,
+                  grid::Grid2D<typename V::value_type>& g, int s,
                   WorkspaceGs2D<V>& ws) {
+  using T = typename V::value_type;
   constexpr int VL = V::lanes;
   const int nx = g.nx(), ny = g.ny();
   assert(nx >= VL * s && s >= 2);
   const int rbase = ws.rbase;
 
-  const auto lv_any = [&](int lev, int r, int y) -> double {
+  const auto lv_any = [&](int lev, int r, int y) -> T {
     if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny) return g.at(r, y);
     return ws.lv(lev, r, y);
   };
@@ -117,14 +118,14 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
           c, lv_any(lev, r, 0), r, ny,
           [&](int rr, int yy) { return lv_any(lev - 1, rr, yy); },
           [&](int yy) { return lv_any(lev, r - 1, yy); },
-          [&](int yy, double v) { ws.lv(lev, r, yy) = v; });
+          [&](int yy, T v) { ws.lv(lev, r, yy) = v; });
     }
   }
 
   // ---- gather: ring rows p = 1 .. s and the initial wrow --------------------
   for (int p = 1; p <= s; ++p) {
     V* row = ws.ring_row(p);
-    alignas(64) double lanes[VL];
+    alignas(64) T lanes[VL];
     for (int y = 0; y <= ny + 1; ++y) {
       for (int k = 0; k < VL; ++k)
         lanes[k] = lv_any(k, p + (VL - 1 - k) * s, y);
@@ -133,7 +134,7 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
   }
   {
     V* wr = ws.wrow.data() + 1;
-    alignas(64) double lanes[VL];
+    alignas(64) T lanes[VL];
     for (int y = 0; y <= ny + 1; ++y) {
       for (int k = 0; k < VL - 1; ++k)
         lanes[k] = lv_any(k + 1, (VL - 1 - k) * s, y);
@@ -152,12 +153,12 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
     const V* r0 = ws.ring_row(x);
     const V* rp1 = ws.ring_row(x + 1);
     V* rout = ws.ring_row(x + s);
-    double* trow = g.row(x);
-    const double* brow = g.row(x + VL * s);
+    T* trow = g.row(x);
+    const T* brow = g.row(x + VL * s);
 
     // Boundary columns of the produced input-vector row.
     {
-      alignas(64) double lanes[VL];
+      alignas(64) T lanes[VL];
       const int p = x + s;
       for (const int y : {0, ny + 1}) {
         for (int k = 0; k < VL; ++k)
@@ -168,7 +169,7 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
     // Newest-west at y = 0: the boundary column at each lane's row.
     V wprev;
     {
-      alignas(64) double lanes[VL];
+      alignas(64) T lanes[VL];
       for (int k = 0; k < VL; ++k) lanes[k] = g.at(x + (VL - 1 - k) * s, 0);
       wprev = V::load(lanes);
     }
@@ -200,7 +201,7 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
   }
 
   // ---- flush ring rows -------------------------------------------------------
-  const auto rput = [&](int lev, int r, int y, double v) {
+  const auto rput = [&](int lev, int r, int y, T v) {
     if (r >= rbase + 1 && r <= nx) ws.rv(lev, r, y) = v;
   };
   for (int p = x_end + 1; p <= x_end + s; ++p) {
@@ -211,7 +212,7 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
     }
   }
 
-  const auto rv_any = [&](int lev, int r, int y) -> double {
+  const auto rv_any = [&](int lev, int r, int y) -> T {
     if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny) return g.at(r, y);
     return ws.rv(lev, r, y);
   };
@@ -223,7 +224,7 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
           c, rv_any(lev, r, 0), r, ny,
           [&](int rr, int yy) { return rv_any(lev - 1, rr, yy); },
           [&](int yy) { return rv_any(lev, r - 1, yy); },
-          [&](int yy, double v) { ws.rv(lev, r, yy) = v; });
+          [&](int yy, T v) { ws.rv(lev, r, yy) = v; });
     }
   }
   for (int r = nx + 2 - VL * s; r <= nx; ++r) {
@@ -231,14 +232,16 @@ void tv_gs2d_tile(const stencil::C2D5& c, grid::Grid2D<double>& g, int s,
         c, g.at(r, 0), r, ny,
         [&](int rr, int yy) { return rv_any(VL - 1, rr, yy); },
         [&](int yy) { return g.at(r - 1, yy); },
-        [&](int yy, double v) { g.at(r, yy) = v; });
+        [&](int yy, T v) { g.at(r, yy) = v; });
   }
 }
 
 // Advance g by `sweeps` Gauss-Seidel sweeps.
 template <class V>
-void tv_gs2d_run_impl(const stencil::C2D5& c, grid::Grid2D<double>& g,
-                      long sweeps, int s) {
+void tv_gs2d_run_impl(const stencil::C2D5T<typename V::value_type>& c,
+                      grid::Grid2D<typename V::value_type>& g, long sweeps,
+                      int s) {
+  using T = typename V::value_type;
   constexpr int VL = V::lanes;
   WorkspaceGs2D<V> ws;
   ws.prepare(s, g.nx(), g.ny());
@@ -252,7 +255,7 @@ void tv_gs2d_run_impl(const stencil::C2D5& c, grid::Grid2D<double>& g,
           c, g.at(r, 0), r, g.ny(),
           [&](int rr, int yy) { return g.at(rr, yy); },
           [&](int yy) { return g.at(r - 1, yy); },
-          [&](int yy, double v) { g.at(r, yy) = v; });
+          [&](int yy, T v) { g.at(r, yy) = v; });
     }
   }
 }

@@ -29,11 +29,12 @@ namespace tvs::tv {
 
 template <class V>
 struct WorkspaceGs3D {
+  using T = typename V::value_type;
   static constexpr int VL = V::lanes;
 
   grid::AlignedBuffer<V> ring;   // (s+1) slabs
   grid::AlignedBuffer<V> wslab;  // previous-x outputs
-  grid::AlignedBuffer<double> lscr, rscr;  // (VL-1) levels of edge slabs
+  grid::AlignedBuffer<T> lscr, rscr;  // (VL-1) levels of edge slabs
   int s = 0, nx = 0, ny = 0, nz = 0;
   std::ptrdiff_t zstride = 0, ystride = 0;
   int lrows = 0, rrows = 0, rbase = 0;
@@ -51,12 +52,10 @@ struct WorkspaceGs3D {
     ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
                                   static_cast<std::size_t>(ystride));
     wslab = grid::AlignedBuffer<V>(static_cast<std::size_t>(ystride));
-    lscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
-                                       lrows *
-                                       static_cast<std::size_t>(ystride));
-    rscr = grid::AlignedBuffer<double>(static_cast<std::size_t>(VL - 1) *
-                                       rrows *
-                                       static_cast<std::size_t>(ystride));
+    lscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * lrows *
+                                  static_cast<std::size_t>(ystride));
+    rscr = grid::AlignedBuffer<T>(static_cast<std::size_t>(VL - 1) * rrows *
+                                  static_cast<std::size_t>(ystride));
   }
   V* ring_line(int p, int y) {
     const int M = s + 1;
@@ -69,13 +68,13 @@ struct WorkspaceGs3D {
     return wslab.data() +
            static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;
   }
-  double& lv(int level, int r, int y, int z) {
+  T& lv(int level, int r, int y, int z) {
     return lscr[(static_cast<std::size_t>(level - 1) * lrows + r) *
                     static_cast<std::size_t>(ystride) +
                 static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) +
                 static_cast<std::size_t>(z + 1)];
   }
-  double& rv(int level, int r, int y, int z) {
+  T& rv(int level, int r, int y, int z) {
     return rscr[(static_cast<std::size_t>(level - 1) * rrows + (r - rbase)) *
                     static_cast<std::size_t>(ystride) +
                 static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) +
@@ -88,13 +87,13 @@ namespace detailgs3d {
 // One scalar Gauss-Seidel plane at level `lev`: old values (level lev-1)
 // via old_at, newest values (level lev, rows/planes already updated) via
 // new_at, results through put (which must be visible through new_at).
-template <class OldAt, class NewAt, class Put>
-inline void gs_plane(const stencil::C3D7& c, int r, int ny, int nz,
+template <class T, class OldAt, class NewAt, class Put>
+inline void gs_plane(const stencil::C3D7T<T>& c, int r, int ny, int nz,
                      OldAt&& old_at, NewAt&& new_at, Put&& put) {
   for (int y = 1; y <= ny; ++y) {
-    double west = new_at(r, y, 0);
+    T west = new_at(r, y, 0);
     for (int z = 1; z <= nz; ++z) {
-      const double v = stencil::gs3d7(
+      const T v = stencil::gs3d7(
           c.c, c.w, c.e, c.s, c.n, c.b, c.f, old_at(r, y, z), west,
           old_at(r, y, z + 1), new_at(r, y - 1, z), old_at(r, y + 1, z),
           new_at(r - 1, y, z), old_at(r + 1, y, z));
@@ -108,14 +107,16 @@ inline void gs_plane(const stencil::C3D7& c, int r, int ny, int nz,
 
 // One vl-sweep tile over the whole grid, in place.  nx >= vl*s, s >= 2.
 template <class V>
-void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
+void tv_gs3d_tile(const stencil::C3D7T<typename V::value_type>& c,
+                  grid::Grid3D<typename V::value_type>& g, int s,
                   WorkspaceGs3D<V>& ws) {
+  using T = typename V::value_type;
   constexpr int VL = V::lanes;
   const int nx = g.nx(), ny = g.ny(), nz = g.nz();
   assert(nx >= VL * s && s >= 2);
   const int rbase = ws.rbase;
 
-  const auto lv_any = [&](int lev, int r, int y, int z) -> double {
+  const auto lv_any = [&](int lev, int r, int y, int z) -> T {
     if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny || z < 1 || z > nz)
       return g.at(r, y, z);
     return ws.lv(lev, r, y, z);
@@ -128,11 +129,11 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
           c, r, ny, nz,
           [&](int rr, int yy, int zz) { return lv_any(lev - 1, rr, yy, zz); },
           [&](int rr, int yy, int zz) { return lv_any(lev, rr, yy, zz); },
-          [&](int yy, int zz, double v) { ws.lv(lev, r, yy, zz) = v; });
+          [&](int yy, int zz, T v) { ws.lv(lev, r, yy, zz) = v; });
   }
 
   // ---- gather ring slabs p = 1 .. s and the initial wslab ----------------------
-  alignas(64) double lanes[VL];
+  alignas(64) T lanes[VL];
   for (int p = 1; p <= s; ++p)
     for (int y = 0; y <= ny + 1; ++y) {
       V* line = ws.ring_line(p, y);
@@ -193,8 +194,8 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
       V* lout = ws.ring_line(x + s, y);
       V* wsl = ws.wslab_line(y);         // (y,z): x-1 output until overwritten
       const V* wsm = ws.wslab_line(y - 1);  // (y-1,z): current-x output
-      double* tline = g.line(x, y);
-      const double* bline = g.line(x + VL * s, y);
+      T* tline = g.line(x, y);
+      const T* bline = g.line(x + VL * s, y);
 
       V wprev;
       {
@@ -232,7 +233,7 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
   }
 
   // ---- flush ----------------------------------------------------------------------
-  const auto rput = [&](int lev, int r, int y, int z, double v) {
+  const auto rput = [&](int lev, int r, int y, int z, T v) {
     if (r >= rbase + 1 && r <= nx) ws.rv(lev, r, y, z) = v;
   };
   for (int p = x_end + 1; p <= x_end + s; ++p)
@@ -245,7 +246,7 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
       }
     }
 
-  const auto rv_any = [&](int lev, int r, int y, int z) -> double {
+  const auto rv_any = [&](int lev, int r, int y, int z) -> T {
     if (lev == 0 || r < 1 || r > nx || y < 1 || y > ny || z < 1 || z > nz)
       return g.at(r, y, z);
     return ws.rv(lev, r, y, z);
@@ -258,20 +259,22 @@ void tv_gs3d_tile(const stencil::C3D7& c, grid::Grid3D<double>& g, int s,
           c, r, ny, nz,
           [&](int rr, int yy, int zz) { return rv_any(lev - 1, rr, yy, zz); },
           [&](int rr, int yy, int zz) { return rv_any(lev, rr, yy, zz); },
-          [&](int yy, int zz, double v) { ws.rv(lev, r, yy, zz) = v; });
+          [&](int yy, int zz, T v) { ws.rv(lev, r, yy, zz) = v; });
   }
   for (int r = nx + 2 - VL * s; r <= nx; ++r)
     detailgs3d::gs_plane(
         c, r, ny, nz,
         [&](int rr, int yy, int zz) { return rv_any(VL - 1, rr, yy, zz); },
         [&](int rr, int yy, int zz) { return g.at(rr, yy, zz); },
-        [&](int yy, int zz, double v) { g.at(r, yy, zz) = v; });
+        [&](int yy, int zz, T v) { g.at(r, yy, zz) = v; });
 }
 
 // Advance g by `sweeps` Gauss-Seidel sweeps.
 template <class V>
-void tv_gs3d_run_impl(const stencil::C3D7& c, grid::Grid3D<double>& g,
-                      long sweeps, int s) {
+void tv_gs3d_run_impl(const stencil::C3D7T<typename V::value_type>& c,
+                      grid::Grid3D<typename V::value_type>& g, long sweeps,
+                      int s) {
+  using T = typename V::value_type;
   constexpr int VL = V::lanes;
   WorkspaceGs3D<V> ws;
   ws.prepare(s, g.nx(), g.ny(), g.nz());
@@ -285,7 +288,7 @@ void tv_gs3d_run_impl(const stencil::C3D7& c, grid::Grid3D<double>& g,
           c, r, g.ny(), g.nz(),
           [&](int rr, int yy, int zz) { return g.at(rr, yy, zz); },
           [&](int rr, int yy, int zz) { return g.at(rr, yy, zz); },
-          [&](int yy, int zz, double v) { g.at(r, yy, zz) = v; });
+          [&](int yy, int zz, T v) { g.at(r, yy, zz) = v; });
   }
 }
 

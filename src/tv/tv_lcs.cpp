@@ -26,9 +26,11 @@ void lcs_rows_vl16(std::span<const std::int32_t> a,
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv_lcs) {
-  TVS_REGISTER_VL(kTvLcsRows, TvLcsRowsFn, lcs_rows, V::lanes);
+  TVS_REGISTER_VL_DT(kTvLcsRows, TvLcsRowsFn, lcs_rows, V::lanes,
+                     dispatch::DType::kI32);
 #if TVS_BACKEND_LEVEL == 0
-  TVS_REGISTER_VL(kTvLcsRows, TvLcsRowsFn, lcs_rows_vl16, 16);
+  TVS_REGISTER_VL_DT(kTvLcsRows, TvLcsRowsFn, lcs_rows_vl16, 16,
+                     dispatch::DType::kI32);
 #endif
 }
 

@@ -31,9 +31,11 @@ void life_vl16(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u,
 }  // namespace
 
 TVS_BACKEND_REGISTRAR(tv_life) {
-  TVS_REGISTER_VL(kTvLife, TvLifeFn, life, V::lanes);
+  TVS_REGISTER_VL_DT(kTvLife, TvLifeFn, life, V::lanes,
+                     dispatch::DType::kI32);
 #if TVS_BACKEND_LEVEL == 0
-  TVS_REGISTER_VL(kTvLife, TvLifeFn, life_vl16, 16);
+  TVS_REGISTER_VL_DT(kTvLife, TvLifeFn, life_vl16, 16,
+                     dispatch::DType::kI32);
 #endif
 }
 

@@ -219,6 +219,84 @@ TEST(Registry, WidthAxis) {
   }
 }
 
+// The dtype axis: every FP temporal kernel carries a float engine family
+// at doubled lane counts (8/16) next to the double one (4/8); the int32
+// kernels are tagged kI32.  Lookups without a dtype keep resolving the
+// id's default dtype, so they can never hand a float engine to a
+// double-signature caller.
+TEST(Registry, DtypeAxis) {
+  using dispatch::DType;
+  const KernelRegistry& reg = KernelRegistry::instance();
+  for (std::string_view id :
+       {dispatch::kTvJacobi1D3, dispatch::kTvJacobi1D5, dispatch::kTvJacobi2D5,
+        dispatch::kTvJacobi2D9, dispatch::kTvJacobi3D7, dispatch::kTvGs1D3,
+        dispatch::kTvGs2D5, dispatch::kTvGs3D7}) {
+    EXPECT_EQ(reg.default_dtype(id), DType::kF64) << id;
+    EXPECT_EQ(reg.registered_dtypes(id, Backend::kAvx512),
+              (std::vector<DType>{DType::kF64, DType::kF32}))
+        << id;
+    // Float engines: twice the lanes of the double family, resolvable on
+    // every host (vl = 16 via the scalar backend when avx512 is absent).
+    EXPECT_EQ(reg.registered_widths(id, Backend::kAvx512, DType::kF32),
+              (std::vector<int>{8, 16}))
+        << id;
+    EXPECT_NE(reg.resolve_at(id, Backend::kScalar, 8, DType::kF32), nullptr)
+        << id;
+    EXPECT_NE(reg.resolve_at(id, Backend::kScalar, 16, DType::kF32), nullptr)
+        << id;
+    // The default-dtype widths are unchanged by the float registrations.
+    EXPECT_EQ(reg.registered_widths(id, Backend::kAvx512),
+              (std::vector<int>{4, 8}))
+        << id;
+    // A dtype-less width-pinned lookup never returns a float engine: the
+    // vl = 8 double pin and the vl = 8 float pin resolve to different
+    // functions.
+    EXPECT_NE(reg.resolve_at(id, Backend::kAvx512, 8),
+              reg.resolve_at(id, Backend::kAvx512, 8, DType::kF32))
+        << id;
+  }
+  for (std::string_view id : {dispatch::kTvLife, dispatch::kTvLcsRows}) {
+    EXPECT_EQ(reg.default_dtype(id), DType::kI32) << id;
+    EXPECT_EQ(reg.registered_dtypes(id, Backend::kAvx512),
+              (std::vector<DType>{DType::kI32}))
+        << id;
+  }
+  // An unregistered dtype pin is an error naming the dtype.
+  try {
+    reg.resolve_at(dispatch::kTvLife, Backend::kAvx512, 8, DType::kF32);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("f32"), std::string::npos)
+        << e.what();
+  }
+  // vl = kAnyVl + dtype = the backend's native float width: 8 under
+  // scalar/avx2, 16 under avx512.
+  if (reg.has_backend(Backend::kAvx2)) {
+    EXPECT_EQ(reg.resolve_at(dispatch::kTvJacobi2D5, Backend::kAvx2,
+                             dispatch::kAnyVl, DType::kF32),
+              reg.resolve_at(dispatch::kTvJacobi2D5, Backend::kAvx2, 8,
+                             DType::kF32));
+  }
+  if (reg.has_backend(Backend::kAvx512)) {
+    EXPECT_EQ(reg.resolve_at(dispatch::kTvJacobi2D5, Backend::kAvx512,
+                             dispatch::kAnyVl, DType::kF32),
+              reg.resolve_at(dispatch::kTvJacobi2D5, Backend::kAvx512, 16,
+                             DType::kF32));
+  }
+}
+
+TEST(Dtype, NamesRoundTrip) {
+  using dispatch::DType;
+  for (DType d : {DType::kF64, DType::kF32, DType::kI32}) {
+    const auto parsed = dispatch::parse_dtype(dispatch::dtype_name(d));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, d);
+  }
+  EXPECT_FALSE(dispatch::parse_dtype("f16").has_value());
+  EXPECT_EQ(dispatch::dtype_size(DType::kF64), 8u);
+  EXPECT_EQ(dispatch::dtype_size(DType::kF32), 4u);
+}
+
 TEST(Registry, UnknownIdThrowsListingRegisteredIds) {
   try {
     KernelRegistry::instance().resolve_at("no_such_kernel", Backend::kScalar);

@@ -3,6 +3,8 @@
 // Life rule table, and LCS against a brute-force recursion.
 #include <gtest/gtest.h>
 
+#include "tolerance.hpp"
+
 #include <algorithm>
 #include <random>
 #include <vector>
@@ -31,18 +33,18 @@ TEST(Reference1D, HandComputedStep) {
   const C1D3 c{0.25, 0.5, 0.25};
   grid::Grid1D<double> out(3);
   jacobi1d3_step(c, u, out);
-  EXPECT_DOUBLE_EQ(out.at(1), 0.25 * 1 + 0.5 * 2 + 0.25 * 3);
-  EXPECT_DOUBLE_EQ(out.at(2), 0.25 * 2 + 0.5 * 3 + 0.25 * 4);
-  EXPECT_DOUBLE_EQ(out.at(3), 0.25 * 3 + 0.5 * 4 + 0.25 * 5);
-  EXPECT_DOUBLE_EQ(out.at(0), 1);
-  EXPECT_DOUBLE_EQ(out.at(4), 5);
+  EXPECT_TRUE(test::near_ulp(out.at(1), 0.25 * 1 + 0.5 * 2 + 0.25 * 3));
+  EXPECT_TRUE(test::near_ulp(out.at(2), 0.25 * 2 + 0.5 * 3 + 0.25 * 4));
+  EXPECT_TRUE(test::near_ulp(out.at(3), 0.25 * 3 + 0.5 * 4 + 0.25 * 5));
+  EXPECT_TRUE(test::near_ulp(out.at(0), 1));
+  EXPECT_TRUE(test::near_ulp(out.at(4), 5));
 }
 
 TEST(Reference1D, ConstantFieldIsSteadyState) {
   Grid1DD u(33);
   u.fill(4.2);
   jacobi1d3_run(heat1d(0.2), u, 17);
-  for (int x = 0; x <= 34; ++x) EXPECT_DOUBLE_EQ(u.at(x), 4.2);
+  for (int x = 0; x <= 34; ++x) EXPECT_TRUE(test::near_ulp(u.at(x), 4.2));
 }
 
 TEST(Reference1D, HeatDiffusesTowardsBoundary) {
@@ -81,8 +83,8 @@ TEST(Reference1D, GaussSeidelHandComputed) {
   const C1D3 c{0.5, 0.25, 0.25};
   gs1d3_sweep(c, u);
   const double v1 = 0.5 * 1 + 0.25 * 2 + 0.25 * 3;
-  EXPECT_DOUBLE_EQ(u.at(1), v1);
-  EXPECT_DOUBLE_EQ(u.at(2), 0.5 * v1 + 0.25 * 3 + 0.25 * 4);
+  EXPECT_TRUE(test::near_ulp(u.at(1), v1));
+  EXPECT_TRUE(test::near_ulp(u.at(2), 0.5 * v1 + 0.25 * 3 + 0.25 * 4));
 }
 
 TEST(Reference1D, GaussSeidelConvergesFasterThanJacobiOnHeat) {
@@ -112,7 +114,7 @@ TEST(Reference2D, ConstantSteadyStateAndHandComputed) {
   u.fill(1.5);
   jacobi2d5_run(heat2d(0.1), u, 9);
   for (int x = 0; x <= 4; ++x)
-    for (int y = 0; y <= 4; ++y) EXPECT_DOUBLE_EQ(u.at(x, y), 1.5);
+    for (int y = 0; y <= 4; ++y) EXPECT_TRUE(test::near_ulp(u.at(x, y), 1.5));
 
   grid::Grid2D<double> v(1, 1);
   v.at(0, 1) = 1;  // south
@@ -123,8 +125,8 @@ TEST(Reference2D, ConstantSteadyStateAndHandComputed) {
   const C2D5 c{0.2, 0.1, 0.15, 0.25, 0.3};
   grid::Grid2D<double> out(1, 1);
   jacobi2d5_step(c, v, out);
-  EXPECT_DOUBLE_EQ(out.at(1, 1),
-                   0.2 * 5 + 0.1 * 3 + 0.15 * 4 + 0.25 * 1 + 0.3 * 2);
+  EXPECT_TRUE(test::near_ulp(out.at(1, 1),
+                   0.2 * 5 + 0.1 * 3 + 0.15 * 4 + 0.25 * 1 + 0.3 * 2));
 }
 
 TEST(Reference2D, NinePointHandComputed) {
@@ -138,7 +140,7 @@ TEST(Reference2D, NinePointHandComputed) {
   jacobi2d9_step(c, v, out);
   const double expect = 0.1 * 5 + 0.2 * 4 + 0.3 * 6 + 0.04 * 2 + 0.05 * 8 +
                         0.06 * 1 + 0.07 * 3 + 0.08 * 7 + 0.09 * 9;
-  EXPECT_DOUBLE_EQ(out.at(1, 1), expect);
+  EXPECT_TRUE(test::near_ulp(out.at(1, 1), expect));
 }
 
 TEST(Reference2D, GaussSeidelUsesNewValues) {
@@ -147,19 +149,20 @@ TEST(Reference2D, GaussSeidelUsesNewValues) {
   const C2D5 c{0.2, 0.2, 0.2, 0.2, 0.2};
   gs2d5_sweep(c, u);
   // (1,1) first: all-ones neighbourhood -> 1.0
-  EXPECT_DOUBLE_EQ(u.at(1, 1), 1.0);
+  EXPECT_TRUE(test::near_ulp(u.at(1, 1), 1.0));
   // every later cell also sees 1.0 everywhere
-  EXPECT_DOUBLE_EQ(u.at(2, 2), 1.0);
+  EXPECT_TRUE(test::near_ulp(u.at(2, 2), 1.0));
   // Now break symmetry and check (1,2) sees the *new* (1,1).
   grid::Grid2D<double> w(2, 2);
   w.fill(0.0);
   w.at(1, 1) = 1.0;
   gs2d5_sweep(c, w);
   const double v11 = 0.2 * 1.0;  // center only
-  EXPECT_DOUBLE_EQ(w.at(1, 1), v11);
-  EXPECT_DOUBLE_EQ(w.at(1, 2), 0.2 * v11);            // west is new
-  EXPECT_DOUBLE_EQ(w.at(2, 1), 0.2 * v11);            // south is new
-  EXPECT_DOUBLE_EQ(w.at(2, 2), 0.2 * 0.2 * v11 * 2);  // west+south new
+  EXPECT_TRUE(test::near_ulp(w.at(1, 1), v11));
+  EXPECT_TRUE(test::near_ulp(w.at(1, 2), 0.2 * v11));            // west is new
+  EXPECT_TRUE(test::near_ulp(w.at(2, 1), 0.2 * v11));            // south is new
+  // west+south new
+  EXPECT_TRUE(test::near_ulp(w.at(2, 2), 0.2 * 0.2 * v11 * 2));
 }
 
 TEST(Reference3D, ConstantSteadyStateAndHandComputed) {
@@ -168,7 +171,8 @@ TEST(Reference3D, ConstantSteadyStateAndHandComputed) {
   jacobi3d7_run(heat3d(0.05), u, 5);
   for (int x = 0; x <= 3; ++x)
     for (int y = 0; y <= 3; ++y)
-      for (int z = 0; z <= 3; ++z) EXPECT_DOUBLE_EQ(u.at(x, y, z), 2.0);
+      for (int z = 0; z <= 3; ++z)
+        EXPECT_TRUE(test::near_ulp(u.at(x, y, z), 2.0));
 
   grid::Grid3D<double> v(1, 1, 1);
   v.at(1, 1, 1) = 1;
@@ -181,8 +185,9 @@ TEST(Reference3D, ConstantSteadyStateAndHandComputed) {
   const C3D7 c{0.1, 0.2, 0.3, 0.04, 0.05, 0.06, 0.07};
   grid::Grid3D<double> out(1, 1, 1);
   jacobi3d7_step(c, v, out);
-  EXPECT_DOUBLE_EQ(out.at(1, 1, 1), 0.1 * 1 + 0.2 * 2 + 0.3 * 3 + 0.04 * 4 +
-                                        0.05 * 5 + 0.06 * 6 + 0.07 * 7);
+  EXPECT_TRUE(test::near_ulp(
+      out.at(1, 1, 1), 0.1 * 1 + 0.2 * 2 + 0.3 * 3 + 0.04 * 4 + 0.05 * 5 +
+                           0.06 * 6 + 0.07 * 7));
 }
 
 TEST(LifeRef, RuleTableExhaustive) {

@@ -297,6 +297,56 @@ TEST(SimdCrossCheck, I8RandomOps) {
     chk(blendv(ia, ib, cmpeq(ia, ib)), blendv(sa, sb, cmpeq(sa, sb)));
   }
 }
+
+// Float x 8: the AVX2 single-precision type against the scalar model, ops
+// + the Algorithm-3 reorganization helpers (collect_tops unpack tree,
+// shift_in_low_v) — the building blocks of every f32 temporal engine.
+TEST(SimdCrossCheck, F8RandomOps) {
+  std::mt19937_64 rng(21);
+  std::uniform_real_distribution<float> d(-10.0f, 10.0f);
+  for (int it = 0; it < 500; ++it) {
+    alignas(64) float a[8], b[8], c[8];
+    for (int i = 0; i < 8; ++i) {
+      a[i] = d(rng);
+      b[i] = d(rng);
+      c[i] = d(rng);
+    }
+    a[it % 8] = b[it % 8];  // exercise both cmpeq arms
+    using I = tvs::simd::VecF8;
+    using S = ScalarVec<float, 8>;
+    const auto ia = I::load(a), ib = I::load(b), ic = I::load(c);
+    const auto sa = S::load(a), sb = S::load(b), sc = S::load(c);
+    const auto chk = [](auto vi, auto vs) {
+      for (int i = 0; i < 8; ++i) ASSERT_EQ(vi[i], vs[i]);
+    };
+    chk(ia + ib, sa + sb);
+    chk(ia - ib, sa - sb);
+    chk(ia * ib, sa * sb);
+    chk(fma(ia, ib, ic), fma(sa, sb, sc));
+    chk(min(ia, ib), min(sa, sb));
+    chk(max(ia, ib), max(sa, sb));
+    chk(rotate_up(ia), rotate_up(sa));
+    chk(rotate_down(ia), rotate_down(sa));
+    chk(shift_in_low(ia, c[0]), shift_in_low(sa, c[0]));
+    chk(tvs::simd::shift_in_low_v(ia, ic), tvs::simd::shift_in_low_v(sa, sc));
+    chk(blendv(ia, ib, cmpeq(ia, ib)), blendv(sa, sb, cmpeq(sa, sb)));
+    ASSERT_EQ(ia.extract<5>(), a[5]);
+    chk(ia.insert<6>(42.0f), sa.insert<6>(42.0f));
+    ASSERT_EQ(tvs::simd::top_lane(ia), a[7]);
+  }
+}
+
+TEST(SimdCrossCheck, F8CollectTops) {
+  using I = tvs::simd::VecF8;
+  I ws[8];
+  for (int j = 0; j < 8; ++j) {
+    alignas(32) float tmp[8] = {};
+    tmp[7] = 100.0f + static_cast<float>(j);
+    ws[j] = I::load(tmp);
+  }
+  const I t = tvs::simd::collect_tops_arr(ws);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(t[i], 100.0f + static_cast<float>(i));
+}
 #endif
 
 }  // namespace

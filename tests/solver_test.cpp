@@ -459,5 +459,89 @@ TEST(SolverEqualityTiled, LcsWavefront) {
   EXPECT_EQ(s.lcs(a, b), tiling::lcs_wavefront(a, b, opt));
 }
 
+
+// ---- float (dtype = f32) plumbing ------------------------------------------
+
+TEST(SolverFloat, SignatureCarriesDtype) {
+  StencilProblem p = solver::problem_2d(Family::kJacobi2D5, 64, 32, 10);
+  const std::string f64_sig = p.signature();
+  EXPECT_EQ(f64_sig.find("dtype"), std::string::npos)
+      << "f64 signatures stay unsuffixed: " << f64_sig;
+  p.dtype = dispatch::DType::kF32;
+  EXPECT_EQ(p.signature(), f64_sig + ":dtype=f32");
+}
+
+TEST(SolverFloat, HeuristicDoublesVectorLength) {
+  StencilProblem p = solver::problem_1d(Family::kJacobi1D3,
+                                        dispatch::DType::kF32, 4096, 64);
+  const ExecutionPlan plan = solver::heuristic_plan(p);
+  EXPECT_EQ(plan.vl,
+            plan.backend == dispatch::Backend::kAvx512 ? 16 : 8)
+      << plan.to_string();
+  EXPECT_EQ(plan.path, Path::kSerialTv);
+  solver::validate_plan(p, plan);  // must not throw
+}
+
+TEST(SolverFloat, FloatNeverPlansTiled) {
+  // Even with a thread request, float problems stay on the serial path
+  // (the tiled drivers are double/int32 only) — and a pinned tiled plan is
+  // rejected at validation.
+  StencilProblem p = solver::problem_2d(Family::kJacobi2D5,
+                                        dispatch::DType::kF32, 256, 256, 64,
+                                        /*threads=*/4);
+  const ExecutionPlan plan = solver::heuristic_plan(p);
+  EXPECT_EQ(plan.path, Path::kSerialTv);
+  ExecutionPlan tiled = plan;
+  tiled.vl = 0;
+  tiled.path = Path::kTiledParallel;
+  tiled.tile_w = 64;
+  tiled.tile_h = 32;
+  EXPECT_THROW(solver::validate_plan(p, tiled), std::invalid_argument);
+}
+
+TEST(SolverFloat, DtypeMismatchThrows) {
+  // A float problem rejects the double overload and vice versa.
+  StencilProblem pf = solver::problem_1d(Family::kJacobi1D3,
+                                         dispatch::DType::kF32, 64, 4);
+  grid::Grid1D<double> ud(64);
+  ud.fill(1.0);
+  EXPECT_THROW(Solver(pf).run(stencil::heat1d(0.25), ud),
+               std::invalid_argument);
+  StencilProblem pd = solver::problem_1d(Family::kJacobi1D3, 64, 4);
+  grid::Grid1D<float> uf(64);
+  uf.fill(1.0f);
+  EXPECT_THROW(Solver(pd).run(stencil::heat1d<float>(0.25), uf),
+               std::invalid_argument);
+}
+
+TEST(SolverFloat, RunMatchesDirectEntryPointsBitForBit) {
+  // The facade resolves the same float engines the public tv_* overloads
+  // dispatch to; with the same stride the results are bit-identical.
+  const auto fill = [](auto& g, int nx) {
+    for (int x = 0; x <= nx + 1; ++x)
+      g.at(x) = 1.0f + 0.001f * static_cast<float>(x % 89);
+  };
+  StencilProblem p = solver::problem_1d(Family::kJacobi1D3,
+                                        dispatch::DType::kF32, 200, 9);
+  const Solver s(p);
+  const stencil::C1D3f c = stencil::heat1d<float>(0.25);
+  grid::Grid1D<float> direct(p.nx), got(p.nx);
+  fill(direct, p.nx);
+  fill(got, p.nx);
+  tv::tv_jacobi1d3_run(c, direct, p.steps, s.plan().stride);
+  s.run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+
+  StencilProblem pg = solver::problem_1d(Family::kGs1D3,
+                                         dispatch::DType::kF32, 150, 8);
+  const Solver sg(pg);
+  grid::Grid1D<float> gdirect(pg.nx), ggot(pg.nx);
+  fill(gdirect, pg.nx);
+  fill(ggot, pg.nx);
+  tv::tv_gs1d3_run(c, gdirect, pg.steps, sg.plan().stride);
+  sg.run(c, ggot);
+  EXPECT_EQ(grid::max_abs_diff(ggot, gdirect), 0.0);
+}
+
 }  // namespace
 }  // namespace tvs

@@ -1,0 +1,141 @@
+// Shared numeric-comparison helpers for the test suites.
+//
+// The library's contract has two tiers:
+//   * double / int engines are BIT-IDENTICAL to the scalar oracles
+//     (canonical fma evaluation order) — compare with expect_exact_eq;
+//   * float engines follow the identical formulas and are bit-identical on
+//     every host we run, but the documented contract is scaled-ULP
+//     equality (kFloatUlpTol), which is what expect_allclose enforces.
+//
+// ulp_diff is a symmetric units-in-the-last-place distance on the IEEE
+// bit representation (adjacent representable values differ by 1); NaNs and
+// mismatched signs across zero compare as far apart.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+
+namespace tvs::test {
+
+// Documented single-precision tolerance of the engine-vs-oracle contract.
+inline constexpr std::int64_t kFloatUlpTol = 4;
+
+namespace detail {
+template <class T>
+using BitsOf =
+    std::conditional_t<sizeof(T) == 8, std::int64_t, std::int32_t>;
+
+// Maps the IEEE bit pattern to a monotonically ordered integer so ULP
+// distance is plain subtraction.
+template <class T>
+std::int64_t ordered_bits(T x) {
+  using B = BitsOf<T>;
+  B b;
+  std::memcpy(&b, &x, sizeof(T));
+  return b < 0 ? static_cast<std::int64_t>(std::numeric_limits<B>::min()) - b
+               : static_cast<std::int64_t>(b);
+}
+}  // namespace detail
+
+// ULP distance between two finite floats/doubles; huge for NaNs.
+template <class T>
+std::int64_t ulp_diff(T a, T b) {
+  static_assert(std::is_floating_point_v<T>);
+  if (a == b) return 0;  // covers +0 / -0
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::int64_t>::max();
+  const std::int64_t d = detail::ordered_bits(a) - detail::ordered_bits(b);
+  return d < 0 ? -d : d;
+}
+
+// Hand-computed-expectation comparison: <= `ulps` ULP for ANY floating
+// type (4 ULP default — the EXPECT_DOUBLE_EQ convention this helper
+// replaces, now shared and float-capable).  Use for checks against values
+// computed by a differently-ordered formula; use allclose/grids_allclose
+// for the engine-vs-oracle contract.
+template <class T, class U>
+::testing::AssertionResult near_ulp(T a, U b,
+                                    std::int64_t ulps = kFloatUlpTol) {
+  // Mixed argument types (e.g. a computed double vs an integer literal)
+  // compare in their common floating type, like EXPECT_DOUBLE_EQ did.
+  using C = std::common_type_t<T, U>;
+  static_assert(std::is_floating_point_v<C>);
+  const std::int64_t d = ulp_diff(static_cast<C>(a), static_cast<C>(b));
+  if (d <= ulps) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " differ by " << d << " ULP (tol " << ulps
+         << ")";
+}
+
+// Scalar comparison at the dtype's contract tolerance: exact for double
+// and integers, <= `ulps` ULP for float.
+template <class T>
+::testing::AssertionResult allclose(T a, T b,
+                                    std::int64_t ulps = kFloatUlpTol) {
+  if constexpr (std::is_same_v<T, float>) {
+    const std::int64_t d = ulp_diff(a, b);
+    if (d <= ulps) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " vs " << b << " differ by " << d << " ULP (tol " << ulps
+           << ")";
+  } else {
+    if (a == b) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " vs " << b << " are not bit-identical";
+  }
+}
+
+// Grid comparisons over interior + boundary, reporting the first offending
+// index.  Exact for double/int grids, scaled-ULP for float grids.
+template <class T>
+::testing::AssertionResult grids_allclose(const grid::Grid1D<T>& a,
+                                          const grid::Grid1D<T>& b,
+                                          std::int64_t ulps = kFloatUlpTol) {
+  for (int x = 0; x <= a.nx() + 1; ++x) {
+    const auto r = allclose(a.at(x), b.at(x), ulps);
+    if (!r) return ::testing::AssertionFailure() << "at x=" << x << ": "
+                                                 << r.message();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+template <class T>
+::testing::AssertionResult grids_allclose(const grid::Grid2D<T>& a,
+                                          const grid::Grid2D<T>& b,
+                                          std::int64_t ulps = kFloatUlpTol) {
+  for (int x = 0; x <= a.nx() + 1; ++x)
+    for (int y = 0; y <= a.ny() + 1; ++y) {
+      const auto r = allclose(a.at(x, y), b.at(x, y), ulps);
+      if (!r)
+        return ::testing::AssertionFailure()
+               << "at (" << x << "," << y << "): " << r.message();
+    }
+  return ::testing::AssertionSuccess();
+}
+
+template <class T>
+::testing::AssertionResult grids_allclose(const grid::Grid3D<T>& a,
+                                          const grid::Grid3D<T>& b,
+                                          std::int64_t ulps = kFloatUlpTol) {
+  for (int x = 0; x <= a.nx() + 1; ++x)
+    for (int y = 0; y <= a.ny() + 1; ++y)
+      for (int z = 0; z <= a.nz() + 1; ++z) {
+        const auto r = allclose(a.at(x, y, z), b.at(x, y, z), ulps);
+        if (!r)
+          return ::testing::AssertionFailure()
+                 << "at (" << x << "," << y << "," << z << "): "
+                 << r.message();
+      }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace tvs::test

@@ -7,6 +7,8 @@
 #include <random>
 #include <tuple>
 
+#include "dispatch/kernels.hpp"
+#include "dispatch/registry.hpp"
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
 #include "stencil/reference2d.hpp"
@@ -14,12 +16,20 @@
 #include "tv/functors2d.hpp"
 #include "tv/functors3d.hpp"
 #include "tv/tv2d_impl.hpp"
-#include "tv/tv2d_wide.hpp"
 #include "tv/tv3d_impl.hpp"
 
 namespace {
 
 using namespace tvs;
+
+// vl = 8 engines through the registry's width axis (the AVX-512 native
+// engines on an AVX-512 host, ScalarVec<double, 8> elsewhere) — the
+// tv2d_wide.hpp shim that used to wrap this lookup is gone.
+template <class Fn>
+Fn* at_vl8(std::string_view id) {
+  return dispatch::KernelRegistry::instance().get_at<Fn>(
+      id, dispatch::selected_backend(), 8);
+}
 
 #if defined(__AVX512F__)
 TEST(VecD8, OpsMatchScalarModel) {
@@ -106,6 +116,55 @@ TEST(VecI16, CollectTops16) {
   for (int i = 0; i < 16; ++i) EXPECT_EQ(t[i], 100 + i);
 }
 
+TEST(VecF16, OpsMatchScalarModel) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<float> d(-10.0f, 10.0f);
+  using I = simd::VecF16;
+  using S = simd::ScalarVec<float, 16>;
+  for (int it = 0; it < 300; ++it) {
+    alignas(64) float a[16], b[16], c[16];
+    for (int i = 0; i < 16; ++i) {
+      a[i] = d(rng);
+      b[i] = d(rng);
+      c[i] = d(rng);
+    }
+    a[it % 16] = b[it % 16];  // exercise both cmpeq arms
+    const auto ia = I::load(a), ib = I::load(b), ic = I::load(c);
+    const auto sa = S::load(a), sb = S::load(b), sc = S::load(c);
+    const auto chk = [](auto vi, auto vs) {
+      for (int i = 0; i < 16; ++i) ASSERT_EQ(vi[i], vs[i]);
+    };
+    chk(ia + ib, sa + sb);
+    chk(ia - ib, sa - sb);
+    chk(ia * ib, sa * sb);
+    chk(fma(ia, ib, ic), fma(sa, sb, sc));
+    chk(min(ia, ib), min(sa, sb));
+    chk(max(ia, ib), max(sa, sb));
+    chk(rotate_up(ia), rotate_up(sa));
+    chk(rotate_down(ia), rotate_down(sa));
+    chk(shift_in_low(ia, c[0]), shift_in_low(sa, c[0]));
+    chk(simd::shift_in_low_v(ia, ic), simd::shift_in_low_v(sa, sc));
+    chk(blendv(ia, ib, cmpeq(ia, ia)), blendv(sa, sb, cmpeq(sa, sa)));
+    chk(blendv(ia, ib, cmpeq(ia, ib)), blendv(sa, sb, cmpeq(sa, sb)));
+    ASSERT_EQ(ia.extract<9>(), a[9]);
+    chk(ia.insert<13>(42.0f), sa.insert<13>(42.0f));
+    ASSERT_EQ(simd::top_lane(ia), a[15]);
+  }
+}
+
+TEST(VecF16, CollectTops16) {
+  using I = simd::VecF16;
+  I ws[16];
+  for (int j = 0; j < 16; ++j) {
+    alignas(64) float tmp[16] = {};
+    tmp[15] = 100.0f + static_cast<float>(j);
+    ws[j] = I::load(tmp);
+  }
+  const I t = simd::collect_tops_arr(ws);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(t[i], 100.0f + static_cast<float>(i));
+}
+
 TEST(VecD8, CollectTops8) {
   using I = simd::VecD8;
   I ws[8];
@@ -137,7 +196,7 @@ TEST_P(TvWide2D, NativeVl8MatchesOracleExactly) {
   for (int x = 0; x <= nx + 1; ++x)
     for (int y = 0; y <= ny + 1; ++y) got.at(x, y) = ref.at(x, y);
   stencil::jacobi2d5_run(c, ref, steps);
-  tv::tv_jacobi2d5_run_vl8(c, got, steps, s);
+  at_vl8<dispatch::TvJacobi2D5Fn>(dispatch::kTvJacobi2D5)(c, got, steps, s);
   EXPECT_EQ(grid::max_abs_diff(ref, got), 0.0)
       << "nx=" << nx << " ny=" << ny << " steps=" << steps << " s=" << s;
 }
@@ -184,7 +243,8 @@ TEST(TvWide3D, Vl8MatchesOracleExactly) {
       for (int y = 0; y <= ny + 1; ++y)
         for (int z = 0; z <= nz + 1; ++z) got.at(x, y, z) = ref.at(x, y, z);
     stencil::jacobi3d7_run(c, ref, steps);
-    tv::tv_jacobi3d7_run_vl8(c, got, steps, 2);
+    at_vl8<dispatch::TvJacobi3D7Fn>(dispatch::kTvJacobi3D7)(c, got, steps,
+                                                              2);
     ASSERT_EQ(grid::max_abs_diff(ref, got), 0.0) << "nx=" << nx;
   }
 }
