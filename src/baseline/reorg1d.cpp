@@ -4,43 +4,15 @@
 // shuffles (2 lane-crossing + 2 in-lane per output vector with AVX2).
 #include "dispatch/backend_variant.hpp"
 #include "baseline/spatial.hpp"
-#include "simd/vec.hpp"
+#include "simd/reorg.hpp"
 
 namespace tvs::baseline {
 namespace {
 
-
-#if defined(__AVX2__)
-// {p3, c0, c1, c2}: previous block's top + current block shifted up.
-inline simd::VecD4 west_of(simd::VecD4 prev, simd::VecD4 cur) {
-  const __m256d t = _mm256_permute2f128_pd(prev.r, cur.r, 0x21);  // {p2,p3,c0,c1}
-  return simd::VecD4{_mm256_shuffle_pd(t, cur.r, 0x5)};           // {p3,c0,c1,c2}
-}
-// {c1, c2, c3, n0}
-inline simd::VecD4 east_of(simd::VecD4 cur, simd::VecD4 next) {
-  const __m256d t = _mm256_permute2f128_pd(cur.r, next.r, 0x21);  // {c2,c3,n0,n1}
-  return simd::VecD4{_mm256_shuffle_pd(cur.r, t, 0x5)};           // {c1,c2,c3,n0}
-}
-using V = simd::VecD4;
-#else
-using V = simd::ScalarVec<double, 4>;
-inline V west_of(V prev, V cur) {
-  V r;
-  r.v[0] = prev.v[3];
-  r.v[1] = cur.v[0];
-  r.v[2] = cur.v[1];
-  r.v[3] = cur.v[2];
-  return r;
-}
-inline V east_of(V cur, V next) {
-  V r;
-  r.v[0] = cur.v[1];
-  r.v[1] = cur.v[2];
-  r.v[2] = cur.v[3];
-  r.v[3] = next.v[0];
-  return r;
-}
-#endif
+// The shifted-view assembly lives in simd/reorg.hpp (west_neighbors /
+// east_neighbors) with the block kept at 4 double lanes regardless of the
+// backend ceiling: the scheme's shuffle counts are quoted for AVX2 blocks.
+using V = simd::NativeVec<double, 4>;
 
 
 void reorg_jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u,
@@ -63,8 +35,8 @@ void reorg_jacobi1d3(const stencil::C1D3& c, grid::Grid1D<double>& u,
       V cur = V::loadu(in + x);
       for (; x + 7 <= nx; x += 4) {
         const V next = V::loadu(in + x + 4);
-        const V w = west_of(prev, cur);
-        const V e = east_of(cur, next);
+        const V w = simd::west_neighbors(prev, cur);
+        const V e = simd::east_neighbors(cur, next);
         stencil::j1d3(cw, cc, ce, w, cur, e).storeu(out + x);
         prev = cur;
         cur = next;

@@ -90,10 +90,15 @@ inline VecI8 collect_tops_arr(const VecI8* w) {
 #endif
 
 #if defined(__AVX512F__)
+// The first (unmasked) permute in each chain uses the maskz form with a
+// full mask: identical codegen to the plain intrinsic, but avoids GCC's
+// -Wmaybe-uninitialized false positive on the _mm512_undefined_* pass-
+// through operand (GCC PR105593).
 // One masked lane-broadcast per source vector: lane j <- w[j] lane 7.
 inline VecD8 collect_tops_arr(const VecD8* w) {
   const __m512i top = _mm512_set1_epi64(7);
-  __m512d r = _mm512_permutexvar_pd(top, w[0].r);
+  __m512d r =
+      _mm512_maskz_permutexvar_pd(static_cast<__mmask8>(0xff), top, w[0].r);
   r = _mm512_mask_permutexvar_pd(r, 0x02, top, w[1].r);
   r = _mm512_mask_permutexvar_pd(r, 0x04, top, w[2].r);
   r = _mm512_mask_permutexvar_pd(r, 0x08, top, w[3].r);
@@ -111,7 +116,8 @@ inline VecD8 collect_tops(VecD8 a, VecD8 b, VecD8 c, VecD8 d, VecD8 e,
 
 inline VecI16 collect_tops_arr(const VecI16* w) {
   const __m512i top = _mm512_set1_epi32(15);
-  __m512i r = _mm512_permutexvar_epi32(top, w[0].r);
+  __m512i r = _mm512_maskz_permutexvar_epi32(static_cast<__mmask16>(0xffff),
+                                             top, w[0].r);
   for (int j = 1; j < 16; ++j)
     r = _mm512_mask_permutexvar_epi32(r, static_cast<__mmask16>(1u << j), top,
                                       w[j].r);
@@ -121,7 +127,8 @@ inline VecI16 collect_tops_arr(const VecI16* w) {
 // One masked lane-broadcast per source vector: lane j <- w[j] lane 15.
 inline VecF16 collect_tops_arr(const VecF16* w) {
   const __m512i top = _mm512_set1_epi32(15);
-  __m512 r = _mm512_permutexvar_ps(top, w[0].r);
+  __m512 r = _mm512_maskz_permutexvar_ps(static_cast<__mmask16>(0xffff), top,
+                                         w[0].r);
   for (int j = 1; j < 16; ++j)
     r = _mm512_mask_permutexvar_ps(r, static_cast<__mmask16>(1u << j), top,
                                    w[j].r);
@@ -149,6 +156,36 @@ inline VecF8 shift_in_low_v(VecF8 a, VecF8 fresh) {
 inline VecI8 shift_in_low_v(VecI8 a, VecI8 fresh) {
   return VecI8{_mm256_blend_epi32(
       _mm256_permutevar8x32_epi32(a.r, detail::rotidx_up()), fresh.r, 0x1)};
+}
+#endif
+
+// West/east neighbor assembly for the data-reorganization *spatial* scheme
+// (§2.2): the x-1 / x+1 shifted views of a register block are built from
+// the block and its neighbor entirely in registers, so each input element
+// is loaded exactly once per sweep.
+//
+//   west_neighbors(prev, cur) = {prev[N-1], cur[0], ..., cur[N-2]}
+//   east_neighbors(cur, next) = {cur[1], ..., cur[N-1], next[0]}
+template <class V>
+inline V west_neighbors(V prev, V cur) {
+  return shift_in_low(cur, top_lane(prev));
+}
+template <class V>
+inline V east_neighbors(V cur, V next) {
+  V rot = rotate_down(cur);
+  return rot.template insert<V::lanes - 1>(next.template extract<0>());
+}
+
+#if defined(__AVX2__)
+// {p3, c0, c1, c2}: 1 lane-crossing + 1 in-lane shuffle.
+inline VecD4 west_neighbors(VecD4 prev, VecD4 cur) {
+  const __m256d t = _mm256_permute2f128_pd(prev.r, cur.r, 0x21);  // {p2,p3,c0,c1}
+  return VecD4{_mm256_shuffle_pd(t, cur.r, 0x5)};                 // {p3,c0,c1,c2}
+}
+// {c1, c2, c3, n0}
+inline VecD4 east_neighbors(VecD4 cur, VecD4 next) {
+  const __m256d t = _mm256_permute2f128_pd(cur.r, next.r, 0x21);  // {c2,c3,n0,n1}
+  return VecD4{_mm256_shuffle_pd(cur.r, t, 0x5)};                 // {c1,c2,c3,n0}
 }
 #endif
 

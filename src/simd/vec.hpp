@@ -32,6 +32,7 @@
 
 #include <array>
 #include <cmath>
+#include <concepts>
 #include <cstdint>
 #include <cstring>
 #include <type_traits>
@@ -238,5 +239,76 @@ struct native_vec<std::int32_t, 16> {
 // available, scalar otherwise.
 template <class T, int N>
 using NativeVec = typename detail::native_vec<T, N>::type;
+
+// ---------------------------------------------------------------------------
+// Compile-time interface contracts.  The temporal engines are written
+// against exactly this surface — everything derived from V::lanes and
+// V::value_type — so a vector type that drifts from it must fail here, at
+// the definition site, rather than as a run-time miscompare deep inside
+// width_property.  tvslint rule R4 polices the call sites; these contracts
+// police the types.
+// ---------------------------------------------------------------------------
+template <class V>
+concept LaneGeneric = requires(V a, V b, const typename V::value_type* src,
+                               typename V::value_type* dst,
+                               typename V::value_type x) {
+  requires std::is_arithmetic_v<typename V::value_type>;
+  { V::lanes } -> std::convertible_to<int>;
+  { V::load(src) } -> std::same_as<V>;
+  { V::loadu(src) } -> std::same_as<V>;
+  { a.store(dst) };
+  { a.storeu(dst) };
+  { V::set1(x) } -> std::same_as<V>;
+  { V::zero() } -> std::same_as<V>;
+  { a[0] } -> std::convertible_to<typename V::value_type>;
+  { a.template extract<0>() } -> std::same_as<typename V::value_type>;
+  { a.template insert<0>(x) } -> std::same_as<V>;
+  { a + b } -> std::same_as<V>;
+  { a - b } -> std::same_as<V>;
+  { a * b } -> std::same_as<V>;
+  { fma(a, b, b) } -> std::same_as<V>;
+  { min(a, b) } -> std::same_as<V>;
+  { max(a, b) } -> std::same_as<V>;
+  { cmpeq(a, b) } -> std::same_as<V>;
+  { blendv(a, b, b) } -> std::same_as<V>;
+  { rotate_up(a) } -> std::same_as<V>;
+  { rotate_down(a) } -> std::same_as<V>;
+  { shift_in_low(a, x) } -> std::same_as<V>;
+  { top_lane(a) } -> std::same_as<typename V::value_type>;
+};
+
+// Storage layout: a vector is exactly its lanes — no padding, and a
+// power-of-two lane count (the ring/slot modular arithmetic and the
+// aligned-buffer sizing both assume it).
+template <class V>
+inline constexpr bool lane_layout_ok =
+    V::lanes > 0 && (V::lanes & (V::lanes - 1)) == 0 &&
+    sizeof(V) ==
+        sizeof(typename V::value_type) * static_cast<std::size_t>(V::lanes);
+
+// Every type NativeVec can resolve to, at every lane width the registry
+// registers, on every backend.
+static_assert(LaneGeneric<ScalarVec<double, 4>>);
+static_assert(LaneGeneric<ScalarVec<double, 8>>);
+static_assert(LaneGeneric<ScalarVec<float, 8>>);
+static_assert(LaneGeneric<ScalarVec<float, 16>>);
+static_assert(LaneGeneric<ScalarVec<std::int32_t, 8>>);
+static_assert(LaneGeneric<ScalarVec<std::int32_t, 16>>);
+static_assert(lane_layout_ok<ScalarVec<double, 4>> &&
+              lane_layout_ok<ScalarVec<double, 8>> &&
+              lane_layout_ok<ScalarVec<float, 8>> &&
+              lane_layout_ok<ScalarVec<float, 16>> &&
+              lane_layout_ok<ScalarVec<std::int32_t, 8>> &&
+              lane_layout_ok<ScalarVec<std::int32_t, 16>>);
+#if defined(__AVX2__)
+static_assert(LaneGeneric<VecD4> && lane_layout_ok<VecD4>);
+static_assert(LaneGeneric<VecF8> && lane_layout_ok<VecF8>);
+static_assert(LaneGeneric<VecI8> && lane_layout_ok<VecI8>);
+#endif
+#if defined(__AVX512F__)
+static_assert(LaneGeneric<VecD8> && lane_layout_ok<VecD8>);
+static_assert(LaneGeneric<VecF16> && lane_layout_ok<VecF16>);
+static_assert(LaneGeneric<VecI16> && lane_layout_ok<VecI16>);
+#endif
 
 }  // namespace tvs::simd

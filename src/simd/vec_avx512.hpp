@@ -13,7 +13,10 @@
 //
 // Only AVX-512F is assumed (the backend compiles with -mavx512f alone), so
 // mask-register results are widened back to the all-ones/all-zeros vector
-// convention the AVX2 types use.
+// convention the AVX2 types use.  Unmasked permute/min/max intrinsics are
+// spelled as full-mask maskz forms: identical codegen, but GCC's
+// _mm512_undefined_* pass-through operand otherwise trips a
+// -Wmaybe-uninitialized false positive at -O3 (GCC PR105593).
 //
 // Included by `vec.hpp` when __AVX512F__ is defined; do not include
 // directly.
@@ -58,7 +61,8 @@ struct VecD8 {
     if constexpr (I == 0) {
       return _mm512_cvtsd_f64(r);
     } else {
-      const __m512d sh = _mm512_permutexvar_pd(_mm512_set1_epi64(I), r);
+      const __m512d sh = _mm512_maskz_permutexvar_pd(
+          static_cast<__mmask8>(0xff), _mm512_set1_epi64(I), r);
       return _mm512_cvtsd_f64(sh);
     }
   }
@@ -96,17 +100,21 @@ inline __m512i idx512_down() { return _mm512_setr_epi64(1, 2, 3, 4, 5, 6, 7, 0);
 }  // namespace detail
 
 inline VecD8 rotate_up(VecD8 a) {
-  return VecD8{_mm512_permutexvar_pd(detail::idx512_up(), a.r)};
+  return VecD8{_mm512_maskz_permutexvar_pd(static_cast<__mmask8>(0xff),
+                                           detail::idx512_up(), a.r)};
 }
 inline VecD8 rotate_down(VecD8 a) {
-  return VecD8{_mm512_permutexvar_pd(detail::idx512_down(), a.r)};
+  return VecD8{_mm512_maskz_permutexvar_pd(static_cast<__mmask8>(0xff),
+                                           detail::idx512_down(), a.r)};
 }
 inline VecD8 shift_in_low(VecD8 a, double x) {
-  const __m512d rot = _mm512_permutexvar_pd(detail::idx512_up(), a.r);
+  const __m512d rot = _mm512_maskz_permutexvar_pd(static_cast<__mmask8>(0xff),
+                                                  detail::idx512_up(), a.r);
   return VecD8{_mm512_mask_broadcastsd_pd(rot, 0x1, _mm_set_sd(x))};
 }
 inline VecD8 shift_in_low_v(VecD8 a, VecD8 fresh) {
-  const __m512d rot = _mm512_permutexvar_pd(detail::idx512_up(), a.r);
+  const __m512d rot = _mm512_maskz_permutexvar_pd(static_cast<__mmask8>(0xff),
+                                                  detail::idx512_up(), a.r);
   return VecD8{_mm512_mask_mov_pd(rot, 0x1, fresh.r)};
 }
 
@@ -142,7 +150,8 @@ struct VecF16 {
     if constexpr (I == 0) {
       return _mm512_cvtss_f32(r);
     } else {
-      const __m512 sh = _mm512_permutexvar_ps(_mm512_set1_epi32(I), r);
+      const __m512 sh = _mm512_maskz_permutexvar_ps(
+          static_cast<__mmask16>(0xffff), _mm512_set1_epi32(I), r);
       return _mm512_cvtss_f32(sh);
     }
   }
@@ -195,17 +204,21 @@ inline __m512i idx512f_down() {
 }  // namespace detail
 
 inline VecF16 rotate_up(VecF16 a) {
-  return VecF16{_mm512_permutexvar_ps(detail::idx512f_up(), a.r)};
+  return VecF16{_mm512_maskz_permutexvar_ps(static_cast<__mmask16>(0xffff),
+                                            detail::idx512f_up(), a.r)};
 }
 inline VecF16 rotate_down(VecF16 a) {
-  return VecF16{_mm512_permutexvar_ps(detail::idx512f_down(), a.r)};
+  return VecF16{_mm512_maskz_permutexvar_ps(static_cast<__mmask16>(0xffff),
+                                            detail::idx512f_down(), a.r)};
 }
 inline VecF16 shift_in_low(VecF16 a, float x) {
-  const __m512 rot = _mm512_permutexvar_ps(detail::idx512f_up(), a.r);
+  const __m512 rot = _mm512_maskz_permutexvar_ps(
+      static_cast<__mmask16>(0xffff), detail::idx512f_up(), a.r);
   return VecF16{_mm512_mask_broadcastss_ps(rot, 0x1, _mm_set_ss(x))};
 }
 inline VecF16 shift_in_low_v(VecF16 a, VecF16 fresh) {
-  const __m512 rot = _mm512_permutexvar_ps(detail::idx512f_up(), a.r);
+  const __m512 rot = _mm512_maskz_permutexvar_ps(
+      static_cast<__mmask16>(0xffff), detail::idx512f_up(), a.r);
   return VecF16{_mm512_mask_mov_ps(rot, 0x1, fresh.r)};
 }
 
@@ -249,7 +262,8 @@ struct VecI16 {
     if constexpr (I == 0) {
       return _mm512_cvtsi512_si32(r);
     } else {
-      const __m512i sh = _mm512_permutexvar_epi32(_mm512_set1_epi32(I), r);
+      const __m512i sh = _mm512_maskz_permutexvar_epi32(
+          static_cast<__mmask16>(0xffff), _mm512_set1_epi32(I), r);
       return _mm512_cvtsi512_si32(sh);
     }
   }
@@ -272,10 +286,12 @@ struct VecI16 {
 
 inline VecI16 fma(VecI16 a, VecI16 b, VecI16 acc) { return a * b + acc; }
 inline VecI16 min(VecI16 a, VecI16 b) {
-  return VecI16{_mm512_min_epi32(a.r, b.r)};
+  return VecI16{
+      _mm512_maskz_min_epi32(static_cast<__mmask16>(0xffff), a.r, b.r)};
 }
 inline VecI16 max(VecI16 a, VecI16 b) {
-  return VecI16{_mm512_max_epi32(a.r, b.r)};
+  return VecI16{
+      _mm512_maskz_max_epi32(static_cast<__mmask16>(0xffff), a.r, b.r)};
 }
 inline VecI16 cmpeq(VecI16 a, VecI16 b) {
   const __mmask16 m = _mm512_cmpeq_epi32_mask(a.r, b.r);
@@ -298,17 +314,21 @@ inline __m512i idx512i_down() {
 }  // namespace detail
 
 inline VecI16 rotate_up(VecI16 a) {
-  return VecI16{_mm512_permutexvar_epi32(detail::idx512i_up(), a.r)};
+  return VecI16{_mm512_maskz_permutexvar_epi32(static_cast<__mmask16>(0xffff),
+                                               detail::idx512i_up(), a.r)};
 }
 inline VecI16 rotate_down(VecI16 a) {
-  return VecI16{_mm512_permutexvar_epi32(detail::idx512i_down(), a.r)};
+  return VecI16{_mm512_maskz_permutexvar_epi32(static_cast<__mmask16>(0xffff),
+                                               detail::idx512i_down(), a.r)};
 }
 inline VecI16 shift_in_low(VecI16 a, std::int32_t x) {
-  const __m512i rot = _mm512_permutexvar_epi32(detail::idx512i_up(), a.r);
+  const __m512i rot = _mm512_maskz_permutexvar_epi32(
+      static_cast<__mmask16>(0xffff), detail::idx512i_up(), a.r);
   return VecI16{_mm512_mask_set1_epi32(rot, 0x1, x)};
 }
 inline VecI16 shift_in_low_v(VecI16 a, VecI16 fresh) {
-  const __m512i rot = _mm512_permutexvar_epi32(detail::idx512i_up(), a.r);
+  const __m512i rot = _mm512_maskz_permutexvar_epi32(
+      static_cast<__mmask16>(0xffff), detail::idx512i_up(), a.r);
   return VecI16{_mm512_mask_mov_epi32(rot, 0x1, fresh.r)};
 }
 

@@ -56,6 +56,7 @@ struct Workspace2D {
     ny = ny_;
     rstride = ((ny + 4 + 15) / 16) * 16;
     lrows = (VL - 1) * s + 1;
+    // Trailing slack, not a lane count.  tvslint: allow(R4)
     rrows = VL * s + 4;
     rbase = nx - VL * s - 1;  // right planes cover rows [rbase+1, nx]
     ring = grid::AlignedBuffer<V>(
@@ -226,6 +227,7 @@ void tv2d_tile(const F& f, grid::Grid2D<T>& g, int s, Workspace2D<V, T>& ws) {
 template <class V, class F, class T>
 void tv2d_run(const F& f, grid::Grid2D<T>& g, long steps, int s,
               Workspace2D<V, T>& ws) {
+  static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
   constexpr int VL = V::lanes;
   ws.prepare(s, g.nx(), g.ny());
   long t = 0;

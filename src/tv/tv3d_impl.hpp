@@ -47,6 +47,7 @@ struct Workspace3D {
     zstride = ((nz + 4 + 15) / 16) * 16;
     ystride = static_cast<std::ptrdiff_t>(ny + 2) * zstride;
     lrows = (VL - 1) * s + 1;
+    // Trailing slack, not a lane count.  tvslint: allow(R4)
     rrows = VL * s + 4;
     rbase = nx - VL * s - 1;
     ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 2) *
@@ -233,6 +234,7 @@ void tv3d_tile(const F& f, grid::Grid3D<T>& g, int s, Workspace3D<V, T>& ws) {
 template <class V, class F, class T>
 void tv3d_run(const F& f, grid::Grid3D<T>& g, long steps, int s,
               Workspace3D<V, T>& ws) {
+  static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
   constexpr int VL = V::lanes;
   ws.prepare(s, g.nx(), g.ny(), g.nz());
   long t = 0;

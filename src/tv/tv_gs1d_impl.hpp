@@ -163,6 +163,7 @@ template <class V>
 void tv_gs1d_run_impl(const stencil::C1D3T<typename V::value_type>& c,
                       grid::Grid1D<typename V::value_type>& u, long sweeps,
                       int s) {
+  static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
   using T = typename V::value_type;
   constexpr int VL = V::lanes;
   assert(s >= 2);

@@ -46,6 +46,7 @@ struct WorkspaceGs2D {
     ny = ny_;
     rstride = ((ny + 4 + 15) / 16) * 16;
     lrows = (VL - 1) * s + 1;
+    // Trailing slack, not a lane count.  tvslint: allow(R4)
     rrows = VL * s + 4;
     rbase = nx - VL * s - 1;
     ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
@@ -241,6 +242,7 @@ template <class V>
 void tv_gs2d_run_impl(const stencil::C2D5T<typename V::value_type>& c,
                       grid::Grid2D<typename V::value_type>& g, long sweeps,
                       int s) {
+  static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
   using T = typename V::value_type;
   constexpr int VL = V::lanes;
   WorkspaceGs2D<V> ws;

@@ -47,6 +47,7 @@ struct WorkspaceGs3D {
     zstride = ((nz + 4 + 15) / 16) * 16;
     ystride = static_cast<std::ptrdiff_t>(ny + 2) * zstride;
     lrows = (VL - 1) * s + 1;
+    // Trailing slack, not a lane count.  tvslint: allow(R4)
     rrows = VL * s + 4;
     rbase = nx - VL * s - 1;
     ring = grid::AlignedBuffer<V>(static_cast<std::size_t>(s + 1) *
@@ -274,6 +275,7 @@ template <class V>
 void tv_gs3d_run_impl(const stencil::C3D7T<typename V::value_type>& c,
                       grid::Grid3D<typename V::value_type>& g, long sweeps,
                       int s) {
+  static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
   using T = typename V::value_type;
   constexpr int VL = V::lanes;
   WorkspaceGs3D<V> ws;

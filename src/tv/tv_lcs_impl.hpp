@@ -72,6 +72,7 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
                       std::span<const std::int32_t> b, std::int32_t* row,
                       const std::int32_t* leftcol = nullptr,
                       std::int32_t* rightcol = nullptr) {
+  static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
   constexpr int vl = V::lanes;
   static_assert(vl >= 2 && vl <= kLcsRowPad);
   const int na = static_cast<int>(a.size());
@@ -81,6 +82,7 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
   // Scratch: vl-1 intermediate levels on each edge.
   const int llen = vl;            // prologue level l covers [1, vl-l]
   const int rbase = nb - vl - 1;  // right scratch covers [rbase+1, nb]
+  // Trailing slack, not a lane count.  tvslint: allow(R4)
   const int rlen = vl + 4;
   std::vector<std::int32_t> lbuf(static_cast<std::size_t>(vl - 1) * llen);
   std::vector<std::int32_t> rbuf(static_cast<std::size_t>(vl - 1) * rlen);

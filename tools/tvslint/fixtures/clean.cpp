@@ -1,0 +1,19 @@
+// Clean fixture: trips no tvslint rule.  Also exercises the suppression
+// syntax — the two lines below would violate R1/R2 without their allow()
+// comments, so a zero-violation result proves suppressions are honored.
+#include <cstdint>
+
+#include <omp.h>  // tvslint: allow(R1)
+
+namespace fixture {
+
+// tvslint: allow(R2)
+using wide_t = __m256d;
+
+inline std::int32_t add(std::int32_t a, std::int32_t b) { return a + b; }
+
+// A string literal mentioning _mm256_add_pd or "#include <omp.h>" is data,
+// not code; the lexer must not report it.
+inline const char* doc() { return "_mm256_add_pd and #include <omp.h>"; }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// R1 fixture: raw <omp.h> include outside src/util/omp_compat.hpp.
+// Expected: exactly one R1 violation (line 5), nothing else.
+#include <cstddef>
+
+#include <omp.h>
+
+namespace fixture {
+inline std::size_t threads() { return 1; }
+}  // namespace fixture

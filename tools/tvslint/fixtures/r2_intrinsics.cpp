@@ -1,0 +1,15 @@
+// R2 fixture: x86 intrinsics outside src/simd/.  Expected: R2 violations
+// on the three marked lines, nothing else.
+namespace fixture {
+
+struct FakeVec {
+  __m256d r;  // R2: raw vector type
+};
+
+inline FakeVec add(FakeVec a, FakeVec b) {
+  return FakeVec{_mm256_add_pd(a.r, b.r)};  // R2: intrinsic call
+}
+
+inline int mask_width(__mmask16 m) { return m ? 16 : 0; }  // R2: mask type
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// R4 fixture: an "_impl.hpp" engine template that hardcodes lane counts in
+// ring math and uses a bare element type.  Expected: R4 violations on the
+// marked lines, nothing else.
+#pragma once
+
+namespace fixture {
+
+template <class V>
+struct Engine {
+  static constexpr int vl = V::lanes;
+
+  // OK: derived from V::lanes, no literal.
+  int ring_slots() const { return vl + 1; }
+
+  // R4: bare 'double' inside a lane-generic template.
+  double scratch[32];
+
+  // R4: literal lane count in ring arithmetic.
+  int wrap(int slot) const { return (slot + 1) % (vl + 8); }
+
+  // OK: static_assert lines are exempt (they PIN a width on purpose).
+  static_assert(V::lanes == 4 || V::lanes >= 1);
+};
+
+}  // namespace fixture

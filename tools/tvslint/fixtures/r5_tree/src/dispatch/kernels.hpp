@@ -1,0 +1,13 @@
+// R5 fixture: a miniature dispatch header.  Paired with reg.cpp and
+// matrix.json in this tree, it seeds three R5 violations:
+//   - kBeta claims kF64 and kF32 in the matrix but has no register site
+//   - kGamma is registered but not declared here
+// (kAlpha is consistent everywhere and must NOT be reported.)
+#pragma once
+
+#include <string_view>
+
+namespace fixture {
+inline constexpr std::string_view kAlpha = "alpha";
+inline constexpr std::string_view kBeta = "beta";
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// R5 fixture registration TU (never compiled; parsed by tvslint only).
+TVS_BACKEND_REGISTRAR(fake) {
+  TVS_REGISTER(kAlpha, FakeFn, alpha_impl);
+  TVS_REGISTER_DT(kGamma, FakeFn, gamma_impl, kF64);
+}
