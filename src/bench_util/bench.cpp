@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/env.hpp"
+
 namespace tvs::bench {
 
 double now_sec() {
@@ -31,13 +33,13 @@ double measure_gstencils(double points_per_call,
 }
 
 bool full_mode() {
-  const char* e = std::getenv("TVS_BENCH_FULL");
+  const char* e = util::env_cstr("TVS_BENCH_FULL");
   return e != nullptr && e[0] == '1';
 }
 
 std::vector<int> thread_sweep() {
   int maxt = omp_get_max_threads();
-  if (const char* e = std::getenv("TVS_BENCH_MAXTHREADS")) {
+  if (const char* e = util::env_cstr("TVS_BENCH_MAXTHREADS")) {
     const int cap = std::atoi(e);
     if (cap > 0 && cap < maxt) maxt = cap;
   }

@@ -1,10 +1,10 @@
 #include "dispatch/backend.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 #include "dispatch/registry.hpp"
+#include "util/env.hpp"
 
 namespace tvs::dispatch {
 
@@ -72,7 +72,7 @@ Backend selected_backend() {
   // forced value is invalid the exception propagates and resolution is
   // retried on the next call (the static stays uninitialized).
   static const Backend selected = [] {
-    const char* force = std::getenv("TVS_FORCE_BACKEND");
+    const char* force = util::env_cstr("TVS_FORCE_BACKEND");
     return resolve_backend(force == nullptr
                                ? std::nullopt
                                : std::optional<std::string_view>(force));

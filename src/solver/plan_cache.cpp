@@ -1,9 +1,10 @@
 #include "solver/plan_cache.hpp"
 
-#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
+
+#include "util/env.hpp"
 
 namespace tvs::solver {
 
@@ -24,7 +25,7 @@ Cache& cache() {
 
 ExecutionPlan plan_for(const StencilProblem& p, PlanMode mode) {
   // TVS_PLAN pins knobs for this lookup only; it never touches the cache.
-  if (const char* spec = std::getenv("TVS_PLAN");
+  if (const char* spec = util::env_cstr("TVS_PLAN");
       spec != nullptr && spec[0] != '\0') {
     ExecutionPlan plan = apply_plan_spec(heuristic_plan(p), spec);
     validate_plan(p, plan);
@@ -35,7 +36,7 @@ ExecutionPlan plan_for(const StencilProblem& p, PlanMode mode) {
   }
 
   if (mode == PlanMode::kAuto) {
-    const char* tune = std::getenv("TVS_TUNE");
+    const char* tune = util::env_cstr("TVS_TUNE");
     mode = (tune != nullptr && tune == std::string_view("1"))
                ? PlanMode::kTuned
                : PlanMode::kHeuristic;

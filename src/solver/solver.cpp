@@ -17,6 +17,7 @@
 #include "tiling/parallelogram2d.hpp"
 #include "tiling/pingpong_convert.hpp"
 #include "tv/tv_lcs.hpp"  // kLcsRowPad
+#include "util/checked_idx.hpp"
 #include "util/omp_compat.hpp"
 
 namespace tvs::solver {
@@ -362,7 +363,9 @@ void Solver::run(const stencil::LifeRule& r,
 std::vector<std::int32_t> Solver::lcs_row(
     std::span<const std::int32_t> a, std::span<const std::int32_t> b) const {
   check_family(prob_, {Family::kLcs}, "lcs_row");
-  check_extents(prob_, static_cast<int>(a.size()), static_cast<int>(b.size()),
+  // checked_int: a >=2^31 span must raise, not truncate into a value that
+  // happens to pass check_extents.
+  check_extents(prob_, util::checked_int(a.size()), util::checked_int(b.size()),
                 0);
   const std::size_t nb = b.size();
   std::vector<std::int32_t> row(nb + 1 + tv::kLcsRowPad, 0);
@@ -377,7 +380,7 @@ std::vector<std::int32_t> Solver::lcs_row(
 std::int32_t Solver::lcs(std::span<const std::int32_t> a,
                          std::span<const std::int32_t> b) const {
   check_family(prob_, {Family::kLcs}, "lcs");
-  check_extents(prob_, static_cast<int>(a.size()), static_cast<int>(b.size()),
+  check_extents(prob_, util::checked_int(a.size()), util::checked_int(b.size()),
                 0);
   if (plan_.path == Path::kTiledParallel) {
     const ThreadScope scope(prob_.threads);

@@ -38,6 +38,10 @@ void diamond_run(const F& f, double* even, double* odd, int nx, long steps,
     const int h = static_cast<int>(std::min<long>(H, t_vec - t0));
     const int nb = (nx + W - 1) / W;
     // Phase 1: shrinking trapezoids.
+    // Each phase-1 trapezoid writes only its own base interval
+    // [1 + k*W, (k+1)*W] (edges shrink inward), so the parity arrays are
+    // partitioned by the tile index.
+    // tvsrace: partitioned(k)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int k = 0; k < nb; ++k) {
       for (int j = 0; j < h / 4; ++j) {
@@ -50,6 +54,10 @@ void diamond_run(const F& f, double* even, double* odd, int nx, long steps,
       }
     }
     // Phase 2: growing trapezoids at the seams (including the domain edges).
+    // Phase-2 seam tiles grow from empty bases at the k*W seams; their
+    // widest level still ends left of where tile k+1's level starts, so
+    // writes stay disjoint per k.
+    // tvsrace: partitioned(k)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int k = 0; k <= nb; ++k) {
       for (int j = 0; j < h / 4; ++j) {

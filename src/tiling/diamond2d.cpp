@@ -21,6 +21,7 @@
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
 #include "tv/functors2d.hpp"
+#include "tv/ring.hpp"
 
 namespace tvs::tiling {
 
@@ -42,7 +43,7 @@ struct TrapWs2D {
   }
   V* row(int p) {
     const int M = s + 2;
-    const int slot = ((p % M) + M) % M;
+    const int slot = tv::RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(rstride) +
            1;
@@ -179,6 +180,10 @@ void diamond2d_run(const F& f, grid::PingPong<grid::Grid2D<T>>& pp, long steps,
   while (t0 < t_vec) {
     const int h = static_cast<int>(std::min<long>(H, t_vec - t0));
     const int nb = (nx + W - 1) / W;
+    // Phase-1 trapezoids write rows [1 + k*W, (k+1)*W] only (shrinking
+    // edges); the parity grids are partitioned by tile index, and the ws
+    // scratch is per-thread (tls[omp_get_thread_num()]).
+    // tvsrace: partitioned(k)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int k = 0; k < nb; ++k) {
       TrapWs2D<V>& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
@@ -191,6 +196,9 @@ void diamond2d_run(const F& f, grid::PingPong<grid::Grid2D<T>>& pp, long steps,
                        +1, -1, ws, !opt.use_vector);
       }
     }
+    // Phase-2 seam tiles: disjoint row ranges around each seam k*W, same
+    // partition argument as phase 1.
+    // tvsrace: partitioned(k)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int k = 0; k <= nb; ++k) {
       TrapWs2D<V>& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];

@@ -11,6 +11,7 @@
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
 #include "tv/functors3d.hpp"
+#include "tv/ring.hpp"
 
 namespace tvs::tiling {
 
@@ -36,7 +37,7 @@ struct TrapWs3D {
   }
   V* line(int p, int y) {
     const int M = s + 2;
-    const int slot = ((p % M) + M) % M;
+    const int slot = tv::RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(ystride) +
            static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;
@@ -177,6 +178,9 @@ void jacobi3d7(const stencil::C3D7& c,
   while (t0 < t_vec) {
     const int h = static_cast<int>(std::min<long>(H, t_vec - t0));
     const int nb = (nx + W - 1) / W;
+    // Phase-1 trapezoids write planes [1 + k*W, (k+1)*W] only (shrinking
+    // edges); parity grids partitioned by tile index, ws is per-thread.
+    // tvsrace: partitioned(k)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int k = 0; k < nb; ++k) {
       TrapWs3D& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
@@ -188,6 +192,8 @@ void jacobi3d7(const stencil::C3D7& c,
                     !opt.use_vector);
       }
     }
+    // Phase-2 seam tiles: disjoint plane ranges around each seam k*W.
+    // tvsrace: partitioned(k)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int k = 0; k <= nb; ++k) {
       TrapWs3D& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];

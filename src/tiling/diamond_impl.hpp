@@ -31,7 +31,8 @@
 
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
-#include "tv/tv1d_impl.hpp"  // kMaxStride
+#include "tv/ring.hpp"       // kRingCapacity, RingIndex
+#include "tv/tv1d_impl.hpp"  // Workspace1D (scalar fallbacks)
 
 namespace tvs::tv {
 
@@ -90,21 +91,20 @@ void tv1d_trapezoid(const F& f, double* a0, double* a1, int nx, int s,
 
   // ---- gather the ring from the parity arrays ------------------------------
   const int M = s + R;
-  std::array<V, kMaxStride + 2> ring;
-  const auto slot = [M](int p) { return ((p % M) + M) % M; };
+  std::array<V, kRingCapacity> ring;
+  const RingIndex rix(M);
   for (int p = x_begin - R; p <= x_begin + s - 1; ++p) {
     alignas(64) double lanes[4];
     lanes[0] = a0[p + 3 * s];
     lanes[1] = arr[1][p + 2 * s];
     lanes[2] = arr[2][p + s];
     lanes[3] = arr[3][p];
-    ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
+    ring[static_cast<std::size_t>(rix.slot(p))] = V::load(lanes);
   }
 
   // ---- steady loop ----------------------------------------------------------
   const int read_cap = XR[1] + R;  // never read a0 beyond this (see header)
-  int ib = slot(x_begin - R);
-  const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
+  int ib = rix.slot(x_begin - R);
   V winv[2 * R + 1];
   int x = x_begin;
   for (; x + 3 <= x_end && x + 4 * s + 3 <= read_cap; x += 4) {
@@ -112,51 +112,51 @@ void tv1d_trapezoid(const F& f, double* a0, double* a1, int nx, int s,
     V w0, w1, w2, w3;
     {
       int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = rix.inc(iw); }
       w0 = f.apply(winv);
       ring[ib] = simd::shift_in_low_v(w0, bot);
       bot = simd::rotate_down(bot);
-      ib = inc(ib);
+      ib = rix.inc(ib);
     }
     {
       int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = rix.inc(iw); }
       w1 = f.apply(winv);
       ring[ib] = simd::shift_in_low_v(w1, bot);
       bot = simd::rotate_down(bot);
-      ib = inc(ib);
+      ib = rix.inc(ib);
     }
     {
       int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = rix.inc(iw); }
       w2 = f.apply(winv);
       ring[ib] = simd::shift_in_low_v(w2, bot);
       bot = simd::rotate_down(bot);
-      ib = inc(ib);
+      ib = rix.inc(ib);
     }
     {
       int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = rix.inc(iw); }
       w3 = f.apply(winv);
       ring[ib] = simd::shift_in_low_v(w3, bot);
-      ib = inc(ib);
+      ib = rix.inc(ib);
     }
     simd::collect_tops(w0, w1, w2, w3).storeu(a0 + x);
   }
   for (; x <= x_end; ++x) {
     int iw = ib;
-    for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+    for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = rix.inc(iw); }
     const V w = f.apply(winv);
     // Reads past read_cap are never consumed (their output lanes fall
     // outside every level range); clamp to a slot that is safe to touch.
     ring[ib] = simd::shift_in_low(w, a0[std::min(x + 4 * s, read_cap)]);
-    ib = inc(ib);
+    ib = rix.inc(ib);
     a0[x] = simd::top_lane(w);
   }
 
   // ---- flush surviving ring lanes into the parity arrays --------------------
   for (int p = x_end + 1 - R; p <= x_end + s; ++p) {
-    const V& u = ring[static_cast<std::size_t>(slot(p))];
+    const V& u = ring[static_cast<std::size_t>(rix.slot(p))];
     const auto put = [&](int l, int q, double v) {
       if (q >= XL[static_cast<std::size_t>(l)] &&
           q <= XR[static_cast<std::size_t>(l)])

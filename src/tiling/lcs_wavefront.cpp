@@ -6,6 +6,7 @@
 
 #include "simd/vec.hpp"
 #include "tv/tv_lcs_impl.hpp"
+#include "util/checked_idx.hpp"
 
 namespace tvs::tiling {
 namespace {
@@ -14,8 +15,10 @@ std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
                            std::span<const std::int32_t> b,
                            const LcsWavefrontOptions& opt) {
   using V = dispatch::BackendVec<std::int32_t>;
-  const int na = static_cast<int>(a.size());
-  const int nb = static_cast<int>(b.size());
+  // checked_int, not static_cast: a 2^31-element span would otherwise
+  // truncate silently and compute the LCS of a prefix (tvsrace C3).
+  const int na = util::checked_int(a.size());
+  const int nb = util::checked_int(b.size());
   if (na == 0 || nb == 0) return 0;
 
   const int Wb = std::max(16, opt.block);
@@ -32,6 +35,10 @@ std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
       std::vector<std::int32_t>(static_cast<std::size_t>(na) + 1, 0));
 
   for (int d = 0; d <= (nbi - 1) + (nbj - 1); ++d) {
+    // Anti-diagonal wavefront: block (bi, bj = d - bi) owns row segment
+    // [bj*Wb, bj*Wb + wseg] and column bj+1 rows [bi*Hb, bi*Hb + h] — both
+    // are injective in bi for fixed d, so row/col writes are disjoint.
+    // tvsrace: partitioned(bi)
 #pragma omp parallel for schedule(dynamic, 1)
     for (int bi = std::max(0, d - (nbj - 1)); bi <= std::min(d, nbi - 1);
          ++bi) {

@@ -52,6 +52,10 @@ void gs1d3_tiled(const stencil::C1D3& c, grid::Grid1D<double>& u,
     const int bx_max_all = std::max(hi(0), hi(nbt - 1));
     const int wmax = 2 * (nbt - 1) + (bx_max_all - bx_min_all);
     for (int w = 0; w <= wmax; ++w) {
+    // Tiles on one anti-diagonal w = 2*bt + bx are >= 2W+H points apart
+    // (file comment): each writes only its own sloped interval of `a`, so
+    // the array is partitioned by the band index.
+    // tvsrace: partitioned(bt)
 #pragma omp parallel for schedule(dynamic, 1)
       for (int bt = 0; bt < nbt; ++bt) {
         const int bx = w - 2 * bt + bx_min_all;

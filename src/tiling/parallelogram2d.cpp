@@ -16,6 +16,7 @@
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
 #include "stencil/kernels.hpp"
+#include "tv/ring.hpp"
 
 namespace tvs::tiling {
 namespace {
@@ -41,7 +42,7 @@ struct GsWs2D {
   }
   V* row(int p) {
     const int M = s + 1;
-    const int slot = ((p % M) + M) % M;
+    const int slot = tv::RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(rstride) +
            1;
@@ -203,7 +204,7 @@ struct GsWs3D {
   }
   V* line(int p, int y) {
     const int M = s + 1;
-    const int slot = ((p % M) + M) % M;
+    const int slot = tv::RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(ystride) +
            static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;
@@ -404,6 +405,10 @@ void wavefront_run(int nx, long sweeps, ParallelogramNDOptions opt, int min_s,
     const int bx_max_all = std::max(hi(0), hi(nbt - 1));
     const int wmax = 2 * (nbt - 1) + (bx_max_all - bx_min_all);
     for (int w = 0; w <= wmax; ++w) {
+    // Same wavefront argument as the 1D driver: tiles on one anti-diagonal
+    // are disjoint in x, so the tile callback touches non-overlapping
+    // regions per bt (its scratch is per-thread inside the callback).
+    // tvsrace: partitioned(bt)
 #pragma omp parallel for schedule(dynamic, 1)
       for (int bt = 0; bt < nbt; ++bt) {
         const int bx = w - 2 * bt + bx_min_all;

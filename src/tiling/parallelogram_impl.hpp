@@ -25,7 +25,8 @@
 #include "simd/vec.hpp"
 #include "stencil/coefficients.hpp"
 #include "stencil/kernels.hpp"
-#include "tv/tv1d_impl.hpp"  // kMaxStride
+#include "tv/ring.hpp"       // kRingCapacity, RingIndex
+#include "tv/tv1d_impl.hpp"  // Workspace1D (scalar fallbacks)
 
 namespace tvs::tv {
 
@@ -80,15 +81,15 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
 
   // ---- gather ring (positions x_begin .. x_begin+s-1) and initial w --------
   const int M = s;
-  std::array<V, kMaxStride + 2> ring;
-  const auto slot = [M](int p) { return ((p % M) + M) % M; };
+  std::array<V, kRingCapacity> ring;
+  const RingIndex rix(M);
   for (int p = x_begin; p <= x_begin + s - 1; ++p) {
     alignas(64) double lanes[4];
     lanes[0] = a[p + 3 * s];
     lanes[1] = a[p + 2 * s];
     lanes[2] = a[p + s];
     lanes[3] = a[p];
-    ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
+    ring[static_cast<std::size_t>(rix.slot(p))] = V::load(lanes);
   }
   V w;
   {
@@ -103,14 +104,13 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
   const V cw = V::set1(c.w), cc = V::set1(c.c), ce = V::set1(c.e);
 
   // ---- steady loop -----------------------------------------------------------
-  int ic = slot(x_begin);
-  const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
+  int ic = rix.slot(x_begin);
   int x = x_begin;
   for (; x + 3 <= x_end; x += 4) {
     V bot = V::loadu(a + x + 4 * s);
     V w0, w1, w2, w3;
     {
-      const int ie = inc(ic);
+      const int ie = rix.inc(ic);
       w0 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
       ring[ic] = simd::shift_in_low_v(w0, bot);
       bot = simd::rotate_down(bot);
@@ -118,7 +118,7 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
       ic = ie;
     }
     {
-      const int ie = inc(ic);
+      const int ie = rix.inc(ic);
       w1 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
       ring[ic] = simd::shift_in_low_v(w1, bot);
       bot = simd::rotate_down(bot);
@@ -126,7 +126,7 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
       ic = ie;
     }
     {
-      const int ie = inc(ic);
+      const int ie = rix.inc(ic);
       w2 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
       ring[ic] = simd::shift_in_low_v(w2, bot);
       bot = simd::rotate_down(bot);
@@ -134,7 +134,7 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
       ic = ie;
     }
     {
-      const int ie = inc(ic);
+      const int ie = rix.inc(ic);
       w3 = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
       ring[ic] = simd::shift_in_low_v(w3, bot);
       w = w3;
@@ -143,7 +143,7 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
     simd::collect_tops(w0, w1, w2, w3).storeu(a + x);
   }
   for (; x <= x_end; ++x) {
-    const int ie = inc(ic);
+    const int ie = rix.inc(ic);
     const V wv = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
     ring[ic] = simd::shift_in_low(wv, a[x + 4 * s]);
     a[x] = simd::top_lane(wv);
@@ -153,7 +153,7 @@ void tv_gs1d_parallelogram(const stencil::C1D3& c, double* a, int nx, int s,
 
   // ---- flush: write surviving lanes straight into the array -----------------
   for (int p = x_end + 1; p <= x_end + s; ++p) {
-    const V& u = ring[static_cast<std::size_t>(slot(p))];
+    const V& u = ring[static_cast<std::size_t>(rix.slot(p))];
     const auto put = [&](int l, int q, double v) {
       if (q >= XL[static_cast<std::size_t>(l)] &&
           q <= XR[static_cast<std::size_t>(l)])

@@ -48,10 +48,9 @@
 #include "grid/grid1d.hpp"
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
+#include "tv/ring.hpp"  // kMaxStride, kRingCapacity, RingIndex
 
 namespace tvs::tv {
-
-inline constexpr int kMaxStride = 32;
 
 // Reusable scratch for one run (avoids per-tile allocation).  Sizes depend
 // on the engine's vector length: vl-1 intermediate levels per edge.
@@ -113,7 +112,7 @@ namespace detail {
 // arithmetic assumes x == 1 mod 8); returns the first unprocessed x.
 template <class V, class F>
 int steady_s7(const F& f, typename V::value_type* a, int x_end,
-              std::array<V, kMaxStride + 2>& ring) {
+              std::array<V, kRingCapacity>& ring) {
   static_assert(V::lanes == 4);
   // Deliberately width-pinned fast path (see static_assert above).
   // tvslint: allow(R4)
@@ -204,12 +203,12 @@ void tv1d_tile(const F& f, typename V::value_type* a, int nx, int s,
   };
 
   // ---- gather the initial ring ------------------------------------------
-  std::array<V, kMaxStride + 2> ring;
-  const auto slot = [M](int p) { return ((p % M) + M) % M; };
+  std::array<V, kRingCapacity> ring;
+  const RingIndex rix(M);
   for (int p = 1 - R; p <= s; ++p) {
     alignas(64) T lanes[VL];
     for (int k = 0; k < VL; ++k) lanes[k] = lv_any(k, p + (VL - 1 - k) * s);
-    ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
+    ring[static_cast<std::size_t>(rix.slot(p))] = V::load(lanes);
   }
 
   // ---- steady vector loop -------------------------------------------------
@@ -218,28 +217,33 @@ void tv1d_tile(const F& f, typename V::value_type* a, int nx, int s,
   if constexpr (R == 1 && VL == 4) {
     if (s == 7) x = detail::steady_s7(f, a, x_end, ring);
   }
-  int ib = slot(x - R);  // slot of the west-most window vector (pos x-R)
-  const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
+  int ib = rix.slot(x - R);  // slot of the west-most window vector (pos x-R)
   V winv[2 * R + 1];
   V wbuf[VL];
   for (; x + VL - 1 <= x_end; x += VL) {
     V bot = V::loadu(a + x + VL * s);
     for (int j = 0; j < VL; ++j) {
       int iw = ib;
-      for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+      for (int k = 0; k <= 2 * R; ++k) {
+        winv[k] = ring[iw];
+        iw = rix.inc(iw);
+      }
       wbuf[j] = f.apply(winv);
       ring[ib] = simd::shift_in_low_v(wbuf[j], bot);
       if (j != VL - 1) bot = simd::rotate_down(bot);
-      ib = inc(ib);
+      ib = rix.inc(ib);
     }
     simd::collect_tops_arr(wbuf).storeu(a + x);
   }
   for (; x <= x_end; ++x) {  // ungrouped tail
     int iw = ib;
-    for (int k = 0; k <= 2 * R; ++k) { winv[k] = ring[iw]; iw = inc(iw); }
+    for (int k = 0; k <= 2 * R; ++k) {
+      winv[k] = ring[iw];
+      iw = rix.inc(iw);
+    }
     const V w = f.apply(winv);
     ring[ib] = simd::shift_in_low(w, a[x + VL * s]);
-    ib = inc(ib);
+    ib = rix.inc(ib);
     a[x] = simd::top_lane(w);
   }
 
@@ -248,7 +252,7 @@ void tv1d_tile(const F& f, typename V::value_type* a, int nx, int s,
     if (q >= rbase + 1 && q <= nx) ws.rptr(lev)[q - rbase] = v;
   };
   for (int p = x_end + 1 - R; p <= x_end + s; ++p) {
-    const V& u = ring[static_cast<std::size_t>(slot(p))];
+    const V& u = ring[static_cast<std::size_t>(rix.slot(p))];
     for (int k = 1; k <= VL - 1; ++k) rput(k, p + (VL - 1 - k) * s, u[k]);
   }
 

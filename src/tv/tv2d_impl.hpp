@@ -34,6 +34,7 @@
 #include "grid/grid2d.hpp"
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
+#include "tv/ring.hpp"
 
 namespace tvs::tv {
 
@@ -71,7 +72,7 @@ struct Workspace2D {
   // Ring row for position p (valid y in [-1, rstride-2]; offset +1).
   V* ring_row(int p) {
     const int M = s + 2;
-    const int slot = ((p % M) + M) % M;
+    const int slot = RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(rstride) +
            1;

@@ -24,6 +24,7 @@
 #include "grid/grid3d.hpp"
 #include "simd/reorg.hpp"
 #include "simd/vec.hpp"
+#include "tv/ring.hpp"
 
 namespace tvs::tv {
 
@@ -63,7 +64,7 @@ struct Workspace3D {
   // Line (x-slab p, row y), indexable z in [-1, zstride-2].
   V* ring_line(int p, int y) {
     const int M = s + 2;
-    const int slot = ((p % M) + M) % M;
+    const int slot = RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(ystride) +
            static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;

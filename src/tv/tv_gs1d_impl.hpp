@@ -34,7 +34,8 @@
 #include "simd/vec.hpp"
 #include "stencil/coefficients.hpp"
 #include "stencil/kernels.hpp"
-#include "tv/tv1d_impl.hpp"  // Workspace1D, kMaxStride
+#include "tv/ring.hpp"       // kMaxStride, kRingCapacity, RingIndex
+#include "tv/tv1d_impl.hpp"  // Workspace1D
 
 namespace tvs::tv {
 
@@ -88,12 +89,12 @@ void tv_gs1d_tile(const stencil::C1D3T<typename V::value_type>& c,
   }
 
   // ---- gather: ring positions [1, s] and the initial w ---------------------
-  std::array<V, kMaxStride + 2> ring;
-  const auto slot = [M](int p) { return ((p % M) + M) % M; };
+  std::array<V, kRingCapacity> ring;
+  const RingIndex rix(M);
   for (int p = 1; p <= s; ++p) {
     alignas(64) T lanes[VL];
     for (int k = 0; k < VL; ++k) lanes[k] = lv_any(k, p + (VL - 1 - k) * s);
-    ring[static_cast<std::size_t>(slot(p))] = V::load(lanes);
+    ring[static_cast<std::size_t>(rix.slot(p))] = V::load(lanes);
   }
   V w;  // lane k = lvl(k+1) @ (x-1 + (vl-1-k)s); at x=1: the prologue tips
   {
@@ -107,14 +108,13 @@ void tv_gs1d_tile(const stencil::C1D3T<typename V::value_type>& c,
 
   // ---- steady loop ---------------------------------------------------------
   const int x_end = nx + 1 - VL * s;
-  int ic = slot(1);  // slot of the center vector (position x)
-  const auto inc = [M](int i) { return i + 1 == M ? 0 : i + 1; };
+  int ic = rix.slot(1);  // slot of the center vector (position x)
   int x = 1;
   V wbuf[VL];
   for (; x + VL - 1 <= x_end; x += VL) {
     V bot = V::loadu(a + x + VL * s);
     for (int j = 0; j < VL; ++j) {
-      const int ie = inc(ic);
+      const int ie = rix.inc(ic);
       wbuf[j] = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
       ring[ic] = simd::shift_in_low_v(wbuf[j], bot);
       if (j != VL - 1) bot = simd::rotate_down(bot);
@@ -124,7 +124,7 @@ void tv_gs1d_tile(const stencil::C1D3T<typename V::value_type>& c,
     simd::collect_tops_arr(wbuf).storeu(a + x);
   }
   for (; x <= x_end; ++x) {
-    const int ie = inc(ic);
+    const int ie = rix.inc(ic);
     const V wv = stencil::gs1d3(cw, cc, ce, w, ring[ic], ring[ie]);
     ring[ic] = simd::shift_in_low(wv, a[x + VL * s]);
     a[x] = simd::top_lane(wv);
@@ -137,7 +137,7 @@ void tv_gs1d_tile(const stencil::C1D3T<typename V::value_type>& c,
     if (q >= rbase + 1 && q <= nx) ws.rptr(lev)[q - rbase] = v;
   };
   for (int p = x_end + 1; p <= x_end + s; ++p) {
-    const V& u = ring[static_cast<std::size_t>(slot(p))];
+    const V& u = ring[static_cast<std::size_t>(rix.slot(p))];
     for (int k = 1; k <= VL - 1; ++k) rput(k, p + (VL - 1 - k) * s, u[k]);
   }
 

@@ -25,6 +25,7 @@
 #include "simd/vec.hpp"
 #include "stencil/coefficients.hpp"
 #include "stencil/kernels.hpp"
+#include "tv/ring.hpp"
 
 namespace tvs::tv {
 
@@ -59,7 +60,7 @@ struct WorkspaceGs2D {
   }
   V* ring_row(int p) {
     const int M = s + 1;
-    const int slot = ((p % M) + M) % M;
+    const int slot = RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(rstride) +
            1;

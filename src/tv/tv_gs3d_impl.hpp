@@ -24,6 +24,7 @@
 #include "simd/vec.hpp"
 #include "stencil/coefficients.hpp"
 #include "stencil/kernels.hpp"
+#include "tv/ring.hpp"
 
 namespace tvs::tv {
 
@@ -60,7 +61,7 @@ struct WorkspaceGs3D {
   }
   V* ring_line(int p, int y) {
     const int M = s + 1;
-    const int slot = ((p % M) + M) % M;
+    const int slot = RingIndex(M).slot(p);
     return ring.data() +
            static_cast<std::size_t>(slot) * static_cast<std::size_t>(ystride) +
            static_cast<std::size_t>(y) * static_cast<std::size_t>(zstride) + 1;

@@ -36,6 +36,7 @@
 #include "simd/vec.hpp"
 #include "stencil/kernels.hpp"
 #include "tv/tv_lcs.hpp"  // kLcsRowPad, the engines' row-padding contract
+#include "util/checked_idx.hpp"
 
 namespace tvs::tv {
 
@@ -75,8 +76,10 @@ void tv_lcs_rows_impl(std::span<const std::int32_t> a,
   static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
   constexpr int vl = V::lanes;
   static_assert(vl >= 2 && vl <= kLcsRowPad);
-  const int na = static_cast<int>(a.size());
-  const int nb = static_cast<int>(b.size());
+  // checked_int, not static_cast: spans past 2^31 elements must raise, not
+  // silently truncate to a prefix (tvsrace C3).
+  const int na = util::checked_int(a.size());
+  const int nb = util::checked_int(b.size());
   const std::int32_t* bb = b.data() - 1;  // bb[y] = B[y], 1-based
 
   // Scratch: vl-1 intermediate levels on each edge.

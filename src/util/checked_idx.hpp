@@ -1,0 +1,63 @@
+// Checked index arithmetic, usable at compile time.
+//
+// CheckedIdx<Lo, Hi> is an interval-checked index: constructing one from a
+// value outside [Lo, Hi] throws.  In a constant-evaluated context a throw
+// makes the expression non-constant, so `static_assert(trace())` turns an
+// out-of-bounds index into a *build failure* — tests/ring_bounds_static.cpp
+// uses this to prove the §3 ring invariants for every registered
+// (dtype, vl, stride) combo.  At runtime the same type is an assert-like
+// guard with a real exception.
+//
+// checked_int is the sanctioned narrowing conversion for the tvsrace C3
+// rule (tools/tvsrace/): converting a size()/ptrdiff quantity to the
+// engines' int extents must go through it so overflow raises instead of
+// silently truncating.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace tvs::util {
+
+template <std::ptrdiff_t Lo, std::ptrdiff_t Hi>
+class CheckedIdx {
+  static_assert(Lo <= Hi, "CheckedIdx: empty interval");
+
+ public:
+  // Implicit on purpose: `CheckedIdx<0, N - 1> i = expr;` reads as an
+  // annotated declaration, and the check is the whole point of the type.
+  constexpr CheckedIdx(std::ptrdiff_t v) : v_(v) {
+    if (v < Lo || v > Hi)
+      throw std::out_of_range("CheckedIdx: index outside interval");
+  }
+  constexpr std::ptrdiff_t get() const { return v_; }
+  constexpr operator std::ptrdiff_t() const { return v_; }
+
+ private:
+  std::ptrdiff_t v_;
+};
+
+// Interval check against runtime bounds (e.g. a ring period that is only
+// known per stride).  Same throw-in-constexpr behaviour as CheckedIdx.
+constexpr std::ptrdiff_t checked_index(std::ptrdiff_t v, std::ptrdiff_t lo,
+                                       std::ptrdiff_t hi) {
+  if (v < lo || v > hi)
+    throw std::out_of_range("checked_index: index outside interval");
+  return v;
+}
+
+// Narrowing to int that throws on overflow instead of truncating.  This is
+// how span/grid extents (size_t, ptrdiff_t) enter the int-extent engine
+// APIs; tvsrace C3 whitelists it where a static_cast would be flagged.
+template <class From>
+constexpr int checked_int(From v) {
+  static_assert(std::is_integral_v<From>,
+                "checked_int converts integral values only");
+  if (!std::in_range<int>(v))
+    throw std::overflow_error("checked_int: value does not fit in int");
+  return static_cast<int>(v);
+}
+
+}  // namespace tvs::util

@@ -1,0 +1,22 @@
+// The tree's single sanctioned std::getenv call site.
+//
+// Every TVS_* knob (TVS_FORCE_BACKEND, TVS_PLAN, TVS_TUNE, TVS_BENCH_*) is
+// read before any worker thread exists: backend selection happens inside a
+// function-local static initializer, plan knobs are read before the plan
+// cache spawns tiled work, and the bench knobs are read from main().
+// getenv itself is only racy against concurrent setenv/putenv, which the
+// tree never calls.  Routing every read through this one wrapper keeps that
+// argument auditable and scopes the clang-tidy concurrency-mt-unsafe
+// exemption to a single line (see .clang-tidy).
+#pragma once
+
+#include <cstdlib>
+
+namespace tvs::util {
+
+inline const char* env_cstr(const char* name) noexcept {
+  // Reads only; no setenv/putenv anywhere in the tree (see file comment).
+  return std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+}
+
+}  // namespace tvs::util

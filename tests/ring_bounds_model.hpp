@@ -1,0 +1,120 @@
+// Compile-time trace models of the engines' ring/slot index math.
+//
+// Each check_* function replays, at constexpr time, the exact slot
+// sequence an engine family drives through its vector ring for one tile:
+// gather, steady-state window walks, and flush.  Every slot passes through
+// CheckedIdx<0, kRingCapacity - 1> (the std::array<V, kRingCapacity>
+// storage bound of the 1D engines) and checked_index(_, 0, M - 1) (the
+// ring-period bound that makes slot/inc a correct modular walk), so an
+// out-of-bounds access for a given (vl, radius/pad, stride) fails the
+// enclosing static_assert - a build break, not a runtime fault.
+//
+// The models mirror, line for line, the index arithmetic of:
+//   jacobi1d          src/tv/tv1d_impl.hpp        (ring period M = s + R)
+//   gs1d              src/tv/tv_gs1d_impl.hpp     (M = s)
+//   diamond1d         src/tiling/diamond_impl.hpp (M = s + R, sloped
+//                     bases: gather/flush positions can be negative)
+//   parallelogram1d   src/tiling/parallelogram_impl.hpp (M = s, sloped)
+//   rowring           the 2D/3D row rings (tv2d/tv3d/diamond2d/diamond3d
+//                     at pad 2, tv_gs2d/tv_gs3d/parallelogram2d at pad 1;
+//                     M = s + pad rows allocated dynamically, so only the
+//                     [0, M) slot bound applies)
+// If an engine's ring walk changes shape, change the model in the same
+// commit - the static gate is only as honest as this correspondence.
+#pragma once
+
+#include "tv/ring.hpp"
+#include "util/checked_idx.hpp"
+
+namespace tvs::ringtest {
+
+using tv::kRingCapacity;
+using tv::RingIndex;
+using util::checked_index;
+using Slot = util::CheckedIdx<0, kRingCapacity - 1>;
+
+// One checked ring access: within the fixed std::array capacity AND
+// within the ring period M.
+constexpr bool touch(int slot, int M) {
+  (void)Slot(slot);
+  (void)checked_index(slot, 0, M - 1);
+  return true;
+}
+
+// Jacobi flat tile (tv1d_impl.hpp): gather positions [base - R,
+// base + s - 1], a steady loop whose window walks 2R+1 consecutive slots
+// per output, and a flush over [x_end + 1 - R, x_end + s].
+template <int VL, int R>
+constexpr bool check_jacobi1d(int s, int base) {
+  const int M = s + R;
+  const RingIndex rix(M);
+  for (int p = base - R; p <= base + s - 1; ++p) touch(rix.slot(p), M);
+  int ib = rix.slot(base - R);
+  const int x_end = base + VL * s + s;  // nominal tile: a few periods
+  for (int x = base; x <= x_end; ++x) {
+    int iw = ib;
+    for (int k = 0; k <= 2 * R; ++k) {
+      touch(iw, M);
+      iw = rix.inc(iw);
+    }
+    touch(ib, M);  // the overwrite of the oldest slot
+    ib = rix.inc(ib);
+  }
+  for (int p = x_end + 1 - R; p <= x_end + s; ++p) touch(rix.slot(p), M);
+  return true;
+}
+
+// Gauss-Seidel tile (tv_gs1d_impl.hpp): gather [base, base + s - 1],
+// steady loop touching the center slot and its east neighbour, flush
+// [x_end + 1, x_end + s].
+template <int VL, int R>
+constexpr bool check_gs1d(int s, int base) {
+  static_assert(R == 1, "the GS engines are radius-1");
+  const int M = s;
+  const RingIndex rix(M);
+  for (int p = base; p <= base + s - 1; ++p) touch(rix.slot(p), M);
+  int ic = rix.slot(base);
+  const int x_end = base + VL * s + s;
+  for (int x = base; x <= x_end; ++x) {
+    const int ie = rix.inc(ic);
+    touch(ic, M);
+    touch(ie, M);
+    ic = ie;
+  }
+  for (int p = x_end + 1; p <= x_end + s; ++p) touch(rix.slot(p), M);
+  return true;
+}
+
+// Diamond trapezoid (diamond_impl.hpp): the flat Jacobi walk, but the
+// base interval is sloped, so gather/flush positions go negative (phase-2
+// seam tiles start at x_begin = 1 - 3s at the left domain edge).
+template <int VL, int R>
+constexpr bool check_diamond1d(int s, int /*base*/) {
+  // Most negative phase-2 base: xl0 = 1 - (VL - 1) * s, minus the wedge.
+  return check_jacobi1d<VL, R>(s, 1 - (VL - 1) * s - R) &&
+         check_jacobi1d<VL, R>(s, 1);
+}
+
+// Parallelogram tile (parallelogram_impl.hpp): the GS walk with sloped
+// bases (x_begin = XL[1] - (VL - 1) * s can be deeply negative).
+template <int VL, int R>
+constexpr bool check_parallelogram1d(int s, int /*base*/) {
+  return check_gs1d<VL, R>(s, 1 - (VL - 1) * s) && check_gs1d<VL, R>(s, 1);
+}
+
+// 2D/3D row rings: M = s + pad rows, slot = RingIndex(M).slot(p) for row
+// positions p from (possibly negative, diamond2d/3d) tile bases up to a
+// few periods out.  Storage is allocated at exactly M rows, so the only
+// invariant is slot in [0, M) for every p the engines form.
+template <int VL, int PAD>
+constexpr bool check_rowring(int s, int base) {
+  const int M = s + PAD;
+  const RingIndex rix(M);
+  for (int p = base - (VL - 1) * s - PAD; p <= base + VL * s + M; ++p) {
+    const int slot = rix.slot(p);
+    (void)checked_index(slot, 0, M - 1);
+  }
+  return true;
+}
+
+}  // namespace tvs::ringtest

@@ -1,0 +1,18 @@
+// Deliberately out-of-bounds twin of ring_bounds_static.cpp: a radius-3
+// 1D Jacobi ring at the maximum stride needs M = s + R = 35 slots, one
+// more than kRingCapacity = 34, so the CheckedIdx bound in the trace
+// throws during constant evaluation and this file MUST fail to compile.
+// CTest builds it with WILL_FAIL (ring_bounds_oob_rejected): if this
+// ever compiles, the compile-time gate has stopped checking anything.
+#include "ring_bounds_model.hpp"
+
+namespace tvs::ringtest {
+
+#define TVS_RING_COMBO(id, family, dtype, vl, param, stride) \
+  static_assert(check_##family<vl, param>(stride, 1),        \
+                #id " " #dtype " vl=" #vl " s=" #stride      \
+                    ": ring index trace left [0, capacity)");
+TVS_RING_COMBO(oob_jacobi1d7, jacobi1d, kF64, 4, 3, 32)
+#undef TVS_RING_COMBO
+
+}  // namespace tvs::ringtest

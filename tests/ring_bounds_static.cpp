@@ -1,0 +1,36 @@
+// Compile-time ring-bounds verification: every registered
+// (dtype, vl, legal stride) combination of every ring-based engine is
+// traced through the constexpr models in ring_bounds_model.hpp, and any
+// out-of-bounds ring slot fails the build (see ring_bounds_oob.cpp for
+// the deliberately-broken twin that CTest requires to NOT compile).
+//
+// The combination list is generated from the registry support matrix:
+//   python3 tools/tvsrace/gen_ring_combos.py
+// and kept in sync by the ring_combos_sync CTest entry.
+#include "ring_bounds_model.hpp"
+
+namespace tvs::ringtest {
+
+// dtype tokens appear in the combo list for auditability; the trace only
+// depends on (vl, param, stride).
+#define TVS_RING_COMBO(id, family, dtype, vl, param, stride) \
+  static_assert(check_##family<vl, param>(stride, 1),        \
+                #id " " #dtype " vl=" #vl " s=" #stride      \
+                    ": ring index trace left [0, capacity)");
+#include "ring_combos.inc"
+#undef TVS_RING_COMBO
+
+// The largest registered period must exactly fill the fixed ring storage:
+// jacobi1d5 at s = 32 gives M = 34 = kRingCapacity.  If someone widens
+// kMaxStride without widening the capacity, the traces above break first;
+// this assert documents the intended fit.
+static_assert(tv::kRingCapacity == tv::kMaxStride + 2,
+              "ring capacity must cover the largest registered period");
+
+}  // namespace tvs::ringtest
+
+// The target is compile-only; give the archiver one symbol to keep every
+// toolchain happy about empty translation units.
+namespace tvs::ringtest {
+int ring_bounds_static_anchor() { return 0; }
+}  // namespace tvs::ringtest

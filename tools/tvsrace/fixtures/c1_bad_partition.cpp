@@ -1,0 +1,13 @@
+// tvsrace fixture: a partitioned() annotation that names the wrong
+// variable.  The certification must be rejected (and the underlying
+// finding must survive).
+#include <vector>
+
+void c1_bad_partition(std::vector<double>& acc) {
+  const int j = 3;
+  // tvsrace: partitioned(j)
+#pragma omp parallel for
+  for (int i = 0; i < 64; ++i) {
+    acc[static_cast<unsigned long>(j)] = i;  // not partitioned by i -> C1
+  }
+}

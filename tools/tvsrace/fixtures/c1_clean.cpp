@@ -1,0 +1,24 @@
+// tvsrace fixture: C1 negatives.  Every write in the region is provably
+// private, reduced, induction-partitioned, or inside a critical section.
+#include <vector>
+
+extern int omp_get_thread_num();
+
+int c1_clean(std::vector<int>& out, const std::vector<int>& in, int nt) {
+  int sum = 0;
+  int rare = 0;
+  std::vector<int> per_thread(static_cast<unsigned long>(nt), 0);
+#pragma omp parallel for reduction(+ : sum)
+  for (int i = 0; i < 1024; ++i) {
+    int local = in[static_cast<unsigned long>(i)];  // region-local: private
+    sum += local;                                   // reduction clause
+    out[static_cast<unsigned long>(i)] = local;     // indexed by i
+    int& mine = per_thread[static_cast<unsigned long>(omp_get_thread_num())];
+    mine += local;  // per-thread slot
+    if (local < 0) {
+#pragma omp critical
+      rare = local;  // shared write, but inside a critical section
+    }
+  }
+  return sum + rare;
+}

@@ -1,0 +1,17 @@
+// tvsrace fixture: C1 positives.  A parallel region writing shared state
+// with no reduction, no critical section, no partition proof.
+#include <vector>
+
+int c1_shared_write(const std::vector<int>& in, int n) {
+  int sum = 0;
+  int last = 0;
+  double* buf = new double[in.size()];
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    sum += in[static_cast<unsigned long>(i)];  // racy accumulate -> C1
+    last = i;                                  // racy scalar write -> C1
+    buf[0] = 1.0;                              // unpartitioned write -> C1
+  }
+  delete[] buf;
+  return sum + last;
+}

@@ -1,0 +1,34 @@
+// tvsrace fixture: C2 negatives.  Locked accesses plus one function whose
+// caller contract is declared with guarded_by_caller.
+#include <map>
+#include <mutex>
+#include <string>
+
+class Registry {
+ public:
+  void put(const std::string& k, int v) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    vals_[k] = v;
+    ++writes_;
+  }
+  int get(const std::string& k) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return vals_[k];
+  }
+  std::mutex& mutex() { return mu_; }
+
+  // Callers iterate while holding mutex() across multiple calls.
+  // tvsrace: guarded_by_caller
+  long writes_locked() const { return writes_; }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, int> vals_;
+  long writes_ = 0;
+};
+
+long c2_clean(Registry& r) {
+  r.put("x", 1);
+  const std::lock_guard<std::mutex> lock(r.mutex());
+  return r.writes_locked();
+}

@@ -1,0 +1,29 @@
+// tvsrace fixture: C2 positive.  A mutex-owning class whose fields are
+// touched both with and without the lock.
+#include <map>
+#include <mutex>
+#include <string>
+
+class Store {
+ public:
+  int get(const std::string& k) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++reads_;          // locked: fine
+    return vals_[k];   // locked: fine
+  }
+  void put_unlocked(const std::string& k, int v) {
+    vals_[k] = v;  // no lock held -> C2
+    ++writes_;     // no lock held -> C2
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, int> vals_;
+  long reads_ = 0;
+  long writes_ = 0;
+};
+
+int c2_unlocked(Store& s) {
+  s.put_unlocked("x", 1);
+  return s.get("x");
+}

@@ -1,0 +1,28 @@
+// tvsrace fixture: C3 negatives.  Offset arithmetic kept in
+// std::ptrdiff_t, checked narrowing through util::checked_int, and one
+// justified allow() suppression.
+#include <cstddef>
+#include <vector>
+
+namespace util {
+template <class From>
+constexpr int checked_int(From v) {
+  return static_cast<int>(v);
+}
+}  // namespace util
+
+struct GridLike2 {
+  std::ptrdiff_t nx_ = 0;
+  std::ptrdiff_t size() const { return nx_ + 2; }
+  std::ptrdiff_t offset(std::ptrdiff_t x) const { return x + 1; }
+};
+
+std::ptrdiff_t c3_clean(const GridLike2& g, const std::vector<double>& v) {
+  const std::ptrdiff_t n = g.size();                  // stays wide: fine
+  const int nn = util::checked_int(g.size());         // checked: fine
+  const std::ptrdiff_t off = g.offset(n - 1);         // stays wide: fine
+  // Loop trip counts are bounded by the 2-element fixture grid.
+  // tvsrace: allow(C3)
+  const int tiny = static_cast<int>(g.offset(0));
+  return n + nn + off + tiny + static_cast<std::ptrdiff_t>(v.size());
+}

@@ -1,0 +1,25 @@
+// tvsrace fixture: C3 positives.  Grid size/offset values narrowed into
+// int/unsigned on their way to offset arithmetic.
+#include <cstddef>
+#include <vector>
+
+struct GridLike {
+  std::ptrdiff_t nx_ = 0;
+  std::ptrdiff_t size() const { return nx_ + 2; }
+  std::ptrdiff_t offset(std::ptrdiff_t x) const { return x + 1; }
+  std::ptrdiff_t stride() const { return nx_ + 2; }
+};
+
+std::ptrdiff_t linear_offset(std::ptrdiff_t x, std::ptrdiff_t y,
+                             std::ptrdiff_t ldim) {
+  return y * ldim + x;
+}
+
+int c3_narrowing(const GridLike& g, const std::vector<double>& v) {
+  const int n = static_cast<int>(g.size());           // narrowing -> C3
+  const int off = static_cast<int>(g.offset(3));      // narrowing -> C3
+  const unsigned s = static_cast<unsigned>(g.stride());  // -> C3
+  int lin = static_cast<int>(linear_offset(1, 2, g.stride()));  // -> C3
+  return n + off + static_cast<int>(s) + lin +
+         static_cast<int>(v.size());  // narrowing -> C3
+}

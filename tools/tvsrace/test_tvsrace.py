@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Fixture tests for tvsrace: every seeded-violation fixture must trip
+exactly its intended rule group, every clean fixture (which exercises the
+annotation grammar) must pass, a wrong partitioned() name must be
+rejected, stripping a real in-tree partitioned() annotation must resurface
+the findings it certifies, and a missing --compile-commands path must be a
+usage error (exit 2).
+
+Run directly (python3 tools/tvsrace/test_tvsrace.py) or via the
+`tvsrace_fixtures` CTest entry.
+"""
+
+import contextlib
+import io
+import os
+import re
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO = os.path.dirname(os.path.dirname(HERE))
+sys.path.insert(0, HERE)
+
+import tvsrace  # noqa: E402
+
+
+def run_race(argv):
+    """Invoke tvsrace.main, returning (exit_code, [(path, line, rule)])."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = tvsrace.main(argv + ["-q", "--mode", "regex"])
+    findings = []
+    for line in out.getvalue().splitlines():
+        m = re.match(r"(.+):(\d+): \[(C\d)\] ", line)
+        if m:
+            findings.append((m.group(1), int(m.group(2)), m.group(3)))
+    return code, findings
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class C1OmpSharing(unittest.TestCase):
+    def test_shared_writes_trip_c1(self):
+        # A racy reduction-less accumulate, a racy scalar write, and an
+        # unpartitioned write through a shared pointer.
+        code, findings = run_race([fixture("c1_shared_write.cpp")])
+        self.assertEqual(code, 1)
+        self.assertEqual({f[2] for f in findings}, {"C1"})
+        self.assertEqual(sorted(f[1] for f in findings), [11, 12, 13])
+
+    def test_clean_region_passes(self):
+        # reduction clause, region-local temps, induction-indexed writes,
+        # omp_get_thread_num() slots and a critical section: no findings.
+        code, findings = run_race([fixture("c1_clean.cpp")])
+        self.assertEqual(findings, [])
+        self.assertEqual(code, 0)
+
+    def test_wrong_partition_name_is_rejected(self):
+        # partitioned(j) on a loop parallel over i: the certification is
+        # refused AND the underlying unpartitioned write still reported.
+        code, findings = run_race([fixture("c1_bad_partition.cpp")])
+        self.assertEqual(code, 1)
+        lines = sorted(f[1] for f in findings)
+        self.assertIn(9, lines)   # the bad annotation (pragma line)
+        self.assertIn(11, lines)  # the surviving write finding
+
+    def test_stripping_a_real_annotation_resurfaces_findings(self):
+        # Liveness against the actual tree: the wavefront LCS driver is
+        # certified by `// tvsrace: partitioned(bi)`; removing it must
+        # bring back C1 findings on the row/col segment writes.
+        src = os.path.join(REPO, "src", "tiling", "lcs_wavefront.cpp")
+        with open(src, "r", encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("tvsrace: partitioned(bi)", text)
+        with tempfile.TemporaryDirectory() as td:
+            fixdir = os.path.join(td, "fixtures")
+            os.makedirs(fixdir)
+            stripped = os.path.join(fixdir, "lcs_wavefront.cpp")
+            with open(stripped, "w", encoding="utf-8") as f:
+                f.write(text.replace("// tvsrace: partitioned(bi)", ""))
+            code, findings = run_race([stripped])
+            self.assertEqual(code, 1)
+            self.assertEqual({f[2] for f in findings}, {"C1"})
+            self.assertGreaterEqual(len(findings), 3)
+
+
+class C2LockDiscipline(unittest.TestCase):
+    def test_unlocked_field_access_trips_c2(self):
+        code, findings = run_race([fixture("c2_unlocked.cpp")])
+        self.assertEqual(code, 1)
+        self.assertEqual({f[2] for f in findings}, {"C2"})
+        self.assertEqual(sorted(f[1] for f in findings), [15, 16])
+
+    def test_locked_and_guarded_accesses_pass(self):
+        # lock_guard scopes plus one guarded_by_caller method.
+        code, findings = run_race([fixture("c2_clean.cpp")])
+        self.assertEqual(findings, [])
+        self.assertEqual(code, 0)
+
+
+class C3IndexNarrowing(unittest.TestCase):
+    def test_narrowing_casts_trip_c3(self):
+        code, findings = run_race([fixture("c3_narrowing.cpp")])
+        self.assertEqual(code, 1)
+        self.assertEqual({f[2] for f in findings}, {"C3"})
+        self.assertEqual(sorted(f[1] for f in findings), [19, 20, 21, 22, 24])
+
+    def test_checked_int_and_allow_pass(self):
+        # ptrdiff_t end-to-end, util::checked_int routing, and one
+        # explicit allow(C3) suppression: no findings.
+        code, findings = run_race([fixture("c3_clean.cpp")])
+        self.assertEqual(findings, [])
+        self.assertEqual(code, 0)
+
+
+class DriverBehavior(unittest.TestCase):
+    def test_missing_compile_commands_is_usage_error(self):
+        code, findings = run_race(
+            [fixture("c1_clean.cpp"),
+             "--compile-commands", os.path.join(HERE, "no_such_db.json")])
+        self.assertEqual(code, 2)
+        self.assertEqual(findings, [])
+
+    def test_rule_subset_masks_findings(self):
+        # The C1 fixture is clean under --rules C2,C3.
+        code, findings = run_race(
+            [fixture("c1_shared_write.cpp"), "--rules", "C2,C3"])
+        self.assertEqual(findings, [])
+        self.assertEqual(code, 0)
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = tvsrace.main(["--list-rules"])
+        self.assertEqual(code, 0)
+        for rid in ("C1", "C2", "C3"):
+            self.assertIn(rid, out.getvalue())
+
+    def test_tree_scan_is_clean(self):
+        # The repository itself must analyze clean: every in-tree
+        # annotation is justified and no unproven sharing remains.
+        code, findings = run_race(["--repo", REPO])
+        self.assertEqual(findings, [])
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
