@@ -77,6 +77,14 @@ inline constexpr std::string_view kTvJacobi1D5 = "tv_jacobi1d5";
 inline constexpr std::string_view kTvJacobi2D5 = "tv_jacobi2d5";
 inline constexpr std::string_view kTvJacobi2D9 = "tv_jacobi2d9";
 inline constexpr std::string_view kTvJacobi3D7 = "tv_jacobi3d7";
+// Redundancy-eliminated engine variants (tv*_re_impl.hpp): one-shuffle
+// reorganization + register-carried window operands, bit-identical results.
+// Same signatures as the baseline ids — callers switch ids, not types.
+inline constexpr std::string_view kTvJacobi1D3Re = "tv_jacobi1d3_re";
+inline constexpr std::string_view kTvJacobi1D5Re = "tv_jacobi1d5_re";
+inline constexpr std::string_view kTvJacobi2D5Re = "tv_jacobi2d5_re";
+inline constexpr std::string_view kTvJacobi2D9Re = "tv_jacobi2d9_re";
+inline constexpr std::string_view kTvJacobi3D7Re = "tv_jacobi3d7_re";
 inline constexpr std::string_view kTvGs1D3 = "tv_gs1d3";
 inline constexpr std::string_view kTvGs2D5 = "tv_gs2d5";
 inline constexpr std::string_view kTvGs3D7 = "tv_gs3d7";

@@ -19,6 +19,9 @@
 TVS_DECLARE_MODULE(tv1d);
 TVS_DECLARE_MODULE(tv2d);
 TVS_DECLARE_MODULE(tv3d);
+TVS_DECLARE_MODULE(tv1d_re);
+TVS_DECLARE_MODULE(tv2d_re);
+TVS_DECLARE_MODULE(tv3d_re);
 TVS_DECLARE_MODULE(tv_gs1d);
 TVS_DECLARE_MODULE(tv_gs2d);
 TVS_DECLARE_MODULE(tv_gs3d);
@@ -44,6 +47,9 @@ extern "C" __attribute__((visibility("default"))) void TVS_BACKEND_ENTRY_NAME(
   TVS_KREG_NAME(tv1d)(r);
   TVS_KREG_NAME(tv2d)(r);
   TVS_KREG_NAME(tv3d)(r);
+  TVS_KREG_NAME(tv1d_re)(r);
+  TVS_KREG_NAME(tv2d_re)(r);
+  TVS_KREG_NAME(tv3d_re)(r);
   TVS_KREG_NAME(tv_gs1d)(r);
   TVS_KREG_NAME(tv_gs2d)(r);
   TVS_KREG_NAME(tv_gs3d)(r);

@@ -29,20 +29,31 @@ int parse_int_value(std::string_view clause, std::string_view value) {
   return out;
 }
 
+// True for the families that register a redundancy-eliminated engine
+// (the five Jacobi ids; the Gauss-Seidel/Life/LCS engines have no re
+// counterpart).
+bool family_has_re_variant(Family f) {
+  return f == Family::kJacobi1D3 || f == Family::kJacobi1D5 ||
+         f == Family::kJacobi2D5 || f == Family::kJacobi2D9 ||
+         f == Family::kJacobi3D7;
+}
+
 // The serial temporal-engine registry id for a family (used to check that
-// a pinned vector length actually has a registered engine).
-std::string_view serial_kernel_id(Family f) {
+// a pinned vector length actually has a registered engine).  The re
+// variant swaps in the redundancy-eliminated ids for the Jacobi families.
+std::string_view serial_kernel_id(Family f, Variant v) {
+  const bool re = v == Variant::kRe;
   switch (f) {
     case Family::kJacobi1D3:
-      return dispatch::kTvJacobi1D3;
+      return re ? dispatch::kTvJacobi1D3Re : dispatch::kTvJacobi1D3;
     case Family::kJacobi1D5:
-      return dispatch::kTvJacobi1D5;
+      return re ? dispatch::kTvJacobi1D5Re : dispatch::kTvJacobi1D5;
     case Family::kJacobi2D5:
-      return dispatch::kTvJacobi2D5;
+      return re ? dispatch::kTvJacobi2D5Re : dispatch::kTvJacobi2D5;
     case Family::kJacobi2D9:
-      return dispatch::kTvJacobi2D9;
+      return re ? dispatch::kTvJacobi2D9Re : dispatch::kTvJacobi2D9;
     case Family::kJacobi3D7:
-      return dispatch::kTvJacobi3D7;
+      return re ? dispatch::kTvJacobi3D7Re : dispatch::kTvJacobi3D7;
     case Family::kGs1D3:
       return dispatch::kTvGs1D3;
     case Family::kGs2D5:
@@ -71,6 +82,10 @@ std::string_view path_name(Path p) {
   return p == Path::kSerialTv ? "tv" : "tiled";
 }
 
+std::string_view variant_name(Variant v) {
+  return v == Variant::kRe ? "re" : "tv";
+}
+
 std::string ExecutionPlan::to_string() const {
   std::string s = "backend=";
   s += dispatch::backend_name(backend);
@@ -81,6 +96,10 @@ std::string ExecutionPlan::to_string() const {
   }
   s += ",path=";
   s += path_name(path);
+  if (variant != Variant::kTv) {
+    s += ",variant=";
+    s += variant_name(variant);
+  }
   return s;
 }
 
@@ -158,7 +177,7 @@ ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec) {
       throw std::invalid_argument(
           "TVS_PLAN clause \"" + std::string(clause) +
           "\" is not key=value (valid keys: backend, vl, stride, tile, "
-          "path)");
+          "path, variant)");
     }
     const std::string_view key = clause.substr(0, eq);
     const std::string_view value = clause.substr(eq + 1);
@@ -191,10 +210,20 @@ ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec) {
         throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
                                     "\": unknown path (valid: tv, tiled)");
       }
+    } else if (key == "variant") {
+      if (value == "tv") {
+        base.variant = Variant::kTv;
+      } else if (value == "re") {
+        base.variant = Variant::kRe;
+      } else {
+        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
+                                    "\": unknown variant (valid: tv, re)");
+      }
     } else {
       throw std::invalid_argument(
           "TVS_PLAN clause \"" + std::string(clause) +
-          "\": unknown key (valid: backend, vl, stride, tile, path)");
+          "\": unknown key (valid: backend, vl, stride, tile, path, "
+          "variant)");
     }
   }
   return base;
@@ -240,6 +269,22 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
                                 "scheme; stride must be 1");
   }
 
+  // The redundancy-eliminated variant exists for the Jacobi families'
+  // serial engines only; everything else must stay on the baseline.
+  if (plan.variant == Variant::kRe) {
+    if (!family_has_re_variant(p.family)) {
+      throw std::invalid_argument(where +
+                                  ": variant=re is registered for the "
+                                  "Jacobi families only; use variant=tv");
+    }
+    if (plan.path == Path::kTiledParallel) {
+      throw std::invalid_argument(where +
+                                  ": variant=re applies to the serial tv "
+                                  "path only (the tiled drivers have no re "
+                                  "engines)");
+    }
+  }
+
   if (plan.vl < 0) {
     throw std::invalid_argument(where + ": vl must be >= 0 (0 = native)");
   }
@@ -252,7 +297,7 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
     }
     const std::vector<int> widths =
         dispatch::KernelRegistry::instance().registered_widths(
-            serial_kernel_id(p.family), plan.backend, dt);
+            serial_kernel_id(p.family, plan.variant), plan.backend, dt);
     if (std::find(widths.begin(), widths.end(), plan.vl) == widths.end()) {
       std::string have;
       for (const int w : widths) {

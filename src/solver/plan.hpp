@@ -34,6 +34,18 @@ enum class Path : int {
 
 std::string_view path_name(Path p);
 
+// Which temporal-engine generation runs on the serial path.  kRe is the
+// redundancy-eliminated variant (tv*_re_impl.hpp): one reorganization
+// shuffle per produced vector plus register-carried window operands,
+// bit-identical results.  Registered for the five Jacobi families only;
+// the tiled drivers ignore it.
+enum class Variant : int {
+  kTv = 0,  // baseline temporal engines (tv*_impl.hpp)
+  kRe = 1,  // redundancy-eliminated engines (tv*_re_impl.hpp)
+};
+
+std::string_view variant_name(Variant v);
+
 struct ExecutionPlan {
   // SIMD backend the kernel ids resolve at (downward fallback applies).
   dispatch::Backend backend = dispatch::Backend::kScalar;
@@ -47,9 +59,13 @@ struct ExecutionPlan {
   int tile_w = 0;
   int tile_h = 0;
   Path path = Path::kSerialTv;
+  // Engine generation on the serial path (Jacobi families only).
+  Variant variant = Variant::kTv;
 
   // Canonical spec string, parseable by parse_plan_spec:
-  // "backend=avx2,vl=0,stride=7,tile=16384x128,path=tiled".
+  // "backend=avx2,vl=0,stride=7,tile=16384x128,path=tiled".  The variant
+  // clause is emitted only when it deviates from the kTv default, so specs
+  // recorded before the knob existed stay canonical.
   std::string to_string() const;
 };
 
@@ -68,7 +84,8 @@ ExecutionPlan tune_plan(const StencilProblem& p);
 
 // Applies a comma-separated "key=value" spec on top of `base` and returns
 // the result.  Keys: backend (scalar|avx2|avx512), vl (int), stride (int),
-// tile (WxH), path (tv|tiled).  Unknown keys, malformed values and empty
+// tile (WxH), path (tv|tiled), variant (tv|re).  Unknown keys, malformed
+// values and empty
 // clauses throw std::invalid_argument naming the offending clause; the
 // result is NOT validated here (validate_plan does that).
 ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec);

@@ -41,6 +41,14 @@ Fn* resolve_dt(const ExecutionPlan& plan, std::string_view id,
                         plan.vl > 0 ? plan.vl : dispatch::kAnyVl, dt);
 }
 
+// Serial Jacobi id selection: variant=re swaps in the
+// redundancy-eliminated engine (same Fn signature, bit-identical result);
+// validate_plan already rejected re plans for families without one.
+std::string_view variant_id(const ExecutionPlan& plan, std::string_view tv_id,
+                            std::string_view re_id) {
+  return plan.variant == Variant::kRe ? re_id : tv_id;
+}
+
 void check_family(const StencilProblem& p, std::initializer_list<Family> ok,
                   const char* overload) {
   for (const Family f : ok)
@@ -145,8 +153,10 @@ void Solver::run(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
   if (plan_.path == Path::kTiledParallel) {
     with_pingpong1d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
   } else {
-    resolve<dispatch::TvJacobi1D3Fn>(plan_, dispatch::kTvJacobi1D3)(
-        c, u, prob_.steps, plan_.stride);
+    resolve<dispatch::TvJacobi1D3Fn>(
+        plan_, variant_id(plan_, dispatch::kTvJacobi1D3,
+                          dispatch::kTvJacobi1D3Re))(c, u, prob_.steps,
+                                                     plan_.stride);
   }
 }
 
@@ -154,7 +164,9 @@ void Solver::run(const stencil::C1D5& c, grid::Grid1D<double>& u) const {
   check_family(prob_, {Family::kJacobi1D5}, "run(C1D5)");
   check_dtype(prob_, dispatch::DType::kF64, "run(C1D5)");
   check_extents(prob_, u.nx(), 0, 0);
-  resolve<dispatch::TvJacobi1D5Fn>(plan_, dispatch::kTvJacobi1D5)(
+  resolve<dispatch::TvJacobi1D5Fn>(
+      plan_,
+      variant_id(plan_, dispatch::kTvJacobi1D5, dispatch::kTvJacobi1D5Re))(
       c, u, prob_.steps, plan_.stride);
 }
 
@@ -191,8 +203,10 @@ void Solver::run(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
   if (plan_.path == Path::kTiledParallel) {
     with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
   } else {
-    resolve<dispatch::TvJacobi2D5Fn>(plan_, dispatch::kTvJacobi2D5)(
-        c, u, prob_.steps, plan_.stride);
+    resolve<dispatch::TvJacobi2D5Fn>(
+        plan_, variant_id(plan_, dispatch::kTvJacobi2D5,
+                          dispatch::kTvJacobi2D5Re))(c, u, prob_.steps,
+                                                     plan_.stride);
   }
 }
 
@@ -203,8 +217,10 @@ void Solver::run(const stencil::C2D9& c, grid::Grid2D<double>& u) const {
   if (plan_.path == Path::kTiledParallel) {
     with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
   } else {
-    resolve<dispatch::TvJacobi2D9Fn>(plan_, dispatch::kTvJacobi2D9)(
-        c, u, prob_.steps, plan_.stride);
+    resolve<dispatch::TvJacobi2D9Fn>(
+        plan_, variant_id(plan_, dispatch::kTvJacobi2D9,
+                          dispatch::kTvJacobi2D9Re))(c, u, prob_.steps,
+                                                     plan_.stride);
   }
 }
 
@@ -252,8 +268,10 @@ void Solver::run(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
   if (plan_.path == Path::kTiledParallel) {
     with_pingpong3d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
   } else {
-    resolve<dispatch::TvJacobi3D7Fn>(plan_, dispatch::kTvJacobi3D7)(
-        c, u, prob_.steps, plan_.stride);
+    resolve<dispatch::TvJacobi3D7Fn>(
+        plan_, variant_id(plan_, dispatch::kTvJacobi3D7,
+                          dispatch::kTvJacobi3D7Re))(c, u, prob_.steps,
+                                                     plan_.stride);
   }
 }
 
@@ -280,18 +298,20 @@ void Solver::run(const stencil::C1D3f& c, grid::Grid1D<float>& u) const {
         c, u, prob_.steps, plan_.stride);
     return;
   }
-  resolve_dt<dispatch::TvJacobi1D3F32Fn>(plan_, dispatch::kTvJacobi1D3,
-                                         dispatch::DType::kF32)(
-      c, u, prob_.steps, plan_.stride);
+  resolve_dt<dispatch::TvJacobi1D3F32Fn>(
+      plan_,
+      variant_id(plan_, dispatch::kTvJacobi1D3, dispatch::kTvJacobi1D3Re),
+      dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
 void Solver::run(const stencil::C1D5f& c, grid::Grid1D<float>& u) const {
   check_family(prob_, {Family::kJacobi1D5}, "run(C1D5f)");
   check_dtype(prob_, dispatch::DType::kF32, "run(C1D5f)");
   check_extents(prob_, u.nx(), 0, 0);
-  resolve_dt<dispatch::TvJacobi1D5F32Fn>(plan_, dispatch::kTvJacobi1D5,
-                                         dispatch::DType::kF32)(
-      c, u, prob_.steps, plan_.stride);
+  resolve_dt<dispatch::TvJacobi1D5F32Fn>(
+      plan_,
+      variant_id(plan_, dispatch::kTvJacobi1D5, dispatch::kTvJacobi1D5Re),
+      dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
 void Solver::run(const stencil::C2D5f& c, grid::Grid2D<float>& u) const {
@@ -304,18 +324,20 @@ void Solver::run(const stencil::C2D5f& c, grid::Grid2D<float>& u) const {
         c, u, prob_.steps, plan_.stride);
     return;
   }
-  resolve_dt<dispatch::TvJacobi2D5F32Fn>(plan_, dispatch::kTvJacobi2D5,
-                                         dispatch::DType::kF32)(
-      c, u, prob_.steps, plan_.stride);
+  resolve_dt<dispatch::TvJacobi2D5F32Fn>(
+      plan_,
+      variant_id(plan_, dispatch::kTvJacobi2D5, dispatch::kTvJacobi2D5Re),
+      dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
 void Solver::run(const stencil::C2D9f& c, grid::Grid2D<float>& u) const {
   check_family(prob_, {Family::kJacobi2D9}, "run(C2D9f)");
   check_dtype(prob_, dispatch::DType::kF32, "run(C2D9f)");
   check_extents(prob_, u.nx(), u.ny(), 0);
-  resolve_dt<dispatch::TvJacobi2D9F32Fn>(plan_, dispatch::kTvJacobi2D9,
-                                         dispatch::DType::kF32)(
-      c, u, prob_.steps, plan_.stride);
+  resolve_dt<dispatch::TvJacobi2D9F32Fn>(
+      plan_,
+      variant_id(plan_, dispatch::kTvJacobi2D9, dispatch::kTvJacobi2D9Re),
+      dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
 void Solver::run(const stencil::C3D7f& c, grid::Grid3D<float>& u) const {
@@ -328,9 +350,10 @@ void Solver::run(const stencil::C3D7f& c, grid::Grid3D<float>& u) const {
         c, u, prob_.steps, plan_.stride);
     return;
   }
-  resolve_dt<dispatch::TvJacobi3D7F32Fn>(plan_, dispatch::kTvJacobi3D7,
-                                         dispatch::DType::kF32)(
-      c, u, prob_.steps, plan_.stride);
+  resolve_dt<dispatch::TvJacobi3D7F32Fn>(
+      plan_,
+      variant_id(plan_, dispatch::kTvJacobi3D7, dispatch::kTvJacobi3D7Re),
+      dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
 // ---- Life ------------------------------------------------------------------

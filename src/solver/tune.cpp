@@ -173,12 +173,22 @@ std::vector<ExecutionPlan> candidates(const StencilProblem& p,
     c.tile_h = h;
     cands.push_back(c);
   };
+  // The Jacobi families also race each stride candidate's
+  // redundancy-eliminated twin: bit-identical results (the §3.2 contract
+  // holds across variants), so only the speed can differ.
+  const auto with_stride_variants = [&](int s) {
+    with_stride(s);
+    ExecutionPlan c = base;
+    c.stride = s;
+    c.variant = Variant::kRe;
+    cands.push_back(c);
+  };
 
   if (base.path == Path::kSerialTv) {
     switch (p.family) {
       case Family::kJacobi1D3:
       case Family::kJacobi1D5:
-        for (const int s : {5, 7, 11}) with_stride(s);
+        for (const int s : {5, 7, 11}) with_stride_variants(s);
         break;
       case Family::kGs1D3:
         for (const int s : {2, 3, 5}) with_stride(s);
@@ -186,7 +196,12 @@ std::vector<ExecutionPlan> candidates(const StencilProblem& p,
       case Family::kLcs:
         cands.push_back(base);  // fixed stride-1 scheme: nothing to vary
         break;
-      default:  // the 2D/3D families
+      case Family::kJacobi2D5:
+      case Family::kJacobi2D9:
+      case Family::kJacobi3D7:
+        for (const int s : {2, 3, 4}) with_stride_variants(s);
+        break;
+      default:  // the 2D/3D Gauss-Seidel families and Life
         for (const int s : {2, 3, 4}) with_stride(s);
         break;
     }
@@ -242,6 +257,7 @@ ExecutionPlan tune_plan(const StencilProblem& p) {
     ExecutionPlan rep_cand = rep_base;
     rep_cand.stride = cand.stride;
     rep_cand.path = cand.path;
+    rep_cand.variant = cand.variant;
     if (cand.path == Path::kTiledParallel) {
       rep_cand.tile_w = std::min(cand.tile_w, std::max(rep.nx, 1));
       rep_cand.tile_h = rep_base.tile_h;

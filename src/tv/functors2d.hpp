@@ -34,6 +34,27 @@ struct J2D5F {
     return stencil::j2d5(c.c, c.w, c.e, c.s, c.n, at(r, y), at(r, y - 1),
                          at(r, y + 1), at(r - 1, y), at(r + 1, y));
   }
+
+  // Redundancy-eliminated column carry (`re` engines, arXiv:2103.09235
+  // restricted to bit-exact operand reuse): the three center-row operands
+  // slide across consecutive y in registers, so each ring vector is loaded
+  // once instead of three times.  The canonical j2d5 operand order is
+  // unchanged — results stay bit-identical to apply().  Seeded for an
+  // inner loop starting at y = 1.
+  struct Carry {
+    V cm, c0;
+    Carry(const V* /*rm1*/, const V* r0, const V* /*rp1*/)
+        : cm(r0[0]), c0(r0[1]) {}
+    V apply(const J2D5F& f, const V* rm1, const V* r0, const V* rp1, int y) {
+      const V cp = r0[y + 1];
+      const V w =
+          stencil::j2d5(f.cc, f.cw, f.ce, f.cs, f.cn, c0, cm, cp, rm1[y],
+                        rp1[y]);
+      cm = c0;
+      c0 = cp;
+      return w;
+    }
+  };
 };
 
 template <class V>
@@ -68,6 +89,36 @@ struct J2D9F {
                          at(r + 1, y), at(r - 1, y - 1), at(r - 1, y + 1),
                          at(r + 1, y - 1), at(r + 1, y + 1));
   }
+
+  // Redundancy-eliminated column carry: all nine window operands slide in
+  // registers (three fresh loads per y instead of nine), canonical j2d9
+  // order preserved — bit-identical to apply().  a/b/c = rm1/r0/rp1 rows,
+  // m/0 suffix = columns y-1 / y.  Seeded for an inner loop at y = 1.
+  struct Carry {
+    V am, a0, bm, b0, cm, c0;
+    Carry(const V* rm1, const V* r0, const V* rp1)
+        : am(rm1[0]),
+          a0(rm1[1]),
+          bm(r0[0]),
+          b0(r0[1]),
+          cm(rp1[0]),
+          c0(rp1[1]) {}
+    V apply(const J2D9F& f, const V* rm1, const V* r0, const V* rp1, int y) {
+      const V ap = rm1[y + 1];
+      const V bp = r0[y + 1];
+      const V cp = rp1[y + 1];
+      const V w = stencil::j2d9(f.cc, f.cw, f.ce, f.cs, f.cn, f.csw, f.cse,
+                                f.cnw, f.cne, b0, bm, bp, a0, c0, am, ap, cm,
+                                cp);
+      am = a0;
+      a0 = ap;
+      bm = b0;
+      b0 = bp;
+      cm = c0;
+      c0 = cp;
+      return w;
+    }
+  };
 };
 
 template <class V>

@@ -36,6 +36,28 @@ struct J3D7F {
                          at(r, y, z - 1), at(r, y, z + 1), at(r, y - 1, z),
                          at(r, y + 1, z), at(r - 1, y, z), at(r + 1, y, z));
   }
+
+  // Redundancy-eliminated line carry (`re` engines, arXiv:2103.09235
+  // restricted to bit-exact operand reuse): the three center-line operands
+  // slide across consecutive z in registers, so each center-line ring
+  // vector is loaded once instead of three times.  Canonical j3d7 operand
+  // order preserved — bit-identical to apply().  Seeded for an inner loop
+  // starting at z = 1.
+  struct Carry {
+    V dm, d0;
+    Carry(const V* /*bm1*/, const V* b0c, const V* /*b0m*/,
+          const V* /*b0p*/, const V* /*bp1*/)
+        : dm(b0c[0]), d0(b0c[1]) {}
+    V apply(const J3D7F& f, const V* bm1, const V* b0c, const V* b0m,
+            const V* b0p, const V* bp1, int z) {
+      const V dp = b0c[z + 1];
+      const V w = stencil::j3d7(f.cc, f.cw, f.ce, f.cs, f.cn, f.cb, f.cf, d0,
+                                dm, dp, b0m[z], b0p[z], bm1[z], bp1[z]);
+      dm = d0;
+      d0 = dp;
+      return w;
+    }
+  };
 };
 
 }  // namespace tvs::tv

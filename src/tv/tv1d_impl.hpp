@@ -124,13 +124,13 @@ int steady_s7(const F& f, typename V::value_type* a, int x_end,
     V bot = V::loadu(a + x + 28);
     const V w0 = f.apply3(r0, r1, r2);
     r0 = simd::shift_in_low_v(w0, bot);
-    bot = simd::rotate_down(bot);
+    bot = simd::dispense_low(bot);
     const V w1 = f.apply3(r1, r2, r3);
     r1 = simd::shift_in_low_v(w1, bot);
-    bot = simd::rotate_down(bot);
+    bot = simd::dispense_low(bot);
     const V w2 = f.apply3(r2, r3, r4);
     r2 = simd::shift_in_low_v(w2, bot);
-    bot = simd::rotate_down(bot);
+    bot = simd::dispense_low(bot);
     const V w3 = f.apply3(r3, r4, r5);
     r3 = simd::shift_in_low_v(w3, bot);
     simd::collect_tops(w0, w1, w2, w3).storeu(a + x);
@@ -138,13 +138,13 @@ int steady_s7(const F& f, typename V::value_type* a, int x_end,
     bot = V::loadu(a + x + 32);
     const V w4 = f.apply3(r4, r5, r6);
     r4 = simd::shift_in_low_v(w4, bot);
-    bot = simd::rotate_down(bot);
+    bot = simd::dispense_low(bot);
     const V w5 = f.apply3(r5, r6, r7);
     r5 = simd::shift_in_low_v(w5, bot);
-    bot = simd::rotate_down(bot);
+    bot = simd::dispense_low(bot);
     const V w6 = f.apply3(r6, r7, r0);
     r6 = simd::shift_in_low_v(w6, bot);
-    bot = simd::rotate_down(bot);
+    bot = simd::dispense_low(bot);
     const V w7 = f.apply3(r7, r0, r1);
     r7 = simd::shift_in_low_v(w7, bot);
     simd::collect_tops(w4, w5, w6, w7).storeu(a + x + 4);
@@ -164,7 +164,15 @@ int steady_s7(const F& f, typename V::value_type* a, int x_end,
 
 // One vl-step temporally vectorized tile; see the file comment.
 // Requires nx >= vl*s and s >= radius+1 (checked by the caller).
-template <class V, class F>
+//
+// Re = the redundancy-eliminated steady loop (arXiv:2103.08825 /
+// 2103.09235, see tv1d_re_impl.hpp): identical prologue / gather / flush /
+// epilogue and bit-identical arithmetic, but the steady loop retires tops
+// scalar-as-they-finish and slides the stencil window in registers, so each
+// produced vector costs ONE shuffle (simd::retire_shift_in) instead of the
+// baseline's shift_in_low_v + dispense_low pair plus the amortized
+// collect_tops assembly tree.
+template <class V, class F, bool Re = false>
 void tv1d_tile(const F& f, typename V::value_type* a, int nx, int s,
                Workspace1D<typename V::value_type>& ws) {
   static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
@@ -214,37 +222,61 @@ void tv1d_tile(const F& f, typename V::value_type* a, int nx, int s,
   // ---- steady vector loop -------------------------------------------------
   const int x_end = nx + 1 - VL * s;
   int x = 1;
-  if constexpr (R == 1 && VL == 4) {
+  if constexpr (!Re && R == 1 && VL == 4) {
     if (s == 7) x = detail::steady_s7(f, a, x_end, ring);
   }
   int ib = rix.slot(x - R);  // slot of the west-most window vector (pos x-R)
   V winv[2 * R + 1];
-  V wbuf[VL];
-  for (; x + VL - 1 <= x_end; x += VL) {
-    V bot = V::loadu(a + x + VL * s);
-    for (int j = 0; j < VL; ++j) {
+  if constexpr (Re) {
+    // Redundancy-eliminated steady loop: the 2R+1 window vectors slide in
+    // registers (each ring vector is loaded once instead of 2R+1 times),
+    // the finished top retires in the same shuffle that admits the fresh
+    // bottom element, and the retired tops stream to `a` as scalar stores
+    // — no collect_tops assembly tree, no separate dispense rotate.  The
+    // values produced are bit-identical to the baseline loop below.
+    if (x <= x_end) {
       int iw = ib;
       for (int k = 0; k <= 2 * R; ++k) {
         winv[k] = ring[iw];
         iw = rix.inc(iw);
       }
-      wbuf[j] = f.apply(winv);
-      ring[ib] = simd::shift_in_low_v(wbuf[j], bot);
-      if (j != VL - 1) bot = simd::rotate_down(bot);
+      for (; x <= x_end; ++x) {
+        const V w = f.apply(winv);
+        ring[ib] = simd::retire_shift_in(w, a[x + VL * s], &a[x]);
+        ib = rix.inc(ib);
+        for (int k = 0; k < 2 * R; ++k) winv[k] = winv[k + 1];
+        winv[2 * R] = ring[iw];  // pos x+1+R, <= the slot written above
+        iw = rix.inc(iw);
+      }
+    }
+  } else {
+    V wbuf[VL];
+    for (; x + VL - 1 <= x_end; x += VL) {
+      V bot = V::loadu(a + x + VL * s);
+      for (int j = 0; j < VL; ++j) {
+        int iw = ib;
+        for (int k = 0; k <= 2 * R; ++k) {
+          winv[k] = ring[iw];
+          iw = rix.inc(iw);
+        }
+        wbuf[j] = f.apply(winv);
+        ring[ib] = simd::shift_in_low_v(wbuf[j], bot);
+        if (j != VL - 1) bot = simd::dispense_low(bot);
+        ib = rix.inc(ib);
+      }
+      simd::collect_tops_arr(wbuf).storeu(a + x);
+    }
+    for (; x <= x_end; ++x) {  // ungrouped tail
+      int iw = ib;
+      for (int k = 0; k <= 2 * R; ++k) {
+        winv[k] = ring[iw];
+        iw = rix.inc(iw);
+      }
+      const V w = f.apply(winv);
+      ring[ib] = simd::shift_in_low(w, a[x + VL * s]);
       ib = rix.inc(ib);
+      a[x] = simd::top_lane(w);
     }
-    simd::collect_tops_arr(wbuf).storeu(a + x);
-  }
-  for (; x <= x_end; ++x) {  // ungrouped tail
-    int iw = ib;
-    for (int k = 0; k <= 2 * R; ++k) {
-      winv[k] = ring[iw];
-      iw = rix.inc(iw);
-    }
-    const V w = f.apply(winv);
-    ring[ib] = simd::shift_in_low(w, a[x + VL * s]);
-    ib = rix.inc(ib);
-    a[x] = simd::top_lane(w);
   }
 
   // ---- flush: dump surviving ring lanes into the right scratch -----------
@@ -283,7 +315,7 @@ void tv1d_tile(const F& f, typename V::value_type* a, int nx, int s,
 // Advance `u` by `steps` time steps: floor(steps/vl) vector tiles plus a
 // scalar residual.  Falls back to scalar whenever the line is too short for
 // the pipeline (nx < vl*s).
-template <class V, class F>
+template <class V, class F, bool Re = false>
 void tv1d_run(const F& f, grid::Grid1D<typename V::value_type>& u, long steps,
               int s) {
   using T = typename V::value_type;
@@ -296,7 +328,7 @@ void tv1d_run(const F& f, grid::Grid1D<typename V::value_type>& u, long steps,
   const int nx = u.nx();
   long t = 0;
   if (nx >= VL * s) {
-    for (; t + VL <= steps; t += VL) tv1d_tile<V>(f, a, nx, s, ws);
+    for (; t + VL <= steps; t += VL) tv1d_tile<V, F, Re>(f, a, nx, s, ws);
   }
   if (t < steps)
     detail::scalar_steps(f, a, nx, static_cast<int>(steps - t), ws);

@@ -1,0 +1,48 @@
+// Redundancy-eliminated 1D Jacobi temporal engine (the `re` variant).
+//
+// The baseline steady loop (tv1d_impl.hpp) pays ~2.5 shuffles per produced
+// vector at vl = 4: one shift_in_low_v and one dispense rotate per
+// iteration plus the vl-1-shuffle collect_tops assembly tree per vl
+// outputs.  The two follow-up papers to the source paper show most of that
+// reorganization is redundant ("An Efficient Vectorization Scheme for
+// Stencil Computation", arXiv:2103.08825; "Reducing Redundancy in Data
+// Organization and Arithmetic Calculation for Stencil Computations",
+// arXiv:2103.09235).  This variant applies their reuse scheme under this
+// repo's bit-exactness contract:
+//
+//   * ONE shuffle per produced vector — simd::retire_shift_in rotates the
+//     finished top lane down to lane 0 (where extracting it is free on
+//     every backend) and the same rotated register admits the fresh
+//     bottom element via a blend.  The collect_tops tree and the separate
+//     dispense rotate disappear; retired tops stream out as scalar stores
+//     and fresh level-0 elements stream in as scalar loads, both on
+//     contiguous forward streams.
+//   * Common-subexpression reuse in the data organization — the 2R+1
+//     window vectors slide across iterations in registers, so each ring
+//     vector is loaded once instead of 2R+1 times.
+//
+// The arithmetic-calculation half of arXiv:2103.09235 (symmetric-
+// coefficient partial-sum sharing) would reassociate the canonical fma
+// chains and break the bit-identical-to-scalar contract the property
+// suite and the tuner's §3.2 candidate-equivalence rely on, so it is
+// deliberately limited to bit-exact operand reuse: the `re` engines
+// produce results bit-identical to the baseline tv engines at every
+// (dtype, vl, stride).
+//
+// Everything except the steady loop (prologue, ring gather, flush,
+// epilogue, scalar residual) is shared with the baseline via the Re
+// template flag on tv1d_tile/tv1d_run; the ring walk is the same
+// jacobi1d model that tests/ring_bounds_model.hpp verifies.
+#pragma once
+
+#include "tv/tv1d_impl.hpp"
+
+namespace tvs::tv {
+
+template <class V, class F>
+void tv1d_re_run(const F& f, grid::Grid1D<typename V::value_type>& u,
+                 long steps, int s) {
+  tv1d_run<V, F, /*Re=*/true>(f, u, steps, s);
+}
+
+}  // namespace tvs::tv

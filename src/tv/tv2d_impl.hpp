@@ -112,7 +112,13 @@ void scalar_steps(const F& f, grid::Grid2D<T>& g, grid::Grid2D<T>& tmp,
 
 // One vl-step temporally vectorized tile over the full grid, in place.
 // Requires nx >= vl*s and s >= 2 (radius-1 stencils).
-template <class V, class F, class T>
+//
+// Re = the redundancy-eliminated inner loop (arXiv:2103.08825 /
+// 2103.09235, see tv2d_re_impl.hpp): identical prologue / gather / flush /
+// epilogue and bit-identical arithmetic, but each produced ring vector
+// costs ONE shuffle (simd::retire_shift_in) and the functor's F::Carry
+// slides the shared column operands in registers across consecutive y.
+template <class V, class F, class T, bool Re = false>
 void tv2d_tile(const F& f, grid::Grid2D<T>& g, int s, Workspace2D<V, T>& ws) {
   static_assert(F::radius == 1, "2D engine covers radius-1 stencils");
   constexpr int VL = V::lanes;
@@ -171,23 +177,35 @@ void tv2d_tile(const F& f, grid::Grid2D<T>& g, int s, Workspace2D<V, T>& ws) {
       }
     }
 
-    int y = 1;
-    V wbuf[VL];
-    for (; y + VL - 1 <= ny; y += VL) {
-      V bot = V::loadu(brow + y);
-      for (int j = 0; j < VL - 1; ++j) {
-        wbuf[j] = f.apply(rm1, r0, rp1, y + j);
-        rout[y + j] = simd::shift_in_low_v(wbuf[j], bot);
-        bot = simd::rotate_down(bot);
+    if constexpr (Re) {
+      // Redundancy-eliminated inner loop: one retire_shift_in shuffle per
+      // produced vector (tops stream out scalar, fresh bottoms stream in
+      // scalar) and the functor's Carry slides the shared column operands
+      // in registers.  Bit-identical to the baseline loop below.
+      typename F::Carry carry(rm1, r0, rp1);
+      for (int y = 1; y <= ny; ++y) {
+        const V w = carry.apply(f, rm1, r0, rp1, y);
+        rout[y] = simd::retire_shift_in(w, brow[y], &trow[y]);
       }
-      wbuf[VL - 1] = f.apply(rm1, r0, rp1, y + VL - 1);
-      rout[y + VL - 1] = simd::shift_in_low_v(wbuf[VL - 1], bot);
-      simd::collect_tops_arr(wbuf).storeu(trow + y);
-    }
-    for (; y <= ny; ++y) {
-      const V w = f.apply(rm1, r0, rp1, y);
-      rout[y] = simd::shift_in_low(w, brow[y]);
-      trow[y] = simd::top_lane(w);
+    } else {
+      int y = 1;
+      V wbuf[VL];
+      for (; y + VL - 1 <= ny; y += VL) {
+        V bot = V::loadu(brow + y);
+        for (int j = 0; j < VL - 1; ++j) {
+          wbuf[j] = f.apply(rm1, r0, rp1, y + j);
+          rout[y + j] = simd::shift_in_low_v(wbuf[j], bot);
+          bot = simd::dispense_low(bot);
+        }
+        wbuf[VL - 1] = f.apply(rm1, r0, rp1, y + VL - 1);
+        rout[y + VL - 1] = simd::shift_in_low_v(wbuf[VL - 1], bot);
+        simd::collect_tops_arr(wbuf).storeu(trow + y);
+      }
+      for (; y <= ny; ++y) {
+        const V w = f.apply(rm1, r0, rp1, y);
+        rout[y] = simd::shift_in_low(w, brow[y]);
+        trow[y] = simd::top_lane(w);
+      }
     }
   }
 
@@ -225,7 +243,7 @@ void tv2d_tile(const F& f, grid::Grid2D<T>& g, int s, Workspace2D<V, T>& ws) {
 }
 
 // Advance g by `steps` time steps (vl per tile + scalar residual).
-template <class V, class F, class T>
+template <class V, class F, class T, bool Re = false>
 void tv2d_run(const F& f, grid::Grid2D<T>& g, long steps, int s,
               Workspace2D<V, T>& ws) {
   static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
@@ -233,7 +251,7 @@ void tv2d_run(const F& f, grid::Grid2D<T>& g, long steps, int s,
   ws.prepare(s, g.nx(), g.ny());
   long t = 0;
   if (g.nx() >= VL * s) {
-    for (; t + VL <= steps; t += VL) tv2d_tile(f, g, s, ws);
+    for (; t + VL <= steps; t += VL) tv2d_tile<V, F, T, Re>(f, g, s, ws);
   }
   if (t < steps)
     detail2d::scalar_steps(f, g, ws.tmp, static_cast<int>(steps - t));

@@ -1,0 +1,31 @@
+// Redundancy-eliminated 2D Jacobi temporal engines (the `re` variant).
+//
+// Same scheme as tv1d_re_impl.hpp, applied to the row-ring engine
+// (arXiv:2103.08825 / 2103.09235 under this repo's bit-exactness
+// contract): the inner y loop produces each ring vector with ONE
+// simd::retire_shift_in shuffle — no collect_tops assembly tree, no
+// separate dispense rotate, tops retired as scalar stores into the top
+// row, fresh level-0 elements read scalar from the bottom row — and the
+// functor's nested F::Carry type (J2D5F / J2D9F in functors2d.hpp) slides
+// the column-shared window operands across consecutive y in registers,
+// loading each ring vector once instead of once per window it appears in
+// (3x for j2d5's center row, 3x for every row of j2d9).
+//
+// Arithmetic is the canonical fma chain in its canonical order — results
+// are bit-identical to the baseline tv2d engines at every (dtype, vl,
+// stride).  Prologue, gather, flush, and epilogue are shared with the
+// baseline via the Re template flag on tv2d_tile/tv2d_run; the ring walk
+// is the same rowring model that tests/ring_bounds_model.hpp verifies.
+#pragma once
+
+#include "tv/tv2d_impl.hpp"
+
+namespace tvs::tv {
+
+template <class V, class F, class T>
+void tv2d_re_run(const F& f, grid::Grid2D<T>& g, long steps, int s,
+                 Workspace2D<V, T>& ws) {
+  tv2d_run<V, F, T, /*Re=*/true>(f, g, steps, s, ws);
+}
+
+}  // namespace tvs::tv

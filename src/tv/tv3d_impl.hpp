@@ -104,7 +104,13 @@ void scalar_steps(const F& f, grid::Grid3D<T>& g, grid::Grid3D<T>& tmp,
 }  // namespace detail3d
 
 // One vl-step tile over the full grid, in place.  nx >= vl*s, s >= 2.
-template <class V, class F, class T>
+//
+// Re = the redundancy-eliminated inner loop (arXiv:2103.08825 /
+// 2103.09235, see tv3d_re_impl.hpp): identical prologue / gather / flush /
+// epilogue and bit-identical arithmetic, but each produced ring vector
+// costs ONE shuffle (simd::retire_shift_in) and the functor's F::Carry
+// slides the shared center-line operands in registers across consecutive z.
+template <class V, class F, class T, bool Re = false>
 void tv3d_tile(const F& f, grid::Grid3D<T>& g, int s, Workspace3D<V, T>& ws) {
   static_assert(F::radius == 1);
   constexpr int VL = V::lanes;
@@ -173,23 +179,34 @@ void tv3d_tile(const F& f, grid::Grid3D<T>& g, int s, Workspace3D<V, T>& ws) {
       T* tline = g.line(x, y);
       const T* bline = g.line(x + VL * s, y);
 
-      int z = 1;
-      V wbuf[VL];
-      for (; z + VL - 1 <= nz; z += VL) {
-        V bot = V::loadu(bline + z);
-        for (int j = 0; j < VL - 1; ++j) {
-          wbuf[j] = f.apply(bm1, b0c, b0m, b0p, bp1, z + j);
-          lout[z + j] = simd::shift_in_low_v(wbuf[j], bot);
-          bot = simd::rotate_down(bot);
+      if constexpr (Re) {
+        // Redundancy-eliminated inner loop: one retire_shift_in shuffle
+        // per produced vector and register-carried center-line operands.
+        // Bit-identical to the baseline loop below.
+        typename F::Carry carry(bm1, b0c, b0m, b0p, bp1);
+        for (int z = 1; z <= nz; ++z) {
+          const V w = carry.apply(f, bm1, b0c, b0m, b0p, bp1, z);
+          lout[z] = simd::retire_shift_in(w, bline[z], &tline[z]);
         }
-        wbuf[VL - 1] = f.apply(bm1, b0c, b0m, b0p, bp1, z + VL - 1);
-        lout[z + VL - 1] = simd::shift_in_low_v(wbuf[VL - 1], bot);
-        simd::collect_tops_arr(wbuf).storeu(tline + z);
-      }
-      for (; z <= nz; ++z) {
-        const V w = f.apply(bm1, b0c, b0m, b0p, bp1, z);
-        lout[z] = simd::shift_in_low(w, bline[z]);
-        tline[z] = simd::top_lane(w);
+      } else {
+        int z = 1;
+        V wbuf[VL];
+        for (; z + VL - 1 <= nz; z += VL) {
+          V bot = V::loadu(bline + z);
+          for (int j = 0; j < VL - 1; ++j) {
+            wbuf[j] = f.apply(bm1, b0c, b0m, b0p, bp1, z + j);
+            lout[z + j] = simd::shift_in_low_v(wbuf[j], bot);
+            bot = simd::dispense_low(bot);
+          }
+          wbuf[VL - 1] = f.apply(bm1, b0c, b0m, b0p, bp1, z + VL - 1);
+          lout[z + VL - 1] = simd::shift_in_low_v(wbuf[VL - 1], bot);
+          simd::collect_tops_arr(wbuf).storeu(tline + z);
+        }
+        for (; z <= nz; ++z) {
+          const V w = f.apply(bm1, b0c, b0m, b0p, bp1, z);
+          lout[z] = simd::shift_in_low(w, bline[z]);
+          tline[z] = simd::top_lane(w);
+        }
       }
     }
   }
@@ -232,7 +249,7 @@ void tv3d_tile(const F& f, grid::Grid3D<T>& g, int s, Workspace3D<V, T>& ws) {
   }
 }
 
-template <class V, class F, class T>
+template <class V, class F, class T, bool Re = false>
 void tv3d_run(const F& f, grid::Grid3D<T>& g, long steps, int s,
               Workspace3D<V, T>& ws) {
   static_assert(simd::LaneGeneric<V> && simd::lane_layout_ok<V>);
@@ -240,7 +257,7 @@ void tv3d_run(const F& f, grid::Grid3D<T>& g, long steps, int s,
   ws.prepare(s, g.nx(), g.ny(), g.nz());
   long t = 0;
   if (g.nx() >= VL * s) {
-    for (; t + VL <= steps; t += VL) tv3d_tile(f, g, s, ws);
+    for (; t + VL <= steps; t += VL) tv3d_tile<V, F, T, Re>(f, g, s, ws);
   }
   if (t < steps)
     detail3d::scalar_steps(f, g, ws.tmp, static_cast<int>(steps - t));

@@ -1,0 +1,25 @@
+// Redundancy-eliminated 3D Jacobi temporal engine (the `re` variant).
+//
+// Same scheme as tv2d_re_impl.hpp lifted to the slab ring: the inner z
+// loop produces each ring vector with ONE simd::retire_shift_in shuffle
+// (tops retired scalar into the top plane, fresh level-0 elements read
+// scalar from the bottom plane), and J3D7F::Carry (functors3d.hpp) slides
+// the three center-line operands across consecutive z in registers.
+// Arithmetic stays the canonical fma chain — results are bit-identical to
+// the baseline tv3d engine at every (dtype, vl, stride).  Prologue,
+// gather, flush, and epilogue are shared via the Re template flag on
+// tv3d_tile/tv3d_run; the ring walk is the same rowring model that
+// tests/ring_bounds_model.hpp verifies.
+#pragma once
+
+#include "tv/tv3d_impl.hpp"
+
+namespace tvs::tv {
+
+template <class V, class F, class T>
+void tv3d_re_run(const F& f, grid::Grid3D<T>& g, long steps, int s,
+                 Workspace3D<V, T>& ws) {
+  tv3d_run<V, F, T, /*Re=*/true>(f, g, steps, s, ws);
+}
+
+}  // namespace tvs::tv

@@ -152,6 +152,19 @@ void for_each_engine(std::string_view id, DType dt, const Ctx& ctx,
   }
 }
 
+// Same, across a set of interchangeable engine ids (a baseline id and its
+// redundancy-eliminated twin share the Fn alias and the oracle); the id is
+// appended to the assertion context so a failure names the engine.
+template <class Fn, class RunFn>
+void for_each_engine_of(std::initializer_list<std::string_view> ids, DType dt,
+                        const Ctx& ctx, RunFn&& run) {
+  for (const std::string_view id : ids) {
+    Ctx named = ctx;
+    named.what += " id=" + std::string(id);
+    for_each_engine<Fn>(id, dt, named, run);
+  }
+}
+
 // ---- FP families ------------------------------------------------------------
 
 template <class T>
@@ -164,8 +177,8 @@ void check_case_1d(const Ctx& ctx, int which, int nx, long steps, int stride,
     auto ref = random_grid1<T, grid::Grid1D<T>>(nx, rng);
     const auto init = clone(ref);
     stencil::jacobi1d3_run(c, ref, steps);
-    for_each_engine<typename E::J1D3>(
-        dispatch::kTvJacobi1D3, E::dt, ctx, [&](auto* fn, const auto& what) {
+    for_each_engine_of<typename E::J1D3>(
+        {dispatch::kTvJacobi1D3, dispatch::kTvJacobi1D3Re}, E::dt, ctx, [&](auto* fn, const auto& what) {
           auto got = clone(init);
           fn(c, got, steps, stride);
           ASSERT_TRUE(test::grids_allclose(ref, got)) << what;
@@ -176,8 +189,8 @@ void check_case_1d(const Ctx& ctx, int which, int nx, long steps, int stride,
     const auto init = clone(ref);
     const int s = stride < 3 ? 3 : stride;
     stencil::jacobi1d5_run(c, ref, steps);
-    for_each_engine<typename E::J1D5>(
-        dispatch::kTvJacobi1D5, E::dt, ctx, [&](auto* fn, const auto& what) {
+    for_each_engine_of<typename E::J1D5>(
+        {dispatch::kTvJacobi1D5, dispatch::kTvJacobi1D5Re}, E::dt, ctx, [&](auto* fn, const auto& what) {
           auto got = clone(init);
           fn(c, got, steps, s);
           ASSERT_TRUE(test::grids_allclose(ref, got)) << what;
@@ -207,8 +220,8 @@ void check_case_2d(const Ctx& ctx, int which, int nx, int ny, long steps,
     const stencil::C2D5T<T> c = stencil::heat2d<T>(0.19);
     auto ref = clone(init);
     stencil::jacobi2d5_run(c, ref, steps);
-    for_each_engine<typename E::J2D5>(
-        dispatch::kTvJacobi2D5, E::dt, ctx, [&](auto* fn, const auto& what) {
+    for_each_engine_of<typename E::J2D5>(
+        {dispatch::kTvJacobi2D5, dispatch::kTvJacobi2D5Re}, E::dt, ctx, [&](auto* fn, const auto& what) {
           auto got = clone(init);
           fn(c, got, steps, stride);
           ASSERT_TRUE(test::grids_allclose(ref, got)) << what;
@@ -217,8 +230,8 @@ void check_case_2d(const Ctx& ctx, int which, int nx, int ny, long steps,
     const stencil::C2D9T<T> c = stencil::box2d9<T>(0.09);
     auto ref = clone(init);
     stencil::jacobi2d9_run(c, ref, steps);
-    for_each_engine<typename E::J2D9>(
-        dispatch::kTvJacobi2D9, E::dt, ctx, [&](auto* fn, const auto& what) {
+    for_each_engine_of<typename E::J2D9>(
+        {dispatch::kTvJacobi2D9, dispatch::kTvJacobi2D9Re}, E::dt, ctx, [&](auto* fn, const auto& what) {
           auto got = clone(init);
           fn(c, got, steps, stride);
           ASSERT_TRUE(test::grids_allclose(ref, got)) << what;
@@ -247,8 +260,8 @@ void check_case_3d(const Ctx& ctx, int which, int nx, int ny, int nz,
     const stencil::C3D7T<T> c = stencil::heat3d<T>(0.07);
     auto ref = clone(init);
     stencil::jacobi3d7_run(c, ref, steps);
-    for_each_engine<typename E::J3D7>(
-        dispatch::kTvJacobi3D7, E::dt, ctx, [&](auto* fn, const auto& what) {
+    for_each_engine_of<typename E::J3D7>(
+        {dispatch::kTvJacobi3D7, dispatch::kTvJacobi3D7Re}, E::dt, ctx, [&](auto* fn, const auto& what) {
           auto got = clone(init);
           fn(c, got, steps, stride);
           ASSERT_TRUE(test::grids_allclose(ref, got)) << what;

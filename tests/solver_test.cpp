@@ -171,6 +171,7 @@ TEST(TvsPlan, MalformedSpecsThrowClearErrors) {
   expect_throws("path=warp", "unknown path");
   expect_throws("backend=mmx", "unknown backend");
   expect_throws("vl=five", "not an integer");
+  expect_throws("variant=zig", "unknown variant");
 }
 
 TEST(TvsPlan, IllegalKnobValuesAreRejectedByValidation) {
@@ -201,6 +202,86 @@ TEST(TvsPlan, IllegalKnobValuesAreRejectedByValidation) {
     const ScopedEnv pin("TVS_PLAN", "path=tiled,vl=4");
     EXPECT_THROW(Solver s(p), std::invalid_argument);
   }
+}
+
+// ---- the variant knob (redundancy-eliminated engines) -----------------------
+
+TEST(TvsPlan, VariantRoundTripsThroughToString) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+  const ScopedEnv pin("TVS_PLAN", "stride=7,variant=re");
+  const Solver s(p);
+  EXPECT_EQ(s.plan().variant, solver::Variant::kRe);
+  EXPECT_NE(s.plan().to_string().find("variant=re"), std::string::npos)
+      << s.plan().to_string();
+  const ExecutionPlan again =
+      solver::apply_plan_spec(solver::heuristic_plan(p), s.plan().to_string());
+  EXPECT_EQ(s.plan().to_string(), again.to_string());
+  // The default variant stays out of the canonical spec string.
+  EXPECT_EQ(solver::heuristic_plan(p).to_string().find("variant"),
+            std::string::npos);
+}
+
+TEST(TvsPlan, VariantReValidatesForEveryJacobiFamily) {
+  for (const StencilProblem& p :
+       {solver::problem_1d(Family::kJacobi1D3, 4096, 40),
+        solver::problem_1d(Family::kJacobi1D5, 4096, 40),
+        solver::problem_2d(Family::kJacobi2D5, 96, 80, 12),
+        solver::problem_2d(Family::kJacobi2D9, 96, 80, 12),
+        solver::problem_3d(Family::kJacobi3D7, 24, 20, 28, 8)}) {
+    ExecutionPlan plan = solver::heuristic_plan(p);
+    plan.variant = solver::Variant::kRe;
+    EXPECT_NO_THROW(solver::validate_plan(p, plan)) << p.signature();
+  }
+}
+
+TEST(TvsPlan, VariantReIsRejectedWhereNoReEngineExists) {
+  {
+    // No re engine for the Gauss-Seidel families.
+    const StencilProblem p = solver::problem_1d(Family::kGs1D3, 4096, 24);
+    ExecutionPlan plan = solver::heuristic_plan(p);
+    plan.variant = solver::Variant::kRe;
+    EXPECT_THROW(solver::validate_plan(p, plan), std::invalid_argument);
+  }
+  {
+    // variant=re is a serial-path knob.
+    const StencilProblem p =
+        solver::problem_2d(Family::kJacobi2D5, 96, 96, 32, 4);
+    ExecutionPlan plan = solver::heuristic_plan(p);
+    ASSERT_EQ(plan.path, Path::kTiledParallel);
+    plan.variant = solver::Variant::kRe;
+    EXPECT_THROW(solver::validate_plan(p, plan), std::invalid_argument);
+  }
+}
+
+TEST(TvsPlan, VariantReRunsBitIdenticalToBaseline) {
+  const StencilProblem p = solver::problem_1d(Family::kJacobi1D3, 4096, 40);
+  const stencil::C1D3 c = stencil::heat1d(0.25);
+  grid::Grid1D<double> direct(p.nx);
+  fill_pattern(direct);
+  tv::tv_jacobi1d3_run(c, direct, p.steps, 7);
+
+  const ScopedEnv pin("TVS_PLAN", "stride=7,variant=re");
+  grid::Grid1D<double> got(p.nx);
+  fill_pattern(got);
+  const Solver s(p);
+  s.run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(TvsPlan, VariantReWithWidthPinRunsBitIdentical) {
+  const StencilProblem p = solver::problem_2d(Family::kJacobi2D9, 96, 80, 12);
+  const stencil::C2D9 c = stencil::box2d9(0.1);
+  grid::Grid2D<double> direct(p.nx, p.ny);
+  fill_pattern(direct);
+  tv::tv_jacobi2d9_run(c, direct, p.steps, 2);
+
+  const ScopedEnv pin("TVS_PLAN", "stride=2,vl=8,variant=re");
+  grid::Grid2D<double> got(p.nx, p.ny);
+  fill_pattern(got);
+  const Solver s(p);
+  EXPECT_EQ(s.plan().vl, 8);
+  s.run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
 }
 
 TEST(TvsPlan, WidthPinningKeepsResultsBitIdentical) {
@@ -250,12 +331,33 @@ TEST(Planner, TunedModeProducesAValidatedPlan) {
   const ExecutionPlan plan = solver::plan_for(p, PlanMode::kTuned);
   EXPECT_NO_THROW(solver::validate_plan(p, plan));
 
-  // Tuning never changes results, only speed.
+  // Tuning never changes results, only speed — including when the tuner
+  // picked the redundancy-eliminated variant (its candidate set races both
+  // variants of every Jacobi stride; which one wins is timing-dependent,
+  // but both are bit-identical to the baseline engine).
   const stencil::C1D3 c = stencil::heat1d(0.25);
   grid::Grid1D<double> direct(p.nx), got(p.nx);
   fill_pattern(direct);
   fill_pattern(got);
   tv::tv_jacobi1d3_run(c, direct, p.steps, plan.stride);
+  Solver(p, plan).run(c, got);
+  EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
+}
+
+TEST(Planner, TunedReCandidateRunsAndMatches) {
+  // The tuner's re candidates are real plans: take the heuristic plan,
+  // flip the variant the way candidates() does, and drive a full solve —
+  // whatever the wall clock says, the answer cannot move.
+  const StencilProblem p = solver::problem_2d(Family::kJacobi2D5, 96, 80, 12);
+  ExecutionPlan plan = solver::heuristic_plan(p);
+  plan.variant = solver::Variant::kRe;
+  solver::validate_plan(p, plan);
+
+  const stencil::C2D5 c = stencil::heat2d(0.2);
+  grid::Grid2D<double> direct(p.nx, p.ny), got(p.nx, p.ny);
+  fill_pattern(direct);
+  fill_pattern(got);
+  tv::tv_jacobi2d5_run(c, direct, p.steps, plan.stride);
   Solver(p, plan).run(c, got);
   EXPECT_EQ(grid::max_abs_diff(got, direct), 0.0);
 }

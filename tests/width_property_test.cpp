@@ -27,8 +27,11 @@
 #include "tv/functors2d.hpp"
 #include "tv/functors3d.hpp"
 #include "tv/tv1d_impl.hpp"
+#include "tv/tv1d_re_impl.hpp"
 #include "tv/tv2d_impl.hpp"
+#include "tv/tv2d_re_impl.hpp"
 #include "tv/tv3d_impl.hpp"
+#include "tv/tv3d_re_impl.hpp"
 #include "tv/tv_gs1d_impl.hpp"
 #include "tv/tv_gs2d_impl.hpp"
 #include "tv/tv_gs3d_impl.hpp"
@@ -75,6 +78,11 @@ void check_tv1d(int nx, long steps, int s, unsigned seed) {
   tv::tv1d_run<V>(tv::J1D3F<V>(c3), got, steps, s);
   ASSERT_EQ(grid::max_abs_diff(ref, got), 0.0)
       << "vl=" << V::lanes << " nx=" << nx << " steps=" << steps << " s=" << s;
+  auto re = random1d(nx, seed);
+  tv::tv1d_re_run<V>(tv::J1D3F<V>(c3), re, steps, s);
+  ASSERT_EQ(grid::max_abs_diff(ref, re), 0.0)
+      << "re vl=" << V::lanes << " nx=" << nx << " steps=" << steps
+      << " s=" << s;
 
   const stencil::C1D5 c5{0.05, 0.2, 0.5, 0.15, 0.1};
   auto ref5 = random1d(nx + 11, seed + 1);
@@ -82,6 +90,9 @@ void check_tv1d(int nx, long steps, int s, unsigned seed) {
   stencil::jacobi1d5_run(c5, ref5, steps);
   tv::tv1d_run<V>(tv::J1D5F<V>(c5), got5, steps, s >= 3 ? s : 3);
   ASSERT_EQ(grid::max_abs_diff(ref5, got5), 0.0) << "vl=" << V::lanes;
+  auto re5 = random1d(nx + 11, seed + 1);
+  tv::tv1d_re_run<V>(tv::J1D5F<V>(c5), re5, steps, s >= 3 ? s : 3);
+  ASSERT_EQ(grid::max_abs_diff(ref5, re5), 0.0) << "re vl=" << V::lanes;
 }
 
 TEST(WidthProperty, TvJacobi1D) {
@@ -128,6 +139,11 @@ void check_tv2d(int nx, int ny, long steps, int s, unsigned seed) {
   tv::tv2d_run(tv::J2D5F<V>(c5), got, steps, s, ws);
   ASSERT_EQ(grid::max_abs_diff(ref, got), 0.0)
       << "vl=" << V::lanes << " nx=" << nx;
+  auto re = random2d(nx, ny, seed);
+  tv::Workspace2D<V, double> wsr;
+  tv::tv2d_re_run(tv::J2D5F<V>(c5), re, steps, s, wsr);
+  ASSERT_EQ(grid::max_abs_diff(ref, re), 0.0)
+      << "re vl=" << V::lanes << " nx=" << nx;
 
   const stencil::C2D9 c9{0.2, 0.14, 0.12, 0.1, 0.09, 0.08, 0.09, 0.09, 0.09};
   auto ref9 = random2d(nx, ny, seed + 1);
@@ -137,6 +153,11 @@ void check_tv2d(int nx, int ny, long steps, int s, unsigned seed) {
   tv::tv2d_run(tv::J2D9F<V>(c9), got9, steps, s, ws9);
   ASSERT_EQ(grid::max_abs_diff(ref9, got9), 0.0)
       << "vl=" << V::lanes << " nx=" << nx;
+  auto re9 = random2d(nx, ny, seed + 1);
+  tv::Workspace2D<V, double> wsr9;
+  tv::tv2d_re_run(tv::J2D9F<V>(c9), re9, steps, s, wsr9);
+  ASSERT_EQ(grid::max_abs_diff(ref9, re9), 0.0)
+      << "re vl=" << V::lanes << " nx=" << nx;
 }
 
 TEST(WidthProperty, TvJacobi2D) {
@@ -160,6 +181,11 @@ void check_tv3d(int nx, int ny, int nz, long steps, int s, unsigned seed) {
   tv::tv3d_run(tv::J3D7F<V>(c), got, steps, s, ws);
   ASSERT_EQ(grid::max_abs_diff(ref, got), 0.0)
       << "vl=" << V::lanes << " nx=" << nx;
+  auto re = random3d(nx, ny, nz, seed);
+  tv::Workspace3D<V, double> wsr;
+  tv::tv3d_re_run(tv::J3D7F<V>(c), re, steps, s, wsr);
+  ASSERT_EQ(grid::max_abs_diff(ref, re), 0.0)
+      << "re vl=" << V::lanes << " nx=" << nx;
 }
 
 TEST(WidthProperty, TvJacobi3D) {
