@@ -46,7 +46,7 @@ seq_benches=(
   fig4a_heat1d_seq fig4c_heat2d_seq fig4e_heat3d_seq fig4g_2d9p_seq
   fig4i_life_seq fig5a_gs1d_seq fig5c_gs2d_seq fig5e_gs3d_seq fig5g_lcs_seq
   ablation_dtype ablation_redundancy ablation_stride ablation_vl
-  table1_blocking
+  serve_throughput table1_blocking
 )
 # ablation_reorg emits google-benchmark console output, not the tvs table
 # format, so it is run manually rather than through this driver.
@@ -55,7 +55,8 @@ par_benches=(
   fig4j_life_par fig5b_gs1d_par fig5d_gs2d_par fig5f_gs3d_par fig5h_lcs_par
 )
 quick_benches=(fig4a_heat1d_seq fig4c_heat2d_seq fig5a_gs1d_seq
-               fig5g_lcs_seq ablation_vl ablation_redundancy)
+               fig5g_lcs_seq ablation_vl ablation_redundancy
+               serve_throughput)
 
 case "$mode" in
   quick) benches=("${quick_benches[@]}") ;;

@@ -1,0 +1,123 @@
+// Serving-layer throughput: problems/second through serve::Batch on a
+// work-stealing ThreadPool, sweeping 1..P workers (TVS_BENCH_MAXTHREADS
+// caps the sweep) over a mixed set of small problems — four instances each
+// of jacobi1d3/f64, jacobi2d5/f64, gs1d3/f32 and LCS.  The serving layer
+// schedules whole problems across workers; speedup is relative to the
+// single-worker row.  A second table snapshots the serving counters
+// (serve::Stats plus the last pool's executor stats) so a run records how
+// much planning the cache amortized and whether the plan store fired.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util/bench.hpp"
+#include "dispatch/dtype.hpp"
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "serve/batch.hpp"
+#include "serve/executor.hpp"
+#include "serve/stats.hpp"
+#include "solver/builder.hpp"
+#include "solver/solver.hpp"
+#include "stencil/coefficients.hpp"
+
+int main() {
+  using namespace tvs;
+  namespace b = tvs::bench;
+
+  const int scale = b::full_mode() ? 4 : 1;
+  const int n1 = 2048 * scale;   // 1D rods
+  const int n2 = 64 * scale;     // 2D squares
+  const int nl = 512 * scale;    // LCS sequence length
+  const long steps1 = 32;
+  const long steps2 = 16;
+  constexpr int kCopies = 4;  // instances per problem kind
+
+  const solver::StencilProblem p_j1 =
+      solver::ProblemBuilder(solver::Family::kJacobi1D3)
+          .extents(n1)
+          .steps(steps1)
+          .build();
+  const solver::StencilProblem p_j2 =
+      solver::ProblemBuilder(solver::Family::kJacobi2D5)
+          .extents(n2, n2)
+          .steps(steps2)
+          .build();
+  const solver::StencilProblem p_gs =
+      solver::ProblemBuilder(solver::Family::kGs1D3)
+          .extents(n1)
+          .steps(steps1)
+          .dtype(dispatch::DType::kF32)
+          .build();
+  const solver::StencilProblem p_lcs =
+      solver::ProblemBuilder(solver::Family::kLcs).extents(nl, nl).build();
+
+  const stencil::C1D3 c_j1 = stencil::heat1d(0.25);
+  const stencil::C2D5 c_j2 = stencil::heat2d(0.2);
+  const stencil::C1D3f c_gs = stencil::heat1d<float>(0.25);
+
+  // One grid / sequence pair per instance; storage outlives every future.
+  std::mt19937_64 rng(11);
+  std::vector<grid::Grid1D<double>> g_j1;
+  std::vector<grid::Grid2D<double>> g_j2;
+  std::vector<grid::Grid1D<float>> g_gs;
+  std::vector<std::vector<std::int32_t>> seq_a, seq_b;
+  std::uniform_int_distribution<std::int32_t> d(0, 3);
+  for (int i = 0; i < kCopies; ++i) {
+    g_j1.emplace_back(n1).fill_random(rng, -1.0, 1.0);
+    g_j2.emplace_back(n2, n2).fill_random(rng, -1.0, 1.0);
+    g_gs.emplace_back(n1).fill_random(rng, -1.0f, 1.0f);
+    auto& a = seq_a.emplace_back(static_cast<std::size_t>(nl));
+    auto& s = seq_b.emplace_back(static_cast<std::size_t>(nl));
+    for (auto& v : a) v = d(rng);
+    for (auto& v : s) v = d(rng);
+  }
+  const int kProblems = 4 * kCopies;
+
+  b::print_title("Serving throughput  mixed small-problem batch");
+  b::print_header({"workers", "probs_per_sec", "speedup"});
+
+  serve::ExecutorStats last_pool{};
+  double base_rate = 0.0;
+  for (const int w : b::thread_sweep()) {
+    serve::ThreadPool pool(w);
+    serve::Batch batch(&pool);
+    const auto pass = [&] {
+      for (int i = 0; i < kCopies; ++i) {
+        batch.add(p_j1, solver::Workload(c_j1, g_j1[static_cast<size_t>(i)]));
+        batch.add(p_j2, solver::Workload(c_j2, g_j2[static_cast<size_t>(i)]));
+        batch.add(p_gs, solver::Workload(c_gs, g_gs[static_cast<size_t>(i)]));
+        batch.add(p_lcs, solver::Workload(seq_a[static_cast<size_t>(i)],
+                                          seq_b[static_cast<size_t>(i)]));
+      }
+      batch.run();
+    };
+    pass();  // warm: plans land in the process-wide cache
+    double best = 0.0;
+    for (double spent = 0.0; spent < 0.2;) {
+      const double t0 = b::now_sec();
+      pass();
+      const double dt = b::now_sec() - t0;
+      best = std::max(best, static_cast<double>(kProblems) / dt);
+      spent += dt;
+    }
+    if (base_rate == 0.0) base_rate = best;
+    last_pool = pool.stats();
+    b::print_row({std::to_string(w), b::fmt(best), b::fmt(best / base_rate)});
+  }
+
+  const serve::Stats s = serve::stats();
+  b::print_title("serve stats");
+  b::print_header({"counter", "value"});
+  b::print_row({"plan_cache_hits", std::to_string(s.plan_cache.hits)});
+  b::print_row({"plan_cache_misses", std::to_string(s.plan_cache.misses)});
+  b::print_row({"plan_store_loads", std::to_string(s.plan_store.loads)});
+  b::print_row({"plan_store_saves", std::to_string(s.plan_store.saves)});
+  b::print_row({"plan_store_rejects", std::to_string(s.plan_store.rejects)});
+  b::print_row({"executor_tasks_run", std::to_string(last_pool.tasks_run)});
+  b::print_row({"executor_steals", std::to_string(last_pool.steals)});
+  b::print_row({"executor_workers", std::to_string(last_pool.workers)});
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "solver/builder.hpp"
 #include "solver/solver.hpp"
 
 int main(int argc, char** argv) {
@@ -26,8 +27,10 @@ int main(int argc, char** argv) {
 
   const stencil::LifeRule conway{3, 2, 3};
   // One Solver, eight generations per run() call (one vector tile depth).
-  const solver::Solver solve(
-      solver::problem_2d(solver::Family::kLife, nx, ny, 8));
+  const solver::Solver solve(solver::ProblemBuilder(solver::Family::kLife)
+                                 .extents(nx, ny)
+                                 .steps(8)
+                                 .build());
   long alive_total = 0;
   for (long g = 0; g < gens; g += 8) {
     solve.run(conway, u);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "solver/builder.hpp"
 #include "solver/solver.hpp"
 
 int main(int argc, char** argv) {
@@ -24,7 +25,10 @@ int main(int argc, char** argv) {
   for (int x = 0; x <= n + 1; ++x) u.at(x, 0) = 0.6;
 
   const solver::Solver solve(
-      solver::problem_2d(solver::Family::kJacobi2D5, n, n, steps));
+      solver::ProblemBuilder(solver::Family::kJacobi2D5)
+          .extents(n, n)
+          .steps(steps)
+          .build());
   solve.run(stencil::heat2d(0.2), u);
 
   std::FILE* f = std::fopen("heat2d.ppm", "wb");

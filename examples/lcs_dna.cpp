@@ -10,6 +10,7 @@
 #include <random>
 #include <vector>
 
+#include "solver/builder.hpp"
 #include "solver/solver.hpp"
 #include "stencil/lcs_ref.hpp"
 
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
   };
 
   const solver::StencilProblem p =
-      solver::problem_2d(solver::Family::kLcs, n, n, 0);
+      solver::ProblemBuilder(solver::Family::kLcs).extents(n, n).build();
   const solver::Solver serial(p);  // planned: serial temporal vectorization
 
   // The wavefront-parallel plan, pinned to 2048x2048 blocks.

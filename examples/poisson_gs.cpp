@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "solver/builder.hpp"
 #include "solver/solver.hpp"
 #include "stencil/reference2d.hpp"
 
@@ -53,8 +54,10 @@ int main(int argc, char** argv) {
   };
 
   // One Solver per residual-check chunk of kChunk sweeps.
-  const solver::Solver gs(
-      solver::problem_2d(solver::Family::kGs2D5, n, n, kChunk));
+  const solver::Solver gs(solver::ProblemBuilder(solver::Family::kGs2D5)
+                              .extents(n, n)
+                              .steps(kChunk)
+                              .build());
 
   std::printf("Laplace equation on a %dx%d plate (tolerance %.0e):\n", n, n,
               kTol);

@@ -10,6 +10,7 @@
 // override it (see README "Solver API").
 #include <cstdio>
 
+#include "solver/builder.hpp"
 #include "solver/solver.hpp"
 #include "stencil/reference1d.hpp"
 
@@ -30,7 +31,10 @@ int main() {
   // The facade: describe, plan, run.  The planner picks the temporal
   // stride (the paper's s = 7 for this family) and the execution path.
   const solver::StencilProblem problem =
-      solver::problem_1d(solver::Family::kJacobi1D3, nx, steps);
+      solver::ProblemBuilder(solver::Family::kJacobi1D3)
+          .extents(nx)
+          .steps(steps)
+          .build();
   const solver::Solver solve(problem);
   solve.run(heat, u);
 

@@ -1,0 +1,55 @@
+#include "serve/batch.hpp"
+
+#include <future>
+#include <memory>
+#include <utility>
+
+namespace tvs::serve {
+
+solver::Future<solver::RunResult> submit_on(ThreadPool& pool,
+                                            solver::Solver s,
+                                            solver::Workload w) {
+  // shared_ptr, not move-capture: std::function requires copyable
+  // closures, and the promise itself is move-only.
+  auto promise = std::make_shared<std::promise<solver::RunResult>>();
+  solver::Future<solver::RunResult> future = promise->get_future();
+  pool.submit([s = std::move(s), w = std::move(w), promise] {
+    try {
+      promise->set_value(s.run(w));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+void Batch::add(const solver::StencilProblem& p, solver::Workload w,
+                solver::PlanMode mode) {
+  solver::Solver s(p, mode);  // plans through the cache (+ plan store)
+  solver::validate_workload(p, w);  // fail at add(), not inside a future
+  items_.push_back(Item{std::move(s), std::move(w)});
+}
+
+std::vector<solver::Future<solver::RunResult>> Batch::submit() {
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : default_pool();
+  std::vector<solver::Future<solver::RunResult>> futures;
+  futures.reserve(items_.size());
+  for (Item& item : items_) {
+    futures.push_back(
+        submit_on(pool, std::move(item.solver), std::move(item.workload)));
+  }
+  items_.clear();
+  return futures;
+}
+
+std::vector<solver::RunResult> Batch::run() {
+  std::vector<solver::Future<solver::RunResult>> futures = submit();
+  std::vector<solver::RunResult> results;
+  results.reserve(futures.size());
+  for (solver::Future<solver::RunResult>& f : futures) {
+    results.push_back(f.get());
+  }
+  return results;
+}
+
+}  // namespace tvs::serve

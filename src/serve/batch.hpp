@@ -1,0 +1,65 @@
+// Batch: many problems, one planning pass, whole problems fanned across
+// the serving executor.
+//
+//   serve::Batch batch;
+//   for (auto& [p, grid] : work)
+//     batch.add(p, solver::Workload(coeffs, grid));
+//   for (solver::RunResult& r : batch.run()) ...
+//
+// add() plans immediately on the calling thread through the process-wide
+// plan cache, so N problems with the same signature plan once (and, in
+// tuned mode, warm-start from the TVS_PLAN_STORE directory when an entry
+// exists).  submit()/run() then enqueue each problem as one task — the
+// serving layer schedules whole small problems across workers and never
+// splits one problem; intra-problem parallelism stays the ExecutionPlan's
+// business (the tiled path), exactly as in the synchronous API.  Results
+// are bit-identical to calling Solver::run per problem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/executor.hpp"
+#include "solver/solver.hpp"
+
+namespace tvs::serve {
+
+// Enqueues one validated workload on `pool`; the shared funnel behind
+// Solver::submit and Batch.  The run's exception, if any, arrives through
+// the Future.
+solver::Future<solver::RunResult> submit_on(ThreadPool& pool,
+                                            solver::Solver s,
+                                            solver::Workload w);
+
+class Batch {
+ public:
+  // pool = nullptr uses default_pool() (resolved at submit time, so an
+  // empty Batch never spins up workers).
+  explicit Batch(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  // Plans p now (cache-amortized) and validates w against it; throws
+  // solver::Error on a payload the problem cannot run, before anything is
+  // enqueued.  The workload's grid/span storage must outlive the futures.
+  void add(const solver::StencilProblem& p, solver::Workload w,
+           solver::PlanMode mode = solver::PlanMode::kAuto);
+
+  std::size_t size() const { return items_.size(); }
+
+  // Enqueues every added problem; one future per add(), in add() order.
+  // The batch is emptied and can be refilled.
+  std::vector<solver::Future<solver::RunResult>> submit();
+
+  // submit() + wait: results in add() order; rethrows the first failure.
+  std::vector<solver::RunResult> run();
+
+ private:
+  struct Item {
+    solver::Solver solver;
+    solver::Workload workload;
+  };
+
+  ThreadPool* pool_;
+  std::vector<Item> items_;
+};
+
+}  // namespace tvs::serve

@@ -1,0 +1,209 @@
+#include "serve/executor.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/env.hpp"
+
+namespace tvs::serve {
+
+namespace {
+
+// One worker's task deque.  The owner pops from the back, thieves take
+// half from the front; both sides serialize on mu (the deques are short —
+// whole problems, not tiles — so a plain mutex beats a lock-free deque's
+// complexity here).
+struct TaskQueue {
+  std::mutex mu;
+  std::deque<std::function<void()>> tasks;
+};
+
+// Sleep/wake state shared by the workers.  queued is the number of tasks
+// submitted but not yet claimed — an upper bound that tells idle workers
+// whether parking is safe; stop flips once, in the destructor.
+struct Signal {
+  std::mutex mu;
+  std::condition_variable cv;
+  long queued = 0;
+  bool stop = false;
+};
+
+int configured_workers(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = util::env_cstr("TVS_SERVE_WORKERS");
+      env != nullptr && env[0] != '\0') {
+    int v = 0;
+    const char* last = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, last, v);
+    if (ec == std::errc() && ptr == last && v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::unique_ptr<TaskQueue>> queues;
+  Signal sig;
+  std::atomic<long> tasks_run{0};
+  std::atomic<long> steals{0};
+  std::atomic<unsigned> next_queue{0};
+  std::vector<std::thread> threads;
+
+  // Pops the back of the worker's own deque; empty function when dry.
+  std::function<void()> take_own(std::size_t self) {
+    TaskQueue& q = *queues[self];
+    const std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) return {};
+    std::function<void()> task = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return task;
+  }
+
+  // Steals ceil(half) of one victim's deque from the front: the first
+  // stolen task is returned for immediate execution, the rest move to the
+  // thief's own deque.
+  std::function<void()> steal(std::size_t self) {
+    const std::size_t n = queues.size();
+    for (std::size_t off = 1; off < n; ++off) {
+      TaskQueue& victim = *queues[(self + off) % n];
+      std::deque<std::function<void()>> grabbed;
+      {
+        const std::lock_guard<std::mutex> lock(victim.mu);
+        const std::size_t have = victim.tasks.size();
+        if (have == 0) continue;
+        const std::size_t take = (have + 1) / 2;
+        for (std::size_t i = 0; i < take; ++i) {
+          grabbed.push_back(std::move(victim.tasks.front()));
+          victim.tasks.pop_front();
+        }
+      }
+      steals.fetch_add(1, std::memory_order_relaxed);
+      std::function<void()> task = std::move(grabbed.front());
+      grabbed.pop_front();
+      if (!grabbed.empty()) {
+        TaskQueue& own = *queues[self];
+        const std::lock_guard<std::mutex> lock(own.mu);
+        for (std::function<void()>& t : grabbed) {
+          own.tasks.push_back(std::move(t));
+        }
+      }
+      return task;
+    }
+    return {};
+  }
+
+  void worker(std::size_t self) {
+    for (;;) {
+      std::function<void()> task = take_own(self);
+      long claimed = task ? 1 : 0;
+      if (!task) {
+        task = steal(self);
+        // A successful steal moved (take - 1) extra tasks into our own
+        // deque; they are still claimed against sig.queued only when
+        // popped, so one claim per executed task keeps the books exact.
+        claimed = task ? 1 : 0;
+      }
+      if (task) {
+        {
+          const std::lock_guard<std::mutex> lock(sig.mu);
+          sig.queued -= claimed;
+        }
+        task();
+        tasks_run.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sig.mu);
+      if (sig.stop && sig.queued == 0) return;
+      if (sig.queued == 0) {
+        // Bounded wait, not wait(): a task can sit in a deque for a short
+        // window while sig.queued already counts it (the submitter signals
+        // under the lock, but a worker may race the notify) — the timeout
+        // backstops any such lost-wakeup interleaving.
+        sig.cv.wait_for(lock, std::chrono::milliseconds(50));
+      }
+      // sig.queued > 0 with dry deques means another worker claimed tasks
+      // it has not finished booking yet; loop and re-scan.
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers) : impl_(std::make_unique<Impl>()) {
+  const int n = configured_workers(workers);
+  impl_->queues.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    impl_->queues.push_back(std::make_unique<TaskQueue>());
+  }
+  impl_->threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    impl_->threads.emplace_back(
+        [impl = impl_.get(), i] { impl->worker(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->sig.mu);
+    impl_->sig.stop = true;
+    impl_->sig.cv.notify_all();
+  }
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t i =
+      impl_->next_queue.fetch_add(1, std::memory_order_relaxed) %
+      impl_->queues.size();
+  {
+    TaskQueue& q = *impl_->queues[i];
+    const std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->sig.mu);
+    ++impl_->sig.queued;
+    impl_->sig.cv.notify_one();
+  }
+}
+
+int ThreadPool::workers() const {
+  return static_cast<int>(impl_->queues.size());
+}
+
+ExecutorStats ThreadPool::stats() const {
+  ExecutorStats s;
+  s.tasks_run = impl_->tasks_run.load(std::memory_order_relaxed);
+  s.steals = impl_->steals.load(std::memory_order_relaxed);
+  s.workers = workers();
+  return s;
+}
+
+namespace {
+
+// Set once when default_pool() first constructs the singleton, so
+// default_pool_stats() can answer without forcing the pool into existence.
+std::atomic<ThreadPool*> g_default_pool{nullptr};
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(0);
+  g_default_pool.store(&pool, std::memory_order_release);
+  return pool;
+}
+
+ExecutorStats default_pool_stats() {
+  ThreadPool* pool = g_default_pool.load(std::memory_order_acquire);
+  return pool != nullptr ? pool->stats() : ExecutorStats{};
+}
+
+}  // namespace tvs::serve

@@ -1,0 +1,60 @@
+// The serving executor: a work-stealing thread pool sized for many small
+// independent problems.
+//
+// Each worker owns a deque; submit() distributes tasks round-robin across
+// the deques, an owner pops from the back of its own, and a worker that
+// runs dry steals HALF of a victim's queue from the front (one steal
+// amortizes over several tasks, so a burst submitted to one queue spreads
+// across the pool in O(log n) steals).  Idle workers park on a condition
+// variable with a bounded backoff, so an empty pool costs no CPU.
+//
+// Destruction drains: every task submitted before ~ThreadPool() runs to
+// completion before the workers join.  Tasks must not throw — the serving
+// layer (Solver::submit / Batch) routes exceptions through the returned
+// Future, so the closures it enqueues never do.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace tvs::serve {
+
+// Snapshot of the executor's lifetime counters (serve::stats()).
+struct ExecutorStats {
+  long tasks_run = 0;  // closures executed to completion
+  long steals = 0;     // steal-half operations that took at least one task
+  int workers = 0;     // pool size (0 when no pool exists yet)
+};
+
+class ThreadPool {
+ public:
+  // workers = 0 sizes from TVS_SERVE_WORKERS, else the hardware
+  // concurrency (min 1).
+  explicit ThreadPool(int workers = 0);
+  // Drains the queues (all submitted tasks run), then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; runs on some worker, FIFO per queue but unordered
+  // across the pool.  The task must not throw.
+  void submit(std::function<void()> task);
+
+  int workers() const;
+  ExecutorStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// The process-wide pool Solver::submit and Batch use, created on first
+// touch (sized by TVS_SERVE_WORKERS / hardware concurrency).
+ThreadPool& default_pool();
+
+// Stats of the default pool WITHOUT creating it: all-zero until the first
+// default_pool() call.  (serve::stats() must not spin up workers just to
+// report that none exist.)
+ExecutorStats default_pool_stats();
+
+}  // namespace tvs::serve

@@ -1,0 +1,185 @@
+#include "serve/plan_store.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "dispatch/backend.hpp"
+#include "util/env.hpp"
+
+namespace tvs::serve {
+
+namespace {
+
+constexpr std::string_view kFormatVersion = "tvs-plan-v1";
+
+// TVS_PLAN_STORE, read once when the store state is first constructed.
+std::string initial_dir() {
+  const char* env = util::env_cstr("TVS_PLAN_STORE");
+  return (env != nullptr && env[0] != '\0') ? std::string(env)
+                                            : std::string();
+}
+
+// All store state — the resolved directory and the counters — lives behind
+// one mutex; the store is consulted once per plan cache miss, so
+// serializing the file I/O under it costs nothing.  The env read happens
+// in the member initializer of the function-local static (thread-safe by
+// the magic-static guarantee, so no lock is needed for the init itself).
+struct StoreState {
+  std::mutex mu;
+  std::string dir = initial_dir();
+  PlanStoreStats stats;
+};
+
+StoreState& store() {
+  static StoreState s;
+  return s;
+}
+
+// FNV-1a, the tree's stable non-cryptographic hash of choice for file
+// names: the full key is also stored inside the entry and verified on
+// load, so a collision degrades to a reject, never a wrong plan.
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : text) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string entry_filename(const std::string& features,
+                           const std::string& signature,
+                           std::string_view mode) {
+  const std::string key =
+      features + "|" + signature + "|" + std::string(mode);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return std::string(hex) + ".plan";
+}
+
+// One "key value-to-end-of-line" line of the entry format; empty when the
+// line is missing or keyed differently.
+std::string read_field(std::istream& in, std::string_view key) {
+  std::string line;
+  if (!std::getline(in, line)) return {};
+  const std::string prefix = std::string(key) + " ";
+  if (line.rfind(prefix, 0) != 0) return {};
+  return line.substr(prefix.size());
+}
+
+}  // namespace
+
+std::string host_feature_string() {
+  std::string features;
+  for (int b = 0; b < dispatch::kBackendCount; ++b) {
+    const auto backend = static_cast<dispatch::Backend>(b);
+    if (!dispatch::cpu_supports(backend)) continue;
+    if (!features.empty()) features += "+";
+    features += std::string(dispatch::backend_name(backend));
+  }
+  return features;
+}
+
+bool plan_store_enabled() {
+  StoreState& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return !s.dir.empty();
+}
+
+std::optional<solver::ExecutionPlan> plan_store_lookup(
+    const solver::StencilProblem& p, std::string_view mode) {
+  StoreState& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.dir.empty()) return std::nullopt;
+
+  const std::string features = host_feature_string();
+  const std::string signature = p.signature();
+  const std::filesystem::path path =
+      std::filesystem::path(s.dir) / entry_filename(features, signature, mode);
+
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;  // cold, not a reject
+
+  // Header, key echo, and payload — any disagreement refuses the entry.
+  std::string line;
+  if (!std::getline(in, line) || line != kFormatVersion) {
+    ++s.stats.rejects;
+    return std::nullopt;
+  }
+  if (read_field(in, "features") != features ||
+      read_field(in, "problem") != signature + "|" + std::string(mode)) {
+    ++s.stats.rejects;
+    return std::nullopt;
+  }
+  const std::string spec = read_field(in, "plan");
+  if (spec.empty()) {
+    ++s.stats.rejects;
+    return std::nullopt;
+  }
+  try {
+    solver::ExecutionPlan plan =
+        solver::apply_plan_spec(solver::heuristic_plan(p), spec);
+    solver::validate_plan(p, plan);
+    ++s.stats.loads;
+    return plan;
+  } catch (const std::exception&) {
+    // Parseable text, unusable plan (e.g. written by a build with
+    // different kernel registrations) — same treatment as a bad header.
+    ++s.stats.rejects;
+    return std::nullopt;
+  }
+}
+
+void plan_store_save(const solver::StencilProblem& p, std::string_view mode,
+                     const solver::ExecutionPlan& plan) {
+  StoreState& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.dir.empty()) return;
+
+  const std::string features = host_feature_string();
+  const std::string signature = p.signature();
+  const std::filesystem::path dir(s.dir);
+  const std::filesystem::path path =
+      dir / entry_filename(features, signature, mode);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return;
+    out << kFormatVersion << "\n";
+    out << "features " << features << "\n";
+    out << "problem " << signature << "|" << mode << "\n";
+    out << "plan " << plan.to_string() << "\n";
+    if (!out.good()) return;
+  }
+  // rename is atomic within the directory: a concurrent reader sees either
+  // the previous complete entry or this one, never a torn write.
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return;
+  ++s.stats.saves;
+}
+
+PlanStoreStats plan_store_stats() {
+  StoreState& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
+}
+
+void plan_store_set_dir(std::string dir) {
+  StoreState& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.dir = std::move(dir);
+  s.stats = PlanStoreStats{};
+}
+
+}  // namespace tvs::serve

@@ -1,0 +1,61 @@
+// Persistent tuned-plan store: TVS_PLAN_STORE=<dir> makes measured
+// auto-tune results outlive the process.
+//
+// Each entry is one small text file keyed by (host feature string, problem
+// signature, plan mode), serialized through the ExecutionPlan
+// to_string()/apply_plan_spec round-trip the TVS_PLAN pin already
+// exercises.  plan_for() consults the store only on a tuned-mode cache
+// miss — a hit skips the tuner entirely (a warm start), a miss tunes and
+// saves.  Heuristic plans are never stored: they are free to recompute and
+// pinning them would mask heuristic improvements across versions.
+//
+// Entries are rejected (never adopted) when the format version, the host
+// feature string, or the problem signature disagrees with the requester —
+// a store directory carried to a different CPU silently degrades to cold
+// tuning instead of executing a plan this host cannot run.  Writes go to a
+// temp file in the same directory followed by std::rename, so concurrent
+// writers and crashed processes never leave a torn entry.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "solver/plan.hpp"
+#include "solver/problem.hpp"
+
+namespace tvs::serve {
+
+struct PlanStoreStats {
+  long loads = 0;    // entries adopted from disk (tuner runs avoided)
+  long saves = 0;    // entries written
+  long rejects = 0;  // unreadable / version / feature / signature mismatch
+};
+
+// True when a store directory is configured (TVS_PLAN_STORE or
+// plan_store_set_dir); lookups and saves are no-ops otherwise.
+bool plan_store_enabled();
+
+// The stored plan for (p, mode) when present, readable, and valid for this
+// host and problem; nullopt otherwise (counting a reject if an entry
+// existed but was refused).  mode is the plan-cache key suffix ("tuned").
+std::optional<solver::ExecutionPlan> plan_store_lookup(
+    const solver::StencilProblem& p, std::string_view mode);
+
+// Persists the plan for (p, mode); creates the store directory on first
+// save.  I/O failures are swallowed (the store is an accelerator, not a
+// durability contract) — a failed save simply re-tunes next process.
+void plan_store_save(const solver::StencilProblem& p, std::string_view mode,
+                     const solver::ExecutionPlan& plan);
+
+PlanStoreStats plan_store_stats();
+
+// Test hook: points the store at `dir` ("" disables) and zeroes the
+// counters, overriding TVS_PLAN_STORE for the rest of the process.
+void plan_store_set_dir(std::string dir);
+
+// "scalar+avx2+avx512"-style description of what this CPU can execute;
+// part of every entry's key and rejected on mismatch.
+std::string host_feature_string();
+
+}  // namespace tvs::serve

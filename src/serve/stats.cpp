@@ -1,0 +1,28 @@
+#include "serve/stats.hpp"
+
+#include <string>
+
+namespace tvs::serve {
+
+Stats stats() {
+  Stats s;
+  s.plan_cache = solver::plan_cache_stats();
+  s.plan_store = plan_store_stats();
+  s.executor = default_pool_stats();
+  return s;
+}
+
+std::string to_string(const Stats& s) {
+  std::string out = "plan_cache hits=" + std::to_string(s.plan_cache.hits) +
+                    " misses=" + std::to_string(s.plan_cache.misses) +
+                    " pinned=" + std::to_string(s.plan_cache.pinned);
+  out += " | plan_store loads=" + std::to_string(s.plan_store.loads) +
+         " saves=" + std::to_string(s.plan_store.saves) +
+         " rejects=" + std::to_string(s.plan_store.rejects);
+  out += " | executor tasks=" + std::to_string(s.executor.tasks_run) +
+         " steals=" + std::to_string(s.executor.steals) +
+         " workers=" + std::to_string(s.executor.workers);
+  return out;
+}
+
+}  // namespace tvs::serve

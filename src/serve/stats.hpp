@@ -1,0 +1,29 @@
+// serve::Stats: one snapshot of every counter the serving layer touches —
+// the plan cache (hits/misses/pinned), the persistent plan store
+// (loads/saves/rejects), and the executor (tasks/steals/workers).  Used by
+// bench/serve_throughput's stats table and by the tests that assert the
+// store actually eliminated re-tuning.
+#pragma once
+
+#include <string>
+
+#include "serve/executor.hpp"
+#include "serve/plan_store.hpp"
+#include "solver/plan_cache.hpp"
+
+namespace tvs::serve {
+
+struct Stats {
+  solver::PlanCacheStats plan_cache;
+  PlanStoreStats plan_store;
+  ExecutorStats executor;
+};
+
+// Snapshots all three sources (each internally consistent; the triple is
+// not atomic across sources).  Never instantiates the default pool.
+Stats stats();
+
+// "plan_cache hits=8 misses=2 ... executor tasks=10 steals=3 workers=4".
+std::string to_string(const Stats& s);
+
+}  // namespace tvs::serve

@@ -1,0 +1,18 @@
+// Solver::submit lives in serve/ (not solver.cpp) so the solver's core
+// translation unit never depends on the executor; linking the serving
+// layer is what activates the async half of the unified API.
+#include "serve/batch.hpp"
+#include "serve/executor.hpp"
+#include "solver/solver.hpp"
+
+namespace tvs::solver {
+
+Future<RunResult> Solver::submit(Workload w) const {
+  // Validate on the submitting thread: misuse (wrong payload for the
+  // family, extent mismatch) is a programming error that should surface
+  // at the call site, not be deferred into the future.
+  validate_workload(prob_, w);
+  return serve::submit_on(serve::default_pool(), *this, std::move(w));
+}
+
+}  // namespace tvs::solver

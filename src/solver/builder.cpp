@@ -1,0 +1,95 @@
+#include "solver/builder.hpp"
+
+#include <string>
+
+#include "solver/error.hpp"
+
+namespace tvs::solver {
+
+ProblemBuilder::ProblemBuilder(Family f) {
+  p_.family = f;
+  // Resolves the family through the name table, so an out-of-range id
+  // raises kBadFamily here instead of at build().
+  (void)family_name(f);
+}
+
+ProblemBuilder& ProblemBuilder::extents(int nx) {
+  p_.nx = nx;
+  p_.ny = 0;
+  p_.nz = 0;
+  extent_arity_ = 1;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::extents(int nx, int ny) {
+  p_.nx = nx;
+  p_.ny = ny;
+  p_.nz = 0;
+  extent_arity_ = 2;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::extents(int nx, int ny, int nz) {
+  p_.nx = nx;
+  p_.ny = ny;
+  p_.nz = nz;
+  extent_arity_ = 3;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::steps(long n) {
+  p_.steps = n;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::threads(int n) {
+  p_.threads = n;
+  return *this;
+}
+
+ProblemBuilder& ProblemBuilder::dtype(dispatch::DType dt) {
+  p_.dtype = dt;
+  return *this;
+}
+
+StencilProblem ProblemBuilder::build() const {
+  const std::string fam(family_name(p_.family));
+  const int dim = family_dim(p_.family);
+  if (extent_arity_ != dim) {
+    throw Error(Errc::kBadExtents,
+                "ProblemBuilder(" + fam + "): extents() got " +
+                    (extent_arity_ < 0 ? "no values"
+                                       : std::to_string(extent_arity_) +
+                                             " value(s)") +
+                    " but this family is " + std::to_string(dim) +
+                    "-dimensional");
+  }
+  const int ext[3] = {p_.nx, p_.ny, p_.nz};
+  for (int d = 0; d < dim; ++d) {
+    if (ext[d] <= 0) {
+      throw Error(Errc::kBadExtents,
+                  "ProblemBuilder(" + fam + "): extent " +
+                      std::to_string(ext[d]) + " at dimension " +
+                      std::to_string(d) + " must be positive");
+    }
+  }
+  if (p_.steps < 0) {
+    throw Error(Errc::kBadSteps, "ProblemBuilder(" + fam + "): steps " +
+                                     std::to_string(p_.steps) +
+                                     " must be >= 0");
+  }
+  if (p_.threads < 0) {
+    throw Error(Errc::kBadThreads, "ProblemBuilder(" + fam + "): threads " +
+                                       std::to_string(p_.threads) +
+                                       " must be >= 0");
+  }
+  if (!family_supports_dtype(p_.family, p_.effective_dtype())) {
+    throw Error(Errc::kUnsupportedDtype,
+                "ProblemBuilder(" + fam + "): element type " +
+                    std::string(dispatch::dtype_name(p_.dtype)) +
+                    " is not supported by this family");
+  }
+  return p_;
+}
+
+}  // namespace tvs::solver

@@ -1,0 +1,35 @@
+#include "solver/error.hpp"
+
+namespace tvs::solver {
+
+std::string_view errc_name(Errc code) {
+  switch (code) {
+    case Errc::kBadFamily:
+      return "bad-family";
+    case Errc::kBadExtents:
+      return "bad-extents";
+    case Errc::kBadSteps:
+      return "bad-steps";
+    case Errc::kBadThreads:
+      return "bad-threads";
+    case Errc::kBadPlanSpec:
+      return "bad-plan-spec";
+    case Errc::kUnsupportedDtype:
+      return "unsupported-dtype";
+    case Errc::kBadStride:
+      return "bad-stride";
+    case Errc::kBadVl:
+      return "bad-vl";
+    case Errc::kBadPath:
+      return "bad-path";
+    case Errc::kBadVariant:
+      return "bad-variant";
+    case Errc::kBackendUnavailable:
+      return "backend-unavailable";
+    case Errc::kBadWorkload:
+      return "bad-workload";
+  }
+  return "unknown";
+}
+
+}  // namespace tvs::solver

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <charconv>
-#include <stdexcept>
 
 #include "dispatch/kernels.hpp"
 #include "dispatch/registry.hpp"
+#include "solver/error.hpp"
 #include "tv/tv1d_impl.hpp"  // kMaxStride (ring capacity of the 1D engines)
 
 namespace tvs::solver {
@@ -22,9 +22,9 @@ int parse_int_value(std::string_view clause, std::string_view value) {
   const char* last = value.data() + value.size();
   const auto [ptr, ec] = std::from_chars(first, last, out);
   if (ec != std::errc() || ptr != last) {
-    throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
-                                "\": \"" + std::string(value) +
-                                "\" is not an integer");
+    throw Error(Errc::kBadPlanSpec,
+                "TVS_PLAN clause \"" + std::string(clause) + "\": \"" +
+                    std::string(value) + "\" is not an integer");
   }
   return out;
 }
@@ -65,7 +65,7 @@ std::string_view serial_kernel_id(Family f, Variant v) {
     case Family::kLcs:
       return dispatch::kTvLcsRows;
   }
-  throw std::invalid_argument("unknown stencil family");
+  throw Error(Errc::kBadFamily, "unknown stencil family");
 }
 
 // Band height rounded down to a multiple of `unit`, clamped to the number
@@ -174,19 +174,20 @@ ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec) {
                                           : rest.substr(comma + 1);
     const std::size_t eq = clause.find('=');
     if (clause.empty() || eq == std::string_view::npos || eq == 0) {
-      throw std::invalid_argument(
-          "TVS_PLAN clause \"" + std::string(clause) +
-          "\" is not key=value (valid keys: backend, vl, stride, tile, "
-          "path, variant)");
+      throw Error(Errc::kBadPlanSpec,
+                  "TVS_PLAN clause \"" + std::string(clause) +
+                      "\" is not key=value (valid keys: backend, vl, "
+                      "stride, tile, path, variant)");
     }
     const std::string_view key = clause.substr(0, eq);
     const std::string_view value = clause.substr(eq + 1);
     if (key == "backend") {
       const auto b = dispatch::parse_backend(value);
       if (!b.has_value()) {
-        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
-                                    "\": unknown backend (valid: scalar, "
-                                    "avx2, avx512)");
+        throw Error(Errc::kBadPlanSpec,
+                    "TVS_PLAN clause \"" + std::string(clause) +
+                        "\": unknown backend (valid: scalar, avx2, "
+                        "avx512)");
       }
       base.backend = *b;
     } else if (key == "vl") {
@@ -196,8 +197,9 @@ ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec) {
     } else if (key == "tile") {
       const std::size_t x = value.find('x');
       if (x == std::string_view::npos || x == 0 || x + 1 == value.size()) {
-        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
-                                    "\": tile must be WxH, e.g. tile=256x32");
+        throw Error(Errc::kBadPlanSpec,
+                    "TVS_PLAN clause \"" + std::string(clause) +
+                        "\": tile must be WxH, e.g. tile=256x32");
       }
       base.tile_w = parse_int_value(clause, value.substr(0, x));
       base.tile_h = parse_int_value(clause, value.substr(x + 1));
@@ -207,8 +209,9 @@ ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec) {
       } else if (value == "tiled") {
         base.path = Path::kTiledParallel;
       } else {
-        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
-                                    "\": unknown path (valid: tv, tiled)");
+        throw Error(Errc::kBadPlanSpec,
+                    "TVS_PLAN clause \"" + std::string(clause) +
+                        "\": unknown path (valid: tv, tiled)");
       }
     } else if (key == "variant") {
       if (value == "tv") {
@@ -216,14 +219,15 @@ ExecutionPlan apply_plan_spec(ExecutionPlan base, std::string_view spec) {
       } else if (value == "re") {
         base.variant = Variant::kRe;
       } else {
-        throw std::invalid_argument("TVS_PLAN clause \"" + std::string(clause) +
-                                    "\": unknown variant (valid: tv, re)");
+        throw Error(Errc::kBadPlanSpec,
+                    "TVS_PLAN clause \"" + std::string(clause) +
+                        "\": unknown variant (valid: tv, re)");
       }
     } else {
-      throw std::invalid_argument(
-          "TVS_PLAN clause \"" + std::string(clause) +
-          "\": unknown key (valid: backend, vl, stride, tile, path, "
-          "variant)");
+      throw Error(Errc::kBadPlanSpec,
+                  "TVS_PLAN clause \"" + std::string(clause) +
+                      "\": unknown key (valid: backend, vl, stride, tile, "
+                      "path, variant)");
     }
   }
   return base;
@@ -237,22 +241,27 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
   // fixed int32 (StencilProblem::effective_dtype normalizes the latter, so
   // only an explicit impossible request trips this).
   if (!family_supports_dtype(p.family, p.effective_dtype())) {
-    throw std::invalid_argument(
-        where + ": element type " +
-        std::string(dispatch::dtype_name(p.dtype)) +
-        " is not supported by this family");
+    throw Error(Errc::kUnsupportedDtype,
+                where + ": element type " +
+                    std::string(dispatch::dtype_name(p.dtype)) +
+                    " is not supported by this family",
+                p.signature());
   }
   const dispatch::DType dt = p.effective_dtype();
 
   // Backend availability mirrors the TVS_FORCE_BACKEND contract.
   if (!dispatch::KernelRegistry::instance().has_backend(plan.backend)) {
-    throw std::runtime_error(where + ": backend " +
-                             std::string(dispatch::backend_name(plan.backend)) +
-                             " was not compiled into this binary");
+    throw Error(Errc::kBackendUnavailable,
+                where + ": backend " +
+                    std::string(dispatch::backend_name(plan.backend)) +
+                    " was not compiled into this binary",
+                p.signature());
   }
   if (!dispatch::cpu_supports(plan.backend)) {
-    throw std::runtime_error(where + ": this CPU cannot execute backend " +
-                             std::string(dispatch::backend_name(plan.backend)));
+    throw Error(Errc::kBackendUnavailable,
+                where + ": this CPU cannot execute backend " +
+                    std::string(dispatch::backend_name(plan.backend)),
+                p.signature());
   }
 
   // §3.2 stride legality, checked once for the whole solve.  The 1D
@@ -264,36 +273,43 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
   stencil::require_legal_stride(where, deps, plan.stride,
                                 has_ring_cap ? tv::kMaxStride : 0);
   if (p.family == Family::kLcs && plan.stride != 1) {
-    throw std::invalid_argument(where +
-                                ": the LCS engine is a fixed stride-1 "
-                                "scheme; stride must be 1");
+    throw Error(Errc::kBadStride,
+                where +
+                    ": the LCS engine is a fixed stride-1 scheme; stride "
+                    "must be 1",
+                p.signature());
   }
 
   // The redundancy-eliminated variant exists for the Jacobi families'
   // serial engines only; everything else must stay on the baseline.
   if (plan.variant == Variant::kRe) {
     if (!family_has_re_variant(p.family)) {
-      throw std::invalid_argument(where +
-                                  ": variant=re is registered for the "
-                                  "Jacobi families only; use variant=tv");
+      throw Error(Errc::kBadVariant,
+                  where +
+                      ": variant=re is registered for the Jacobi families "
+                      "only; use variant=tv",
+                  p.signature());
     }
     if (plan.path == Path::kTiledParallel) {
-      throw std::invalid_argument(where +
-                                  ": variant=re applies to the serial tv "
-                                  "path only (the tiled drivers have no re "
-                                  "engines)");
+      throw Error(Errc::kBadVariant,
+                  where +
+                      ": variant=re applies to the serial tv path only "
+                      "(the tiled drivers have no re engines)",
+                  p.signature());
     }
   }
 
   if (plan.vl < 0) {
-    throw std::invalid_argument(where + ": vl must be >= 0 (0 = native)");
+    throw Error(Errc::kBadVl, where + ": vl must be >= 0 (0 = native)",
+                p.signature());
   }
   if (plan.vl > 0) {
     if (plan.path == Path::kTiledParallel) {
-      throw std::invalid_argument(where +
-                                  ": vl pinning applies to the serial tv "
-                                  "path only (the tiled drivers choose "
-                                  "their own internal width)");
+      throw Error(Errc::kBadVl,
+                  where +
+                      ": vl pinning applies to the serial tv path only "
+                      "(the tiled drivers choose their own internal width)",
+                  p.signature());
     }
     const std::vector<int> widths =
         dispatch::KernelRegistry::instance().registered_widths(
@@ -304,38 +320,45 @@ void validate_plan(const StencilProblem& p, const ExecutionPlan& plan) {
         if (!have.empty()) have += ", ";
         have += std::to_string(w);
       }
-      throw std::invalid_argument(
-          where + ": no engine registered at vl=" + std::to_string(plan.vl) +
-          " dtype=" + std::string(dispatch::dtype_name(dt)) +
-          " (registered widths: " + have + ")");
+      throw Error(Errc::kBadVl,
+                  where + ": no engine registered at vl=" +
+                      std::to_string(plan.vl) + " dtype=" +
+                      std::string(dispatch::dtype_name(dt)) +
+                      " (registered widths: " + have + ")",
+                  p.signature());
     }
   }
 
   if (plan.path == Path::kTiledParallel) {
     if (!family_has_tiled_path(p.family)) {
-      throw std::invalid_argument(where +
-                                  ": this family has no tiled parallel "
-                                  "driver; use path=tv");
+      throw Error(Errc::kBadPath,
+                  where + ": this family has no tiled parallel driver; use "
+                          "path=tv",
+                  p.signature());
     }
     if (dt == dispatch::DType::kF32) {
-      throw std::invalid_argument(where +
-                                  ": the tiled drivers are double/int32 "
-                                  "only; float problems run path=tv");
+      throw Error(Errc::kBadPath,
+                  where + ": the tiled drivers are double/int32 only; "
+                          "float problems run path=tv",
+                  p.signature());
     }
     if (plan.tile_w <= 0 || plan.tile_h <= 0) {
-      throw std::invalid_argument(
-          where + ": tiled path needs positive tile extents (got " +
-          std::to_string(plan.tile_w) + "x" + std::to_string(plan.tile_h) +
-          ")");
+      throw Error(Errc::kBadPlanSpec,
+                  where + ": tiled path needs positive tile extents (got " +
+                      std::to_string(plan.tile_w) + "x" +
+                      std::to_string(plan.tile_h) + ")",
+                  p.signature());
     }
     const bool parallelogram = p.family == Family::kGs1D3 ||
                                p.family == Family::kGs2D5 ||
                                p.family == Family::kGs3D7;
     if (parallelogram && plan.stride > kMaxParallelogramStride) {
-      throw std::invalid_argument(
-          where + ": stride " + std::to_string(plan.stride) +
-          " exceeds the parallelogram tile kernel's ring capacity (max " +
-          std::to_string(kMaxParallelogramStride) + ")");
+      throw Error(Errc::kBadStride,
+                  where + ": stride " + std::to_string(plan.stride) +
+                      " exceeds the parallelogram tile kernel's ring "
+                      "capacity (max " +
+                      std::to_string(kMaxParallelogramStride) + ")",
+                  p.signature());
     }
   }
 }

@@ -2,8 +2,10 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 
+#include "serve/plan_store.hpp"
 #include "util/env.hpp"
 
 namespace tvs::solver {
@@ -56,9 +58,21 @@ ExecutionPlan plan_for(const StencilProblem& p, PlanMode mode) {
   }
 
   // Plan outside the lock: tuning runs real kernels and may take a while.
-  ExecutionPlan plan =
-      mode == PlanMode::kTuned ? tune_plan(p) : heuristic_plan(p);
+  // Tuned mode consults the persistent store first (TVS_PLAN_STORE): a
+  // valid entry for (host features, signature) warm-starts the process and
+  // skips the tuner entirely; heuristic plans are free to recompute and are
+  // never stored.
+  std::optional<ExecutionPlan> stored;
+  if (mode == PlanMode::kTuned) {
+    stored = serve::plan_store_lookup(p, "tuned");
+  }
+  ExecutionPlan plan = stored.has_value() ? *stored
+                       : mode == PlanMode::kTuned ? tune_plan(p)
+                                                  : heuristic_plan(p);
   validate_plan(p, plan);
+  if (mode == PlanMode::kTuned && !stored.has_value()) {
+    serve::plan_store_save(p, "tuned", plan);
+  }
 
   // Re-check under the lock: when several threads race the first lookup of
   // a signature, exactly one planner result is stored and counted as the

@@ -1,6 +1,6 @@
 #include "solver/problem.hpp"
 
-#include <stdexcept>
+#include "solver/error.hpp"
 
 namespace tvs::solver {
 
@@ -23,8 +23,8 @@ constexpr FamilyRow kFamilies[kFamilyCount] = {
 const FamilyRow& row(Family f) {
   for (const FamilyRow& r : kFamilies)
     if (r.family == f) return r;
-  throw std::invalid_argument("unknown stencil family id " +
-                              std::to_string(static_cast<int>(f)));
+  throw Error(Errc::kBadFamily, "unknown stencil family id " +
+                                    std::to_string(static_cast<int>(f)));
 }
 
 }  // namespace
@@ -39,9 +39,9 @@ Family parse_family(std::string_view name) {
     if (!valid.empty()) valid += ", ";
     valid += r.name;
   }
-  throw std::invalid_argument("\"" + std::string(name) +
-                              "\" is not a stencil family (valid: " + valid +
-                              ")");
+  throw Error(Errc::kBadFamily,
+              "\"" + std::string(name) +
+                  "\" is not a stencil family (valid: " + valid + ")");
 }
 
 int family_dim(Family f) { return row(f).dim; }
@@ -71,8 +71,8 @@ std::vector<stencil::Dep> family_deps(Family f) {
     case Family::kLcs:
       return stencil::lcs_deps();
   }
-  throw std::invalid_argument("unknown stencil family id " +
-                              std::to_string(static_cast<int>(f)));
+  throw Error(Errc::kBadFamily, "unknown stencil family id " +
+                                    std::to_string(static_cast<int>(f)));
 }
 
 dispatch::DType StencilProblem::effective_dtype() const {

@@ -84,6 +84,11 @@ struct StencilProblem {
 };
 
 // Convenience constructors for the common shapes.
+//
+// DEPRECATED: prefer solver::ProblemBuilder (builder.hpp), which validates
+// extents arity/positivity, steps, threads and dtype at build() time; the
+// positional helpers below construct unvalidated descriptors and are kept
+// for source compatibility only.
 StencilProblem problem_1d(Family f, int nx, long steps, int threads = 0);
 StencilProblem problem_2d(Family f, int nx, int ny, long steps,
                           int threads = 0);

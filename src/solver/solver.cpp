@@ -1,14 +1,15 @@
-// Solver::run routing: registry-resolved temporal engines on the serial
+// Solver kernel routing: registry-resolved temporal engines on the serial
 // path, diamond / parallelogram / wavefront drivers on the tiled path.
-// Stride legality was enforced once at plan validation, so the kernels
-// are invoked directly (not through the re-validating tv_*_run wrappers).
+// Stride legality was enforced once at plan validation and the payload was
+// checked once by validate_workload (workload.cpp), so the kernels are
+// invoked directly (not through the re-validating tv_*_run wrappers).
 #include "solver/solver.hpp"
 
-#include <stdexcept>
 #include <string>
 
 #include "dispatch/kernels.hpp"
 #include "dispatch/registry.hpp"
+#include "solver/error.hpp"
 #include "tiling/diamond.hpp"
 #include "tiling/diamond2d.hpp"
 #include "tiling/diamond3d.hpp"
@@ -17,7 +18,6 @@
 #include "tiling/parallelogram2d.hpp"
 #include "tiling/pingpong_convert.hpp"
 #include "tv/tv_lcs.hpp"  // kLcsRowPad
-#include "util/checked_idx.hpp"
 #include "util/omp_compat.hpp"
 
 namespace tvs::solver {
@@ -49,42 +49,27 @@ std::string_view variant_id(const ExecutionPlan& plan, std::string_view tv_id,
   return plan.variant == Variant::kRe ? re_id : tv_id;
 }
 
-void check_family(const StencilProblem& p, std::initializer_list<Family> ok,
-                  const char* overload) {
-  for (const Family f : ok)
-    if (p.family == f) return;
-  std::string allowed;
-  for (const Family f : ok) {
-    if (!allowed.empty()) allowed += "/";
-    allowed += family_name(f);
-  }
-  throw std::invalid_argument(
-      "Solver::" + std::string(overload) + ": problem family " +
-      std::string(family_name(p.family)) +
-      " does not match this overload (expects " + allowed + ")");
-}
-
-// The typed run() overloads are dtype-checked exactly like they are
-// family-checked: handing a double grid to an f32 problem (or vice versa)
-// is an error, not a silent precision switch.
-void check_dtype(const StencilProblem& p, dispatch::DType expected,
-                 const char* overload) {
-  if (p.effective_dtype() == expected) return;
-  throw std::invalid_argument(
-      "Solver::" + std::string(overload) + ": problem " + p.signature() +
-      " has element type " +
-      std::string(dispatch::dtype_name(p.effective_dtype())) +
-      " but this overload runs " +
-      std::string(dispatch::dtype_name(expected)) + " grids");
+// Family/extent guards for the parity-pair overloads, which do not route
+// through validate_workload (they are a tiled-path special case, not a
+// Workload payload).
+void check_family(const StencilProblem& p, Family ok, const char* overload) {
+  if (p.family == ok) return;
+  throw Error(Errc::kBadFamily,
+              "Solver::" + std::string(overload) + ": problem family " +
+                  std::string(family_name(p.family)) +
+                  " does not match this overload (expects " +
+                  std::string(family_name(ok)) + ")",
+              p.signature());
 }
 
 void check_extents(const StencilProblem& p, int nx, int ny, int nz) {
   const int dim = family_dim(p.family);
   if (nx != p.nx || (dim >= 2 && ny != p.ny) || (dim >= 3 && nz != p.nz)) {
-    throw std::invalid_argument(
-        "Solver::run: grid extents disagree with the StencilProblem "
-        "descriptor (problem " +
-        p.signature() + ")");
+    throw Error(Errc::kBadExtents,
+                "Solver::run: grid extents disagree with the StencilProblem "
+                "descriptor (problem " +
+                    p.signature() + ")",
+                p.signature());
   }
 }
 
@@ -115,10 +100,11 @@ using tiling::with_pingpong2d;
 using tiling::with_pingpong3d;
 
 [[noreturn]] void throw_needs_tiled(const StencilProblem& p) {
-  throw std::invalid_argument(
-      "Solver::run: the parity-pair overload requires a tiled plan "
-      "(problem " +
-      p.signature() + " planned path=tv); pass a Grid instead");
+  throw Error(Errc::kBadPath,
+              "Solver::run: the parity-pair overload requires a tiled plan "
+              "(problem " +
+                  p.signature() + " planned path=tv); pass a Grid instead",
+              p.signature());
 }
 
 }  // namespace
@@ -131,12 +117,48 @@ Solver::Solver(const StencilProblem& p, const ExecutionPlan& plan)
   validate_plan(prob_, plan_);
 }
 
-// ---- 1D double families ----------------------------------------------------
+// ---- typed compatibility wrappers ------------------------------------------
+// Each forwards through the Workload pair so validation happens in exactly
+// one place (validate_workload).
 
 void Solver::run(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
-  check_family(prob_, {Family::kJacobi1D3, Family::kGs1D3}, "run(C1D3)");
-  check_dtype(prob_, dispatch::DType::kF64, "run(C1D3)");
-  check_extents(prob_, u.nx(), 0, 0);
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C1D5& c, grid::Grid1D<double>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C2D9& c, grid::Grid2D<double>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C1D3f& c, grid::Grid1D<float>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C1D5f& c, grid::Grid1D<float>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C2D5f& c, grid::Grid2D<float>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C2D9f& c, grid::Grid2D<float>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::C3D7f& c, grid::Grid3D<float>& u) const {
+  run(Workload(c, u));
+}
+void Solver::run(const stencil::LifeRule& r,
+                 grid::Grid2D<std::int32_t>& u) const {
+  run(Workload(r, u));
+}
+
+// ---- 1D double families ----------------------------------------------------
+
+void Solver::exec(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
   if (prob_.family == Family::kGs1D3) {
     if (plan_.path == Path::kTiledParallel) {
       const ThreadScope scope(prob_.threads);
@@ -160,10 +182,7 @@ void Solver::run(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
   }
 }
 
-void Solver::run(const stencil::C1D5& c, grid::Grid1D<double>& u) const {
-  check_family(prob_, {Family::kJacobi1D5}, "run(C1D5)");
-  check_dtype(prob_, dispatch::DType::kF64, "run(C1D5)");
-  check_extents(prob_, u.nx(), 0, 0);
+void Solver::exec(const stencil::C1D5& c, grid::Grid1D<double>& u) const {
   resolve<dispatch::TvJacobi1D5Fn>(
       plan_,
       variant_id(plan_, dispatch::kTvJacobi1D5, dispatch::kTvJacobi1D5Re))(
@@ -172,7 +191,7 @@ void Solver::run(const stencil::C1D5& c, grid::Grid1D<double>& u) const {
 
 void Solver::run(const stencil::C1D3& c,
                  grid::PingPong<grid::Grid1D<double>>& pp) const {
-  check_family(prob_, {Family::kJacobi1D3}, "run(C1D3, PingPong)");
+  check_family(prob_, Family::kJacobi1D3, "run(C1D3, PingPong)");
   check_extents(prob_, pp.even().nx(), 0, 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
   const ThreadScope scope(prob_.threads);
@@ -183,10 +202,7 @@ void Solver::run(const stencil::C1D3& c,
 
 // ---- 2D double families ----------------------------------------------------
 
-void Solver::run(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
-  check_family(prob_, {Family::kJacobi2D5, Family::kGs2D5}, "run(C2D5)");
-  check_dtype(prob_, dispatch::DType::kF64, "run(C2D5)");
-  check_extents(prob_, u.nx(), u.ny(), 0);
+void Solver::exec(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
   if (prob_.family == Family::kGs2D5) {
     if (plan_.path == Path::kTiledParallel) {
       const ThreadScope scope(prob_.threads);
@@ -210,10 +226,7 @@ void Solver::run(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
   }
 }
 
-void Solver::run(const stencil::C2D9& c, grid::Grid2D<double>& u) const {
-  check_family(prob_, {Family::kJacobi2D9}, "run(C2D9)");
-  check_dtype(prob_, dispatch::DType::kF64, "run(C2D9)");
-  check_extents(prob_, u.nx(), u.ny(), 0);
+void Solver::exec(const stencil::C2D9& c, grid::Grid2D<double>& u) const {
   if (plan_.path == Path::kTiledParallel) {
     with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(c, pp); });
   } else {
@@ -226,7 +239,7 @@ void Solver::run(const stencil::C2D9& c, grid::Grid2D<double>& u) const {
 
 void Solver::run(const stencil::C2D5& c,
                  grid::PingPong<grid::Grid2D<double>>& pp) const {
-  check_family(prob_, {Family::kJacobi2D5}, "run(C2D5, PingPong)");
+  check_family(prob_, Family::kJacobi2D5, "run(C2D5, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
   const ThreadScope scope(prob_.threads);
@@ -237,7 +250,7 @@ void Solver::run(const stencil::C2D5& c,
 
 void Solver::run(const stencil::C2D9& c,
                  grid::PingPong<grid::Grid2D<double>>& pp) const {
-  check_family(prob_, {Family::kJacobi2D9}, "run(C2D9, PingPong)");
+  check_family(prob_, Family::kJacobi2D9, "run(C2D9, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
   const ThreadScope scope(prob_.threads);
@@ -248,10 +261,7 @@ void Solver::run(const stencil::C2D9& c,
 
 // ---- 3D double families ----------------------------------------------------
 
-void Solver::run(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
-  check_family(prob_, {Family::kJacobi3D7, Family::kGs3D7}, "run(C3D7)");
-  check_dtype(prob_, dispatch::DType::kF64, "run(C3D7)");
-  check_extents(prob_, u.nx(), u.ny(), u.nz());
+void Solver::exec(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
   if (prob_.family == Family::kGs3D7) {
     if (plan_.path == Path::kTiledParallel) {
       const ThreadScope scope(prob_.threads);
@@ -277,7 +287,7 @@ void Solver::run(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
 
 void Solver::run(const stencil::C3D7& c,
                  grid::PingPong<grid::Grid3D<double>>& pp) const {
-  check_family(prob_, {Family::kJacobi3D7}, "run(C3D7, PingPong)");
+  check_family(prob_, Family::kJacobi3D7, "run(C3D7, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), pp.even().nz());
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
   const ThreadScope scope(prob_.threads);
@@ -288,10 +298,7 @@ void Solver::run(const stencil::C3D7& c,
 
 // ---- Single-precision FP families (serial temporal path only) --------------
 
-void Solver::run(const stencil::C1D3f& c, grid::Grid1D<float>& u) const {
-  check_family(prob_, {Family::kJacobi1D3, Family::kGs1D3}, "run(C1D3f)");
-  check_dtype(prob_, dispatch::DType::kF32, "run(C1D3f)");
-  check_extents(prob_, u.nx(), 0, 0);
+void Solver::exec(const stencil::C1D3f& c, grid::Grid1D<float>& u) const {
   if (prob_.family == Family::kGs1D3) {
     resolve_dt<dispatch::TvGs1D3F32Fn>(plan_, dispatch::kTvGs1D3,
                                        dispatch::DType::kF32)(
@@ -304,20 +311,14 @@ void Solver::run(const stencil::C1D3f& c, grid::Grid1D<float>& u) const {
       dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
-void Solver::run(const stencil::C1D5f& c, grid::Grid1D<float>& u) const {
-  check_family(prob_, {Family::kJacobi1D5}, "run(C1D5f)");
-  check_dtype(prob_, dispatch::DType::kF32, "run(C1D5f)");
-  check_extents(prob_, u.nx(), 0, 0);
+void Solver::exec(const stencil::C1D5f& c, grid::Grid1D<float>& u) const {
   resolve_dt<dispatch::TvJacobi1D5F32Fn>(
       plan_,
       variant_id(plan_, dispatch::kTvJacobi1D5, dispatch::kTvJacobi1D5Re),
       dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
-void Solver::run(const stencil::C2D5f& c, grid::Grid2D<float>& u) const {
-  check_family(prob_, {Family::kJacobi2D5, Family::kGs2D5}, "run(C2D5f)");
-  check_dtype(prob_, dispatch::DType::kF32, "run(C2D5f)");
-  check_extents(prob_, u.nx(), u.ny(), 0);
+void Solver::exec(const stencil::C2D5f& c, grid::Grid2D<float>& u) const {
   if (prob_.family == Family::kGs2D5) {
     resolve_dt<dispatch::TvGs2D5F32Fn>(plan_, dispatch::kTvGs2D5,
                                        dispatch::DType::kF32)(
@@ -330,20 +331,14 @@ void Solver::run(const stencil::C2D5f& c, grid::Grid2D<float>& u) const {
       dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
-void Solver::run(const stencil::C2D9f& c, grid::Grid2D<float>& u) const {
-  check_family(prob_, {Family::kJacobi2D9}, "run(C2D9f)");
-  check_dtype(prob_, dispatch::DType::kF32, "run(C2D9f)");
-  check_extents(prob_, u.nx(), u.ny(), 0);
+void Solver::exec(const stencil::C2D9f& c, grid::Grid2D<float>& u) const {
   resolve_dt<dispatch::TvJacobi2D9F32Fn>(
       plan_,
       variant_id(plan_, dispatch::kTvJacobi2D9, dispatch::kTvJacobi2D9Re),
       dispatch::DType::kF32)(c, u, prob_.steps, plan_.stride);
 }
 
-void Solver::run(const stencil::C3D7f& c, grid::Grid3D<float>& u) const {
-  check_family(prob_, {Family::kJacobi3D7, Family::kGs3D7}, "run(C3D7f)");
-  check_dtype(prob_, dispatch::DType::kF32, "run(C3D7f)");
-  check_extents(prob_, u.nx(), u.ny(), u.nz());
+void Solver::exec(const stencil::C3D7f& c, grid::Grid3D<float>& u) const {
   if (prob_.family == Family::kGs3D7) {
     resolve_dt<dispatch::TvGs3D7F32Fn>(plan_, dispatch::kTvGs3D7,
                                        dispatch::DType::kF32)(
@@ -358,10 +353,8 @@ void Solver::run(const stencil::C3D7f& c, grid::Grid3D<float>& u) const {
 
 // ---- Life ------------------------------------------------------------------
 
-void Solver::run(const stencil::LifeRule& r,
-                 grid::Grid2D<std::int32_t>& u) const {
-  check_family(prob_, {Family::kLife}, "run(LifeRule)");
-  check_extents(prob_, u.nx(), u.ny(), 0);
+void Solver::exec(const stencil::LifeRule& r,
+                  grid::Grid2D<std::int32_t>& u) const {
   if (plan_.path == Path::kTiledParallel) {
     with_pingpong2d(u, prob_.steps, [&](auto& pp) { run(r, pp); });
   } else {
@@ -372,7 +365,7 @@ void Solver::run(const stencil::LifeRule& r,
 
 void Solver::run(const stencil::LifeRule& r,
                  grid::PingPong<grid::Grid2D<std::int32_t>>& pp) const {
-  check_family(prob_, {Family::kLife}, "run(LifeRule, PingPong)");
+  check_family(prob_, Family::kLife, "run(LifeRule, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
   const ThreadScope scope(prob_.threads);
@@ -383,13 +376,8 @@ void Solver::run(const stencil::LifeRule& r,
 
 // ---- LCS -------------------------------------------------------------------
 
-std::vector<std::int32_t> Solver::lcs_row(
+std::vector<std::int32_t> Solver::exec_lcs_rows(
     std::span<const std::int32_t> a, std::span<const std::int32_t> b) const {
-  check_family(prob_, {Family::kLcs}, "lcs_row");
-  // checked_int: a >=2^31 span must raise, not truncate into a value that
-  // happens to pass check_extents.
-  check_extents(prob_, util::checked_int(a.size()), util::checked_int(b.size()),
-                0);
   const std::size_t nb = b.size();
   std::vector<std::int32_t> row(nb + 1 + tv::kLcsRowPad, 0);
   if (nb > 0) {
@@ -400,18 +388,29 @@ std::vector<std::int32_t> Solver::lcs_row(
   return row;
 }
 
-std::int32_t Solver::lcs(std::span<const std::int32_t> a,
-                         std::span<const std::int32_t> b) const {
-  check_family(prob_, {Family::kLcs}, "lcs");
-  check_extents(prob_, util::checked_int(a.size()), util::checked_int(b.size()),
-                0);
+void Solver::exec_lcs(const detail::LcsJob& job, RunResult& out) const {
   if (plan_.path == Path::kTiledParallel) {
     const ThreadScope scope(prob_.threads);
     tiling::LcsWavefrontOptions opt{plan_.tile_w, plan_.tile_h, true};
-    return resolve<dispatch::LcsWavefrontFn>(plan_, dispatch::kLcsWavefront)(
-        a, b, opt);
+    out.lcs_length = resolve<dispatch::LcsWavefrontFn>(
+        plan_, dispatch::kLcsWavefront)(job.a, job.b, opt);
+    return;
   }
-  return lcs_row(a, b).back();
+  out.lcs_row = exec_lcs_rows(job.a, job.b);
+  out.lcs_length = out.lcs_row.back();
+}
+
+std::vector<std::int32_t> Solver::lcs_row(
+    std::span<const std::int32_t> a, std::span<const std::int32_t> b) const {
+  validate_workload(prob_, Workload(a, b));
+  // Always the serial row engine: the DP row is this entry point's product,
+  // whatever path the plan picked for lcs().
+  return exec_lcs_rows(a, b);
+}
+
+std::int32_t Solver::lcs(std::span<const std::int32_t> a,
+                         std::span<const std::int32_t> b) const {
+  return run(Workload(a, b)).lcs_length;
 }
 
 }  // namespace tvs::solver

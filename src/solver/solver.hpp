@@ -1,9 +1,9 @@
 // Solver: the single front door over the ~20 per-kernel entry points.
 //
-//   StencilProblem p = solver::problem_2d(solver::Family::kJacobi2D5,
-//                                         n, n, steps);
+//   StencilProblem p = solver::ProblemBuilder(solver::Family::kJacobi2D5)
+//                          .extents(n, n).steps(steps).build();
 //   solver::Solver s(p);          // plans once (cached process-wide)
-//   s.run(stencil::heat2d(0.2), u);
+//   s.run(solver::Workload(stencil::heat2d(0.2), u));
 //
 // Construction picks an ExecutionPlan for the problem — heuristic paper
 // defaults, measured auto-tune (TVS_TUNE=1 / PlanMode::kTuned), or a
@@ -15,9 +15,16 @@
 // Every path is bit-identical to the direct tv_* / diamond_* entry points
 // (and therefore to the scalar oracles).
 //
-// The typed run() overloads are family-checked: calling the C2D5 overload
-// on anything but a Jacobi2D5/Gs2D5 problem throws std::invalid_argument,
-// as does a grid whose extents disagree with the problem descriptor.
+// The execution API is the type-erased pair
+//
+//   run(const Workload&)    -> RunResult     synchronous, this thread
+//   submit(Workload)        -> Future<RunResult>   async, on the serving
+//                                            executor (serve/executor.hpp)
+//
+// sharing ONE family/dtype/extent validation (workload.hpp).  The typed
+// run() overloads below are thin compatibility wrappers over the same
+// pair; errors from every entry point are tvs::solver::Error (error.hpp),
+// which derives std::invalid_argument.
 #pragma once
 
 #include <cstdint>
@@ -28,9 +35,11 @@
 #include "grid/grid2d.hpp"
 #include "grid/grid3d.hpp"
 #include "grid/pingpong.hpp"
+#include "solver/error.hpp"
 #include "solver/plan.hpp"
 #include "solver/plan_cache.hpp"
 #include "solver/problem.hpp"
+#include "solver/workload.hpp"
 #include "stencil/coefficients.hpp"
 #include "stencil/kernels.hpp"
 
@@ -46,6 +55,22 @@ class Solver {
 
   const StencilProblem& problem() const { return prob_; }
   const ExecutionPlan& plan() const { return plan_; }
+
+  // ---- the unified execution pair -----------------------------------------
+
+  // Validates the payload against the problem (one shared check) and runs
+  // it synchronously on the calling thread.  Grid payloads update the
+  // caller's grid in place; the LCS payload reports through RunResult.
+  RunResult run(const Workload& w) const;
+
+  // Same contract, asynchronous: the workload is enqueued on the serving
+  // executor (serve::default_pool()) and the result — or the exception the
+  // run raised — is delivered through the Future.  The caller's grid/span
+  // storage must stay alive until the future is ready.  Bit-identical to
+  // run(): both resolve the same cached plan and the same engines.
+  Future<RunResult> submit(Workload w) const;
+
+  // ---- typed compatibility wrappers (forward to run(Workload)) -----------
 
   // Jacobi1D3 / Gs1D3 (by the problem's family).
   void run(const stencil::C1D3& c, grid::Grid1D<double>& u) const;
@@ -71,6 +96,8 @@ class Solver {
   // Tiled-path parity-pair overloads (no copy-in/copy-out: the result of
   // step `steps` is left in pp.by_parity(steps), as with the raw diamond
   // drivers).  Only valid on a kTiledParallel plan of a diamond family.
+  // These stay typed: their result placement differs from the Workload
+  // contract, so they are not serving payloads.
   void run(const stencil::C1D3& c,
            grid::PingPong<grid::Grid1D<double>>& pp) const;
   void run(const stencil::C2D5& c,
@@ -83,12 +110,30 @@ class Solver {
            grid::PingPong<grid::Grid2D<std::int32_t>>& pp) const;
 
   // Lcs: length of the longest common subsequence (and the final DP row).
+  // lcs() honours the planned path (tiled wavefront or serial rows);
+  // lcs_row() always runs the serial row engine, whatever the plan.
   std::int32_t lcs(std::span<const std::int32_t> a,
                    std::span<const std::int32_t> b) const;
   std::vector<std::int32_t> lcs_row(std::span<const std::int32_t> a,
                                     std::span<const std::int32_t> b) const;
 
  private:
+  // Kernel routing per payload shape, no validation (run(Workload) did it).
+  void exec(const stencil::C1D3& c, grid::Grid1D<double>& u) const;
+  void exec(const stencil::C1D5& c, grid::Grid1D<double>& u) const;
+  void exec(const stencil::C2D5& c, grid::Grid2D<double>& u) const;
+  void exec(const stencil::C2D9& c, grid::Grid2D<double>& u) const;
+  void exec(const stencil::C3D7& c, grid::Grid3D<double>& u) const;
+  void exec(const stencil::C1D3f& c, grid::Grid1D<float>& u) const;
+  void exec(const stencil::C1D5f& c, grid::Grid1D<float>& u) const;
+  void exec(const stencil::C2D5f& c, grid::Grid2D<float>& u) const;
+  void exec(const stencil::C2D9f& c, grid::Grid2D<float>& u) const;
+  void exec(const stencil::C3D7f& c, grid::Grid3D<float>& u) const;
+  void exec(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u) const;
+  void exec_lcs(const detail::LcsJob& job, RunResult& out) const;
+  std::vector<std::int32_t> exec_lcs_rows(
+      std::span<const std::int32_t> a, std::span<const std::int32_t> b) const;
+
   StencilProblem prob_;
   ExecutionPlan plan_;
 };

@@ -1,0 +1,196 @@
+// The one family/dtype/extent validation behind the unified Solver front
+// door, and the run(Workload) dispatcher both the sync and async paths
+// share.  Every typed run() overload forwards here, so a payload rejected
+// once is rejected everywhere — and a payload accepted here routes to the
+// same registry-resolved engines the typed overloads always used.
+#include <chrono>
+#include <string>
+#include <variant>
+
+#include "solver/error.hpp"
+#include "solver/solver.hpp"
+#include "solver/workload.hpp"
+#include "util/checked_idx.hpp"
+
+namespace tvs::solver {
+
+namespace {
+
+// Per-coefficient-set payload facts: display name, the families that
+// consume it, and the element type its grid carries.  The dtype lives here
+// (not on the grid type) so Life's int32 grid maps to kI32 without the
+// grid classes growing a dispatch dependency.
+template <class C>
+struct PayloadTraits;
+
+template <>
+struct PayloadTraits<stencil::C1D3> {
+  static constexpr std::string_view kName = "C1D3/f64";
+  static constexpr Family kFamilies[] = {Family::kJacobi1D3, Family::kGs1D3};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF64;
+};
+template <>
+struct PayloadTraits<stencil::C1D5> {
+  static constexpr std::string_view kName = "C1D5/f64";
+  static constexpr Family kFamilies[] = {Family::kJacobi1D5};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF64;
+};
+template <>
+struct PayloadTraits<stencil::C2D5> {
+  static constexpr std::string_view kName = "C2D5/f64";
+  static constexpr Family kFamilies[] = {Family::kJacobi2D5, Family::kGs2D5};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF64;
+};
+template <>
+struct PayloadTraits<stencil::C2D9> {
+  static constexpr std::string_view kName = "C2D9/f64";
+  static constexpr Family kFamilies[] = {Family::kJacobi2D9};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF64;
+};
+template <>
+struct PayloadTraits<stencil::C3D7> {
+  static constexpr std::string_view kName = "C3D7/f64";
+  static constexpr Family kFamilies[] = {Family::kJacobi3D7, Family::kGs3D7};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF64;
+};
+template <>
+struct PayloadTraits<stencil::C1D3f> {
+  static constexpr std::string_view kName = "C1D3/f32";
+  static constexpr Family kFamilies[] = {Family::kJacobi1D3, Family::kGs1D3};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF32;
+};
+template <>
+struct PayloadTraits<stencil::C1D5f> {
+  static constexpr std::string_view kName = "C1D5/f32";
+  static constexpr Family kFamilies[] = {Family::kJacobi1D5};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF32;
+};
+template <>
+struct PayloadTraits<stencil::C2D5f> {
+  static constexpr std::string_view kName = "C2D5/f32";
+  static constexpr Family kFamilies[] = {Family::kJacobi2D5, Family::kGs2D5};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF32;
+};
+template <>
+struct PayloadTraits<stencil::C2D9f> {
+  static constexpr std::string_view kName = "C2D9/f32";
+  static constexpr Family kFamilies[] = {Family::kJacobi2D9};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF32;
+};
+template <>
+struct PayloadTraits<stencil::C3D7f> {
+  static constexpr std::string_view kName = "C3D7/f32";
+  static constexpr Family kFamilies[] = {Family::kJacobi3D7, Family::kGs3D7};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kF32;
+};
+template <>
+struct PayloadTraits<stencil::LifeRule> {
+  static constexpr std::string_view kName = "LifeRule/i32";
+  static constexpr Family kFamilies[] = {Family::kLife};
+  static constexpr dispatch::DType kDtype = dispatch::DType::kI32;
+};
+
+void check_payload_family(const StencilProblem& p, std::string_view payload,
+                          const Family* fams, std::size_t nfams) {
+  for (std::size_t i = 0; i < nfams; ++i) {
+    if (p.family == fams[i]) return;
+  }
+  throw Error(Errc::kBadWorkload,
+              "Solver::run: a " + std::string(payload) +
+                  " payload cannot serve family " +
+                  std::string(family_name(p.family)) + " (problem " +
+                  p.signature() + ")",
+              p.signature());
+}
+
+void check_payload_dtype(const StencilProblem& p, std::string_view payload,
+                         dispatch::DType dt) {
+  if (p.effective_dtype() == dt) return;
+  throw Error(Errc::kUnsupportedDtype,
+              "Solver::run: a " + std::string(payload) +
+                  " payload does not match the problem's element type "
+                  "(problem " +
+                  p.signature() + ")",
+              p.signature());
+}
+
+void check_payload_extents(const StencilProblem& p, int nx, int ny, int nz) {
+  const int dim = family_dim(p.family);
+  if (nx == p.nx && (dim < 2 || ny == p.ny) && (dim < 3 || nz == p.nz)) {
+    return;
+  }
+  throw Error(Errc::kBadExtents,
+              "Solver::run: payload extents disagree with the "
+              "StencilProblem descriptor (problem " +
+                  p.signature() + ")",
+              p.signature());
+}
+
+template <class C, class G>
+void check_stencil_job(const StencilProblem& p,
+                       const detail::StencilJob<C, G>& job) {
+  using Traits = PayloadTraits<C>;
+  constexpr std::size_t kNFams =
+      sizeof(Traits::kFamilies) / sizeof(Traits::kFamilies[0]);
+  check_payload_family(p, Traits::kName, Traits::kFamilies, kNFams);
+  check_payload_dtype(p, Traits::kName, Traits::kDtype);
+  if constexpr (requires { job.grid->nz(); }) {
+    check_payload_extents(p, job.grid->nx(), job.grid->ny(), job.grid->nz());
+  } else if constexpr (requires { job.grid->ny(); }) {
+    check_payload_extents(p, job.grid->nx(), job.grid->ny(), 0);
+  } else {
+    check_payload_extents(p, job.grid->nx(), 0, 0);
+  }
+}
+
+void check_lcs_job(const StencilProblem& p, const detail::LcsJob& job) {
+  if (p.family != Family::kLcs) {
+    throw Error(Errc::kBadWorkload,
+                "Solver::run: an LCS payload cannot serve family " +
+                    std::string(family_name(p.family)) + " (problem " +
+                    p.signature() + ")",
+                p.signature());
+  }
+  // checked_int, not static_cast: a 2^31-element sequence must raise, not
+  // wrap into a bogus extent comparison.
+  check_payload_extents(p, util::checked_int(job.a.size()),
+                        util::checked_int(job.b.size()), 0);
+}
+
+}  // namespace
+
+void validate_workload(const StencilProblem& p, const Workload& w) {
+  std::visit(
+      [&](const auto& job) {
+        using Job = std::decay_t<decltype(job)>;
+        if constexpr (std::is_same_v<Job, detail::LcsJob>) {
+          check_lcs_job(p, job);
+        } else {
+          check_stencil_job(p, job);
+        }
+      },
+      w.payload());
+}
+
+RunResult Solver::run(const Workload& w) const {
+  validate_workload(prob_, w);
+  RunResult out;
+  out.plan = plan_;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::visit(
+      [&](const auto& job) {
+        using Job = std::decay_t<decltype(job)>;
+        if constexpr (std::is_same_v<Job, detail::LcsJob>) {
+          exec_lcs(job, out);
+        } else {
+          exec(job.coeffs, *job.grid);
+        }
+      },
+      w.payload());
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace tvs::solver

@@ -1,0 +1,133 @@
+// Workload: the type-erased payload behind the unified Solver front door.
+//
+// The facade used to expose one typed run() overload per (coefficient set,
+// grid) pair — 16 entry points whose family/dtype/extent checks were
+// repeated per overload.  A Workload erases the pair into one variant, so
+//
+//   Solver s(problem);
+//   s.run(Workload(stencil::heat2d(0.2), u));       // synchronous
+//   auto fut = s.submit(Workload(coeffs, grid));    // async, see serve/
+//
+// both route through ONE validation (family <-> payload alternative, dtype,
+// extents — workload.cpp) and one kernel-routing switch, and the legacy
+// typed overloads are now thin wrappers that build the same Workload.  The
+// payload holds coefficients/rules BY VALUE (they are a few doubles, and
+// callers routinely pass temporaries) and grids/spans BY REFERENCE: the
+// caller's storage must outlive the run — for submit(), until the returned
+// Future is ready.
+//
+// The parity-pair (PingPong) overloads stay typed: they are a tiled-path
+// special case with different result placement, not a serving payload.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "grid/grid1d.hpp"
+#include "grid/grid2d.hpp"
+#include "grid/grid3d.hpp"
+#include "solver/plan.hpp"
+#include "stencil/coefficients.hpp"
+#include "stencil/kernels.hpp"
+
+namespace tvs::solver {
+
+// Async results are delivered through std::future; the alias names the
+// serving API's currency without inventing a new synchronization type.
+template <class T>
+using Future = std::future<T>;
+
+// What one run produced.  Grid-payload workloads leave their result in the
+// caller's grid (exactly like the typed run() overloads); the LCS payload
+// returns its answer here.
+struct RunResult {
+  // The plan the run executed with (resolved through the plan cache).
+  ExecutionPlan plan;
+  // Wall-clock seconds of the kernel execution (excludes planning).
+  double seconds = 0.0;
+  // kLcs only: the DP answer.  lcs_row holds row nx of the DP table
+  // (length ny + 1) when the serial row engine ran; the tiled wavefront
+  // driver computes only the length and leaves the row empty.
+  std::int32_t lcs_length = 0;
+  std::vector<std::int32_t> lcs_row;
+};
+
+namespace detail {
+
+// One (coefficient set, grid) payload; C is stored by value (small, often
+// a temporary at the call site), the grid by pointer.
+template <class C, class G>
+struct StencilJob {
+  C coeffs;
+  G* grid;
+};
+
+struct LcsJob {
+  std::span<const std::int32_t> a;
+  std::span<const std::int32_t> b;
+};
+
+using WorkloadVariant = std::variant<
+    StencilJob<stencil::C1D3, grid::Grid1D<double>>,
+    StencilJob<stencil::C1D5, grid::Grid1D<double>>,
+    StencilJob<stencil::C2D5, grid::Grid2D<double>>,
+    StencilJob<stencil::C2D9, grid::Grid2D<double>>,
+    StencilJob<stencil::C3D7, grid::Grid3D<double>>,
+    StencilJob<stencil::C1D3f, grid::Grid1D<float>>,
+    StencilJob<stencil::C1D5f, grid::Grid1D<float>>,
+    StencilJob<stencil::C2D5f, grid::Grid2D<float>>,
+    StencilJob<stencil::C2D9f, grid::Grid2D<float>>,
+    StencilJob<stencil::C3D7f, grid::Grid3D<float>>,
+    StencilJob<stencil::LifeRule, grid::Grid2D<std::int32_t>>, LcsJob>;
+
+}  // namespace detail
+
+class Workload {
+ public:
+  // Jacobi/Gauss-Seidel, double precision.
+  Workload(const stencil::C1D3& c, grid::Grid1D<double>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C1D5& c, grid::Grid1D<double>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C2D5& c, grid::Grid2D<double>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C2D9& c, grid::Grid2D<double>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C3D7& c, grid::Grid3D<double>& u) : v_{wrap(c, u)} {}
+  // Single precision.
+  Workload(const stencil::C1D3f& c, grid::Grid1D<float>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C1D5f& c, grid::Grid1D<float>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C2D5f& c, grid::Grid2D<float>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C2D9f& c, grid::Grid2D<float>& u) : v_{wrap(c, u)} {}
+  Workload(const stencil::C3D7f& c, grid::Grid3D<float>& u) : v_{wrap(c, u)} {}
+  // Game of Life.
+  Workload(const stencil::LifeRule& r, grid::Grid2D<std::int32_t>& u)
+      : v_{wrap(r, u)} {}
+  // LCS over two int32 sequences.
+  Workload(std::span<const std::int32_t> a, std::span<const std::int32_t> b)
+      : v_{detail::LcsJob{a, b}} {}
+
+  // True when the payload is the LCS alternative (whose result lives in
+  // RunResult rather than a caller grid).
+  bool is_lcs() const noexcept {
+    return std::holds_alternative<detail::LcsJob>(v_);
+  }
+
+  const detail::WorkloadVariant& payload() const noexcept { return v_; }
+
+ private:
+  template <class C, class G>
+  static detail::WorkloadVariant wrap(const C& c, G& g) {
+    return detail::StencilJob<C, G>{c, &g};
+  }
+
+  detail::WorkloadVariant v_;
+};
+
+// The single family/dtype/extent validation both run(Workload) and
+// submit(Workload) share: rejects a payload alternative the problem's
+// family cannot consume (Errc::kBadWorkload / kBadFamily), an element-type
+// mismatch (kUnsupportedDtype), and extents that disagree with the
+// descriptor (kBadExtents).
+void validate_workload(const StencilProblem& p, const Workload& w);
+
+}  // namespace tvs::solver

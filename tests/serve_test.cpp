@@ -1,0 +1,550 @@
+// Serving-layer guard (async batched API PR):
+//   * Solver::submit / Batch under concurrent mixed-size, mixed-dtype load
+//     are bit-identical to the synchronous run() path;
+//   * the work-stealing executor drains on destruction (every submitted
+//     task runs before the workers join);
+//   * the persistent plan store round-trips tuned plans and REJECTS
+//     corrupted, version-mismatched, and feature-mismatched entries;
+//   * the error taxonomy and ProblemBuilder validate as documented.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batch.hpp"
+#include "serve/executor.hpp"
+#include "serve/plan_store.hpp"
+#include "serve/stats.hpp"
+#include "solver/builder.hpp"
+#include "solver/solver.hpp"
+
+namespace tvs {
+namespace {
+
+using solver::Family;
+using solver::ProblemBuilder;
+using solver::RunResult;
+using solver::Solver;
+using solver::StencilProblem;
+using solver::Workload;
+
+bool plan_pinned() { return std::getenv("TVS_PLAN") != nullptr; }
+
+template <class T, class G>
+void fill_pattern(G& g, unsigned salt) {
+  std::mt19937_64 rng(1234u + salt);
+  g.fill_random(rng, T(-1), T(1));
+}
+
+// ---- unified Workload front door -------------------------------------------
+
+TEST(ServeWorkload, RunWorkloadMatchesTypedOverload) {
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi2D5).extents(40, 24).steps(7).build();
+  const stencil::C2D5 c = stencil::heat2d(0.2);
+  grid::Grid2D<double> typed(p.nx, p.ny), erased(p.nx, p.ny);
+  fill_pattern<double>(typed, 1);
+  fill_pattern<double>(erased, 1);
+  const Solver s(p);
+  s.run(c, typed);
+  const RunResult r = s.run(Workload(c, erased));
+  EXPECT_EQ(grid::max_abs_diff(typed, erased), 0.0);
+  EXPECT_EQ(r.plan.to_string(), s.plan().to_string());
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(ServeWorkload, WrongPayloadFamilyThrowsBadWorkload) {
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi2D5).extents(16, 16).steps(2).build();
+  grid::Grid1D<double> u(16);
+  u.fill(1.0);
+  try {
+    Solver(p).run(Workload(stencil::heat1d(0.25), u));
+    FAIL() << "a 1D payload must not serve a 2D family";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadWorkload);
+    EXPECT_EQ(e.problem_signature(), p.signature());
+  }
+}
+
+TEST(ServeWorkload, ExtentMismatchThrowsBadExtents) {
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(2).build();
+  grid::Grid1D<double> u(63);
+  u.fill(1.0);
+  try {
+    Solver(p).run(Workload(stencil::heat1d(0.25), u));
+    FAIL() << "extent mismatch must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadExtents);
+  }
+}
+
+TEST(ServeWorkload, DtypeMismatchThrowsUnsupportedDtype) {
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(2).build();
+  grid::Grid1D<float> u(64);
+  u.fill(1.0f);
+  try {
+    Solver(p).run(Workload(stencil::heat1d<float>(0.25), u));
+    FAIL() << "an f32 payload must not serve an f64 problem";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kUnsupportedDtype);
+  }
+}
+
+// ---- executor --------------------------------------------------------------
+
+TEST(ServeExecutor, DrainsOnDestruction) {
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 200;
+  {
+    serve::ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // ~ThreadPool here: every queued task must run before the join.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ServeExecutor, CountsTasksAndSpreadsBursts) {
+  serve::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  while (ran.load() < kTasks) std::this_thread::yield();
+  const serve::ExecutorStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_run, kTasks);
+  EXPECT_EQ(stats.workers, 4);
+  EXPECT_GE(stats.steals, 0);
+}
+
+// ---- submit / Batch vs sync ------------------------------------------------
+
+TEST(ServeSubmit, MixedLoadBitIdenticalToSync) {
+  constexpr int kPerKind = 4;
+  std::vector<solver::Future<RunResult>> futures;
+
+  // Per-kind storage; async grids must outlive the futures.
+  std::vector<std::unique_ptr<grid::Grid1D<double>>> j1_sync, j1_async;
+  std::vector<std::unique_ptr<grid::Grid2D<double>>> j2_sync, j2_async;
+  std::vector<std::unique_ptr<grid::Grid1D<float>>> f1_sync, f1_async;
+  std::vector<std::unique_ptr<grid::Grid2D<std::int32_t>>> lf_sync, lf_async;
+  std::vector<StencilProblem> j1_p, j2_p, f1_p, lf_p;
+
+  for (int i = 0; i < kPerKind; ++i) {
+    // Jacobi1D3 f64, varying sizes.
+    {
+      const StencilProblem p = ProblemBuilder(Family::kJacobi1D3)
+                                   .extents(40 + 16 * i)
+                                   .steps(7)
+                                   .build();
+      j1_p.push_back(p);
+      j1_sync.push_back(std::make_unique<grid::Grid1D<double>>(p.nx));
+      j1_async.push_back(std::make_unique<grid::Grid1D<double>>(p.nx));
+      fill_pattern<double>(*j1_sync.back(), static_cast<unsigned>(i));
+      fill_pattern<double>(*j1_async.back(), static_cast<unsigned>(i));
+      futures.push_back(Solver(p).submit(
+          Workload(stencil::heat1d(0.25), *j1_async.back())));
+    }
+    // Jacobi2D5 f64.
+    {
+      const StencilProblem p = ProblemBuilder(Family::kJacobi2D5)
+                                   .extents(24 + 4 * i, 17)
+                                   .steps(5)
+                                   .build();
+      j2_p.push_back(p);
+      j2_sync.push_back(std::make_unique<grid::Grid2D<double>>(p.nx, p.ny));
+      j2_async.push_back(std::make_unique<grid::Grid2D<double>>(p.nx, p.ny));
+      fill_pattern<double>(*j2_sync.back(), 10u + static_cast<unsigned>(i));
+      fill_pattern<double>(*j2_async.back(), 10u + static_cast<unsigned>(i));
+      futures.push_back(Solver(p).submit(
+          Workload(stencil::heat2d(0.2), *j2_async.back())));
+    }
+    // Gs1D3 f32 (mixed dtype).
+    {
+      const StencilProblem p = ProblemBuilder(Family::kGs1D3)
+                                   .extents(50 + 8 * i)
+                                   .steps(4)
+                                   .dtype(dispatch::DType::kF32)
+                                   .build();
+      f1_p.push_back(p);
+      f1_sync.push_back(std::make_unique<grid::Grid1D<float>>(p.nx));
+      f1_async.push_back(std::make_unique<grid::Grid1D<float>>(p.nx));
+      fill_pattern<float>(*f1_sync.back(), 20u + static_cast<unsigned>(i));
+      fill_pattern<float>(*f1_async.back(), 20u + static_cast<unsigned>(i));
+      futures.push_back(Solver(p).submit(
+          Workload(stencil::heat1d<float>(0.25), *f1_async.back())));
+    }
+    // Life (int32).
+    {
+      const StencilProblem p = ProblemBuilder(Family::kLife)
+                                   .extents(20 + 4 * i, 15)
+                                   .steps(6)
+                                   .build();
+      lf_p.push_back(p);
+      lf_sync.push_back(
+          std::make_unique<grid::Grid2D<std::int32_t>>(p.nx, p.ny));
+      lf_async.push_back(
+          std::make_unique<grid::Grid2D<std::int32_t>>(p.nx, p.ny));
+      std::mt19937 rng(30u + static_cast<unsigned>(i));
+      lf_sync.back()->fill(0);
+      for (int x = 1; x <= p.nx; ++x)
+        for (int y = 1; y <= p.ny; ++y)
+          lf_sync.back()->at(x, y) = static_cast<std::int32_t>(rng() & 1u);
+      for (int x = 0; x <= p.nx + 1; ++x)
+        for (int y = 0; y <= p.ny + 1; ++y)
+          lf_async.back()->at(x, y) = lf_sync.back()->at(x, y);
+      futures.push_back(Solver(p).submit(
+          Workload(stencil::LifeRule{}, *lf_async.back())));
+    }
+  }
+
+  // LCS payloads, varying lengths.
+  std::vector<std::vector<std::int32_t>> seq_a(kPerKind), seq_b(kPerKind);
+  std::vector<solver::Future<RunResult>> lcs_futures;
+  std::vector<StencilProblem> lcs_p;
+  for (int i = 0; i < kPerKind; ++i) {
+    std::mt19937 rng(40u + static_cast<unsigned>(i));
+    seq_a[static_cast<std::size_t>(i)].resize(
+        static_cast<std::size_t>(30 + 11 * i));
+    seq_b[static_cast<std::size_t>(i)].resize(
+        static_cast<std::size_t>(25 + 7 * i));
+    for (auto& v : seq_a[static_cast<std::size_t>(i)])
+      v = static_cast<std::int32_t>(rng() % 4);
+    for (auto& v : seq_b[static_cast<std::size_t>(i)])
+      v = static_cast<std::int32_t>(rng() % 4);
+    const StencilProblem p =
+        ProblemBuilder(Family::kLcs)
+            .extents(30 + 11 * i, 25 + 7 * i)
+            .build();
+    lcs_p.push_back(p);
+    lcs_futures.push_back(Solver(p).submit(Workload(
+        seq_a[static_cast<std::size_t>(i)],
+        seq_b[static_cast<std::size_t>(i)])));
+  }
+
+  // Sync twins run on the caller thread while the pool is busy.
+  for (int i = 0; i < kPerKind; ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    Solver(j1_p[k]).run(stencil::heat1d(0.25), *j1_sync[k]);
+    Solver(j2_p[k]).run(stencil::heat2d(0.2), *j2_sync[k]);
+    Solver(f1_p[k]).run(stencil::heat1d<float>(0.25), *f1_sync[k]);
+    Solver(lf_p[k]).run(stencil::LifeRule{}, *lf_sync[k]);
+  }
+
+  for (solver::Future<RunResult>& f : futures) f.get();
+  for (int i = 0; i < kPerKind; ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    EXPECT_EQ(grid::max_abs_diff(*j1_sync[k], *j1_async[k]), 0.0)
+        << "jacobi1d3 instance " << i;
+    EXPECT_EQ(grid::max_abs_diff(*j2_sync[k], *j2_async[k]), 0.0)
+        << "jacobi2d5 instance " << i;
+    EXPECT_EQ(grid::max_abs_diff(*f1_sync[k], *f1_async[k]), 0.0)
+        << "gs1d3/f32 instance " << i;
+    EXPECT_EQ(grid::max_abs_diff(*lf_sync[k], *lf_async[k]), 0.0)
+        << "life instance " << i;
+    const RunResult r = lcs_futures[k].get();
+    const Solver s(lcs_p[k]);
+    EXPECT_EQ(r.lcs_length, s.lcs(seq_a[k], seq_b[k])) << "lcs " << i;
+    if (!r.lcs_row.empty()) {
+      EXPECT_EQ(r.lcs_row, s.lcs_row(seq_a[k], seq_b[k]));
+    }
+  }
+}
+
+TEST(ServeSubmit, ExceptionArrivesThroughFuture) {
+  // validate_workload runs on the submitting thread, so misuse surfaces at
+  // the call site rather than inside the future.
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(32).steps(2).build();
+  grid::Grid1D<double> wrong(31);
+  wrong.fill(1.0);
+  EXPECT_THROW(Solver(p).submit(Workload(stencil::heat1d(0.25), wrong)),
+               solver::Error);
+}
+
+TEST(ServeBatch, AmortizesPlanningAcrossIdenticalSignatures) {
+  if (plan_pinned()) GTEST_SKIP() << "TVS_PLAN bypasses the cache";
+  solver::plan_cache_clear();
+  constexpr int kJobs = 6;
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(96).steps(6).build();
+  std::vector<std::unique_ptr<grid::Grid1D<double>>> grids;
+  serve::Batch batch;
+  for (int i = 0; i < kJobs; ++i) {
+    grids.push_back(std::make_unique<grid::Grid1D<double>>(p.nx));
+    fill_pattern<double>(*grids.back(), static_cast<unsigned>(i));
+    batch.add(p, Workload(stencil::heat1d(0.25), *grids.back()));
+  }
+  EXPECT_EQ(batch.size(), static_cast<std::size_t>(kJobs));
+  const std::vector<RunResult> results = batch.run();
+  EXPECT_EQ(batch.size(), 0u);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kJobs));
+
+  const solver::PlanCacheStats stats = solver::plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1) << "one signature must plan once";
+  EXPECT_GE(stats.hits, kJobs - 1);
+
+  // Every instance matches a fresh synchronous run.
+  for (int i = 0; i < kJobs; ++i) {
+    grid::Grid1D<double> sync(p.nx);
+    fill_pattern<double>(sync, static_cast<unsigned>(i));
+    Solver(p).run(stencil::heat1d(0.25), sync);
+    EXPECT_EQ(grid::max_abs_diff(sync, *grids[static_cast<std::size_t>(i)]),
+              0.0)
+        << "batch instance " << i;
+  }
+}
+
+// ---- persistent plan store -------------------------------------------------
+
+// Points TVS_PLAN_STORE at a fresh temp dir for one test; restores the
+// disabled state (and zeroed counters) on scope exit.
+class StoreDir {
+ public:
+  StoreDir() : dir_(std::filesystem::temp_directory_path() /
+                    ("tvs_store_" + std::to_string(counter_++))) {
+    std::filesystem::remove_all(dir_);
+    serve::plan_store_set_dir(dir_.string());
+  }
+  ~StoreDir() {
+    serve::plan_store_set_dir("");
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  const std::filesystem::path& path() const { return dir_; }
+
+  // The single entry file the test created (the store is file-per-entry).
+  std::filesystem::path only_entry() const {
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+      if (e.path().extension() == ".plan") return e.path();
+    }
+    return {};
+  }
+
+ private:
+  static int counter_;
+  std::filesystem::path dir_;
+};
+
+int StoreDir::counter_ = 0;
+
+TEST(ServePlanStore, RoundTripsTunedPlans) {
+  const StoreDir store;
+  EXPECT_TRUE(serve::plan_store_enabled());
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(4).build();
+  const solver::ExecutionPlan tuned = solver::heuristic_plan(p);
+
+  serve::plan_store_save(p, "tuned", tuned);
+  const auto loaded = serve::plan_store_lookup(p, "tuned");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->to_string(), tuned.to_string());
+
+  const serve::PlanStoreStats stats = serve::plan_store_stats();
+  EXPECT_EQ(stats.saves, 1);
+  EXPECT_EQ(stats.loads, 1);
+  EXPECT_EQ(stats.rejects, 0);
+}
+
+TEST(ServePlanStore, WarmStartEliminatesReTuning) {
+  if (plan_pinned()) GTEST_SKIP() << "TVS_PLAN bypasses planning";
+  const StoreDir store;
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(4).build();
+
+  // Cold: the tuned-mode miss runs the tuner and saves.
+  solver::plan_cache_clear();
+  const solver::ExecutionPlan first =
+      solver::plan_for(p, solver::PlanMode::kTuned);
+  EXPECT_EQ(serve::plan_store_stats().saves, 1);
+  EXPECT_EQ(serve::plan_store_stats().loads, 0);
+
+  // Warm (simulates a new process by clearing the in-memory cache): the
+  // store supplies the plan, observable as a load — no second tuner run.
+  solver::plan_cache_clear();
+  const solver::ExecutionPlan second =
+      solver::plan_for(p, solver::PlanMode::kTuned);
+  EXPECT_EQ(serve::plan_store_stats().loads, 1);
+  EXPECT_EQ(serve::plan_store_stats().saves, 1) << "a warm start never saves";
+  EXPECT_EQ(second.to_string(), first.to_string());
+}
+
+TEST(ServePlanStore, RejectsCorruptedEntry) {
+  const StoreDir store;
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(4).build();
+  serve::plan_store_save(p, "tuned", solver::heuristic_plan(p));
+  const std::filesystem::path entry = store.only_entry();
+  ASSERT_FALSE(entry.empty());
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << "not a plan file\n";
+  }
+  EXPECT_FALSE(serve::plan_store_lookup(p, "tuned").has_value());
+  EXPECT_EQ(serve::plan_store_stats().rejects, 1);
+}
+
+TEST(ServePlanStore, RejectsVersionMismatch) {
+  const StoreDir store;
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(4).build();
+  serve::plan_store_save(p, "tuned", solver::heuristic_plan(p));
+  const std::filesystem::path entry = store.only_entry();
+  ASSERT_FALSE(entry.empty());
+  std::string body;
+  {
+    std::ifstream in(entry);
+    body.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << "tvs-plan-v0\n" << body.substr(body.find('\n') + 1);
+  }
+  EXPECT_FALSE(serve::plan_store_lookup(p, "tuned").has_value());
+  EXPECT_EQ(serve::plan_store_stats().rejects, 1);
+}
+
+TEST(ServePlanStore, RejectsFeatureMismatch) {
+  const StoreDir store;
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(4).build();
+  serve::plan_store_save(p, "tuned", solver::heuristic_plan(p));
+  const std::filesystem::path entry = store.only_entry();
+  ASSERT_FALSE(entry.empty());
+  // Rewrite the features line to a CPU this host is not: the entry must be
+  // refused even though the plan text itself is fine.
+  std::string body;
+  {
+    std::ifstream in(entry);
+    body.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t feat = body.find("features ");
+  const std::size_t eol = body.find('\n', feat);
+  body.replace(feat, eol - feat, "features some-other-cpu");
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << body;
+  }
+  EXPECT_FALSE(serve::plan_store_lookup(p, "tuned").has_value());
+  EXPECT_EQ(serve::plan_store_stats().rejects, 1);
+}
+
+TEST(ServePlanStore, DisabledStoreIsInert) {
+  serve::plan_store_set_dir("");
+  EXPECT_FALSE(serve::plan_store_enabled());
+  const StencilProblem p =
+      ProblemBuilder(Family::kJacobi1D3).extents(64).steps(4).build();
+  serve::plan_store_save(p, "tuned", solver::heuristic_plan(p));
+  EXPECT_FALSE(serve::plan_store_lookup(p, "tuned").has_value());
+  const serve::PlanStoreStats stats = serve::plan_store_stats();
+  EXPECT_EQ(stats.saves, 0);
+  EXPECT_EQ(stats.loads, 0);
+  EXPECT_EQ(stats.rejects, 0);
+}
+
+// ---- stats snapshot --------------------------------------------------------
+
+TEST(ServeStats, SnapshotsAllThreeSources) {
+  const serve::Stats s = serve::stats();
+  EXPECT_GE(s.executor.workers, 0);
+  const std::string text = serve::to_string(s);
+  EXPECT_NE(text.find("plan_cache"), std::string::npos);
+  EXPECT_NE(text.find("plan_store"), std::string::npos);
+  EXPECT_NE(text.find("executor"), std::string::npos);
+}
+
+// ---- error taxonomy / ProblemBuilder ---------------------------------------
+
+TEST(ServeErrors, TaxonomyCarriesCodesAndStaysInvalidArgument) {
+  try {
+    solver::parse_family("bogus");
+    FAIL() << "unknown family must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadFamily);
+    EXPECT_TRUE(e.problem_signature().empty());
+  }
+  // Every Error is still an std::invalid_argument (compat contract).
+  EXPECT_THROW(solver::parse_family("bogus"), std::invalid_argument);
+  EXPECT_THROW(
+      solver::apply_plan_spec(solver::ExecutionPlan{}, "stride=banana"),
+      solver::Error);
+  try {
+    solver::apply_plan_spec(solver::ExecutionPlan{}, "nope=1");
+    FAIL() << "unknown clause must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadPlanSpec);
+  }
+  EXPECT_EQ(solver::errc_name(solver::Errc::kBadWorkload), "bad-workload");
+  EXPECT_EQ(solver::errc_name(solver::Errc::kBackendUnavailable),
+            "backend-unavailable");
+}
+
+TEST(ServeErrors, BuilderValidatesAtBuildTime) {
+  // Arity must match the family's dimensionality.
+  try {
+    (void)ProblemBuilder(Family::kJacobi2D5).extents(8).steps(1).build();
+    FAIL() << "2D family with one extent must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadExtents);
+  }
+  // Extents must be positive.
+  try {
+    (void)ProblemBuilder(Family::kJacobi1D3).extents(0).build();
+    FAIL() << "zero extent must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadExtents);
+  }
+  // steps and threads must be non-negative.
+  try {
+    (void)ProblemBuilder(Family::kJacobi1D3).extents(8).steps(-1).build();
+    FAIL() << "negative steps must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadSteps);
+  }
+  try {
+    (void)ProblemBuilder(Family::kJacobi1D3).extents(8).threads(-2).build();
+    FAIL() << "negative threads must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kBadThreads);
+  }
+  // Element type must be one the family supports.
+  try {
+    (void)ProblemBuilder(Family::kJacobi1D3)
+        .extents(8)
+        .dtype(dispatch::DType::kI32)
+        .build();
+    FAIL() << "int32 Jacobi must throw";
+  } catch (const solver::Error& e) {
+    EXPECT_EQ(e.code(), solver::Errc::kUnsupportedDtype);
+  }
+  // A valid chain emits the same descriptor as the positional helper.
+  const StencilProblem built = ProblemBuilder(Family::kGs2D5)
+                                   .extents(32, 24)
+                                   .steps(5)
+                                   .threads(2)
+                                   .build();
+  const StencilProblem legacy =
+      solver::problem_2d(Family::kGs2D5, 32, 24, 5, 2);
+  EXPECT_EQ(built.signature(), legacy.signature());
+}
+
+}  // namespace
+}  // namespace tvs
