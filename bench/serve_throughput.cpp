@@ -3,13 +3,23 @@
 // caps the sweep) over a mixed set of small problems — four instances each
 // of jacobi1d3/f64, jacobi2d5/f64, gs1d3/f32 and LCS.  The serving layer
 // schedules whole problems across workers; speedup is relative to the
-// single-worker row.  A second table snapshots the serving counters
+// single-worker row.  A second sweep mixes large tiled problems with small
+// interactive ones and reports small-problem latency with the priority
+// hint off vs on — the number that used to degrade when a big job parked
+// on every worker.  A final table snapshots the serving counters
 // (serve::Stats plus the last pool's executor stats) so a run records how
-// much planning the cache amortized and whether the plan store fired.
+// much planning the cache amortized, whether the plan store fired, where
+// workers landed across NUMA nodes, and how many tile tasks the
+// decomposed-run scheduler pushed through the shared pool.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <future>
+#include <memory>
 #include <random>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench_util/bench.hpp"
@@ -108,7 +118,102 @@ int main() {
     b::print_row({std::to_string(w), b::fmt(best), b::fmt(best / base_rate)});
   }
 
+  // --- Mixed large+small latency: does a small problem still return fast
+  // while large tiled jobs occupy the pool?  Large jacobi2d5/f64 runs take
+  // the tiled-parallel path (decomposed into per-tile pool tasks when
+  // TVS_SERVE_DECOMPOSE is on); the small probes are sub-millisecond
+  // jacobi1d3 runs submitted one at a time while the big jobs are in
+  // flight.  hint=off leaves the probes on the batch band, hint=on marks
+  // them interactive so they bypass queued tile/batch work.
+  const int nbig = 256 * scale;
+  const solver::StencilProblem p_big =
+      solver::ProblemBuilder(solver::Family::kJacobi2D5)
+          .extents(nbig, nbig)
+          .steps(64)
+          .threads(4)
+          .build();
+  const solver::StencilProblem p_small =
+      solver::ProblemBuilder(solver::Family::kJacobi1D3)
+          .extents(256)
+          .steps(8)
+          .build();
+  const stencil::C1D3 c_small = stencil::heat1d(0.25);
+  constexpr int kBig = 6;
+  constexpr int kProbes = 12;
+  std::vector<grid::Grid2D<double>> g_big;
+  for (int i = 0; i < kBig; ++i) {
+    g_big.emplace_back(nbig, nbig).fill_random(rng, -1.0, 1.0);
+  }
+  std::vector<grid::Grid1D<double>> g_small;
+  for (int i = 0; i < kProbes; ++i) {
+    g_small.emplace_back(256).fill_random(rng, -1.0, 1.0);
+  }
+
+  b::print_title("Serving latency  small probes among large tiled jobs");
+  b::print_header({"big_jobs", "hint", "probe_p50_ms", "probe_max_ms",
+                   "elapsed_ms"});
+  // whole/off replays the pre-decomposition serving layer: each big job is
+  // one closure that parks on a worker until done, so probes queue behind
+  // entire problems.  tiles/* submit through the serving funnel, which
+  // decomposes the tiled plan into per-stage pool tasks.
+  struct Config {
+    const char* mode;
+    bool interactive;
+  };
+  for (const Config cfg : {Config{"whole", false}, Config{"tiles", false},
+                           Config{"tiles", true}}) {
+    const bool whole = std::string_view(cfg.mode) == "whole";
+    const bool interactive = cfg.interactive;
+    serve::ThreadPool pool(4);
+    const solver::Solver s_big(p_big);
+    const solver::Solver s_small(p_small);
+    const double t_all = b::now_sec();
+    std::vector<solver::Future<solver::RunResult>> big;
+    std::vector<std::future<void>> big_whole;
+    big.reserve(kBig);
+    big_whole.reserve(kBig);
+    for (int i = 0; i < kBig; ++i) {
+      solver::Workload w(c_j2, g_big[static_cast<size_t>(i)]);
+      if (whole) {
+        auto done = std::make_shared<std::promise<void>>();
+        big_whole.push_back(done->get_future());
+        pool.submit([&s_big, w, done] {
+          s_big.run(w);
+          done->set_value();
+        });
+      } else {
+        big.push_back(serve::submit_on(pool, s_big, std::move(w)));
+      }
+    }
+    // Pace the probes across the big jobs' whole in-flight window instead
+    // of firing them all up front, so the percentile samples contention at
+    // many points of the tiled runs rather than just the initial burst.
+    std::vector<double> lat;
+    lat.reserve(kProbes);
+    for (int i = 0; i < kProbes; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      solver::Workload w(c_small, g_small[static_cast<size_t>(i)]);
+      if (interactive) w.priority(solver::Priority::kInteractive);
+      const double t0 = b::now_sec();
+      serve::submit_on(pool, s_small, std::move(w)).get();
+      lat.push_back((b::now_sec() - t0) * 1e3);
+    }
+    for (auto& f : big) f.get();
+    for (auto& f : big_whole) f.get();
+    const double elapsed = (b::now_sec() - t_all) * 1e3;
+    std::sort(lat.begin(), lat.end());
+    b::print_row({cfg.mode, interactive ? "on" : "off",
+                  b::fmt(lat[lat.size() / 2]), b::fmt(lat.back()),
+                  b::fmt(elapsed)});
+    last_pool = pool.stats();
+  }
+
   const serve::Stats s = serve::stats();
+  std::string per_node;
+  for (std::size_t i = 0; i < last_pool.workers_per_node.size(); ++i) {
+    if (i > 0) per_node += ",";
+    per_node += std::to_string(last_pool.workers_per_node[i]);
+  }
   b::print_title("serve stats");
   b::print_header({"counter", "value"});
   b::print_row({"plan_cache_hits", std::to_string(s.plan_cache.hits)});
@@ -119,5 +224,15 @@ int main() {
   b::print_row({"executor_tasks_run", std::to_string(last_pool.tasks_run)});
   b::print_row({"executor_steals", std::to_string(last_pool.steals)});
   b::print_row({"executor_workers", std::to_string(last_pool.workers)});
+  b::print_row({"executor_nodes", std::to_string(last_pool.nodes)});
+  b::print_row({"workers_per_node", per_node});
+  b::print_row({"interactive_submitted",
+                std::to_string(last_pool.interactive_submitted)});
+  b::print_row({"interactive_run", std::to_string(last_pool.interactive_run)});
+  b::print_row(
+      {"sched_decomposed_runs", std::to_string(s.sched.decomposed_runs)});
+  b::print_row({"sched_stages", std::to_string(s.sched.stages)});
+  b::print_row({"sched_tile_tasks", std::to_string(s.sched.tile_tasks)});
+  b::print_row({"sched_helper_tasks", std::to_string(s.sched.helper_tasks)});
   return 0;
 }

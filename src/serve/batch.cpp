@@ -4,22 +4,44 @@
 #include <memory>
 #include <utility>
 
+#include "serve/sched.hpp"
+
 namespace tvs::serve {
 
 solver::Future<solver::RunResult> submit_on(ThreadPool& pool,
                                             solver::Solver s,
                                             solver::Workload w) {
+  // Admission: interactive workloads (and any workload with a deadline)
+  // go to the interactive band, drained before batch work on both pop
+  // and steal.  A hint only — results never depend on it.
+  const Band band = (w.priority() == solver::Priority::kInteractive ||
+                     w.deadline_micros() > 0)
+                        ? Band::kInteractive
+                        : Band::kBatch;
+  // A tiled-parallel plan is decomposed into per-tile tasks on the shared
+  // pool (serve/sched.hpp) so one large problem does not monopolize a
+  // single worker; each wavefront stage still completes before the next
+  // starts, so the results stay bit-identical to the synchronous run.
+  const bool decompose =
+      decompose_enabled() && s.plan().path == solver::Path::kTiledParallel;
   // shared_ptr, not move-capture: std::function requires copyable
   // closures, and the promise itself is move-only.
   auto promise = std::make_shared<std::promise<solver::RunResult>>();
   solver::Future<solver::RunResult> future = promise->get_future();
-  pool.submit([s = std::move(s), w = std::move(w), promise] {
-    try {
-      promise->set_value(s.run(w));
-    } catch (...) {
-      promise->set_exception(std::current_exception());
-    }
-  });
+  pool.submit(
+      [s = std::move(s), w = std::move(w), promise, &pool, decompose] {
+        try {
+          if (decompose) {
+            const StagePool sp(pool);
+            promise->set_value(s.with_stage_exec(sp.exec()).run(w));
+          } else {
+            promise->set_value(s.run(w));
+          }
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+      },
+      band);
   return future;
 }
 

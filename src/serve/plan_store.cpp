@@ -1,5 +1,6 @@
 #include "serve/plan_store.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -7,6 +8,10 @@
 #include <mutex>
 #include <sstream>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "dispatch/backend.hpp"
 #include "util/env.hpp"
@@ -61,6 +66,16 @@ std::string entry_filename(const std::string& features,
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(fnv1a64(key)));
   return std::string(hex) + ".plan";
+}
+
+// Disambiguates concurrent writers from different processes sharing one
+// store directory (the in-process axis is a sequence counter).
+long save_process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
 }
 
 // One "key value-to-end-of-line" line of the entry format; empty when the
@@ -147,7 +162,17 @@ void plan_store_save(const solver::StencilProblem& p, std::string_view mode,
   const std::filesystem::path dir(s.dir);
   const std::filesystem::path path =
       dir / entry_filename(features, signature, mode);
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  // The temp name must be unique per writer: two processes (or two pools
+  // in one process) tuning the same problem and sharing a store directory
+  // would otherwise interleave writes into ONE ".tmp" file and rename a
+  // torn entry into place.  pid + a process-local counter disambiguates
+  // both axes; the rename target stays the single canonical entry.
+  static std::atomic<unsigned long> g_tmp_seq{0};
+  const unsigned long seq =
+      g_tmp_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path tmp = path.string() + "." +
+                                    std::to_string(save_process_id()) + "." +
+                                    std::to_string(seq) + ".tmp";
 
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);

@@ -1,5 +1,6 @@
 #include "serve/stats.hpp"
 
+#include <cstddef>
 #include <string>
 
 namespace tvs::serve {
@@ -9,6 +10,7 @@ Stats stats() {
   s.plan_cache = solver::plan_cache_stats();
   s.plan_store = plan_store_stats();
   s.executor = default_pool_stats();
+  s.sched = sched_stats();
   return s;
 }
 
@@ -21,7 +23,19 @@ std::string to_string(const Stats& s) {
          " rejects=" + std::to_string(s.plan_store.rejects);
   out += " | executor tasks=" + std::to_string(s.executor.tasks_run) +
          " steals=" + std::to_string(s.executor.steals) +
-         " workers=" + std::to_string(s.executor.workers);
+         " interactive=" + std::to_string(s.executor.interactive_run) + "/" +
+         std::to_string(s.executor.interactive_submitted) +
+         " workers=" + std::to_string(s.executor.workers) +
+         " nodes=" + std::to_string(s.executor.nodes);
+  out += " per_node=";
+  for (std::size_t i = 0; i < s.executor.workers_per_node.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(s.executor.workers_per_node[i]);
+  }
+  out += " | sched runs=" + std::to_string(s.sched.decomposed_runs) +
+         " stages=" + std::to_string(s.sched.stages) +
+         " tiles=" + std::to_string(s.sched.tile_tasks) +
+         " helpers=" + std::to_string(s.sched.helper_tasks);
   return out;
 }
 

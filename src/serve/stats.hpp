@@ -1,6 +1,7 @@
 // serve::Stats: one snapshot of every counter the serving layer touches —
 // the plan cache (hits/misses/pinned), the persistent plan store
-// (loads/saves/rejects), and the executor (tasks/steals/workers).  Used by
+// (loads/saves/rejects), the executor (tasks/steals/bands/placement), and
+// the decomposed-run scheduler (runs/stages/tiles).  Used by
 // bench/serve_throughput's stats table and by the tests that assert the
 // store actually eliminated re-tuning.
 #pragma once
@@ -9,6 +10,7 @@
 
 #include "serve/executor.hpp"
 #include "serve/plan_store.hpp"
+#include "serve/sched.hpp"
 #include "solver/plan_cache.hpp"
 
 namespace tvs::serve {
@@ -17,13 +19,15 @@ struct Stats {
   solver::PlanCacheStats plan_cache;
   PlanStoreStats plan_store;
   ExecutorStats executor;
+  SchedStats sched;
 };
 
-// Snapshots all three sources (each internally consistent; the triple is
+// Snapshots all four sources (each internally consistent; the tuple is
 // not atomic across sources).  Never instantiates the default pool.
 Stats stats();
 
-// "plan_cache hits=8 misses=2 ... executor tasks=10 steals=3 workers=4".
+// "plan_cache hits=8 misses=2 ... executor tasks=10 steals=3 workers=4
+//  nodes=2 per_node=2,2 ... | sched runs=1 stages=12 tiles=96 helpers=33".
 std::string to_string(const Stats& s);
 
 }  // namespace tvs::serve

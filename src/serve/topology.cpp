@@ -1,0 +1,166 @@
+#include "serve/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "util/env.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace tvs::serve {
+
+namespace {
+
+// Parses the decimal integer at the front of `text`; returns the value and
+// advances `pos` past it, or returns -1 on no digits.
+int parse_int_at(std::string_view text, std::size_t& pos) {
+  int value = 0;
+  const char* first = text.data() + pos;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr == first || value < 0) return -1;
+  pos += static_cast<std::size_t>(ptr - first);
+  return value;
+}
+
+std::vector<int> all_host_cpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n = hw > 0 ? static_cast<int>(hw) : 1;
+  std::vector<int> cpus(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) cpus[static_cast<std::size_t>(i)] = i;
+  return cpus;
+}
+
+}  // namespace
+
+NumaPolicy numa_policy_from_string(std::string_view text) {
+  if (text == "off") return NumaPolicy::kOff;
+  if (text == "compact") return NumaPolicy::kCompact;
+  return NumaPolicy::kSpread;
+}
+
+NumaPolicy numa_policy_from_env() {
+  const char* env = util::env_cstr("TVS_SERVE_NUMA");
+  if (env == nullptr || env[0] == '\0') return NumaPolicy::kSpread;
+  return numa_policy_from_string(env);
+}
+
+std::string_view numa_policy_name(NumaPolicy policy) {
+  switch (policy) {
+    case NumaPolicy::kOff:
+      return "off";
+    case NumaPolicy::kCompact:
+      return "compact";
+    case NumaPolicy::kSpread:
+      return "spread";
+  }
+  return "spread";
+}
+
+std::vector<int> parse_cpulist(std::string_view text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const char ch = text[pos];
+    if (ch == ',' || ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r') {
+      ++pos;
+      continue;
+    }
+    const int lo = parse_int_at(text, pos);
+    if (lo < 0) break;  // malformed tail — keep what parsed cleanly
+    int hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      hi = parse_int_at(text, pos);
+      if (hi < lo) break;
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+int Topology::node_of_worker(int worker) const {
+  const int n = nodes();
+  if (!active() || n <= 1 || worker < 0) return 0;
+  if (policy == NumaPolicy::kCompact) {
+    // Fill nodes in cpulist order, one worker per CPU, wrapping when the
+    // pool outgrows the machine.
+    long total = 0;
+    for (const std::vector<int>& node : cpus) {
+      total += static_cast<long>(node.size());
+    }
+    if (total <= 0) return 0;
+    long slot = worker % total;
+    for (int nd = 0; nd < n; ++nd) {
+      slot -= static_cast<long>(cpus[static_cast<std::size_t>(nd)].size());
+      if (slot < 0) return nd;
+    }
+    return n - 1;
+  }
+  return worker % n;  // spread
+}
+
+bool Topology::pin_current_thread(int node) const {
+  if (!active()) return true;
+  if (node < 0 || node >= nodes() ||
+      cpus[static_cast<std::size_t>(node)].empty()) {
+    return false;
+  }
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : cpus[static_cast<std::size_t>(node)]) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+Topology Topology::from_sysfs(const std::string& root, NumaPolicy policy) {
+  Topology t;
+  t.policy = policy;
+
+  // Collect node<N> directories by number — sysfs node ids can be sparse
+  // (node0, node2 on a partially populated board), so scan rather than
+  // count upward.
+  std::vector<std::pair<int, std::filesystem::path>> dirs;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind("node", 0) != 0) continue;
+    std::size_t pos = 4;
+    const int id = parse_int_at(name, pos);
+    if (id < 0 || pos != name.size()) continue;
+    if (!it->is_directory(ec)) continue;
+    dirs.emplace_back(id, it->path());
+  }
+  std::sort(dirs.begin(), dirs.end());
+
+  for (const auto& [id, dir] : dirs) {
+    std::ifstream in(dir / "cpulist");
+    std::string line;
+    if (!in.is_open() || !std::getline(in, line)) continue;
+    std::vector<int> cpus = parse_cpulist(line);
+    if (!cpus.empty()) t.cpus.push_back(std::move(cpus));
+  }
+
+  if (t.cpus.empty()) t.cpus.push_back(all_host_cpus());
+  return t;
+}
+
+Topology Topology::detect() {
+  return from_sysfs("/sys/devices/system/node", numa_policy_from_env());
+}
+
+}  // namespace tvs::serve

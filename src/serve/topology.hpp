@@ -1,0 +1,64 @@
+// NUMA topology for the serving executor.
+//
+// Parsed once from /sys/devices/system/node (Linux); every other platform
+// and every parse failure degrades to a single node holding all CPUs, in
+// which case pinning is a no-op.  The policy comes from TVS_SERVE_NUMA:
+//
+//   off      ignore the topology entirely (no pinning)
+//   compact  fill node 0's CPUs before spilling to node 1, ...
+//   spread   round-robin workers across nodes (the default)
+//
+// Workers pin to their node's CPU set at startup and then first-touch
+// their scratch and (lazily, inside the tiled drivers) their ring
+// workspaces, so under a first-touch allocation policy the wavefront
+// working sets land on the socket whose threads sweep them — the placement
+// half of Wittmann/Hager/Wellein-style multicore-aware temporal blocking.
+//
+// No OpenMP anywhere in this layer: the serving pool is plain
+// std::thread, and topology detection must work in the no-OpenMP build.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvs::serve {
+
+enum class NumaPolicy { kOff, kCompact, kSpread };
+
+// "off" / "compact" / "spread"; anything else falls back to spread (the
+// default when TVS_SERVE_NUMA is unset).
+NumaPolicy numa_policy_from_string(std::string_view text);
+NumaPolicy numa_policy_from_env();
+std::string_view numa_policy_name(NumaPolicy policy);
+
+// Parses a sysfs cpulist ("0-3,8,10-11") into sorted CPU ids; malformed
+// tokens are skipped, never fatal.
+std::vector<int> parse_cpulist(std::string_view text);
+
+struct Topology {
+  NumaPolicy policy = NumaPolicy::kOff;
+  // cpus[n] = CPU ids of node n; always at least one node (the fallback
+  // node holds every CPU the host advertises).
+  std::vector<std::vector<int>> cpus;
+
+  int nodes() const { return static_cast<int>(cpus.size()); }
+  // Pinning only does anything on a multi-node host with the policy on.
+  bool active() const { return policy != NumaPolicy::kOff && nodes() > 1; }
+
+  // Home node of pool worker `worker` under the policy; 0 when inactive.
+  int node_of_worker(int worker) const;
+
+  // Pins the calling thread to its node's CPU set.  Returns true on
+  // success or no-op (inactive topology); false when the affinity call
+  // failed — callers treat that as advisory, never fatal.
+  bool pin_current_thread(int node) const;
+
+  // Reads node<N>/cpulist files under `root`; falls back to one node with
+  // all CPUs when the directory is missing or yields nothing usable.
+  static Topology from_sysfs(const std::string& root, NumaPolicy policy);
+  // from_sysfs("/sys/devices/system/node", numa_policy_from_env()).
+  static Topology detect();
+};
+
+}  // namespace tvs::serve

@@ -75,6 +75,9 @@ void check_extents(const StencilProblem& p, int nx, int ny, int nz) {
 
 // Applies the problem's thread request to the tiled drivers for the
 // duration of one run() (no-op when threads == 0 or OpenMP is absent).
+// Under an external stage executor the pool supplies the parallelism, so
+// OpenMP is pinned to one thread — any omp region a driver still reaches
+// (the scalar residual loops) runs serially on the executing worker.
 class ThreadScope {
  public:
   explicit ThreadScope(int threads)
@@ -161,9 +164,10 @@ void Solver::run(const stencil::LifeRule& r,
 void Solver::exec(const stencil::C1D3& c, grid::Grid1D<double>& u) const {
   if (prob_.family == Family::kGs1D3) {
     if (plan_.path == Path::kTiledParallel) {
-      const ThreadScope scope(prob_.threads);
+      const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
       tiling::Parallelogram1DOptions opt{plan_.tile_w, plan_.tile_h,
                                          plan_.stride, true};
+      opt.exec = stage_exec_;
       resolve<dispatch::ParallelogramGs1D3Fn>(
           plan_, dispatch::kParallelogramGs1D3)(c, u, prob_.steps, opt);
     } else {
@@ -194,8 +198,9 @@ void Solver::run(const stencil::C1D3& c,
   check_family(prob_, Family::kJacobi1D3, "run(C1D3, PingPong)");
   check_extents(prob_, pp.even().nx(), 0, 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
-  const ThreadScope scope(prob_.threads);
+  const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
   tiling::Diamond1DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  opt.exec = stage_exec_;
   resolve<dispatch::DiamondJacobi1D3Fn>(plan_, dispatch::kDiamondJacobi1D3)(
       c, pp, prob_.steps, opt);
 }
@@ -205,9 +210,10 @@ void Solver::run(const stencil::C1D3& c,
 void Solver::exec(const stencil::C2D5& c, grid::Grid2D<double>& u) const {
   if (prob_.family == Family::kGs2D5) {
     if (plan_.path == Path::kTiledParallel) {
-      const ThreadScope scope(prob_.threads);
+      const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
       tiling::ParallelogramNDOptions opt{plan_.tile_w, plan_.tile_h,
                                          plan_.stride, true};
+      opt.exec = stage_exec_;
       resolve<dispatch::ParallelogramGs2D5Fn>(
           plan_, dispatch::kParallelogramGs2D5)(c, u, prob_.steps, opt);
     } else {
@@ -242,8 +248,9 @@ void Solver::run(const stencil::C2D5& c,
   check_family(prob_, Family::kJacobi2D5, "run(C2D5, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
-  const ThreadScope scope(prob_.threads);
+  const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
   tiling::Diamond2DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  opt.exec = stage_exec_;
   resolve<dispatch::DiamondJacobi2D5Fn>(plan_, dispatch::kDiamondJacobi2D5)(
       c, pp, prob_.steps, opt);
 }
@@ -253,8 +260,9 @@ void Solver::run(const stencil::C2D9& c,
   check_family(prob_, Family::kJacobi2D9, "run(C2D9, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
-  const ThreadScope scope(prob_.threads);
+  const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
   tiling::Diamond2DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  opt.exec = stage_exec_;
   resolve<dispatch::DiamondJacobi2D9Fn>(plan_, dispatch::kDiamondJacobi2D9)(
       c, pp, prob_.steps, opt);
 }
@@ -264,9 +272,10 @@ void Solver::run(const stencil::C2D9& c,
 void Solver::exec(const stencil::C3D7& c, grid::Grid3D<double>& u) const {
   if (prob_.family == Family::kGs3D7) {
     if (plan_.path == Path::kTiledParallel) {
-      const ThreadScope scope(prob_.threads);
+      const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
       tiling::ParallelogramNDOptions opt{plan_.tile_w, plan_.tile_h,
                                          plan_.stride, true};
+      opt.exec = stage_exec_;
       resolve<dispatch::ParallelogramGs3D7Fn>(
           plan_, dispatch::kParallelogramGs3D7)(c, u, prob_.steps, opt);
     } else {
@@ -290,8 +299,9 @@ void Solver::run(const stencil::C3D7& c,
   check_family(prob_, Family::kJacobi3D7, "run(C3D7, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), pp.even().nz());
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
-  const ThreadScope scope(prob_.threads);
+  const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
   tiling::Diamond3DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  opt.exec = stage_exec_;
   resolve<dispatch::DiamondJacobi3D7Fn>(plan_, dispatch::kDiamondJacobi3D7)(
       c, pp, prob_.steps, opt);
 }
@@ -368,8 +378,9 @@ void Solver::run(const stencil::LifeRule& r,
   check_family(prob_, Family::kLife, "run(LifeRule, PingPong)");
   check_extents(prob_, pp.even().nx(), pp.even().ny(), 0);
   if (plan_.path != Path::kTiledParallel) throw_needs_tiled(prob_);
-  const ThreadScope scope(prob_.threads);
+  const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
   tiling::Diamond2DOptions opt{plan_.tile_w, plan_.tile_h, plan_.stride, true};
+  opt.exec = stage_exec_;
   resolve<dispatch::DiamondLifeFn>(plan_, dispatch::kDiamondLife)(
       r, pp, prob_.steps, opt);
 }
@@ -390,8 +401,9 @@ std::vector<std::int32_t> Solver::exec_lcs_rows(
 
 void Solver::exec_lcs(const detail::LcsJob& job, RunResult& out) const {
   if (plan_.path == Path::kTiledParallel) {
-    const ThreadScope scope(prob_.threads);
+    const ThreadScope scope(stage_exec_ != nullptr ? 1 : prob_.threads);
     tiling::LcsWavefrontOptions opt{plan_.tile_w, plan_.tile_h, true};
+    opt.exec = stage_exec_;
     out.lcs_length = resolve<dispatch::LcsWavefrontFn>(
         plan_, dispatch::kLcsWavefront)(job.a, job.b, opt);
     return;

@@ -43,6 +43,10 @@
 #include "stencil/coefficients.hpp"
 #include "stencil/kernels.hpp"
 
+namespace tvs::tiling {
+struct StageExec;
+}
+
 namespace tvs::solver {
 
 class Solver {
@@ -65,10 +69,24 @@ class Solver {
 
   // Same contract, asynchronous: the workload is enqueued on the serving
   // executor (serve::default_pool()) and the result — or the exception the
-  // run raised — is delivered through the Future.  The caller's grid/span
-  // storage must stay alive until the future is ready.  Bit-identical to
-  // run(): both resolve the same cached plan and the same engines.
+  // run raised — is delivered through the Future.  A non-owning workload's
+  // grid/span storage must stay alive until the future is ready (see the
+  // Workload lifetime contract in workload.hpp); owning workloads carry
+  // their storage.  Bit-identical to run(): both resolve the same cached
+  // plan and the same engines — a tiled-parallel plan may be decomposed
+  // into per-tile pool tasks (serve/sched.hpp), which preserves the
+  // wavefront stage order and therefore the exact results.
   Future<RunResult> submit(Workload w) const;
+
+  // A copy of this solver whose tiled drivers hand their parallel stages
+  // to `ex` instead of their own OpenMP loops (serve/sched.hpp builds one
+  // over the serving pool).  `ex` must outlive every run(); nullptr
+  // restores the default.  Results are bit-identical either way.
+  Solver with_stage_exec(const tiling::StageExec* ex) const {
+    Solver s = *this;
+    s.stage_exec_ = ex;
+    return s;
+  }
 
   // ---- typed compatibility wrappers (forward to run(Workload)) -----------
 
@@ -136,6 +154,10 @@ class Solver {
 
   StencilProblem prob_;
   ExecutionPlan plan_;
+  // Non-owning; set via with_stage_exec().  When non-null the tiled
+  // drivers fan their stages out on it and OpenMP is held to one thread
+  // (the executor provides the parallelism).
+  const tiling::StageExec* stage_exec_ = nullptr;
 };
 
 }  // namespace tvs::solver

@@ -3,6 +3,7 @@
 // share.  Every typed run() overload forwards here, so a payload rejected
 // once is rejected everywhere — and a payload accepted here routes to the
 // same registry-resolved engines the typed overloads always used.
+#include <cassert>
 #include <chrono>
 #include <string>
 #include <variant>
@@ -130,6 +131,15 @@ template <class C, class G>
 void check_stencil_job(const StencilProblem& p,
                        const detail::StencilJob<C, G>& job) {
   using Traits = PayloadTraits<C>;
+  // An owning constructor given a null shared_ptr, or a moved-from
+  // workload: reject before the extent probes dereference it.
+  if (job.grid == nullptr) {
+    throw Error(Errc::kBadWorkload,
+                "Solver::run: a " + std::string(Traits::kName) +
+                    " payload holds a null grid (problem " + p.signature() +
+                    ")",
+                p.signature());
+  }
   constexpr std::size_t kNFams =
       sizeof(Traits::kFamilies) / sizeof(Traits::kFamilies[0]);
   check_payload_family(p, Traits::kName, Traits::kFamilies, kNFams);
@@ -183,6 +193,8 @@ RunResult Solver::run(const Workload& w) const {
         if constexpr (std::is_same_v<Job, detail::LcsJob>) {
           exec_lcs(job, out);
         } else {
+          assert(job.grid != nullptr &&
+                 "validate_workload admitted a null grid");
           exec(job.coeffs, *job.grid);
         }
       },

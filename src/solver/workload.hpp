@@ -10,11 +10,33 @@
 //
 // both route through ONE validation (family <-> payload alternative, dtype,
 // extents — workload.cpp) and one kernel-routing switch, and the legacy
-// typed overloads are now thin wrappers that build the same Workload.  The
-// payload holds coefficients/rules BY VALUE (they are a few doubles, and
-// callers routinely pass temporaries) and grids/spans BY REFERENCE: the
-// caller's storage must outlive the run — for submit(), until the returned
-// Future is ready.
+// typed overloads are now thin wrappers that build the same Workload.
+//
+// ---- Lifetime contract ----------------------------------------------------
+//
+// The payload holds coefficients/rules BY VALUE (they are a few doubles,
+// and callers routinely pass temporaries).  Grids and spans come in two
+// flavours:
+//
+//   * Non-owning (the lvalue-reference / span constructors): the caller's
+//     storage must outlive the run — for submit(), until the returned
+//     Future is READY, not merely until submit() returns.  Destroying the
+//     grid while the pool still runs the task is a use-after-free.
+//   * Owning (the shared_ptr / rvalue-vector constructors): the Workload
+//     keeps the storage alive itself, so a fire-and-forget submit() is
+//     safe.  Callers who need the stencil result keep their own copy of
+//     the shared_ptr and read the grid once the future is ready.
+//
+// owns() reports which flavour a Workload is; serve-layer code debug-
+// asserts the grid pointer is non-null before touching it.
+//
+// ---- Scheduling hints -----------------------------------------------------
+//
+// priority() and deadline_micros() are admission hints for the serving
+// executor (serve/executor.hpp): kInteractive workloads — and workloads
+// whose deadline is set — land in the workers' interactive band, which is
+// drained before batch work on both pop and steal.  They are hints only:
+// run() ignores them, and results never depend on them.
 //
 // The parity-pair (PingPong) overloads stay typed: they are a tiled-path
 // special case with different result placement, not a serving payload.
@@ -22,7 +44,9 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <span>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -55,6 +79,12 @@ struct RunResult {
   std::vector<std::int32_t> lcs_row;
 };
 
+// Admission class for the serving executor's two-band worker deques.
+enum class Priority {
+  kBatch = 0,        // default: throughput work, drained after interactive
+  kInteractive = 1,  // latency-sensitive: drained first on pop and steal
+};
+
 namespace detail {
 
 // One (coefficient set, grid) payload; C is stored by value (small, often
@@ -68,6 +98,12 @@ struct StencilJob {
 struct LcsJob {
   std::span<const std::int32_t> a;
   std::span<const std::int32_t> b;
+};
+
+// Backing storage for the owning LCS constructor; spans point into it.
+struct LcsOwned {
+  std::vector<std::int32_t> a;
+  std::vector<std::int32_t> b;
 };
 
 using WorkloadVariant = std::variant<
@@ -87,6 +123,7 @@ using WorkloadVariant = std::variant<
 
 class Workload {
  public:
+  // ---- non-owning constructors (caller's storage outlives the run) -------
   // Jacobi/Gauss-Seidel, double precision.
   Workload(const stencil::C1D3& c, grid::Grid1D<double>& u) : v_{wrap(c, u)} {}
   Workload(const stencil::C1D5& c, grid::Grid1D<double>& u) : v_{wrap(c, u)} {}
@@ -106,6 +143,50 @@ class Workload {
   Workload(std::span<const std::int32_t> a, std::span<const std::int32_t> b)
       : v_{detail::LcsJob{a, b}} {}
 
+  // ---- owning constructors (the Workload keeps the storage alive) --------
+  // The shared_ptr is co-owned: keep a copy at the call site to read the
+  // result after the future is ready.  A null pointer is rejected at
+  // validation (Errc::kBadWorkload), not here.
+  template <class C, class G>
+  Workload(const C& c, std::shared_ptr<G> u)
+      : v_{detail::StencilJob<C, G>{c, u.get()}}, owner_{std::move(u)} {}
+  // Owning LCS: rvalue-only, so existing lvalue-vector call sites keep
+  // binding the (cheap, non-owning) span constructor instead of silently
+  // copying their sequences.
+  Workload(std::vector<std::int32_t>&& a, std::vector<std::int32_t>&& b) {
+    auto owned =
+        std::make_shared<detail::LcsOwned>(std::move(a), std::move(b));
+    v_ = detail::LcsJob{owned->a, owned->b};
+    owner_ = std::move(owned);
+  }
+
+  // ---- scheduling hints ---------------------------------------------------
+  // Fluent: Workload(c, u).priority(Priority::kInteractive).
+  Workload& priority(Priority p) & {
+    priority_ = p;
+    return *this;
+  }
+  Workload&& priority(Priority p) && {
+    priority_ = p;
+    return std::move(*this);
+  }
+  Priority priority() const noexcept { return priority_; }
+
+  // A soft completion target in microseconds from submit (0 = none).
+  // Setting any deadline also routes the workload interactively.
+  Workload& deadline_micros(long us) & {
+    deadline_micros_ = us;
+    return *this;
+  }
+  Workload&& deadline_micros(long us) && {
+    deadline_micros_ = us;
+    return std::move(*this);
+  }
+  long deadline_micros() const noexcept { return deadline_micros_; }
+
+  // True when this workload carries (co-owns) its grid/sequence storage.
+  bool owns() const noexcept { return owner_ != nullptr; }
+
   // True when the payload is the LCS alternative (whose result lives in
   // RunResult rather than a caller grid).
   bool is_lcs() const noexcept {
@@ -120,14 +201,20 @@ class Workload {
     return detail::StencilJob<C, G>{c, &g};
   }
 
-  detail::WorkloadVariant v_;
+  detail::WorkloadVariant v_{detail::LcsJob{}};
+  // Keeps owning payload storage alive across submit(); null when the
+  // caller's storage backs the payload (the reference/span constructors).
+  std::shared_ptr<void> owner_;
+  Priority priority_ = Priority::kBatch;
+  long deadline_micros_ = 0;
 };
 
 // The single family/dtype/extent validation both run(Workload) and
 // submit(Workload) share: rejects a payload alternative the problem's
 // family cannot consume (Errc::kBadWorkload / kBadFamily), an element-type
-// mismatch (kUnsupportedDtype), and extents that disagree with the
-// descriptor (kBadExtents).
+// mismatch (kUnsupportedDtype), extents that disagree with the descriptor
+// (kBadExtents), and a null grid pointer in an owning payload
+// (kBadWorkload).
 void validate_workload(const StencilProblem& p, const Workload& w);
 
 }  // namespace tvs::solver

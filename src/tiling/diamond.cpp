@@ -41,9 +41,7 @@ void diamond_run(const F& f, double* even, double* odd, int nx, long steps,
     // Each phase-1 trapezoid writes only its own base interval
     // [1 + k*W, (k+1)*W] (edges shrink inward), so the parity arrays are
     // partitioned by the tile index.
-    // tvsrace: partitioned(k)
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int k = 0; k < nb; ++k) {
+    const auto phase1 = [&](int k, int /*slot*/) {
       for (int j = 0; j < h / 4; ++j) {
         const long tt = t0 + 4 * j;
         double* a0 = (tt % 2 == 0) ? even : odd;
@@ -52,14 +50,19 @@ void diamond_run(const F& f, double* even, double* odd, int nx, long steps,
                               (k + 1) * W - 4 * j * R, +R, -R,
                               !opt.use_vector);
       }
+    };
+    if (opt.exec != nullptr) {
+      stage_run(opt.exec, nb, phase1);
+    } else {
+      // tvsrace: partitioned(k)
+#pragma omp parallel for schedule(dynamic, 1)
+      for (int k = 0; k < nb; ++k) phase1(k, 0);
     }
     // Phase 2: growing trapezoids at the seams (including the domain edges).
     // Phase-2 seam tiles grow from empty bases at the k*W seams; their
     // widest level still ends left of where tile k+1's level starts, so
     // writes stay disjoint per k.
-    // tvsrace: partitioned(k)
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int k = 0; k <= nb; ++k) {
+    const auto phase2 = [&](int k, int /*slot*/) {
       for (int j = 0; j < h / 4; ++j) {
         const long tt = t0 + 4 * j;
         double* a0 = (tt % 2 == 0) ? even : odd;
@@ -67,6 +70,13 @@ void diamond_run(const F& f, double* even, double* odd, int nx, long steps,
         tv::tv1d_trapezoid<V>(f, a0, a1, nx, s, k * W + 1 - 4 * j * R,
                               k * W + 4 * j * R, -R, +R, !opt.use_vector);
       }
+    };
+    if (opt.exec != nullptr) {
+      stage_run(opt.exec, nb + 1, phase2);
+    } else {
+      // tvsrace: partitioned(k)
+#pragma omp parallel for schedule(dynamic, 1)
+      for (int k = 0; k <= nb; ++k) phase2(k, 0);
     }
     t0 += h;
   }

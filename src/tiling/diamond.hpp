@@ -14,6 +14,7 @@
 #include "grid/grid1d.hpp"
 #include "grid/pingpong.hpp"
 #include "stencil/coefficients.hpp"
+#include "tiling/stage_exec.hpp"
 
 namespace tvs::tiling {
 
@@ -22,6 +23,9 @@ struct Diamond1DOptions {
   int height = 128;    // band height (time steps per band)
   int stride = 7;      // temporal-vectorization stride s
   bool use_vector = true;  // false: identical tiling, scalar tiles (bench baseline)
+  // External stage executor (serving pool); nullptr = the driver's own
+  // OpenMP loops.  Same tiles either way, bit-identical results.
+  const StageExec* exec = nullptr;
 };
 
 // Input: pp.by_parity(0) holds the t = 0 data; boundary cells (x <= 0,

@@ -173,7 +173,13 @@ void diamond2d_run(const F& f, grid::PingPong<grid::Grid2D<T>>& pp, long steps,
     W = std::max(W, 2 * H + VL * s + 8);
   }
 
-  std::vector<TrapWs2D<V>> tls(static_cast<std::size_t>(omp_get_max_threads()));
+  // One ring workspace per concurrent runner: OpenMP threads on the
+  // driver's own loops, executor slots under an external StageExec (the
+  // slot is unique among running bodies, and each lazy prepare() below
+  // first-touches the ring on the worker that sweeps it).
+  const int nslots = std::max(
+      omp_get_max_threads(), opt.exec != nullptr ? opt.exec->slots : 0);
+  std::vector<TrapWs2D<V>> tls(static_cast<std::size_t>(nslots));
 
   const long t_vec = steps - steps % VL;
   long t0 = 0;
@@ -182,11 +188,9 @@ void diamond2d_run(const F& f, grid::PingPong<grid::Grid2D<T>>& pp, long steps,
     const int nb = (nx + W - 1) / W;
     // Phase-1 trapezoids write rows [1 + k*W, (k+1)*W] only (shrinking
     // edges); the parity grids are partitioned by tile index, and the ws
-    // scratch is per-thread (tls[omp_get_thread_num()]).
-    // tvsrace: partitioned(k)
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int k = 0; k < nb; ++k) {
-      TrapWs2D<V>& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
+    // scratch is per-runner (tls[slot]).
+    const auto phase1 = [&](int k, int slot) {
+      TrapWs2D<V>& ws = tls[static_cast<std::size_t>(slot)];
       ws.prepare(s, ny);
       for (int j = 0; j < h / VL; ++j) {
         const long tt = t0 + static_cast<long>(VL) * j;
@@ -195,13 +199,18 @@ void diamond2d_run(const F& f, grid::PingPong<grid::Grid2D<T>>& pp, long steps,
         trapezoid2d<V>(f, a0, a1, s, 1 + k * W + VL * j, (k + 1) * W - VL * j,
                        +1, -1, ws, !opt.use_vector);
       }
+    };
+    if (opt.exec != nullptr) {
+      stage_run(opt.exec, nb, phase1);
+    } else {
+      // tvsrace: partitioned(k)
+#pragma omp parallel for schedule(dynamic, 1)
+      for (int k = 0; k < nb; ++k) phase1(k, omp_get_thread_num());
     }
     // Phase-2 seam tiles: disjoint row ranges around each seam k*W, same
     // partition argument as phase 1.
-    // tvsrace: partitioned(k)
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int k = 0; k <= nb; ++k) {
-      TrapWs2D<V>& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
+    const auto phase2 = [&](int k, int slot) {
+      TrapWs2D<V>& ws = tls[static_cast<std::size_t>(slot)];
       ws.prepare(s, ny);
       for (int j = 0; j < h / VL; ++j) {
         const long tt = t0 + static_cast<long>(VL) * j;
@@ -210,6 +219,13 @@ void diamond2d_run(const F& f, grid::PingPong<grid::Grid2D<T>>& pp, long steps,
         trapezoid2d<V>(f, a0, a1, s, k * W + 1 - VL * j, k * W + VL * j, -1,
                        +1, ws, !opt.use_vector);
       }
+    };
+    if (opt.exec != nullptr) {
+      stage_run(opt.exec, nb + 1, phase2);
+    } else {
+      // tvsrace: partitioned(k)
+#pragma omp parallel for schedule(dynamic, 1)
+      for (int k = 0; k <= nb; ++k) phase2(k, omp_get_thread_num());
     }
     t0 += h;
   }

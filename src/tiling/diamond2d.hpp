@@ -11,6 +11,7 @@
 #include "grid/pingpong.hpp"
 #include "stencil/coefficients.hpp"
 #include "stencil/kernels.hpp"
+#include "tiling/stage_exec.hpp"
 
 namespace tvs::tiling {
 
@@ -19,6 +20,9 @@ struct Diamond2DOptions {
   int height = 32;  // band height in time steps (multiple of the lane count)
   int stride = 2;   // temporal-vectorization stride s (paper default for 2D)
   bool use_vector = true;  // false: identical tiling, scalar tiles
+  // External stage executor (serving pool); nullptr = the driver's own
+  // OpenMP loops.  Same tiles either way, bit-identical results.
+  const StageExec* exec = nullptr;
 };
 
 // Jacobi 2D5P / 2D9P on a parity pair: pp.by_parity(0) holds t = 0,

@@ -171,7 +171,12 @@ void jacobi3d7(const stencil::C3D7& c,
     H = std::max(VL, std::min(H, (W / 2 / VL) * VL));
     W = std::max(W, 2 * H + VL * s + 8);
   }
-  std::vector<TrapWs3D> tls(static_cast<std::size_t>(omp_get_max_threads()));
+  // One ring workspace per concurrent runner (OpenMP threads or external
+  // executor slots); lazy prepare() first-touches it on the sweeping
+  // worker.
+  const int nslots = std::max(
+      omp_get_max_threads(), opt.exec != nullptr ? opt.exec->slots : 0);
+  std::vector<TrapWs3D> tls(static_cast<std::size_t>(nslots));
 
   const long t_vec = steps - steps % VL;
   long t0 = 0;
@@ -179,11 +184,9 @@ void jacobi3d7(const stencil::C3D7& c,
     const int h = static_cast<int>(std::min<long>(H, t_vec - t0));
     const int nb = (nx + W - 1) / W;
     // Phase-1 trapezoids write planes [1 + k*W, (k+1)*W] only (shrinking
-    // edges); parity grids partitioned by tile index, ws is per-thread.
-    // tvsrace: partitioned(k)
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int k = 0; k < nb; ++k) {
-      TrapWs3D& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
+    // edges); parity grids partitioned by tile index, ws is per-runner.
+    const auto phase1 = [&](int k, int slot) {
+      TrapWs3D& ws = tls[static_cast<std::size_t>(slot)];
       ws.prepare(s, ny, nz);
       for (int j = 0; j < h / VL; ++j) {
         const long tt = t0 + static_cast<long>(VL) * j;
@@ -191,12 +194,17 @@ void jacobi3d7(const stencil::C3D7& c,
                     1 + k * W + VL * j, (k + 1) * W - VL * j, +1, -1, ws,
                     !opt.use_vector);
       }
+    };
+    if (opt.exec != nullptr) {
+      stage_run(opt.exec, nb, phase1);
+    } else {
+      // tvsrace: partitioned(k)
+#pragma omp parallel for schedule(dynamic, 1)
+      for (int k = 0; k < nb; ++k) phase1(k, omp_get_thread_num());
     }
     // Phase-2 seam tiles: disjoint plane ranges around each seam k*W.
-    // tvsrace: partitioned(k)
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int k = 0; k <= nb; ++k) {
-      TrapWs3D& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
+    const auto phase2 = [&](int k, int slot) {
+      TrapWs3D& ws = tls[static_cast<std::size_t>(slot)];
       ws.prepare(s, ny, nz);
       for (int j = 0; j < h / VL; ++j) {
         const long tt = t0 + static_cast<long>(VL) * j;
@@ -204,6 +212,13 @@ void jacobi3d7(const stencil::C3D7& c,
                     k * W + 1 - VL * j, k * W + VL * j, -1, +1, ws,
                     !opt.use_vector);
       }
+    };
+    if (opt.exec != nullptr) {
+      stage_run(opt.exec, nb + 1, phase2);
+    } else {
+      // tvsrace: partitioned(k)
+#pragma omp parallel for schedule(dynamic, 1)
+      for (int k = 0; k <= nb; ++k) phase2(k, omp_get_thread_num());
     }
     t0 += h;
   }

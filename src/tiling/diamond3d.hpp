@@ -5,6 +5,7 @@
 #include "grid/grid3d.hpp"
 #include "grid/pingpong.hpp"
 #include "stencil/coefficients.hpp"
+#include "tiling/stage_exec.hpp"
 
 namespace tvs::tiling {
 
@@ -13,6 +14,9 @@ struct Diamond3DOptions {
   int height = 8;   // band height in time steps (multiple of 4)
   int stride = 2;
   bool use_vector = true;  // false: identical tiling, scalar tiles
+  // External stage executor (serving pool); nullptr = the driver's own
+  // OpenMP loops.  Same tiles either way, bit-identical results.
+  const StageExec* exec = nullptr;
 };
 
 void diamond_jacobi3d7_run(const stencil::C3D7& c,

@@ -38,10 +38,9 @@ std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
     // Anti-diagonal wavefront: block (bi, bj = d - bi) owns row segment
     // [bj*Wb, bj*Wb + wseg] and column bj+1 rows [bi*Hb, bi*Hb + h] — both
     // are injective in bi for fixed d, so row/col writes are disjoint.
-    // tvsrace: partitioned(bi)
-#pragma omp parallel for schedule(dynamic, 1)
-    for (int bi = std::max(0, d - (nbj - 1)); bi <= std::min(d, nbi - 1);
-         ++bi) {
+    const int bi_lo = std::max(0, d - (nbj - 1));
+    const int bi_hi = std::min(d, nbi - 1);
+    const auto block = [&](int bi, int /*slot*/) {
       const int bj = d - bi;
       const int t0 = bi * Hb;
       const int h = std::min(Hb, na - t0);
@@ -66,6 +65,14 @@ std::int32_t lcs_wavefront_tiled(std::span<const std::int32_t> a,
           rcol[t + 1] = rseg[wseg];
         }
       }
+    };
+    if (opt.exec != nullptr) {
+      stage_run(opt.exec, bi_hi - bi_lo + 1,
+                [&](int i, int slot) { block(bi_lo + i, slot); });
+    } else {
+      // tvsrace: partitioned(bi)
+#pragma omp parallel for schedule(dynamic, 1)
+      for (int bi = bi_lo; bi <= bi_hi; ++bi) block(bi, 0);
     }
   }
   return row[static_cast<std::size_t>(nb)];

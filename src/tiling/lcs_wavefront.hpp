@@ -12,12 +12,17 @@
 #include <cstdint>
 #include <span>
 
+#include "tiling/stage_exec.hpp"
+
 namespace tvs::tiling {
 
 struct LcsWavefrontOptions {
   int block = 4096;        // column-block width (Table 1)
   int band = 4096;         // row-band height
   bool use_vector = true;  // false: identical tiling, scalar DP rows
+  // External stage executor (serving pool); nullptr = the driver's own
+  // OpenMP loops.  Same tiles either way, bit-identical results.
+  const StageExec* exec = nullptr;
 };
 
 std::int32_t lcs_wavefront(std::span<const std::int32_t> a,

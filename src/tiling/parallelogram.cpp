@@ -52,14 +52,12 @@ void gs1d3_tiled(const stencil::C1D3& c, grid::Grid1D<double>& u,
     const int bx_max_all = std::max(hi(0), hi(nbt - 1));
     const int wmax = 2 * (nbt - 1) + (bx_max_all - bx_min_all);
     for (int w = 0; w <= wmax; ++w) {
-    // Tiles on one anti-diagonal w = 2*bt + bx are >= 2W+H points apart
-    // (file comment): each writes only its own sloped interval of `a`, so
-    // the array is partitioned by the band index.
-    // tvsrace: partitioned(bt)
-#pragma omp parallel for schedule(dynamic, 1)
-      for (int bt = 0; bt < nbt; ++bt) {
+      // Tiles on one anti-diagonal w = 2*bt + bx are >= 2W+H points apart
+      // (file comment): each writes only its own sloped interval of `a`, so
+      // the array is partitioned by the band index.
+      const auto tile = [&](int bt, int /*slot*/) {
         const int bx = w - 2 * bt + bx_min_all;
-        if (bx < lo(bt) || bx > hi(bt)) continue;
+        if (bx < lo(bt) || bx > hi(bt)) return;
         const long tb = static_cast<long>(bt) * H;
         const int hb = band_h(bt);
         const int xl0 = static_cast<int>(1 + static_cast<long>(bx) * W - tb);
@@ -67,6 +65,13 @@ void gs1d3_tiled(const stencil::C1D3& c, grid::Grid1D<double>& u,
         for (int j = 0; j < hb / 4; ++j)
           tv::tv_gs1d_parallelogram<V>(c, a, nx, s, xl0 - 4 * j, xr0 - 4 * j,
                                        !opt.use_vector);
+      };
+      if (opt.exec != nullptr) {
+        stage_run(opt.exec, nbt, tile);
+      } else {
+        // tvsrace: partitioned(bt)
+#pragma omp parallel for schedule(dynamic, 1)
+        for (int bt = 0; bt < nbt; ++bt) tile(bt, 0);
       }
     }
   }

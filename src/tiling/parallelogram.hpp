@@ -5,6 +5,7 @@
 
 #include "grid/grid1d.hpp"
 #include "stencil/coefficients.hpp"
+#include "tiling/stage_exec.hpp"
 
 namespace tvs::tiling {
 
@@ -13,6 +14,9 @@ struct Parallelogram1DOptions {
   int height = 64;   // band height (sweeps per band)
   int stride = 3;    // temporal-vectorization stride s (>= 2)
   bool use_vector = true;  // false: identical tiling, scalar tiles
+  // External stage executor (serving pool); nullptr = the driver's own
+  // OpenMP loops.  Same tiles either way, bit-identical results.
+  const StageExec* exec = nullptr;
 };
 
 // Advance u by `sweeps` Gauss-Seidel sweeps, in place.

@@ -405,19 +405,24 @@ void wavefront_run(int nx, long sweeps, ParallelogramNDOptions opt, int min_s,
     const int bx_max_all = std::max(hi(0), hi(nbt - 1));
     const int wmax = 2 * (nbt - 1) + (bx_max_all - bx_min_all);
     for (int w = 0; w <= wmax; ++w) {
-    // Same wavefront argument as the 1D driver: tiles on one anti-diagonal
-    // are disjoint in x, so the tile callback touches non-overlapping
-    // regions per bt (its scratch is per-thread inside the callback).
-    // tvsrace: partitioned(bt)
-#pragma omp parallel for schedule(dynamic, 1)
-      for (int bt = 0; bt < nbt; ++bt) {
+      // Same wavefront argument as the 1D driver: tiles on one anti-diagonal
+      // are disjoint in x, so the tile callback touches non-overlapping
+      // regions per bt (its scratch is per-runner, indexed by slot).
+      const auto diag = [&](int bt, int slot) {
         const int bx = w - 2 * bt + bx_min_all;
-        if (bx < lo(bt) || bx > hi(bt)) continue;
+        if (bx < lo(bt) || bx > hi(bt)) return;
         const long tb = static_cast<long>(bt) * H;
         const int hb = band_h(bt);
         const int xl0 = static_cast<int>(1 + static_cast<long>(bx) * W - tb);
         for (int j = 0; j < hb / 4; ++j)
-          tile(s, xl0 - 4 * j, xl0 + W - 1 - 4 * j);
+          tile(s, xl0 - 4 * j, xl0 + W - 1 - 4 * j, slot);
+      };
+      if (opt.exec != nullptr) {
+        stage_run(opt.exec, nbt, diag);
+      } else {
+        // tvsrace: partitioned(bt)
+#pragma omp parallel for schedule(dynamic, 1)
+        for (int bt = 0; bt < nbt; ++bt) diag(bt, omp_get_thread_num());
       }
     }
   }
@@ -427,11 +432,13 @@ void wavefront_run(int nx, long sweeps, ParallelogramNDOptions opt, int min_s,
 
 void gs2d5_tiled(const stencil::C2D5& c, grid::Grid2D<double>& u,
                              long sweeps, const ParallelogramNDOptions& opt) {
-  std::vector<GsWs2D> tls(static_cast<std::size_t>(omp_get_max_threads()));
+  const int nslots = std::max(
+      omp_get_max_threads(), opt.exec != nullptr ? opt.exec->slots : 0);
+  std::vector<GsWs2D> tls(static_cast<std::size_t>(nslots));
   wavefront_run(
       u.nx(), sweeps, opt, 2,
-      [&](int s, int xl0, int xr0) {
-        GsWs2D& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
+      [&](int s, int xl0, int xr0, int slot) {
+        GsWs2D& ws = tls[static_cast<std::size_t>(slot)];
         ws.prepare(s, u.ny());
         gs2d_trap(c, u, s, xl0, xr0, ws, !opt.use_vector);
       },
@@ -450,11 +457,13 @@ void gs2d5_tiled(const stencil::C2D5& c, grid::Grid2D<double>& u,
 
 void gs3d7_tiled(const stencil::C3D7& c, grid::Grid3D<double>& u,
                              long sweeps, const ParallelogramNDOptions& opt) {
-  std::vector<GsWs3D> tls(static_cast<std::size_t>(omp_get_max_threads()));
+  const int nslots = std::max(
+      omp_get_max_threads(), opt.exec != nullptr ? opt.exec->slots : 0);
+  std::vector<GsWs3D> tls(static_cast<std::size_t>(nslots));
   wavefront_run(
       u.nx(), sweeps, opt, 2,
-      [&](int s, int xl0, int xr0) {
-        GsWs3D& ws = tls[static_cast<std::size_t>(omp_get_thread_num())];
+      [&](int s, int xl0, int xr0, int slot) {
+        GsWs3D& ws = tls[static_cast<std::size_t>(slot)];
         ws.prepare(s, u.ny(), u.nz());
         gs3d_trap(c, u, s, xl0, xr0, ws, !opt.use_vector);
       },

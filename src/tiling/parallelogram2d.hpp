@@ -9,6 +9,7 @@
 #include "grid/grid2d.hpp"
 #include "grid/grid3d.hpp"
 #include "stencil/coefficients.hpp"
+#include "tiling/stage_exec.hpp"
 
 namespace tvs::tiling {
 
@@ -17,6 +18,9 @@ struct ParallelogramNDOptions {
   int height = 32;  // band height in sweeps
   int stride = 2;
   bool use_vector = true;  // false: identical tiling, scalar tiles
+  // External stage executor (serving pool); nullptr = the driver's own
+  // OpenMP loops.  Same tiles either way, bit-identical results.
+  const StageExec* exec = nullptr;
 };
 
 void parallelogram_gs2d5_run(const stencil::C2D5& c, grid::Grid2D<double>& u,

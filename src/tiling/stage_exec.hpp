@@ -1,0 +1,51 @@
+// External stage executor for the tiled drivers.
+//
+// Every tiled driver in this directory is a sequence of STAGES — a diamond
+// phase over bands, a parallelogram anti-diagonal, an LCS wavefront — where
+// the iterations inside one stage are independent and a barrier separates
+// consecutive stages.  By default each driver runs its stages with its own
+// `#pragma omp parallel for`; when an Options struct carries a non-null
+// StageExec the driver hands every stage to it instead, so an external
+// scheduler (the serving pool, see serve/sched.hpp) can interleave the
+// tiles of several problems on shared workers.  Because the stage
+// decomposition and per-tile bodies are identical on both paths, results
+// are bit-identical regardless of which executor runs them.
+//
+// Deliberately a POD of function pointers, not a virtual interface: these
+// headers are included by the per-backend kernel TUs, and a vtable's weak
+// symbols would leak past the backends' hidden-visibility discipline
+// (tvslint R3).
+#pragma once
+
+#include <type_traits>
+
+namespace tvs::tiling {
+
+struct StageExec {
+  void* ctx = nullptr;
+  // Upper bound on concurrently running stage bodies; drivers size their
+  // per-slot ring workspaces as max(omp_get_max_threads(), slots).
+  int slots = 1;
+  // Runs body(body_ctx, i, slot) for every i in [0, n) and returns only
+  // after all n iterations completed.  The slot passed to a body is unique
+  // among the bodies running at that moment (it indexes scratch), in
+  // [0, slots).
+  void (*run)(void* ctx, int n, void (*body)(void* body_ctx, int i, int slot),
+              void* body_ctx) = nullptr;
+};
+
+// Fans one stage of n independent iterations over ex; body is any callable
+// (i, slot).  The callable stays on the caller's stack — ex->run blocks
+// until every iteration is done, so the reference outlives all uses.
+template <class Body>
+void stage_run(const StageExec* ex, int n, Body&& body) {
+  using Fn = std::remove_reference_t<Body>;
+  // const_cast for the void* handoff only — the trampoline restores the
+  // original (possibly const) callable type before invoking it.
+  ex->run(
+      ex->ctx, n,
+      [](void* c, int i, int slot) { (*static_cast<Fn*>(c))(i, slot); },
+      const_cast<void*>(static_cast<const void*>(&body)));
+}
+
+}  // namespace tvs::tiling

@@ -668,6 +668,36 @@ def check_omp(sf: SourceFile, flat: Flat,
             body_start = pend
         body_end = stmt_extent(text, body_start)
         region = text[body_start:body_end]
+
+        # The tiled drivers share one tile body between their OpenMP branch
+        # and the serving executor's stage path, so the loop body is often a
+        # single call to a lambda declared just above.  Follow it: analyze
+        # the lambda's body as the region (its parameters are per-invocation
+        # private), otherwise the writes would be invisible here and the
+        # partitioned() certification would certify nothing.
+        lam_call = re.match(r"^\s*\{?\s*([A-Za-z_]\w*)\s*\([^;{}]*\)\s*;?\s*\}?\s*$",
+                            region)
+        if lam_call:
+            lam_name = lam_call.group(1)
+            lam_decls = list(re.finditer(
+                rf"\bauto\s+{re.escape(lam_name)}\s*=\s*\[", text[:pidx]))
+            if lam_decls:
+                lb = lam_decls[-1].end() - 1       # at the capture '['
+                cap_end = match_forward(text, lb, "[", "]")
+                pstart = text.find("(", cap_end)
+                if pstart != -1 and text[cap_end + 1:pstart].strip() == "":
+                    pclose = match_forward(text, pstart, "(", ")")
+                    for ptok in text[pstart + 1:pclose].split(","):
+                        pm = re.search(r"([A-Za-z_]\w*)\s*(?:/\*.*\*/\s*)?$",
+                                       ptok.strip())
+                        if pm:
+                            clause_private.add(pm.group(1))
+                    brace = text.find("{", pclose)
+                    if brace != -1:
+                        body_start = brace + 1
+                        body_end = match_forward(text, brace, "{", "}")
+                        region = text[body_start:body_end]
+
         region_line0 = flat.line_of(body_start)
         region_line1 = flat.line_of(max(body_start, body_end - 1))
 
